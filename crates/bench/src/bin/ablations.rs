@@ -1,0 +1,158 @@
+//! Ablation studies for the design choices DESIGN.md calls out.
+//!
+//! Usage: `ablations [quick|paper|REFS]`
+//!
+//! 1. CR x ISC factorial on OLTP (which optimization buys what);
+//! 2. promotion policy: fastest vs next-fastest (Section 3.3.1);
+//! 3. tag-capacity factor: 1x / 2x / 4x (Section 2.2.2);
+//! 4. staggered vs naive d-group rankings (Section 2.2.1).
+
+use cmp_bench::table::{pct, rel, TextTable};
+use cmp_bench::config_from_args;
+use cmp_nurapid::{CmpNurapid, NurapidConfig, PromotionPolicy};
+use cmp_sim::{run_mix, run_mix_custom, run_multithreaded, run_multithreaded_custom, OrgKind};
+
+fn main() {
+    let cfg = config_from_args();
+
+    // --- 1. CR x ISC factorial on OLTP --------------------------------
+    let shared = run_multithreaded("oltp", OrgKind::Shared, &cfg);
+    let mut t = TextTable::new(vec!["configuration", "rel perf", "ROS miss", "RWS miss", "cap miss"]);
+    let combos: [(&str, bool, bool); 4] = [
+        ("neither (migration only)", false, false),
+        ("CR only", true, false),
+        ("ISC only", false, true),
+        ("CR + ISC (paper)", true, true),
+    ];
+    for (label, cr, isc) in combos {
+        let nur = NurapidConfig {
+            controlled_replication: cr,
+            in_situ_communication: isc,
+            ..NurapidConfig::paper()
+        };
+        let r = run_multithreaded_custom("oltp", Box::new(CmpNurapid::new(nur)), &cfg);
+        t.row(vec![
+            label.to_string(),
+            rel(r.ipc() / shared.ipc()),
+            pct(r.l2.class_fraction(cmp_cache::AccessClass::MissRos).value()),
+            pct(r.l2.class_fraction(cmp_cache::AccessClass::MissRws).value()),
+            pct(r.l2.class_fraction(cmp_cache::AccessClass::MissCapacity).value()),
+        ]);
+    }
+    println!("Ablation 1: CR x ISC on OLTP (relative to uniform-shared)\n{t}");
+
+    // --- 2. Promotion policy ------------------------------------------
+    let mut t = TextTable::new(vec![
+        "workload", "fastest", "(closest hits)", "next-fastest", "(closest hits)",
+    ]);
+    for wl in ["specjbb", "ocean", "MIX3"] {
+        let is_mix = wl.starts_with("MIX");
+        let base = if is_mix {
+            run_mix(wl, OrgKind::Shared, &cfg).ipc()
+        } else {
+            run_multithreaded(wl, OrgKind::Shared, &cfg).ipc()
+        };
+        let run_with = |policy| {
+            let nur = NurapidConfig { promotion: policy, ..NurapidConfig::paper() };
+            let org = Box::new(CmpNurapid::new(nur));
+            if is_mix {
+                run_mix_custom(wl, org, &cfg)
+            } else {
+                run_multithreaded_custom(wl, org, &cfg)
+            }
+        };
+        let fast = run_with(PromotionPolicy::Fastest);
+        let next = run_with(PromotionPolicy::NextFastest);
+        let closest = |r: &cmp_sim::RunResult| {
+            pct(r.l2.hits_closest as f64 / r.l2.hits().max(1) as f64)
+        };
+        t.row(vec![
+            wl.to_string(),
+            rel(fast.ipc() / base),
+            closest(&fast),
+            rel(next.ipc() / base),
+            closest(&next),
+        ]);
+    }
+    println!(
+        "Ablation 2: promotion policy (relative to uniform-shared)\n{t}\
+         paper (Section 3.3.1): fastest is more effective in CMPs than next-fastest\n"
+    );
+
+    // --- 3. Tag capacity factor ----------------------------------------
+    let mut t = TextTable::new(vec!["tag factor", "rel perf (oltp)", "tag overhead"]);
+    let base = shared.ipc();
+    for factor in [1usize, 2, 4] {
+        let nur = NurapidConfig { tag_capacity_factor: factor, ..NurapidConfig::paper() };
+        // Overhead estimate per Section 2.2.2: a tag entry is ~8 bytes
+        // (tag + forward pointer + state); overhead is entries beyond
+        // the 1x baseline relative to the 8 MB data capacity.
+        // Overhead = tag entries beyond the undoubled (1x) baseline,
+        // at ~8 bytes per entry, relative to the baseline cache size.
+        let baseline_entries = 16_384usize;
+        let entries_per_core = nur.tag_geometry().num_blocks();
+        let overhead_bytes = 4 * (entries_per_core - baseline_entries) * 8;
+        let total = 8 * 1024 * 1024 + 4 * baseline_entries * 8 + overhead_bytes;
+        let r = run_multithreaded_custom("oltp", Box::new(CmpNurapid::new(nur)), &cfg);
+        t.row(vec![
+            format!("{factor}x"),
+            rel(r.ipc() / base),
+            pct(overhead_bytes as f64 / total as f64),
+        ]);
+    }
+    println!(
+        "Ablation 3: tag capacity (relative to uniform-shared)\n{t}\
+         paper (Section 2.2.2): doubling costs ~6% capacity and performs almost as\n\
+         well as quadrupling (~23%)\n"
+    );
+
+    // --- 4. Ranking -----------------------------------------------------
+    let mut t = TextTable::new(vec!["mix", "staggered", "(demotions)", "naive", "(demotions)"]);
+    for m in ["MIX2", "MIX3"] {
+        let base = run_mix(m, OrgKind::Shared, &cfg).ipc();
+        let run_with = |staggered| {
+            let nur = NurapidConfig { staggered_ranking: staggered, ..NurapidConfig::paper() };
+            run_mix_custom(m, Box::new(CmpNurapid::new(nur)), &cfg)
+        };
+        let stag = run_with(true);
+        let naive = run_with(false);
+        t.row(vec![
+            m.to_string(),
+            rel(stag.ipc() / base),
+            stag.l2.demotions.to_string(),
+            rel(naive.ipc() / base),
+            naive.l2.demotions.to_string(),
+        ]);
+    }
+    println!(
+        "Ablation 4: d-group preference rankings (relative to uniform-shared)\n{t}\
+         paper (Section 2.2.1): staggered rankings avoid contention among cores for\n\
+         the same second-preference d-groups\n"
+    );
+
+    // --- 5. C-collapse extension ----------------------------------------
+    let mut t = TextTable::new(vec![
+        "workload", "no exits from C (paper)", "(collapses)", "c_collapse", "(collapses)",
+    ]);
+    for wl in ["oltp", "specjbb"] {
+        let base = run_multithreaded(wl, OrgKind::Shared, &cfg).ipc();
+        let run_with = |collapse| {
+            let nur = NurapidConfig { c_collapse: collapse, ..NurapidConfig::paper() };
+            run_multithreaded_custom(wl, Box::new(CmpNurapid::new(nur)), &cfg)
+        };
+        let paper = run_with(false);
+        let ext = run_with(true);
+        t.row(vec![
+            wl.to_string(),
+            rel(paper.ipc() / base),
+            paper.l2.c_collapses.to_string(),
+            rel(ext.ipc() / base),
+            ext.l2.c_collapses.to_string(),
+        ]);
+    }
+    println!(
+        "Ablation 5 (extension): exits from the C state\n{t}\
+         the paper keeps blocks in C forever (Section 3.2's future work); c_collapse\n\
+         reverts a C block to M once its other sharers' tags are gone\n"
+    );
+}

@@ -1,0 +1,32 @@
+//! Regenerates every table and figure of the paper in one run,
+//! sharing simulation results across figures.
+//!
+//! Usage: all `[quick|paper|<refs>]`
+
+use cmp_bench::{config_from_args, figures, Lab};
+
+fn main() {
+    let cfg = config_from_args();
+    println!(
+        "CMP-NuRAPID reproduction: all experiments (warmup {} / measure {} refs/core)\n",
+        cfg.warmup_accesses, cfg.measure_accesses
+    );
+    println!("{}", figures::table1());
+    println!("{}", figures::table2());
+    println!("{}", figures::table3());
+    let mut lab = Lab::new(cfg);
+    for f in [
+        figures::fig5 as fn(&mut Lab) -> String,
+        figures::fig6,
+        figures::fig7,
+        figures::fig8,
+        figures::fig9,
+        figures::fig10,
+        figures::fig11,
+        figures::fig12,
+        figures::closest_dgroup_share,
+    ] {
+        println!("{}", f(&mut lab));
+    }
+    eprintln!("({} simulation runs)", lab.runs());
+}

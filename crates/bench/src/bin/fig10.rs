@@ -1,0 +1,8 @@
+//! Regenerates Figure 10 of the paper. Usage: fig10 `[quick|paper|<refs>]`
+
+use cmp_bench::{config_from_args, figures, Lab};
+
+fn main() {
+    let mut lab = Lab::new(config_from_args());
+    print!("{}", figures::fig10(&mut lab));
+}

@@ -1,0 +1,8 @@
+//! Regenerates Figure 12 of the paper. Usage: fig12 `[quick|paper|<refs>]`
+
+use cmp_bench::{config_from_args, figures, Lab};
+
+fn main() {
+    let mut lab = Lab::new(config_from_args());
+    print!("{}", figures::fig12(&mut lab));
+}

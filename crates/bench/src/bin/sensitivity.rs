@@ -1,0 +1,65 @@
+//! Sensitivity sweeps (extension): how robust is the headline
+//! comparison to the two most uncertain timing assumptions — the
+//! off-chip memory latency and the snoopy-bus latency?
+//!
+//! Usage: `sensitivity [quick|paper|REFS]`
+
+use cmp_bench::config_from_args;
+use cmp_bench::table::{rel, TextTable};
+use cmp_cache::{CacheOrg, PrivateMesi, UniformShared};
+use cmp_coherence::Bus;
+use cmp_latency::{LatencyBook, Table1};
+use cmp_mem::Cycle;
+use cmp_nurapid::{CmpNurapid, NurapidConfig};
+use cmp_sim::System;
+use cmp_trace::profiles;
+
+fn run(bus_latency: Cycle, org: Box<dyn CacheOrg>, cfg: &cmp_sim::RunConfig) -> f64 {
+    let workload = profiles::oltp(4, cfg.seed);
+    let bus = Bus::new(bus_latency, (bus_latency / 8).max(1));
+    let mut sys = System::with_bus(workload, org, bus);
+    sys.run_measured(cfg.warmup_accesses, cfg.measure_accesses).ipc()
+}
+
+fn main() {
+    let cfg = config_from_args();
+
+    println!("Sensitivity of the OLTP comparison (relative to uniform-shared)\n");
+    let mut t = TextTable::new(vec!["memory latency", "private", "CMP-NuRAPID"]);
+    for memory in [150u64, 300, 600] {
+        let mut book = LatencyBook::from_table1(&Table1::published(), 4);
+        book.memory = memory;
+        let nur = NurapidConfig { latencies: book.clone(), ..NurapidConfig::paper() };
+        let shared = run(book.bus, Box::new(UniformShared::paper_shared(&book)), &cfg);
+        let private = run(book.bus, Box::new(PrivateMesi::paper(&book)), &cfg);
+        let nurapid = run(book.bus, Box::new(CmpNurapid::new(nur)), &cfg);
+        t.row(vec![
+            format!("{memory} cycles{}", if memory == 300 { " (paper)" } else { "" }),
+            rel(private / shared),
+            rel(nurapid / shared),
+        ]);
+    }
+    println!("{t}");
+
+    let mut t = TextTable::new(vec!["bus latency", "private", "CMP-NuRAPID"]);
+    for bus in [16u64, 32, 64] {
+        let mut book = LatencyBook::from_table1(&Table1::published(), 4);
+        book.bus = bus;
+        let nur = NurapidConfig { latencies: book.clone(), ..NurapidConfig::paper() };
+        let shared = run(bus, Box::new(UniformShared::paper_shared(&book)), &cfg);
+        let private = run(bus, Box::new(PrivateMesi::paper(&book)), &cfg);
+        let nurapid = run(bus, Box::new(CmpNurapid::new(nur)), &cfg);
+        t.row(vec![
+            format!("{bus} cycles{}", if bus == 32 { " (paper)" } else { "" }),
+            rel(private / shared),
+            rel(nurapid / shared),
+        ]);
+    }
+    println!("{t}");
+    println!(
+        "Reading: longer memory latency amplifies capacity effects (helping the\n\
+         designs with fewer misses); a slower bus taxes the miss paths of the\n\
+         private and CMP-NuRAPID designs, which both snoop on it. The ordering\n\
+         of the organizations should be stable across the sweep."
+    );
+}

@@ -1,0 +1,84 @@
+//! General-purpose simulation CLI: run any workload on any
+//! organization with explicit sizing, and print the full statistics.
+//!
+//! ```text
+//! simulate <workload> <org> [measure-refs] [warmup-refs] [seed]
+//!
+//! workload: oltp | apache | specjbb | ocean | barnes | MIX1..MIX4
+//! org:      shared | private | snuca | dnuca | ideal | nurapid |
+//!           nurapid-cr | nurapid-isc
+//! ```
+
+use cmp_cache::AccessClass;
+use cmp_mem::ReuseBucket;
+use cmp_sim::{run_mix, run_multithreaded, OrgKind, RunConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: simulate <workload> <org> [measure-refs] [warmup-refs] [seed]\n\
+         workload: oltp|apache|specjbb|ocean|barnes|MIX1..MIX4\n\
+         org: shared|private|snuca|dnuca|ideal|nurapid|nurapid-cr|nurapid-isc"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (Some(workload), Some(org)) = (args.first(), args.get(1)) else { usage() };
+    let kind = match org.as_str() {
+        "shared" => OrgKind::Shared,
+        "private" => OrgKind::Private,
+        "snuca" => OrgKind::Snuca,
+        "dnuca" => OrgKind::Dnuca,
+        "ideal" => OrgKind::Ideal,
+        "nurapid" => OrgKind::Nurapid,
+        "nurapid-cr" => OrgKind::NurapidCrOnly,
+        "nurapid-isc" => OrgKind::NurapidIscOnly,
+        _ => usage(),
+    };
+    let measure = args.get(2).map_or(1_000_000, |s| s.parse().unwrap_or_else(|_| usage()));
+    let warmup = args.get(3).map_or(measure / 2, |s| s.parse().unwrap_or_else(|_| usage()));
+    let seed = args.get(4).map_or(0x15CA, |s| s.parse().unwrap_or_else(|_| usage()));
+    let cfg = RunConfig { warmup_accesses: warmup, measure_accesses: measure, seed };
+    let is_mix = workload.starts_with("MIX");
+    let r = if is_mix {
+        run_mix(workload, kind, &cfg)
+    } else {
+        run_multithreaded(workload, kind, &cfg)
+    };
+
+    println!("workload {} on {} (warmup {warmup}, measure {measure}, seed {seed:#x})", r.workload, kind.label());
+    println!("  instructions        {:>12}", r.instructions);
+    println!("  references          {:>12}", r.accesses);
+    println!("  cycles              {:>12}", r.cycles);
+    println!("  IPC (all cores)     {:>12.3}", r.ipc());
+    let s = &r.l2;
+    let f = |c| s.class_fraction(c).value() * 100.0;
+    println!("  L2 accesses         {:>12}   ({:.1}% of references)", s.accesses(), 100.0 * s.accesses() as f64 / r.accesses as f64);
+    println!("    hits closest      {:>11.1}%", f(AccessClass::Hit { closest: true }));
+    println!("    hits farther      {:>11.1}%", f(AccessClass::Hit { closest: false }));
+    println!("    ROS misses        {:>11.1}%", f(AccessClass::MissRos));
+    println!("    RWS misses        {:>11.1}%", f(AccessClass::MissRws));
+    println!("    capacity misses   {:>11.1}%", f(AccessClass::MissCapacity));
+    println!("  L1D hits/misses     {:>12} / {}", r.l1.hits, r.l1.misses);
+    println!("  bus transactions    {:>12}", r.bus.total());
+    println!("  writebacks          {:>12}", s.writebacks);
+    if s.pointer_transfers + s.replications + s.promotions + s.demotions > 0 {
+        println!("  pointer transfers   {:>12}", s.pointer_transfers);
+        println!("  replications        {:>12}", s.replications);
+        println!("  promotions          {:>12}", s.promotions);
+        println!("  demotions           {:>12}", s.demotions);
+        println!("  BusRepl tag drops   {:>12}", s.busrepl_invalidations);
+    }
+    if s.ros_reuse.total() > 0 {
+        let h = |hist: &cmp_mem::ReuseHistogram| {
+            ReuseBucket::ALL
+                .iter()
+                .map(|b| format!("{}: {:.1}%", b.label(), hist.fraction(*b).value() * 100.0))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        println!("  ROS reuse           {}", h(&s.ros_reuse));
+        println!("  RWS reuse           {}", h(&s.rws_reuse));
+    }
+}

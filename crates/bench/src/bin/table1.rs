@@ -1,0 +1,6 @@
+//! Regenerates Table 1 (cache and bus latencies) from the analytical
+//! latency model.
+
+fn main() {
+    print!("{}", cmp_bench::figures::table1());
+}

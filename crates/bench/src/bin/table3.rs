@@ -1,0 +1,6 @@
+//! Prints Table 3: the multithreaded workloads and the synthetic
+//! profiles standing in for them.
+
+fn main() {
+    print!("{}", cmp_bench::figures::table3());
+}

@@ -1,0 +1,119 @@
+//! The memoizing experiment runner.
+
+use std::collections::HashMap;
+
+use cmp_sim::{run_mix, run_multithreaded, OrgKind, RunConfig, RunResult};
+
+/// Identifies a workload for the result cache.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum WorkloadId {
+    /// A Table 3 multithreaded workload by name.
+    Multithreaded(&'static str),
+    /// A Table 2 multiprogrammed mix by name.
+    Mix(&'static str),
+}
+
+impl WorkloadId {
+    /// The workload's display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            WorkloadId::Multithreaded(n) | WorkloadId::Mix(n) => n,
+        }
+    }
+}
+
+/// Runs (workload, organization) pairs on demand and memoizes the
+/// results, so the figures that share runs (5, 6, 7, 8, 9, 10 all
+/// reuse the shared/private baselines) simulate each pair once.
+pub struct Lab {
+    cfg: RunConfig,
+    cache: HashMap<(WorkloadId, OrgKindKey), RunResult>,
+}
+
+/// `OrgKind` lacks `Hash` upstream intentionally (it is a plain enum
+/// in `cmp-sim`); key on its discriminant label instead.
+type OrgKindKey = &'static str;
+
+impl Lab {
+    /// Creates a lab with the given run sizing.
+    pub fn new(cfg: RunConfig) -> Self {
+        Lab { cfg, cache: HashMap::new() }
+    }
+
+    /// The run configuration in use.
+    pub fn config(&self) -> &RunConfig {
+        &self.cfg
+    }
+
+    /// Returns the (cached) result for a workload/organization pair.
+    pub fn result(&mut self, workload: WorkloadId, kind: OrgKind) -> &RunResult {
+        let key = (workload, kind.label());
+        let cfg = self.cfg;
+        self.cache.entry(key).or_insert_with(|| match workload {
+            WorkloadId::Multithreaded(name) => run_multithreaded(name, kind, &cfg),
+            WorkloadId::Mix(name) => run_mix(name, kind, &cfg),
+        })
+    }
+
+    /// Relative performance of `kind` vs the uniform-shared baseline
+    /// on one workload (Figures 6, 10, 12).
+    pub fn relative(&mut self, workload: WorkloadId, kind: OrgKind) -> f64 {
+        let base = self.result(workload, OrgKind::Shared).ipc();
+        let this = self.result(workload, kind).ipc();
+        this / base
+    }
+
+    /// Geometric-free average of `relative` over several workloads
+    /// (the paper reports arithmetic averages).
+    pub fn average_relative(&mut self, workloads: &[&'static str], kind: OrgKind) -> f64 {
+        let sum: f64 = workloads
+            .iter()
+            .map(|w| self.relative(WorkloadId::Multithreaded(w), kind))
+            .sum();
+        sum / workloads.len() as f64
+    }
+
+    /// Number of simulation runs performed so far.
+    pub fn runs(&self) -> usize {
+        self.cache.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cfg() -> RunConfig {
+        RunConfig { warmup_accesses: 500, measure_accesses: 1_000, seed: 7 }
+    }
+
+    #[test]
+    fn results_are_memoized() {
+        let mut lab = Lab::new(tiny_cfg());
+        let a = lab.result(WorkloadId::Multithreaded("barnes"), OrgKind::Shared).ipc();
+        assert_eq!(lab.runs(), 1);
+        let b = lab.result(WorkloadId::Multithreaded("barnes"), OrgKind::Shared).ipc();
+        assert_eq!(lab.runs(), 1, "second lookup must hit the cache");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn relative_of_baseline_is_one() {
+        let mut lab = Lab::new(tiny_cfg());
+        let r = lab.relative(WorkloadId::Multithreaded("ocean"), OrgKind::Shared);
+        assert!((r - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mixes_run_too() {
+        let mut lab = Lab::new(tiny_cfg());
+        let r = lab.result(WorkloadId::Mix("MIX4"), OrgKind::Private);
+        assert_eq!(r.workload, "MIX4");
+    }
+
+    #[test]
+    fn workload_id_names() {
+        assert_eq!(WorkloadId::Multithreaded("oltp").name(), "oltp");
+        assert_eq!(WorkloadId::Mix("MIX1").name(), "MIX1");
+    }
+}

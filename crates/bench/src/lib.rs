@@ -1,0 +1,54 @@
+#![warn(missing_docs)]
+
+//! Experiment harness for the CMP-NuRAPID reproduction.
+//!
+//! One function per table/figure of the paper ([`figures`]), driven
+//! by a memoizing [`Lab`] so that the `all` binary reuses simulation
+//! runs across figures. Binaries under `src/bin/` print each
+//! experiment in the paper's layout together with the paper's
+//! reported values for side-by-side comparison:
+//!
+//! ```text
+//! cargo run --release -p cmp-bench --bin table1
+//! cargo run --release -p cmp-bench --bin fig5      # ... fig6..fig12
+//! cargo run --release -p cmp-bench --bin all       # everything
+//! cargo run --release -p cmp-bench --bin ablations # design-choice studies
+//! ```
+//!
+//! All binaries accept an optional positional argument `quick` for a
+//! fast low-fidelity pass (CI smoke), defaulting to the full
+//! paper-scale configuration.
+
+pub mod figures;
+pub mod lab;
+pub mod table;
+
+pub use lab::{Lab, WorkloadId};
+pub use table::TextTable;
+
+use cmp_sim::RunConfig;
+
+/// Parses the common binary CLI: `[quick|paper|<measure_accesses>]`.
+pub fn config_from_args() -> RunConfig {
+    let arg = std::env::args().nth(1);
+    match arg.as_deref() {
+        Some("quick") => RunConfig::quick(),
+        None | Some("paper") => RunConfig::paper(),
+        Some(n) => {
+            let measure: u64 = n.parse().unwrap_or_else(|_| {
+                eprintln!("usage: <bin> [quick|paper|<measure_accesses>]");
+                std::process::exit(2);
+            });
+            RunConfig { warmup_accesses: measure / 2, measure_accesses: measure, seed: 0x15CA }
+        }
+    }
+}
+
+/// The five multithreaded workloads in the paper's order.
+pub const MULTITHREADED: [&str; 5] = ["oltp", "apache", "specjbb", "ocean", "barnes"];
+
+/// The three commercial workloads (the headline average).
+pub const COMMERCIAL: [&str; 3] = ["oltp", "apache", "specjbb"];
+
+/// The four multiprogrammed mixes.
+pub const MIXES: [&str; 4] = ["MIX1", "MIX2", "MIX3", "MIX4"];

@@ -1,0 +1,144 @@
+//! True-LRU recency tracking for one cache set.
+
+/// Recency order over the ways of one set: index 0 is the least
+/// recently used way, the last index the most recently used.
+///
+/// `O(associativity)` per operation, which is fine at the paper's
+/// associativities (≤ 32) and keeps the structure trivially correct.
+///
+/// # Example
+///
+/// ```
+/// use cmp_cache::lru::LruOrder;
+///
+/// let mut lru = LruOrder::new(4);
+/// lru.touch(2);
+/// assert_eq!(lru.most_recent(), 2);
+/// assert_ne!(lru.least_recent(), 2);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LruOrder {
+    /// Way indices, LRU first.
+    order: Vec<u8>,
+}
+
+impl LruOrder {
+    /// Creates an order over `ways` ways; initially way 0 is LRU.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ways` is zero or exceeds 256.
+    pub fn new(ways: usize) -> Self {
+        assert!(ways > 0 && ways <= 256, "ways must be in 1..=256");
+        LruOrder { order: (0..ways as u8).collect() }
+    }
+
+    /// Number of ways tracked.
+    pub fn ways(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Marks `way` most recently used.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `way` is out of range.
+    pub fn touch(&mut self, way: usize) {
+        let pos = self.position(way);
+        let w = self.order.remove(pos);
+        self.order.push(w);
+    }
+
+    /// Marks `way` least recently used (used when an entry is
+    /// invalidated, so the slot is preferred for the next fill).
+    pub fn demote(&mut self, way: usize) {
+        let pos = self.position(way);
+        let w = self.order.remove(pos);
+        self.order.insert(0, w);
+    }
+
+    /// The least recently used way.
+    pub fn least_recent(&self) -> usize {
+        self.order[0] as usize
+    }
+
+    /// The most recently used way.
+    pub fn most_recent(&self) -> usize {
+        *self.order.last().expect("order is nonempty") as usize
+    }
+
+    /// Recency rank of `way`: 0 = LRU, `ways()-1` = MRU.
+    pub fn rank(&self, way: usize) -> usize {
+        self.position(way)
+    }
+
+    /// Ways in recency order, LRU first.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.order.iter().map(|w| *w as usize)
+    }
+
+    fn position(&self, way: usize) -> usize {
+        self.order
+            .iter()
+            .position(|w| *w as usize == way)
+            .unwrap_or_else(|| panic!("way {way} out of range for {}-way set", self.order.len()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn touch_moves_to_mru() {
+        let mut lru = LruOrder::new(4);
+        lru.touch(1);
+        lru.touch(3);
+        assert_eq!(lru.most_recent(), 3);
+        assert_eq!(lru.least_recent(), 0);
+        assert_eq!(lru.rank(1), 2);
+    }
+
+    #[test]
+    fn demote_moves_to_lru() {
+        let mut lru = LruOrder::new(4);
+        lru.touch(0); // order now 1,2,3,0
+        lru.demote(3);
+        assert_eq!(lru.least_recent(), 3);
+    }
+
+    #[test]
+    fn repeated_touches_keep_order_consistent() {
+        let mut lru = LruOrder::new(3);
+        for w in [0, 1, 2, 0, 1, 0] {
+            lru.touch(w);
+        }
+        // Recency: 2 (oldest), 1, 0 (newest).
+        assert_eq!(lru.iter().collect::<Vec<_>>(), vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn single_way_set() {
+        let mut lru = LruOrder::new(1);
+        lru.touch(0);
+        assert_eq!(lru.least_recent(), 0);
+        assert_eq!(lru.most_recent(), 0);
+    }
+
+    #[test]
+    fn all_ways_present_exactly_once() {
+        let mut lru = LruOrder::new(8);
+        for w in [5, 2, 7, 2, 5] {
+            lru.touch(w);
+        }
+        let mut ws: Vec<_> = lru.iter().collect();
+        ws.sort_unstable();
+        assert_eq!(ws, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn touch_rejects_bad_way() {
+        LruOrder::new(2).touch(5);
+    }
+}

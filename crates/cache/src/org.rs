@@ -1,0 +1,225 @@
+//! The L2-organization interface driven by the system simulator.
+
+use cmp_coherence::Bus;
+use cmp_mem::{AccessKind, BlockAddr, CoreId, Cycle, Fraction, ReuseHistogram};
+
+/// Classification of one L2 access, matching the categories of the
+//  paper's Figure 5:
+/// hits, read-only-sharing misses, read-write-sharing misses, and
+/// capacity misses (cold misses are counted as capacity, as in the
+/// shared-cache categories).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AccessClass {
+    /// The access hit. `closest` distinguishes closest-d-group hits
+    /// from farther ones (Figure 9); uniform organizations report
+    /// `true`.
+    Hit {
+        /// Hit was satisfied in the requestor's closest d-group /
+        /// bank.
+        closest: bool,
+    },
+    /// Miss, but another on-chip copy exists in a clean (shared)
+    /// state.
+    MissRos,
+    /// Miss, but a dirty on-chip copy exists.
+    MissRws,
+    /// Miss with no on-chip copy (capacity or cold).
+    MissCapacity,
+}
+
+impl AccessClass {
+    /// `true` for either hit flavour.
+    pub fn is_hit(self) -> bool {
+        matches!(self, AccessClass::Hit { .. })
+    }
+}
+
+/// The result of one L2 access: the latency charged to the requesting
+/// core, the classification, and the L1-maintenance directives the
+/// system must apply (coherence and inclusion invalidations,
+/// write-through marking).
+#[derive(Clone, Debug)]
+pub struct AccessResponse {
+    /// Cycles until the requesting core may proceed.
+    pub latency: Cycle,
+    /// Figure 5 classification.
+    pub class: AccessClass,
+    /// L1 blocks (at L2-block granularity) that must be invalidated
+    /// in the given cores' L1 caches: coherence invalidations of
+    /// remote copies and inclusion invalidations of evicted victims.
+    pub l1_invalidate: Vec<(CoreId, BlockAddr)>,
+    /// The accessed block must be handled write-through in the
+    /// requestor's L1 (C-state blocks, Section 3.2).
+    pub writethrough: bool,
+}
+
+impl AccessResponse {
+    /// A response with no L1 side effects.
+    pub fn simple(latency: Cycle, class: AccessClass) -> Self {
+        AccessResponse { latency, class, l1_invalidate: Vec::new(), writethrough: false }
+    }
+}
+
+/// Statistics accumulated by an L2 organization. One instance is
+/// shared by all organizations so the figure harnesses can treat them
+/// uniformly.
+#[derive(Clone, Debug, Default)]
+pub struct OrgStats {
+    /// Hits in the requestor's closest d-group / bank.
+    pub hits_closest: u64,
+    /// Hits in a farther d-group / bank.
+    pub hits_farther: u64,
+    /// Read-only-sharing misses (Figure 5).
+    pub miss_ros: u64,
+    /// Read-write-sharing misses (Figure 5).
+    pub miss_rws: u64,
+    /// Capacity (and cold) misses (Figure 5).
+    pub miss_capacity: u64,
+    /// Dirty blocks written back to memory.
+    pub writebacks: u64,
+    /// Coherence/inclusion invalidations delivered to L1s.
+    pub l1_invalidations: u64,
+    /// Final reuse counts of blocks filled by an ROS miss, recorded at
+    /// replacement (Figure 7a).
+    pub ros_reuse: ReuseHistogram,
+    /// Final reuse counts of blocks filled by an RWS miss, recorded at
+    /// invalidation (Figure 7b).
+    pub rws_reuse: ReuseHistogram,
+    /// CMP-NuRAPID: promotions of private blocks toward the requestor.
+    pub promotions: u64,
+    /// CMP-NuRAPID: demotions performed by distance replacement.
+    pub demotions: u64,
+    /// CMP-NuRAPID: data copies created by controlled replication on
+    /// second use.
+    pub replications: u64,
+    /// CMP-NuRAPID: tag-only fills via pointer transfer (first use of
+    /// an on-chip copy).
+    pub pointer_transfers: u64,
+    /// CMP-NuRAPID: tag entries dropped by observing BusRepl.
+    pub busrepl_invalidations: u64,
+    /// Evictions of shared-category (S/C) blocks.
+    pub evictions_shared: u64,
+    /// Evictions of private-category (E/M) blocks.
+    pub evictions_private: u64,
+    /// CMP-NuRAPID extension: C-state blocks collapsed back to M when
+    /// all other sharers' tags were gone (`NurapidConfig::c_collapse`).
+    pub c_collapses: u64,
+}
+
+impl OrgStats {
+    /// Total hits.
+    pub fn hits(&self) -> u64 {
+        self.hits_closest + self.hits_farther
+    }
+
+    /// Total misses.
+    pub fn misses(&self) -> u64 {
+        self.miss_ros + self.miss_rws + self.miss_capacity
+    }
+
+    /// Total accesses.
+    pub fn accesses(&self) -> u64 {
+        self.hits() + self.misses()
+    }
+
+    /// Hit fraction of all accesses.
+    pub fn hit_fraction(&self) -> Fraction {
+        Fraction::new(self.hits(), self.accesses())
+    }
+
+    /// Miss fraction of all accesses.
+    pub fn miss_fraction(&self) -> Fraction {
+        Fraction::new(self.misses(), self.accesses())
+    }
+
+    /// One Figure 5 / Figure 8 category as a fraction of all accesses.
+    pub fn class_fraction(&self, class: AccessClass) -> Fraction {
+        let n = match class {
+            AccessClass::Hit { closest: true } => self.hits_closest,
+            AccessClass::Hit { closest: false } => self.hits_farther,
+            AccessClass::MissRos => self.miss_ros,
+            AccessClass::MissRws => self.miss_rws,
+            AccessClass::MissCapacity => self.miss_capacity,
+        };
+        Fraction::new(n, self.accesses())
+    }
+
+    /// Records an access classification.
+    pub fn record_class(&mut self, class: AccessClass) {
+        match class {
+            AccessClass::Hit { closest: true } => self.hits_closest += 1,
+            AccessClass::Hit { closest: false } => self.hits_farther += 1,
+            AccessClass::MissRos => self.miss_ros += 1,
+            AccessClass::MissRws => self.miss_rws += 1,
+            AccessClass::MissCapacity => self.miss_capacity += 1,
+        }
+    }
+}
+
+/// An L2 cache organization: the object the system simulator drives
+/// with one call per L1 miss (plus write-throughs).
+///
+/// Implementations: [`crate::UniformShared`] (and its ideal variant),
+/// [`crate::PrivateMesi`], [`crate::Snuca`], and `cmp-nurapid`'s
+/// `CmpNurapid`.
+pub trait CacheOrg {
+    /// Short name used in experiment tables ("shared", "private",
+    /// "snuca", "ideal", "nurapid").
+    fn name(&self) -> &'static str;
+
+    /// Performs one access by `core` to `block` (L2-block address) at
+    /// local time `now`, using `bus` for any coherence transactions.
+    fn access(
+        &mut self,
+        core: CoreId,
+        block: BlockAddr,
+        kind: AccessKind,
+        now: Cycle,
+        bus: &mut Bus,
+    ) -> AccessResponse;
+
+    /// Statistics accumulated so far.
+    fn stats(&self) -> &OrgStats;
+
+    /// Resets the statistics (cache contents are kept). Used by the
+    /// experiment harness to discard warm-up effects.
+    fn reset_stats(&mut self);
+
+    /// Number of cores this organization serves.
+    fn cores(&self) -> usize;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_predicates() {
+        assert!(AccessClass::Hit { closest: true }.is_hit());
+        assert!(AccessClass::Hit { closest: false }.is_hit());
+        assert!(!AccessClass::MissRos.is_hit());
+    }
+
+    #[test]
+    fn stats_roll_up() {
+        let mut s = OrgStats::default();
+        s.record_class(AccessClass::Hit { closest: true });
+        s.record_class(AccessClass::Hit { closest: false });
+        s.record_class(AccessClass::MissRos);
+        s.record_class(AccessClass::MissRws);
+        s.record_class(AccessClass::MissCapacity);
+        assert_eq!(s.hits(), 2);
+        assert_eq!(s.misses(), 3);
+        assert_eq!(s.accesses(), 5);
+        assert!((s.hit_fraction().value() - 0.4).abs() < 1e-12);
+        assert!((s.class_fraction(AccessClass::MissRws).value() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn simple_response_has_no_side_effects() {
+        let r = AccessResponse::simple(10, AccessClass::Hit { closest: true });
+        assert!(r.l1_invalidate.is_empty());
+        assert!(!r.writethrough);
+        assert_eq!(r.latency, 10);
+    }
+}

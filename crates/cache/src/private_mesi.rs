@@ -1,0 +1,427 @@
+//! The private-cache baseline: per-core 2 MB L2s kept coherent with
+//! snoopy MESI.
+//!
+//! Each core has its own 2 MB, 8-way L2 (10-cycle hits, Table 1). On
+//! a miss the request goes on the 32-cycle snoopy bus; if another
+//! core's L2 holds the block it supplies it cache-to-cache, otherwise
+//! memory does. Misses are classified as in Section 5.1.1: **ROS**
+//! when another copy exists in a clean/shared state, **RWS** when a
+//! dirty copy exists, **capacity** otherwise.
+//!
+//! The per-entry reuse counters implement Figure 7: at *replacement*
+//! a block that was filled by an ROS miss records its reuse count in
+//! the ROS histogram; at *invalidation* a block filled by an RWS miss
+//! records into the RWS histogram.
+
+use cmp_coherence::mesi::{self, MesiState};
+use cmp_coherence::{Bus, BusTx, SnoopSignals};
+use cmp_latency::LatencyBook;
+use cmp_mem::{AccessKind, BlockAddr, CacheGeometry, CoreId, Cycle};
+
+use crate::org::{AccessClass, AccessResponse, CacheOrg, OrgStats};
+use crate::tag_array::TagArray;
+
+/// How a block originally entered a private cache (for Figure 7).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum FillClass {
+    /// Filled by a read-only-sharing miss.
+    Ros,
+    /// Filled by a read-write-sharing miss.
+    Rws,
+    /// Filled from memory (demand/capacity).
+    Demand,
+}
+
+#[derive(Clone, Debug)]
+struct PrivEntry {
+    state: MesiState,
+    reuse: u64,
+    fill: FillClass,
+}
+
+/// Four private 2 MB MESI caches on a snoopy bus.
+///
+/// # Example
+///
+/// ```
+/// use cmp_cache::{CacheOrg, PrivateMesi};
+/// use cmp_coherence::Bus;
+/// use cmp_latency::LatencyBook;
+/// use cmp_mem::{AccessKind, BlockAddr, CoreId};
+///
+/// let mut l2 = PrivateMesi::paper(&LatencyBook::paper());
+/// let mut bus = Bus::paper();
+/// l2.access(CoreId(0), BlockAddr(9), AccessKind::Read, 0, &mut bus);
+/// let hit = l2.access(CoreId(0), BlockAddr(9), AccessKind::Read, 400, &mut bus);
+/// assert_eq!(hit.latency, 10);
+/// ```
+pub struct PrivateMesi {
+    arrays: Vec<TagArray<PrivEntry>>,
+    tag_latency: Cycle,
+    hit_latency: Cycle,
+    memory_latency: Cycle,
+    stats: OrgStats,
+}
+
+impl PrivateMesi {
+    /// Creates per-core private caches with the given geometry and
+    /// latencies.
+    pub fn new(
+        cores: usize,
+        geom: CacheGeometry,
+        tag_latency: Cycle,
+        hit_latency: Cycle,
+        memory_latency: Cycle,
+    ) -> Self {
+        assert!(cores > 0, "at least one core required");
+        PrivateMesi {
+            arrays: (0..cores).map(|_| TagArray::new(geom)).collect(),
+            tag_latency,
+            hit_latency,
+            memory_latency,
+            stats: OrgStats::default(),
+        }
+    }
+
+    /// The paper's configuration: one 2 MB 8-way cache per core.
+    pub fn paper(book: &LatencyBook) -> Self {
+        PrivateMesi::new(
+            book.cores(),
+            CacheGeometry::new(
+                cmp_mem::L2_TOTAL_BYTES / book.cores().next_power_of_two(),
+                cmp_mem::L2_BLOCK_BYTES,
+                8,
+            ),
+            book.private_tag,
+            book.private_total,
+            book.memory,
+        )
+    }
+
+    /// MESI state of `block` in `core`'s cache (test/diagnostic hook).
+    pub fn state_of(&self, core: CoreId, block: BlockAddr) -> MesiState {
+        let arr = &self.arrays[core.index()];
+        arr.lookup(block)
+            .and_then(|way| arr.entry(arr.set_of(block), way))
+            .map_or(MesiState::Invalid, |e| e.payload.state)
+    }
+
+    /// Snoop signals as sampled by `requestor` for `block`.
+    fn signals_for(&self, requestor: CoreId, block: BlockAddr) -> SnoopSignals {
+        let mut sig = SnoopSignals::NONE;
+        for (i, arr) in self.arrays.iter().enumerate() {
+            if i == requestor.index() {
+                continue;
+            }
+            if let Some(way) = arr.lookup(block) {
+                let state = arr.entry(arr.set_of(block), way).expect("looked-up entry").payload.state;
+                if state.is_valid() {
+                    sig.shared = true;
+                    if state.is_dirty() {
+                        sig.dirty = true;
+                    }
+                }
+            }
+        }
+        sig
+    }
+
+    /// Applies snoop transitions at every remote core; returns whether
+    /// any remote cache supplied the block.
+    fn snoop_remotes(
+        &mut self,
+        requestor: CoreId,
+        block: BlockAddr,
+        tx: BusTx,
+        resp: &mut AccessResponse,
+    ) -> bool {
+        let mut supplied = false;
+        for i in 0..self.arrays.len() {
+            if i == requestor.index() {
+                continue;
+            }
+            let arr = &mut self.arrays[i];
+            let Some(way) = arr.lookup(block) else { continue };
+            let set = arr.set_of(block);
+            let state = arr.entry(set, way).expect("looked-up entry").payload.state;
+            let (next, reply) = mesi::snoop(state, tx);
+            if reply.flush {
+                supplied = true;
+                if state.is_dirty() {
+                    // Dirty flush also updates memory.
+                    self.stats.writebacks += 1;
+                }
+            }
+            if next == MesiState::Invalid {
+                let (_, payload) = arr.evict(set, way).expect("invalidated entry present");
+                if payload.fill == FillClass::Rws {
+                    self.stats.rws_reuse.record(payload.reuse);
+                }
+            } else {
+                arr.entry_mut(set, way).expect("looked-up entry").payload.state = next;
+            }
+            if reply.invalidate_l1 {
+                resp.l1_invalidate.push((CoreId(i as u8), block));
+            }
+        }
+        supplied
+    }
+
+    /// Makes room in `core`'s cache for `block`; returns the L1
+    /// inclusion invalidation if a valid victim was evicted.
+    fn evict_victim(&mut self, core: CoreId, block: BlockAddr) -> Option<(CoreId, BlockAddr)> {
+        let arr = &mut self.arrays[core.index()];
+        let set = arr.set_of(block);
+        let way = arr.victim_by(set, |e| u32::from(e.is_some()));
+        let (victim_block, payload) = arr.evict(set, way)?;
+        if payload.state.is_dirty() {
+            self.stats.writebacks += 1;
+        }
+        match payload.fill {
+            FillClass::Ros => self.stats.ros_reuse.record(payload.reuse),
+            FillClass::Rws | FillClass::Demand => {}
+        }
+        if payload.state.is_private() {
+            self.stats.evictions_private += 1;
+        } else {
+            self.stats.evictions_shared += 1;
+        }
+        Some((core, victim_block))
+    }
+}
+
+impl CacheOrg for PrivateMesi {
+    fn name(&self) -> &'static str {
+        "private"
+    }
+
+    fn access(
+        &mut self,
+        core: CoreId,
+        block: BlockAddr,
+        kind: AccessKind,
+        now: Cycle,
+        bus: &mut Bus,
+    ) -> AccessResponse {
+        let arr = &self.arrays[core.index()];
+        let set = arr.set_of(block);
+        let hit_way = arr.lookup(block);
+        let mut resp;
+        if let Some(way) = hit_way {
+            let state = arr.entry(set, way).expect("hit entry").payload.state;
+            debug_assert!(state.is_valid(), "invalid entries are evicted eagerly");
+            let action = mesi::processor_access(state, kind, SnoopSignals::NONE);
+            let mut latency = self.hit_latency;
+            resp = AccessResponse::simple(0, AccessClass::Hit { closest: true });
+            if let Some(tx) = action.bus {
+                debug_assert_eq!(tx, BusTx::BusUpg, "the only hit-side transaction is an upgrade");
+                let grant = bus.transact(tx, now);
+                latency = self.tag_latency + grant.stall_from(now)
+                    + (self.hit_latency - self.tag_latency);
+                self.snoop_remotes(core, block, tx, &mut resp);
+            }
+            resp.latency = latency;
+            let arr = &mut self.arrays[core.index()];
+            arr.touch(set, way);
+            let entry = arr.entry_mut(set, way).expect("hit entry");
+            entry.payload.state = action.next;
+            entry.payload.reuse += 1;
+        } else {
+            // Miss: sample snoop wires, classify, transact, fill.
+            let signals = self.signals_for(core, block);
+            let class = if signals.dirty {
+                AccessClass::MissRws
+            } else if signals.shared {
+                AccessClass::MissRos
+            } else {
+                AccessClass::MissCapacity
+            };
+            resp = AccessResponse::simple(0, class);
+            let action = mesi::processor_access(MesiState::Invalid, kind, signals);
+            let tx = action.bus.expect("misses always use the bus");
+            let grant = bus.transact(tx, now);
+            let supplied = self.snoop_remotes(core, block, tx, &mut resp);
+            let transfer = if supplied { self.hit_latency } else { self.memory_latency };
+            resp.latency = self.tag_latency + grant.stall_from(now) + transfer;
+            if let Some(inv) = self.evict_victim(core, block) {
+                resp.l1_invalidate.push(inv);
+            }
+            let fill = match class {
+                AccessClass::MissRos => FillClass::Ros,
+                AccessClass::MissRws => FillClass::Rws,
+                _ => FillClass::Demand,
+            };
+            let arr = &mut self.arrays[core.index()];
+            let way = arr.victim_by(set, |e| u32::from(e.is_some()));
+            debug_assert!(arr.entry(set, way).is_none(), "victim slot was vacated");
+            arr.fill(set, way, block, PrivEntry { state: action.next, reuse: 0, fill });
+        }
+        self.stats.l1_invalidations += resp.l1_invalidate.len() as u64;
+        self.stats.record_class(resp.class);
+        resp
+    }
+
+    fn stats(&self) -> &OrgStats {
+        &self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = OrgStats::default();
+    }
+
+    fn cores(&self) -> usize {
+        self.arrays.len()
+    }
+}
+
+impl std::fmt::Debug for PrivateMesi {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PrivateMesi")
+            .field("cores", &self.arrays.len())
+            .field("occupied", &self.arrays.iter().map(TagArray::len).sum::<usize>())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmp_mem::ReuseBucket;
+
+    fn paper_private() -> (PrivateMesi, Bus) {
+        (PrivateMesi::paper(&LatencyBook::paper()), Bus::paper())
+    }
+
+    use std::cell::Cell;
+
+    thread_local! {
+        /// Monotonic per-test clock so consecutive accesses do not
+        /// queue behind each other on the bus.
+        static NOW: Cell<Cycle> = const { Cell::new(0) };
+    }
+
+    fn tick() -> Cycle {
+        NOW.with(|t| {
+            let now = t.get() + 1_000;
+            t.set(now);
+            now
+        })
+    }
+
+    fn rd(l2: &mut PrivateMesi, bus: &mut Bus, core: u8, block: u64) -> AccessResponse {
+        l2.access(CoreId(core), BlockAddr(block), AccessKind::Read, tick(), bus)
+    }
+
+    fn wr(l2: &mut PrivateMesi, bus: &mut Bus, core: u8, block: u64) -> AccessResponse {
+        l2.access(CoreId(core), BlockAddr(block), AccessKind::Write, tick(), bus)
+    }
+
+    #[test]
+    fn local_hit_is_ten_cycles() {
+        let (mut l2, mut bus) = paper_private();
+        rd(&mut l2, &mut bus, 0, 9);
+        let hit = rd(&mut l2, &mut bus, 0, 9);
+        assert_eq!(hit.latency, 10);
+        assert_eq!(l2.state_of(CoreId(0), BlockAddr(9)), MesiState::Exclusive);
+    }
+
+    #[test]
+    fn cold_miss_goes_to_memory() {
+        let (mut l2, mut bus) = paper_private();
+        let miss = rd(&mut l2, &mut bus, 0, 9);
+        assert_eq!(miss.class, AccessClass::MissCapacity);
+        // tag (4) + bus (32) + memory (300).
+        assert_eq!(miss.latency, 4 + 32 + 300);
+    }
+
+    #[test]
+    fn read_sharing_classifies_ros_and_transfers_on_chip() {
+        let (mut l2, mut bus) = paper_private();
+        rd(&mut l2, &mut bus, 0, 9);
+        let miss = rd(&mut l2, &mut bus, 1, 9);
+        assert_eq!(miss.class, AccessClass::MissRos);
+        // tag (4) + bus (32) + remote cache (10): far cheaper than memory.
+        assert_eq!(miss.latency, 4 + 32 + 10);
+        assert_eq!(l2.state_of(CoreId(0), BlockAddr(9)), MesiState::Shared);
+        assert_eq!(l2.state_of(CoreId(1), BlockAddr(9)), MesiState::Shared);
+    }
+
+    #[test]
+    fn dirty_sharing_classifies_rws() {
+        let (mut l2, mut bus) = paper_private();
+        wr(&mut l2, &mut bus, 0, 9);
+        let miss = rd(&mut l2, &mut bus, 1, 9);
+        assert_eq!(miss.class, AccessClass::MissRws);
+        assert_eq!(l2.state_of(CoreId(0), BlockAddr(9)), MesiState::Shared);
+    }
+
+    #[test]
+    fn write_invalidates_remote_copies_and_l1s() {
+        let (mut l2, mut bus) = paper_private();
+        rd(&mut l2, &mut bus, 0, 9);
+        rd(&mut l2, &mut bus, 1, 9);
+        let w = wr(&mut l2, &mut bus, 0, 9);
+        assert_eq!(l2.state_of(CoreId(0), BlockAddr(9)), MesiState::Modified);
+        assert_eq!(l2.state_of(CoreId(1), BlockAddr(9)), MesiState::Invalid);
+        assert!(w.l1_invalidate.contains(&(CoreId(1), BlockAddr(9))));
+    }
+
+    #[test]
+    fn coherence_ping_pong_costs_misses_every_round() {
+        // The RWS pattern ISC eliminates: writer invalidates reader,
+        // reader misses again.
+        let (mut l2, mut bus) = paper_private();
+        wr(&mut l2, &mut bus, 0, 9);
+        for _ in 0..5 {
+            let r = rd(&mut l2, &mut bus, 1, 9);
+            assert_eq!(r.class, AccessClass::MissRws);
+            wr(&mut l2, &mut bus, 0, 9);
+        }
+        assert_eq!(l2.stats().miss_rws, 5);
+    }
+
+    #[test]
+    fn rws_reuse_recorded_at_invalidation() {
+        let (mut l2, mut bus) = paper_private();
+        wr(&mut l2, &mut bus, 0, 9);
+        rd(&mut l2, &mut bus, 1, 9); // P1 fills via RWS miss
+        rd(&mut l2, &mut bus, 1, 9); // reuse 1
+        rd(&mut l2, &mut bus, 1, 9); // reuse 2
+        wr(&mut l2, &mut bus, 0, 9); // invalidates P1's copy
+        assert_eq!(l2.stats().rws_reuse.count(ReuseBucket::TwoToFive), 1);
+    }
+
+    #[test]
+    fn ros_reuse_recorded_at_replacement() {
+        let book = LatencyBook::paper();
+        // Tiny private caches (4 sets x 2 ways) to force replacements.
+        let mut l2 = PrivateMesi::new(2, CacheGeometry::new(1024, 128, 2), 4, 10, 300);
+        let mut bus = Bus::paper();
+        let _ = book;
+        // P0 owns block 1; P1 reads it (ROS fill), reuses once, then
+        // conflicts it out with blocks 5 and 9 (same set).
+        rd(&mut l2, &mut bus, 0, 1);
+        rd(&mut l2, &mut bus, 1, 1);
+        rd(&mut l2, &mut bus, 1, 1);
+        rd(&mut l2, &mut bus, 1, 5);
+        rd(&mut l2, &mut bus, 1, 9);
+        assert_eq!(l2.stats().ros_reuse.count(ReuseBucket::One), 1);
+    }
+
+    #[test]
+    fn upgrade_write_pays_bus_latency() {
+        let (mut l2, mut bus) = paper_private();
+        rd(&mut l2, &mut bus, 0, 9);
+        rd(&mut l2, &mut bus, 1, 9); // both now Shared
+        let w = wr(&mut l2, &mut bus, 0, 9);
+        assert!(w.class.is_hit(), "upgrade is a hit, not a miss");
+        assert!(w.latency > 10, "upgrade must pay for the BusUpg, got {}", w.latency);
+    }
+
+    #[test]
+    fn capacity_is_2mb_per_core() {
+        let l2 = PrivateMesi::paper(&LatencyBook::paper());
+        assert_eq!(l2.arrays[0].geometry().capacity_bytes(), 2 * 1024 * 1024);
+        assert_eq!(l2.cores(), 4);
+    }
+}

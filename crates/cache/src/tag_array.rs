@@ -1,0 +1,301 @@
+//! Generic set-associative tag array with pluggable payloads.
+//!
+//! Every cache structure in the reproduction — the private MESI
+//! caches, the shared caches, the L1s, and CMP-NuRAPID's per-core tag
+//! arrays — is an instance of [`TagArray`] with a different payload
+//! type. Victim selection is caller-controlled (via
+//! [`TagArray::victim_by`]) because the paper's organizations rank
+//! victims differently: plain LRU for the baselines, the
+//! invalid → private → shared category order for CMP-NuRAPID
+//! (Section 3.3.2).
+
+use cmp_mem::{BlockAddr, CacheGeometry};
+
+use crate::lru::LruOrder;
+
+/// One resident tag entry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Entry<P> {
+    tag: u64,
+    /// Organization-specific state (coherence state, pointers, reuse
+    /// counters, ...).
+    pub payload: P,
+}
+
+struct Set<P> {
+    ways: Vec<Option<Entry<P>>>,
+    lru: LruOrder,
+}
+
+/// A set-associative tag array.
+///
+/// # Example
+///
+/// ```
+/// use cmp_cache::TagArray;
+/// use cmp_mem::{BlockAddr, CacheGeometry};
+///
+/// let mut tags: TagArray<u32> = TagArray::new(CacheGeometry::new(1024, 64, 2));
+/// let b = BlockAddr(3);
+/// assert!(tags.lookup(b).is_none());
+/// let way = tags.victim_by(tags.set_of(b), |e| if e.is_none() { 0 } else { 1 });
+/// tags.fill(tags.set_of(b), way, b, 7);
+/// assert_eq!(tags.lookup(b), Some(way));
+/// ```
+pub struct TagArray<P> {
+    geom: CacheGeometry,
+    sets: Vec<Set<P>>,
+}
+
+impl<P> TagArray<P> {
+    /// Creates an empty array with the given geometry.
+    pub fn new(geom: CacheGeometry) -> Self {
+        let sets = (0..geom.num_sets())
+            .map(|_| Set {
+                ways: (0..geom.associativity()).map(|_| None).collect(),
+                lru: LruOrder::new(geom.associativity()),
+            })
+            .collect();
+        TagArray { geom, sets }
+    }
+
+    /// The array's geometry.
+    pub fn geometry(&self) -> &CacheGeometry {
+        &self.geom
+    }
+
+    /// Set index for a block.
+    #[inline]
+    pub fn set_of(&self, block: BlockAddr) -> usize {
+        self.geom.set_of(block)
+    }
+
+    /// Finds the way holding `block`, if resident.
+    pub fn lookup(&self, block: BlockAddr) -> Option<usize> {
+        let set = &self.sets[self.geom.set_of(block)];
+        let tag = self.geom.tag_of(block);
+        set.ways.iter().position(|w| matches!(w, Some(e) if e.tag == tag))
+    }
+
+    /// Reference to the entry at (`set`, `way`), if occupied.
+    pub fn entry(&self, set: usize, way: usize) -> Option<&Entry<P>> {
+        self.sets[set].ways[way].as_ref()
+    }
+
+    /// Mutable reference to the entry at (`set`, `way`), if occupied.
+    pub fn entry_mut(&mut self, set: usize, way: usize) -> Option<&mut Entry<P>> {
+        self.sets[set].ways[way].as_mut()
+    }
+
+    /// Block address stored at (`set`, `way`), if occupied.
+    pub fn block_at(&self, set: usize, way: usize) -> Option<BlockAddr> {
+        self.sets[set].ways[way].as_ref().map(|e| self.geom.block_of(e.tag, set))
+    }
+
+    /// Marks (`set`, `way`) most recently used.
+    pub fn touch(&mut self, set: usize, way: usize) {
+        self.sets[set].lru.touch(way);
+    }
+
+    /// Recency rank of a way within its set (0 = LRU).
+    pub fn recency_rank(&self, set: usize, way: usize) -> usize {
+        self.sets[set].lru.rank(way)
+    }
+
+    /// Selects a victim way: the way minimizing `(rank_fn(entry),
+    /// recency)`. Passing a category function implements the paper's
+    /// "invalid, then private, then shared; LRU within each category"
+    /// policy; passing a constant gives plain LRU.
+    pub fn victim_by(&self, set: usize, mut rank_fn: impl FnMut(Option<&Entry<P>>) -> u32) -> usize {
+        let s = &self.sets[set];
+        s.lru
+            .iter()
+            .map(|way| (rank_fn(s.ways[way].as_ref()), way))
+            .min_by_key(|(rank, _)| *rank)
+            .map(|(_, way)| way)
+            .expect("sets are never zero-way")
+    }
+
+    /// Removes and returns the entry at (`set`, `way`) together with
+    /// its block address; the slot becomes the set's LRU way.
+    pub fn evict(&mut self, set: usize, way: usize) -> Option<(BlockAddr, P)> {
+        let taken = self.sets[set].ways[way].take();
+        self.sets[set].lru.demote(way);
+        taken.map(|e| (self.geom.block_of(e.tag, set), e.payload))
+    }
+
+    /// Installs `block` at (`set`, `way`) and marks it MRU.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is still occupied (callers must evict
+    /// first) or if `set` does not match the block's set index.
+    pub fn fill(&mut self, set: usize, way: usize, block: BlockAddr, payload: P) {
+        assert_eq!(set, self.geom.set_of(block), "block filled into wrong set");
+        let slot = &mut self.sets[set].ways[way];
+        assert!(slot.is_none(), "fill into occupied way; evict first");
+        *slot = Some(Entry { tag: self.geom.tag_of(block), payload });
+        self.sets[set].lru.touch(way);
+    }
+
+    /// Iterates over occupied entries of one set as `(way, block,
+    /// &payload)`.
+    pub fn iter_set(&self, set: usize) -> impl Iterator<Item = (usize, BlockAddr, &P)> + '_ {
+        self.sets[set].ways.iter().enumerate().filter_map(move |(way, slot)| {
+            slot.as_ref().map(|e| (way, self.geom.block_of(e.tag, set), &e.payload))
+        })
+    }
+
+    /// Iterates over all occupied entries as `(set, way, block,
+    /// &payload)`.
+    pub fn iter_all(&self) -> impl Iterator<Item = (usize, usize, BlockAddr, &P)> + '_ {
+        (0..self.sets.len()).flat_map(move |set| {
+            self.iter_set(set).map(move |(way, block, p)| (set, way, block, p))
+        })
+    }
+
+    /// Number of occupied entries.
+    pub fn len(&self) -> usize {
+        self.sets.iter().map(|s| s.ways.iter().filter(|w| w.is_some()).count()).sum()
+    }
+
+    /// `true` when no entry is resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<P: std::fmt::Debug> std::fmt::Debug for TagArray<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TagArray")
+            .field("geometry", &self.geom)
+            .field("occupied", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> TagArray<u32> {
+        // 4 sets, 2 ways, 64 B blocks.
+        TagArray::new(CacheGeometry::new(512, 64, 2))
+    }
+
+    fn fill_block(t: &mut TagArray<u32>, block: BlockAddr, payload: u32) -> usize {
+        let set = t.set_of(block);
+        let way = t.victim_by(set, |e| if e.is_none() { 0 } else { 1 });
+        t.evict(set, way);
+        t.fill(set, way, block, payload);
+        way
+    }
+
+    #[test]
+    fn lookup_after_fill() {
+        let mut t = small();
+        let b = BlockAddr(5);
+        let way = fill_block(&mut t, b, 99);
+        assert_eq!(t.lookup(b), Some(way));
+        assert_eq!(t.entry(t.set_of(b), way).unwrap().payload, 99);
+        assert_eq!(t.block_at(t.set_of(b), way), Some(b));
+    }
+
+    #[test]
+    fn conflicting_blocks_evict_lru() {
+        let mut t = small();
+        // Three blocks mapping to set 1 in a 2-way array.
+        let b1 = BlockAddr(1);
+        let b2 = BlockAddr(5);
+        let b3 = BlockAddr(9);
+        fill_block(&mut t, b1, 1);
+        fill_block(&mut t, b2, 2);
+        // Touch b1 so b2 is LRU.
+        let w1 = t.lookup(b1).unwrap();
+        t.touch(t.set_of(b1), w1);
+        fill_block(&mut t, b3, 3);
+        assert!(t.lookup(b1).is_some());
+        assert!(t.lookup(b2).is_none(), "LRU entry should be the victim");
+        assert!(t.lookup(b3).is_some());
+    }
+
+    #[test]
+    fn victim_prefers_lower_rank_category() {
+        let mut t = small();
+        let b1 = BlockAddr(1);
+        let b2 = BlockAddr(5);
+        fill_block(&mut t, b1, 10); // payload 10 = "shared"
+        fill_block(&mut t, b2, 20); // payload 20 = "private"
+        // Rank: prefer evicting the "private" (20) entry despite b1
+        // being older.
+        let set = t.set_of(b1);
+        let victim = t.victim_by(set, |e| match e {
+            None => 0,
+            Some(e) if e.payload == 20 => 1,
+            Some(_) => 2,
+        });
+        assert_eq!(t.block_at(set, victim), Some(b2));
+    }
+
+    #[test]
+    fn evict_returns_block_and_payload() {
+        let mut t = small();
+        let b = BlockAddr(7);
+        let way = fill_block(&mut t, b, 42);
+        let (evicted, payload) = t.evict(t.set_of(b), way).unwrap();
+        assert_eq!(evicted, b);
+        assert_eq!(payload, 42);
+        assert!(t.lookup(b).is_none());
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn evicted_way_becomes_preferred_victim() {
+        let mut t = small();
+        let b1 = BlockAddr(1);
+        let b2 = BlockAddr(5);
+        fill_block(&mut t, b1, 1);
+        fill_block(&mut t, b2, 2);
+        let w1 = t.lookup(b1).unwrap();
+        let set = t.set_of(b1);
+        t.evict(set, w1);
+        // Plain LRU victim should be the just-vacated way.
+        assert_eq!(t.victim_by(set, |_| 0), w1);
+    }
+
+    #[test]
+    fn iter_set_reports_all_occupied_ways() {
+        let mut t = small();
+        fill_block(&mut t, BlockAddr(1), 1);
+        fill_block(&mut t, BlockAddr(5), 2);
+        let entries: Vec<_> = t.iter_set(1).collect();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn iter_all_spans_sets() {
+        let mut t = small();
+        fill_block(&mut t, BlockAddr(0), 1);
+        fill_block(&mut t, BlockAddr(1), 2);
+        fill_block(&mut t, BlockAddr(2), 3);
+        assert_eq!(t.iter_all().count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "occupied")]
+    fn double_fill_panics() {
+        let mut t = small();
+        let b = BlockAddr(3);
+        let set = t.set_of(b);
+        t.fill(set, 0, b, 1);
+        t.fill(set, 0, BlockAddr(7), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong set")]
+    fn fill_checks_set_index() {
+        let mut t = small();
+        t.fill(0, 0, BlockAddr(1), 1); // block 1 belongs to set 1
+    }
+}

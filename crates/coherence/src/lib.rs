@@ -1,0 +1,85 @@
+#![warn(missing_docs)]
+
+//! Cache-coherence protocols for the CMP-NuRAPID reproduction.
+//!
+//! Implements the paper's Figure 4 as executable transition tables:
+//!
+//! * [`mesi`] — the base invalidation-based 4-state MESI protocol
+//!   (Papamarcos & Patel) used by the private-cache baseline;
+//! * [`mesic`] — the paper's 5-state MESIC extension with the
+//!   **C (communication)** state that lets a writer and multiple
+//!   readers share one dirty data copy through their private tag
+//!   arrays (in-situ communication, Section 3.2);
+//! * [`bus`] — a pipelined split-transaction snoopy bus with
+//!   occupancy-based arbitration, plus the *shared* and *dirty*
+//!   snoop signals.
+//!
+//! The tables are pure functions from (state, stimulus, snoop
+//! signals) to (next state, bus action), so they can be unit-tested
+//! arc-by-arc against Figure 4 and model-checked with random agent
+//! interleavings (see `tests/` in this crate).
+
+pub mod bus;
+pub mod mesi;
+pub mod mesic;
+
+pub use bus::{Bus, BusGrant, BusStats};
+
+/// A transaction type broadcast on the snoopy bus.
+///
+/// `BusRepl` is the paper's addition (Section 3.1): broadcast before a
+/// shared data block is replaced so sharers can drop tag entries that
+/// point at the dying frame.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum BusTx {
+    /// Read request (load miss).
+    BusRd,
+    /// Read-exclusive request (store miss, or store to a C block).
+    BusRdX,
+    /// Upgrade (store to a Shared block; no data transfer).
+    BusUpg,
+    /// Replacement notification for a shared data block (CMP-NuRAPID
+    /// only).
+    BusRepl,
+}
+
+impl BusTx {
+    /// All transaction kinds, for stats tables.
+    pub const ALL: [BusTx; 4] = [BusTx::BusRd, BusTx::BusRdX, BusTx::BusUpg, BusTx::BusRepl];
+}
+
+/// Snoop wires sampled by a requestor during its bus transaction.
+///
+/// MESI uses only `shared`; MESIC adds the `dirty` signal (Section
+/// 3.2: "We add a dirty signal to detect the presence of another
+/// dirty copy, similar to the shared signal used in MESI").
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct SnoopSignals {
+    /// Some other cache holds a (clean or dirty) copy.
+    pub shared: bool,
+    /// Some other cache holds a dirty (M or C) copy.
+    pub dirty: bool,
+}
+
+impl SnoopSignals {
+    /// No other copy on chip.
+    pub const NONE: SnoopSignals = SnoopSignals { shared: false, dirty: false };
+    /// A clean copy exists elsewhere.
+    pub const SHARED: SnoopSignals = SnoopSignals { shared: true, dirty: false };
+    /// A dirty copy exists elsewhere.
+    pub const DIRTY: SnoopSignals = SnoopSignals { shared: true, dirty: true };
+}
+
+/// What a snooping cache does in response to an observed transaction.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct SnoopReply {
+    /// Assert the shared wire (a copy exists here).
+    pub assert_shared: bool,
+    /// Assert the dirty wire (a dirty copy exists here).
+    pub assert_dirty: bool,
+    /// Supply the block (cache-to-cache transfer / flush).
+    pub flush: bool,
+    /// Invalidate any L1 copy of the block (MESIC: a C-state sharer
+    /// observing BusRdX keeps its tag but must drop stale L1 data).
+    pub invalidate_l1: bool,
+}

@@ -1,0 +1,241 @@
+//! The base 4-state MESI protocol (paper Figure 4a).
+//!
+//! Used by the private-cache baseline. Transitions are split into the
+//! *requestor* side (solid arcs: what the initiating cache does, and
+//! which transaction it puts on the bus) and the *snooper* side
+//! (dotted arcs: what an observing cache does).
+
+use cmp_mem::AccessKind;
+
+use crate::{BusTx, SnoopReply, SnoopSignals};
+
+/// MESI stable states.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum MesiState {
+    /// Dirty, sole copy.
+    Modified,
+    /// Clean, sole copy.
+    Exclusive,
+    /// Clean, possibly multiple copies.
+    Shared,
+    /// No copy.
+    #[default]
+    Invalid,
+}
+
+impl MesiState {
+    /// `true` if the cache may satisfy a read without a bus
+    /// transaction.
+    pub fn is_valid(self) -> bool {
+        self != MesiState::Invalid
+    }
+
+    /// `true` if this copy is dirty with respect to memory.
+    pub fn is_dirty(self) -> bool {
+        self == MesiState::Modified
+    }
+
+    /// `true` for states with a single copy (E and M) — the "private"
+    /// replacement category.
+    pub fn is_private(self) -> bool {
+        matches!(self, MesiState::Modified | MesiState::Exclusive)
+    }
+}
+
+/// Outcome of a processor-side access: next state and the bus
+/// transaction it requires (if any).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct RequestorAction {
+    /// State after the access completes.
+    pub next: MesiState,
+    /// Transaction to broadcast, if the access needs the bus.
+    pub bus: Option<BusTx>,
+}
+
+/// Requestor-side transition for a processor read or write.
+///
+/// For transitions out of Invalid, the resulting state depends on the
+/// snoop signals sampled during the bus transaction (`signals`), per
+/// Figure 4a: `PrRd/BusRd(S)` means the requestor lands in S when the
+/// shared wire is asserted and E otherwise.
+///
+/// # Example
+///
+/// ```
+/// use cmp_coherence::mesi::{processor_access, MesiState};
+/// use cmp_coherence::{BusTx, SnoopSignals};
+/// use cmp_mem::AccessKind;
+///
+/// let act = processor_access(MesiState::Invalid, AccessKind::Read, SnoopSignals::SHARED);
+/// assert_eq!(act.next, MesiState::Shared);
+/// assert_eq!(act.bus, Some(BusTx::BusRd));
+/// ```
+pub fn processor_access(
+    state: MesiState,
+    kind: AccessKind,
+    signals: SnoopSignals,
+) -> RequestorAction {
+    use MesiState::*;
+    match (state, kind) {
+        // PrRd/--, PrWr/-- self-loop on M.
+        (Modified, _) => RequestorAction { next: Modified, bus: None },
+        // PrRd/-- on E; PrWr/-- silently upgrades E to M.
+        (Exclusive, AccessKind::Read) => RequestorAction { next: Exclusive, bus: None },
+        (Exclusive, AccessKind::Write) => RequestorAction { next: Modified, bus: None },
+        // PrRd/-- on S; PrWr/BusUpg takes S to M.
+        (Shared, AccessKind::Read) => RequestorAction { next: Shared, bus: None },
+        (Shared, AccessKind::Write) => RequestorAction { next: Modified, bus: Some(BusTx::BusUpg) },
+        // PrRd/BusRd(S) from I: E if no other copy, S otherwise.
+        (Invalid, AccessKind::Read) => RequestorAction {
+            next: if signals.shared { Shared } else { Exclusive },
+            bus: Some(BusTx::BusRd),
+        },
+        // PrWr/BusRdX from I.
+        (Invalid, AccessKind::Write) => RequestorAction { next: Modified, bus: Some(BusTx::BusRdX) },
+    }
+}
+
+/// Snooper-side transition: the new state and reply for a cache in
+/// `state` observing transaction `tx` for a block it holds.
+///
+/// Figure 4a dotted arcs: `BusRd/Flush` from M (supply dirty data,
+/// drop to S), `BusRdX/Flush` from M (supply and invalidate),
+/// `BusRd/Flush'` from E/S (supply clean data, assert shared), and
+/// `BusRdX/Flush'` invalidations from E/S.
+pub fn snoop(state: MesiState, tx: BusTx) -> (MesiState, SnoopReply) {
+    use MesiState::*;
+    let reply_none = SnoopReply::default();
+    match (state, tx) {
+        (Invalid, _) => (Invalid, reply_none),
+        (Modified, BusTx::BusRd) => (
+            Shared,
+            SnoopReply { assert_shared: true, assert_dirty: true, flush: true, invalidate_l1: false },
+        ),
+        (Modified, BusTx::BusRdX) => (
+            Invalid,
+            SnoopReply { assert_shared: true, assert_dirty: true, flush: true, invalidate_l1: true },
+        ),
+        (Exclusive, BusTx::BusRd) => (
+            Shared,
+            SnoopReply { assert_shared: true, assert_dirty: false, flush: true, invalidate_l1: false },
+        ),
+        (Exclusive, BusTx::BusRdX) => (
+            Invalid,
+            SnoopReply { assert_shared: true, assert_dirty: false, flush: true, invalidate_l1: true },
+        ),
+        (Shared, BusTx::BusRd) => (
+            Shared,
+            SnoopReply { assert_shared: true, assert_dirty: false, flush: true, invalidate_l1: false },
+        ),
+        (Shared, BusTx::BusRdX) | (Shared, BusTx::BusUpg) => (
+            Invalid,
+            SnoopReply { assert_shared: true, assert_dirty: false, flush: false, invalidate_l1: true },
+        ),
+        // BusUpg is only legal when every other copy is in S; M/E
+        // observers indicate a protocol violation upstream.
+        (Modified | Exclusive, BusTx::BusUpg) => {
+            unreachable!("BusUpg observed while holding an exclusive copy: protocol violation")
+        }
+        // MESI has no shared data frames, so BusRepl never requires a
+        // state change in the baseline.
+        (s, BusTx::BusRepl) => (s, reply_none),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use MesiState::*;
+
+    #[test]
+    fn read_miss_lands_in_e_when_alone() {
+        let act = processor_access(Invalid, AccessKind::Read, SnoopSignals::NONE);
+        assert_eq!(act, RequestorAction { next: Exclusive, bus: Some(BusTx::BusRd) });
+    }
+
+    #[test]
+    fn read_miss_lands_in_s_when_shared() {
+        let act = processor_access(Invalid, AccessKind::Read, SnoopSignals::SHARED);
+        assert_eq!(act, RequestorAction { next: Shared, bus: Some(BusTx::BusRd) });
+    }
+
+    #[test]
+    fn write_miss_takes_busrdx_to_m() {
+        for sig in [SnoopSignals::NONE, SnoopSignals::SHARED, SnoopSignals::DIRTY] {
+            let act = processor_access(Invalid, AccessKind::Write, sig);
+            assert_eq!(act, RequestorAction { next: Modified, bus: Some(BusTx::BusRdX) });
+        }
+    }
+
+    #[test]
+    fn silent_e_to_m_upgrade() {
+        let act = processor_access(Exclusive, AccessKind::Write, SnoopSignals::NONE);
+        assert_eq!(act, RequestorAction { next: Modified, bus: None });
+    }
+
+    #[test]
+    fn shared_write_needs_upgrade() {
+        let act = processor_access(Shared, AccessKind::Write, SnoopSignals::SHARED);
+        assert_eq!(act, RequestorAction { next: Modified, bus: Some(BusTx::BusUpg) });
+    }
+
+    #[test]
+    fn hits_stay_put_without_bus() {
+        for (s, k) in [(Modified, AccessKind::Read), (Modified, AccessKind::Write), (Exclusive, AccessKind::Read), (Shared, AccessKind::Read)] {
+            let act = processor_access(s, k, SnoopSignals::NONE);
+            assert_eq!(act.bus, None);
+        }
+    }
+
+    #[test]
+    fn m_snooping_busrd_flushes_and_demotes() {
+        let (next, reply) = snoop(Modified, BusTx::BusRd);
+        assert_eq!(next, Shared);
+        assert!(reply.flush && reply.assert_dirty && reply.assert_shared);
+        assert!(!reply.invalidate_l1);
+    }
+
+    #[test]
+    fn m_snooping_busrdx_flushes_and_invalidates() {
+        let (next, reply) = snoop(Modified, BusTx::BusRdX);
+        assert_eq!(next, Invalid);
+        assert!(reply.flush && reply.invalidate_l1);
+    }
+
+    #[test]
+    fn e_snooping_busrd_demotes_to_s() {
+        let (next, reply) = snoop(Exclusive, BusTx::BusRd);
+        assert_eq!(next, Shared);
+        assert!(reply.assert_shared && !reply.assert_dirty);
+    }
+
+    #[test]
+    fn s_snooping_invalidations() {
+        assert_eq!(snoop(Shared, BusTx::BusRdX).0, Invalid);
+        assert_eq!(snoop(Shared, BusTx::BusUpg).0, Invalid);
+    }
+
+    #[test]
+    fn invalid_ignores_everything() {
+        for tx in BusTx::ALL {
+            let (next, reply) = snoop(Invalid, tx);
+            assert_eq!(next, Invalid);
+            assert_eq!(reply, SnoopReply::default());
+        }
+    }
+
+    #[test]
+    fn busrepl_is_inert_in_mesi() {
+        for s in [Modified, Exclusive, Shared, Invalid] {
+            assert_eq!(snoop(s, BusTx::BusRepl).0, s);
+        }
+    }
+
+    #[test]
+    fn state_predicates() {
+        assert!(Modified.is_dirty() && Modified.is_valid());
+        assert!(!Shared.is_dirty() && Shared.is_valid());
+        assert!(!Invalid.is_valid());
+        assert_eq!(MesiState::default(), Invalid);
+    }
+}

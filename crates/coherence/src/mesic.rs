@@ -1,0 +1,331 @@
+//! The paper's 5-state MESIC protocol (Figure 4b).
+//!
+//! MESIC adds the **C (communication)** state to MESI. C represents a
+//! *dirty block with multiple tag copies*: the writer and the readers
+//! all hold private tag entries pointing at one shared data copy, so
+//! read-write sharing proceeds without coherence misses (in-situ
+//! communication, Section 3.2).
+//!
+//! Differences from MESI, as specified in the paper:
+//!
+//! * the `M --BusRd--> S` arc is deleted (arc `x` in Figure 4b): an M
+//!   block observing a read moves to **C**, the reader also enters C,
+//!   and the data copy is *relocated* to the reader's closest d-group
+//!   (each write is usually read more than once by each reader, so
+//!   the copy belongs near a reader);
+//! * `I --PrRd--> C` and `I --PrWr--> C` when the new *dirty signal*
+//!   indicates an on-chip dirty (M or C) copy; a writer joining C
+//!   writes the existing copy in place ("the copy stays close to the
+//!   reader") rather than allocating its own;
+//! * reads and writes to a C block cause no state transition, but a
+//!   *write* to a C block broadcasts `BusRdX` so other sharers
+//!   invalidate stale L1 copies (their tags remain in C); C blocks
+//!   are therefore write-through in the L1;
+//! * the only exits from C are replacements (`BusRepl`).
+
+use cmp_mem::AccessKind;
+
+use crate::mesi::MesiState;
+use crate::{BusTx, SnoopReply, SnoopSignals};
+
+/// MESIC stable states.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum MesicState {
+    /// Dirty, single tag copy.
+    Modified,
+    /// Clean, sole copy.
+    Exclusive,
+    /// Clean, possibly multiple tag copies (possibly one data copy,
+    /// under controlled replication).
+    Shared,
+    /// No copy.
+    #[default]
+    Invalid,
+    /// Dirty, multiple tag copies sharing one data copy.
+    Communication,
+}
+
+impl MesicState {
+    /// `true` if a processor access can be satisfied without a bus
+    /// transaction to fetch the block.
+    pub fn is_valid(self) -> bool {
+        self != MesicState::Invalid
+    }
+
+    /// `true` if this copy is dirty with respect to memory (M or C).
+    pub fn is_dirty(self) -> bool {
+        matches!(self, MesicState::Modified | MesicState::Communication)
+    }
+
+    /// `true` for states with a single tag copy (E and M) — the
+    /// "private" category of the replacement policy (Section 3.3.2).
+    pub fn is_private(self) -> bool {
+        matches!(self, MesicState::Modified | MesicState::Exclusive)
+    }
+
+    /// `true` for states that may have multiple tag copies (S and C)
+    /// — the "shared" category of the replacement policy.
+    pub fn is_shared_category(self) -> bool {
+        matches!(self, MesicState::Shared | MesicState::Communication)
+    }
+}
+
+impl From<MesiState> for MesicState {
+    fn from(s: MesiState) -> Self {
+        match s {
+            MesiState::Modified => MesicState::Modified,
+            MesiState::Exclusive => MesicState::Exclusive,
+            MesiState::Shared => MesicState::Shared,
+            MesiState::Invalid => MesicState::Invalid,
+        }
+    }
+}
+
+/// Outcome of a processor-side access under MESIC.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct MesicAction {
+    /// State after the access completes.
+    pub next: MesicState,
+    /// Transaction to broadcast, if the access needs the bus.
+    pub bus: Option<BusTx>,
+    /// The data copy must be relocated into the requestor's closest
+    /// d-group (read miss joining C: Section 3.2 "the reader makes a
+    /// new copy of the block in its closest d-group, and the previous
+    /// data copy is invalidated").
+    pub relocate_copy: bool,
+}
+
+/// Requestor-side MESIC transition.
+///
+/// `signals` are the snoop wires sampled during the bus transaction
+/// (irrelevant for hits).
+///
+/// # Example
+///
+/// ```
+/// use cmp_coherence::mesic::{processor_access, MesicState};
+/// use cmp_coherence::{BusTx, SnoopSignals};
+/// use cmp_mem::AccessKind;
+///
+/// // A read miss finding an on-chip dirty copy joins C and relocates
+/// // the copy close to itself.
+/// let act = processor_access(MesicState::Invalid, AccessKind::Read, SnoopSignals::DIRTY);
+/// assert_eq!(act.next, MesicState::Communication);
+/// assert!(act.relocate_copy);
+/// assert_eq!(act.bus, Some(BusTx::BusRd));
+/// ```
+pub fn processor_access(
+    state: MesicState,
+    kind: AccessKind,
+    signals: SnoopSignals,
+) -> MesicAction {
+    use MesicState::*;
+    let plain = |next, bus| MesicAction { next, bus, relocate_copy: false };
+    match (state, kind) {
+        (Modified, _) => plain(Modified, None),
+        (Exclusive, AccessKind::Read) => plain(Exclusive, None),
+        (Exclusive, AccessKind::Write) => plain(Modified, None),
+        (Shared, AccessKind::Read) => plain(Shared, None),
+        // Base-MESI arc retained: S + PrWr -> M via BusUpg.
+        (Shared, AccessKind::Write) => plain(Modified, Some(BusTx::BusUpg)),
+        // C hits: no transition; writes broadcast BusRdX so sharers
+        // drop stale L1 copies (write-through semantics).
+        (Communication, AccessKind::Read) => plain(Communication, None),
+        (Communication, AccessKind::Write) => plain(Communication, Some(BusTx::BusRdX)),
+        (Invalid, AccessKind::Read) => {
+            if signals.dirty {
+                MesicAction { next: Communication, bus: Some(BusTx::BusRd), relocate_copy: true }
+            } else if signals.shared {
+                plain(Shared, Some(BusTx::BusRd))
+            } else {
+                plain(Exclusive, Some(BusTx::BusRd))
+            }
+        }
+        (Invalid, AccessKind::Write) => {
+            if signals.dirty {
+                // Join C, writing the existing copy in place.
+                plain(Communication, Some(BusTx::BusRdX))
+            } else {
+                plain(Modified, Some(BusTx::BusRdX))
+            }
+        }
+    }
+}
+
+/// Snooper-side MESIC transition for a cache holding the block in
+/// `state` and observing `tx`.
+///
+/// `BusRepl` handling is conditional at the caller: the returned
+/// Invalid transition applies only when the snooper's tag entry points
+/// at the frame being replaced (the caller has the pointer; the
+/// protocol table cannot see it).
+pub fn snoop(state: MesicState, tx: BusTx) -> (MesicState, SnoopReply) {
+    use MesicState::*;
+    let none = SnoopReply::default();
+    match (state, tx) {
+        (Invalid, _) => (Invalid, none),
+        // Deleted arc x: M goes to C (not S) on an observed read.
+        (Modified, BusTx::BusRd) => (
+            Communication,
+            SnoopReply { assert_shared: true, assert_dirty: true, flush: true, invalidate_l1: false },
+        ),
+        // A writer joining the dirty block: M holder also drops to C
+        // (the block now has two tag copies) and must discard its L1
+        // copy of the now remotely-written block.
+        (Modified, BusTx::BusRdX) => (
+            Communication,
+            SnoopReply { assert_shared: true, assert_dirty: true, flush: true, invalidate_l1: true },
+        ),
+        (Communication, BusTx::BusRd) => (
+            Communication,
+            SnoopReply { assert_shared: true, assert_dirty: true, flush: true, invalidate_l1: false },
+        ),
+        // "Whenever a sharer in C state observes a BusRdX transaction,
+        // it remains in the C state but invalidates the L1 copy."
+        (Communication, BusTx::BusRdX) => (
+            Communication,
+            SnoopReply { assert_shared: true, assert_dirty: true, flush: false, invalidate_l1: true },
+        ),
+        (Exclusive, BusTx::BusRd) => (
+            Shared,
+            SnoopReply { assert_shared: true, assert_dirty: false, flush: true, invalidate_l1: false },
+        ),
+        (Exclusive, BusTx::BusRdX) => (
+            Invalid,
+            SnoopReply { assert_shared: true, assert_dirty: false, flush: true, invalidate_l1: true },
+        ),
+        (Shared, BusTx::BusRd) => (
+            Shared,
+            SnoopReply { assert_shared: true, assert_dirty: false, flush: true, invalidate_l1: false },
+        ),
+        (Shared, BusTx::BusRdX) | (Shared, BusTx::BusUpg) => (
+            Invalid,
+            SnoopReply { assert_shared: true, assert_dirty: false, flush: false, invalidate_l1: true },
+        ),
+        // BusUpg is only issued against all-S copies.
+        (Modified | Exclusive | Communication, BusTx::BusUpg) => {
+            unreachable!("BusUpg observed while holding a dirty/exclusive copy: protocol violation")
+        }
+        // BusRepl: sharers pointing at the dying frame drop their tag
+        // entries (conditionally applied by the caller).
+        (Shared, BusTx::BusRepl) | (Communication, BusTx::BusRepl) => (
+            Invalid,
+            SnoopReply { assert_shared: false, assert_dirty: false, flush: false, invalidate_l1: true },
+        ),
+        // Owners of other frames are unaffected.
+        (s @ (Modified | Exclusive), BusTx::BusRepl) => (s, none),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use MesicState::*;
+
+    #[test]
+    fn read_miss_with_dirty_copy_joins_c_and_relocates() {
+        let act = processor_access(Invalid, AccessKind::Read, SnoopSignals::DIRTY);
+        assert_eq!(act.next, Communication);
+        assert_eq!(act.bus, Some(BusTx::BusRd));
+        assert!(act.relocate_copy);
+    }
+
+    #[test]
+    fn write_miss_with_dirty_copy_joins_c_in_place() {
+        let act = processor_access(Invalid, AccessKind::Write, SnoopSignals::DIRTY);
+        assert_eq!(act.next, Communication);
+        assert_eq!(act.bus, Some(BusTx::BusRdX));
+        assert!(!act.relocate_copy, "the copy stays close to the reader");
+    }
+
+    #[test]
+    fn clean_misses_follow_mesi() {
+        assert_eq!(processor_access(Invalid, AccessKind::Read, SnoopSignals::SHARED).next, Shared);
+        assert_eq!(processor_access(Invalid, AccessKind::Read, SnoopSignals::NONE).next, Exclusive);
+        assert_eq!(processor_access(Invalid, AccessKind::Write, SnoopSignals::SHARED).next, Modified);
+    }
+
+    #[test]
+    fn c_hits_have_no_transition() {
+        let read = processor_access(Communication, AccessKind::Read, SnoopSignals::NONE);
+        assert_eq!(read.next, Communication);
+        assert_eq!(read.bus, None);
+        let write = processor_access(Communication, AccessKind::Write, SnoopSignals::NONE);
+        assert_eq!(write.next, Communication);
+        assert_eq!(write.bus, Some(BusTx::BusRdX), "C writes broadcast BusRdX for L1 coherence");
+    }
+
+    #[test]
+    fn m_to_s_arc_is_deleted() {
+        // Arc x of Figure 4b: M observing BusRd must land in C, not S.
+        let (next, reply) = snoop(Modified, BusTx::BusRd);
+        assert_eq!(next, Communication);
+        assert!(reply.flush && reply.assert_dirty);
+    }
+
+    #[test]
+    fn m_observing_busrdx_joins_c() {
+        let (next, reply) = snoop(Modified, BusTx::BusRdX);
+        assert_eq!(next, Communication);
+        assert!(reply.invalidate_l1);
+    }
+
+    #[test]
+    fn c_sharer_observing_busrdx_stays_c_dropping_l1() {
+        let (next, reply) = snoop(Communication, BusTx::BusRdX);
+        assert_eq!(next, Communication);
+        assert!(reply.invalidate_l1);
+        assert!(!reply.flush);
+    }
+
+    #[test]
+    fn c_sharer_observing_busrd_supplies_data() {
+        let (next, reply) = snoop(Communication, BusTx::BusRd);
+        assert_eq!(next, Communication);
+        assert!(reply.flush && reply.assert_dirty);
+    }
+
+    #[test]
+    fn busrepl_drops_shared_category_tags() {
+        assert_eq!(snoop(Shared, BusTx::BusRepl).0, Invalid);
+        assert_eq!(snoop(Communication, BusTx::BusRepl).0, Invalid);
+        assert_eq!(snoop(Modified, BusTx::BusRepl).0, Modified);
+        assert_eq!(snoop(Exclusive, BusTx::BusRepl).0, Exclusive);
+    }
+
+    #[test]
+    fn only_exits_from_c_are_replacements() {
+        // Processor ops and snoops other than BusRepl keep C in C.
+        for kind in [AccessKind::Read, AccessKind::Write] {
+            assert_eq!(processor_access(Communication, kind, SnoopSignals::NONE).next, Communication);
+        }
+        for tx in [BusTx::BusRd, BusTx::BusRdX] {
+            assert_eq!(snoop(Communication, tx).0, Communication);
+        }
+        assert_eq!(snoop(Communication, BusTx::BusRepl).0, Invalid);
+    }
+
+    #[test]
+    fn shared_write_keeps_base_upgrade_arc() {
+        let act = processor_access(Shared, AccessKind::Write, SnoopSignals::SHARED);
+        assert_eq!(act.next, Modified);
+        assert_eq!(act.bus, Some(BusTx::BusUpg));
+    }
+
+    #[test]
+    fn state_category_predicates() {
+        assert!(Communication.is_dirty() && Modified.is_dirty());
+        assert!(!Shared.is_dirty() && !Exclusive.is_dirty());
+        assert!(Modified.is_private() && Exclusive.is_private());
+        assert!(Shared.is_shared_category() && Communication.is_shared_category());
+        assert!(!Invalid.is_valid());
+    }
+
+    #[test]
+    fn mesi_conversion_is_faithful() {
+        assert_eq!(MesicState::from(MesiState::Modified), Modified);
+        assert_eq!(MesicState::from(MesiState::Exclusive), Exclusive);
+        assert_eq!(MesicState::from(MesiState::Shared), Shared);
+        assert_eq!(MesicState::from(MesiState::Invalid), Invalid);
+    }
+}

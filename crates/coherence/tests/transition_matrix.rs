@@ -1,0 +1,149 @@
+//! Exhaustive enumeration of the MESI and MESIC transition tables:
+//! every (state, stimulus) pair checked against the expectations of
+//! Figure 4, so any accidental edit to an arc fails loudly.
+
+use cmp_coherence::mesi::{self, MesiState};
+use cmp_coherence::mesic::{self, MesicState};
+use cmp_coherence::{BusTx, SnoopSignals};
+use cmp_mem::AccessKind;
+
+#[test]
+fn mesi_processor_matrix() {
+    use AccessKind::*;
+    use MesiState::*;
+    // (state, kind, signals) -> (next, bus)
+    let cases: Vec<(MesiState, AccessKind, SnoopSignals, MesiState, Option<BusTx>)> = vec![
+        (Modified, Read, SnoopSignals::NONE, Modified, None),
+        (Modified, Write, SnoopSignals::NONE, Modified, None),
+        (Exclusive, Read, SnoopSignals::NONE, Exclusive, None),
+        (Exclusive, Write, SnoopSignals::NONE, Modified, None),
+        (Shared, Read, SnoopSignals::NONE, Shared, None),
+        (Shared, Write, SnoopSignals::NONE, Modified, Some(BusTx::BusUpg)),
+        (Invalid, Read, SnoopSignals::NONE, Exclusive, Some(BusTx::BusRd)),
+        (Invalid, Read, SnoopSignals::SHARED, Shared, Some(BusTx::BusRd)),
+        (Invalid, Read, SnoopSignals::DIRTY, Shared, Some(BusTx::BusRd)),
+        (Invalid, Write, SnoopSignals::NONE, Modified, Some(BusTx::BusRdX)),
+        (Invalid, Write, SnoopSignals::SHARED, Modified, Some(BusTx::BusRdX)),
+        (Invalid, Write, SnoopSignals::DIRTY, Modified, Some(BusTx::BusRdX)),
+    ];
+    for (state, kind, sig, next, bus) in cases {
+        let act = mesi::processor_access(state, kind, sig);
+        assert_eq!(act.next, next, "{state:?} {kind:?} {sig:?}");
+        assert_eq!(act.bus, bus, "{state:?} {kind:?} {sig:?}");
+    }
+}
+
+#[test]
+fn mesi_snoop_matrix() {
+    use MesiState::*;
+    let cases: Vec<(MesiState, BusTx, MesiState)> = vec![
+        (Modified, BusTx::BusRd, Shared),
+        (Modified, BusTx::BusRdX, Invalid),
+        (Modified, BusTx::BusRepl, Modified),
+        (Exclusive, BusTx::BusRd, Shared),
+        (Exclusive, BusTx::BusRdX, Invalid),
+        (Exclusive, BusTx::BusRepl, Exclusive),
+        (Shared, BusTx::BusRd, Shared),
+        (Shared, BusTx::BusRdX, Invalid),
+        (Shared, BusTx::BusUpg, Invalid),
+        (Shared, BusTx::BusRepl, Shared),
+        (Invalid, BusTx::BusRd, Invalid),
+        (Invalid, BusTx::BusRdX, Invalid),
+        (Invalid, BusTx::BusUpg, Invalid),
+        (Invalid, BusTx::BusRepl, Invalid),
+    ];
+    for (state, tx, next) in cases {
+        assert_eq!(mesi::snoop(state, tx).0, next, "{state:?} {tx:?}");
+    }
+}
+
+#[test]
+fn mesi_snoop_replies() {
+    use MesiState::*;
+    // Dirty holders flush and assert dirty; clean holders assert
+    // shared; invalidations demand L1 cleanup.
+    let (_, r) = mesi::snoop(Modified, BusTx::BusRd);
+    assert!(r.flush && r.assert_dirty && r.assert_shared && !r.invalidate_l1);
+    let (_, r) = mesi::snoop(Exclusive, BusTx::BusRdX);
+    assert!(r.flush && !r.assert_dirty && r.invalidate_l1);
+    let (_, r) = mesi::snoop(Shared, BusTx::BusUpg);
+    assert!(!r.flush && r.invalidate_l1);
+    let (_, r) = mesi::snoop(Invalid, BusTx::BusRd);
+    assert!(!r.flush && !r.assert_shared && !r.invalidate_l1);
+}
+
+#[test]
+fn mesic_processor_matrix() {
+    use AccessKind::*;
+    use MesicState::*;
+    let cases: Vec<(MesicState, AccessKind, SnoopSignals, MesicState, Option<BusTx>, bool)> = vec![
+        (Modified, Read, SnoopSignals::NONE, Modified, None, false),
+        (Modified, Write, SnoopSignals::NONE, Modified, None, false),
+        (Exclusive, Write, SnoopSignals::NONE, Modified, None, false),
+        (Shared, Read, SnoopSignals::NONE, Shared, None, false),
+        (Shared, Write, SnoopSignals::SHARED, Modified, Some(BusTx::BusUpg), false),
+        (Communication, Read, SnoopSignals::DIRTY, Communication, None, false),
+        (Communication, Write, SnoopSignals::DIRTY, Communication, Some(BusTx::BusRdX), false),
+        (Invalid, Read, SnoopSignals::NONE, Exclusive, Some(BusTx::BusRd), false),
+        (Invalid, Read, SnoopSignals::SHARED, Shared, Some(BusTx::BusRd), false),
+        (Invalid, Read, SnoopSignals::DIRTY, Communication, Some(BusTx::BusRd), true),
+        (Invalid, Write, SnoopSignals::NONE, Modified, Some(BusTx::BusRdX), false),
+        (Invalid, Write, SnoopSignals::SHARED, Modified, Some(BusTx::BusRdX), false),
+        (Invalid, Write, SnoopSignals::DIRTY, Communication, Some(BusTx::BusRdX), false),
+    ];
+    for (state, kind, sig, next, bus, relocate) in cases {
+        let act = mesic::processor_access(state, kind, sig);
+        assert_eq!(act.next, next, "{state:?} {kind:?} {sig:?}");
+        assert_eq!(act.bus, bus, "{state:?} {kind:?} {sig:?}");
+        assert_eq!(act.relocate_copy, relocate, "{state:?} {kind:?} {sig:?}");
+    }
+}
+
+#[test]
+fn mesic_snoop_matrix() {
+    use MesicState::*;
+    let cases: Vec<(MesicState, BusTx, MesicState)> = vec![
+        (Modified, BusTx::BusRd, Communication), // the deleted M->S arc
+        (Modified, BusTx::BusRdX, Communication),
+        (Modified, BusTx::BusRepl, Modified),
+        (Exclusive, BusTx::BusRd, Shared),
+        (Exclusive, BusTx::BusRdX, Invalid),
+        (Exclusive, BusTx::BusRepl, Exclusive),
+        (Shared, BusTx::BusRd, Shared),
+        (Shared, BusTx::BusRdX, Invalid),
+        (Shared, BusTx::BusUpg, Invalid),
+        (Shared, BusTx::BusRepl, Invalid),
+        (Communication, BusTx::BusRd, Communication),
+        (Communication, BusTx::BusRdX, Communication),
+        (Communication, BusTx::BusRepl, Invalid),
+        (Invalid, BusTx::BusRd, Invalid),
+        (Invalid, BusTx::BusRepl, Invalid),
+    ];
+    for (state, tx, next) in cases {
+        assert_eq!(mesic::snoop(state, tx).0, next, "{state:?} {tx:?}");
+    }
+}
+
+#[test]
+fn mesic_dirty_states_assert_the_dirty_wire() {
+    for s in [MesicState::Modified, MesicState::Communication] {
+        let (_, r) = mesic::snoop(s, BusTx::BusRd);
+        assert!(r.assert_dirty, "{s:?} must assert dirty");
+    }
+    for s in [MesicState::Exclusive, MesicState::Shared] {
+        let (_, r) = mesic::snoop(s, BusTx::BusRd);
+        assert!(!r.assert_dirty, "{s:?} must not assert dirty");
+    }
+}
+
+#[test]
+#[should_panic(expected = "protocol violation")]
+fn mesi_upgrade_against_modified_is_rejected() {
+    let _ = mesi::snoop(MesiState::Modified, BusTx::BusUpg);
+}
+
+#[test]
+#[should_panic(expected = "protocol violation")]
+fn mesic_upgrade_against_communication_is_rejected() {
+    let _ = mesic::snoop(MesicState::Communication, BusTx::BusUpg);
+}

@@ -1,0 +1,545 @@
+//! The CMP-NuRAPID cache organization: access paths.
+//!
+//! See the crate-level docs for the big picture. This module holds
+//! the [`CmpNurapid`] structure and its hit/miss handling; the
+//! replacement machinery (data replacement, distance replacement /
+//! demotion chains, promotion) lives in the impl blocks of
+//! `replace.rs`, and the structural-invariant checker used by the
+//! test suite in `invariants.rs`.
+
+mod invariants;
+mod replace;
+
+use cmp_cache::{AccessClass, AccessResponse, CacheOrg, OrgStats, TagArray};
+use cmp_coherence::mesic::MesicState;
+use cmp_coherence::{Bus, BusTx, SnoopSignals};
+use cmp_mem::{AccessKind, BlockAddr, CoreId, Cycle, Rng};
+
+use crate::config::NurapidConfig;
+use crate::data_array::{DGroupId, DataArray, FrameRef, TagRef};
+use crate::ranking::DGroupRanking;
+
+/// Payload of one CMP-NuRAPID tag entry: MESIC state, the forward
+/// pointer into the data array, and a reuse counter.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct NuEntry {
+    pub(crate) state: MesicState,
+    pub(crate) fwd: FrameRef,
+    pub(crate) reuse: u64,
+}
+
+/// The CMP-NuRAPID L2 cache (see crate docs and `NurapidConfig`).
+pub struct CmpNurapid {
+    pub(crate) cfg: NurapidConfig,
+    pub(crate) ranking: DGroupRanking,
+    pub(crate) tags: Vec<TagArray<NuEntry>>,
+    pub(crate) data: DataArray,
+    pub(crate) rng: Rng,
+    pub(crate) stats: OrgStats,
+    /// Frames in use by the current access, protected from the
+    /// demotion chain's random victim choice — the functional analogue
+    /// of Section 3.1's busy bits.
+    pub(crate) busy: Vec<FrameRef>,
+}
+
+impl CmpNurapid {
+    /// Creates the cache from a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see
+    /// [`NurapidConfig::validate`]).
+    pub fn new(cfg: NurapidConfig) -> Self {
+        cfg.validate();
+        let tag_geom = cfg.tag_geometry();
+        let ranking = if cfg.staggered_ranking {
+            DGroupRanking::staggered(cfg.cores)
+        } else {
+            DGroupRanking::naive(cfg.cores)
+        };
+        CmpNurapid {
+            ranking,
+            tags: (0..cfg.cores).map(|_| TagArray::new(tag_geom)).collect(),
+            data: DataArray::new(cfg.cores, cfg.frames_per_dgroup()),
+            rng: Rng::new(cfg.seed),
+            stats: OrgStats::default(),
+            busy: Vec::with_capacity(4),
+            cfg,
+        }
+    }
+
+    /// The configuration this cache was built with.
+    pub fn config(&self) -> &NurapidConfig {
+        &self.cfg
+    }
+
+    /// The staggered d-group ranking in use.
+    pub fn ranking(&self) -> &DGroupRanking {
+        &self.ranking
+    }
+
+    /// MESIC state of `block` in `core`'s tag array (diagnostic).
+    pub fn state_of(&self, core: CoreId, block: BlockAddr) -> MesicState {
+        self.lookup(core, block)
+            .map_or(MesicState::Invalid, |(set, way)| self.entry(core, set, way).state)
+    }
+
+    /// D-group currently holding `core`'s copy of `block`, if any
+    /// (diagnostic).
+    pub fn dgroup_of(&self, core: CoreId, block: BlockAddr) -> Option<DGroupId> {
+        self.lookup(core, block).map(|(set, way)| self.entry(core, set, way).fwd.group)
+    }
+
+    /// Number of occupied data frames holding `block` (diagnostic:
+    /// the replication degree).
+    pub fn data_copies(&self, block: BlockAddr) -> usize {
+        self.data.iter_occupied().filter(|(_, f)| f.block == block).count()
+    }
+
+    /// Occupied frames per d-group, as `(occupied, capacity)` pairs —
+    /// shows where capacity stealing placed the data.
+    pub fn dgroup_occupancy(&self) -> Vec<(usize, usize)> {
+        (0..self.data.num_groups())
+            .map(|g| {
+                (self.data.occupied(crate::data_array::DGroupId(g as u8)), self.data.frames_per_group())
+            })
+            .collect()
+    }
+
+    /// For each d-group, how many occupied frames are *owned* by each
+    /// core's tag array (`result[group][core]`): the capacity-stealing
+    /// allocation picture of Section 3.3.
+    pub fn occupancy_by_owner(&self) -> Vec<Vec<usize>> {
+        let mut m = vec![vec![0usize; self.cfg.cores]; self.data.num_groups()];
+        for (fref, frame) in self.data.iter_occupied() {
+            m[fref.group.index()][frame.owner.core.index()] += 1;
+        }
+        m
+    }
+
+    // ---- small internal helpers -------------------------------------------
+
+    pub(crate) fn closest(&self, core: CoreId) -> DGroupId {
+        DGroupId(self.ranking.closest(core) as u8)
+    }
+
+    pub(crate) fn dlat(&self, core: CoreId, g: DGroupId) -> Cycle {
+        self.cfg.latencies.dgroup_latency(core, g.index())
+    }
+
+    pub(crate) fn tag_lat(&self) -> Cycle {
+        self.cfg.latencies.nurapid_tag
+    }
+
+    pub(crate) fn lookup(&self, core: CoreId, block: BlockAddr) -> Option<(usize, usize)> {
+        let arr = &self.tags[core.index()];
+        arr.lookup(block).map(|way| (arr.set_of(block), way))
+    }
+
+    pub(crate) fn entry(&self, core: CoreId, set: usize, way: usize) -> &NuEntry {
+        &self.tags[core.index()].entry(set, way).expect("entry present").payload
+    }
+
+    pub(crate) fn entry_mut(&mut self, core: CoreId, set: usize, way: usize) -> &mut NuEntry {
+        &mut self.tags[core.index()].entry_mut(set, way).expect("entry present").payload
+    }
+
+    pub(crate) fn tag_ref(&self, core: CoreId, set: usize, way: usize) -> TagRef {
+        TagRef { core, set: set as u32, way: way as u8 }
+    }
+
+    /// The MESIC state of the tag entry a frame's reverse pointer
+    /// names.
+    pub(crate) fn owner_state(&self, owner: TagRef) -> MesicState {
+        self.entry(owner.core, owner.set as usize, owner.way as usize).state
+    }
+
+    /// Updates the forward pointer of the entry at `owner`.
+    pub(crate) fn update_fwd(&mut self, owner: TagRef, frame: FrameRef) {
+        self.entry_mut(owner.core, owner.set as usize, owner.way as usize).fwd = frame;
+    }
+
+    /// Snoop signals for `block` as sampled by `requestor`.
+    pub(crate) fn signals_for(&self, requestor: CoreId, block: BlockAddr) -> SnoopSignals {
+        let mut sig = SnoopSignals::NONE;
+        for c in CoreId::all(self.cfg.cores) {
+            if c == requestor {
+                continue;
+            }
+            if let Some((set, way)) = self.lookup(c, block) {
+                let st = self.entry(c, set, way).state;
+                if st.is_valid() {
+                    sig.shared = true;
+                    if st.is_dirty() {
+                        sig.dirty = true;
+                    }
+                }
+            }
+        }
+        sig
+    }
+
+    /// All cores (other than `requestor`) holding a valid tag entry
+    /// for `block`, as `(core, set, way)`.
+    pub(crate) fn other_holders(
+        &self,
+        requestor: CoreId,
+        block: BlockAddr,
+    ) -> Vec<(CoreId, usize, usize)> {
+        CoreId::all(self.cfg.cores)
+            .filter(|c| *c != requestor)
+            .filter_map(|c| self.lookup(c, block).map(|(s, w)| (c, s, w)))
+            .collect()
+    }
+
+    /// The data copy of `block` cheapest for `requestor` to reach
+    /// (several may exist under replication).
+    pub(crate) fn nearest_copy(&self, requestor: CoreId, block: BlockAddr) -> Option<FrameRef> {
+        CoreId::all(self.cfg.cores)
+            .filter_map(|c| self.lookup(c, block).map(|(s, w)| self.entry(c, s, w).fwd))
+            .min_by_key(|f| self.dlat(requestor, f.group))
+    }
+
+    /// The single dirty data copy of `block` (M or C holder's frame).
+    pub(crate) fn dirty_frame(&self, block: BlockAddr) -> Option<FrameRef> {
+        CoreId::all(self.cfg.cores)
+            .filter_map(|c| self.lookup(c, block).map(|(s, w)| self.entry(c, s, w)))
+            .find(|e| e.state.is_dirty())
+            .map(|e| e.fwd)
+    }
+
+    // ---- hit path ---------------------------------------------------------
+
+    #[allow(clippy::too_many_arguments)]
+    fn hit(
+        &mut self,
+        core: CoreId,
+        set: usize,
+        way: usize,
+        block: BlockAddr,
+        kind: AccessKind,
+        now: Cycle,
+        bus: &mut Bus,
+        resp: &mut AccessResponse,
+    ) {
+        let closest = self.closest(core);
+        let mut state = self.entry(core, set, way).state;
+        // Extension: a C block whose other sharers are all gone
+        // collapses back to M (see NurapidConfig::c_collapse). The
+        // sole remaining holder is necessarily the frame's owner.
+        if self.cfg.c_collapse
+            && state == MesicState::Communication
+            && self.other_holders(core, block).is_empty()
+        {
+            state = MesicState::Modified;
+            self.entry_mut(core, set, way).state = MesicState::Modified;
+            self.stats.c_collapses += 1;
+        }
+        let fwd = self.entry(core, set, way).fwd;
+        self.tags[core.index()].touch(set, way);
+        {
+            let e = self.entry_mut(core, set, way);
+            e.reuse += 1;
+        }
+        let base = self.tag_lat() + self.dlat(core, fwd.group);
+        resp.class = AccessClass::Hit { closest: fwd.group == closest };
+        resp.latency = base;
+        match (state, kind) {
+            (MesicState::Exclusive | MesicState::Modified, _) => {
+                if kind.is_write() {
+                    self.entry_mut(core, set, way).state = MesicState::Modified;
+                }
+                if fwd.group != closest {
+                    // Capacity stealing: promote the private block
+                    // toward the requestor (Section 3.3.1).
+                    self.promote(core, set, way, block, bus, now, resp);
+                }
+            }
+            (MesicState::Shared, AccessKind::Read) => {
+                let my_tag = self.tag_ref(core, set, way);
+                if fwd.group != closest && self.data.frame(fwd).owner != my_tag {
+                    // Controlled replication, second use: make a data
+                    // copy in the closest d-group (Figure 3c). Only a
+                    // *pointer* holder replicates; if the farther copy
+                    // is this core's own (a block that went shared
+                    // after being demoted), it stays where it is —
+                    // shared blocks are never moved (Section 3.3.1).
+                    self.busy.push(fwd);
+                    self.ensure_free_frame(core, closest, bus, now, resp);
+                    let nf = self.data.alloc(closest, block, my_tag);
+                    self.entry_mut(core, set, way).fwd = nf;
+                    self.stats.replications += 1;
+                }
+            }
+            (MesicState::Shared, AccessKind::Write) => {
+                // Base-MESI upgrade: invalidate every other tag copy.
+                let grant = bus.transact(BusTx::BusUpg, now);
+                resp.latency = self.tag_lat() + grant.stall_from(now) + self.dlat(core, fwd.group);
+                let my_tag = self.tag_ref(core, set, way);
+                for (c, s, w) in self.other_holders(core, block) {
+                    let their_fwd = self.entry(c, s, w).fwd;
+                    let their_tag = self.tag_ref(c, s, w);
+                    // The frame may already be gone: several sharers
+                    // can point at one copy whose owner was processed
+                    // earlier in this loop.
+                    if self.data.is_occupied(their_fwd)
+                        && self.data.frame(their_fwd).owner == their_tag
+                    {
+                        if their_fwd == fwd {
+                            // They owned the very copy I point at:
+                            // take the frame over.
+                            self.data.set_owner(their_fwd, my_tag);
+                        } else {
+                            // A duplicate copy elsewhere: free it.
+                            self.data.free(their_fwd);
+                        }
+                    }
+                    self.tags[c.index()].evict(s, w);
+                    resp.l1_invalidate.push((c, block));
+                }
+                self.entry_mut(core, set, way).state = MesicState::Modified;
+            }
+            (MesicState::Communication, AccessKind::Read) => {}
+            (MesicState::Communication, AccessKind::Write) => {
+                // Write-through to the single copy; posted BusRdX so
+                // other sharers drop stale L1 copies (their tags stay
+                // in C).
+                bus.post(BusTx::BusRdX, now);
+                for (c, _, _) in self.other_holders(core, block) {
+                    resp.l1_invalidate.push((c, block));
+                }
+            }
+            (MesicState::Invalid, _) => unreachable!("invalid entries are never resident"),
+        }
+        if self.entry(core, set, way).state == MesicState::Communication {
+            resp.writethrough = true;
+        }
+    }
+
+    // ---- miss path --------------------------------------------------------
+
+    #[allow(clippy::too_many_arguments)]
+    fn miss(
+        &mut self,
+        core: CoreId,
+        block: BlockAddr,
+        kind: AccessKind,
+        now: Cycle,
+        bus: &mut Bus,
+        resp: &mut AccessResponse,
+    ) {
+        let closest = self.closest(core);
+        let signals = self.signals_for(core, block);
+        // Make room in the tag array first; any frame it frees becomes
+        // the demotion chain's preferred stopping point.
+        let (set, way, _hole) = self.make_tag_room(core, block, bus, now, resp);
+        let my_tag = self.tag_ref(core, set, way);
+
+        if signals.dirty && self.cfg.in_situ_communication {
+            // In-situ communication (Section 3.2).
+            resp.class = AccessClass::MissRws;
+            let src = self.dirty_frame(block).expect("dirty signal implies a dirty frame");
+            let tx = if kind.is_write() { BusTx::BusRdX } else { BusTx::BusRd };
+            let grant = bus.transact(tx, now);
+            resp.latency = self.tag_lat() + grant.stall_from(now) + self.dlat(core, src.group);
+            if kind.is_write() {
+                // Join C writing the existing copy in place.
+                for (c, s, w) in self.other_holders(core, block) {
+                    self.entry_mut(c, s, w).state = MesicState::Communication;
+                    resp.l1_invalidate.push((c, block));
+                }
+                self.tags[core.index()].fill(
+                    set,
+                    way,
+                    block,
+                    NuEntry { state: MesicState::Communication, fwd: src, reuse: 0 },
+                );
+                resp.writethrough = true;
+            } else {
+                // Reader relocates the copy into its closest d-group;
+                // every sharer's forward pointer follows.
+                let contents = self.data.free(src);
+                debug_assert_eq!(contents.block, block);
+                self.ensure_free_frame(core, closest, bus, now, resp);
+                let nf = self.data.alloc(closest, block, my_tag);
+                for (c, s, w) in self.other_holders(core, block) {
+                    let e = self.entry_mut(c, s, w);
+                    e.state = MesicState::Communication;
+                    e.fwd = nf;
+                    // Force the old holder's L1 to refill so its line
+                    // adopts write-through C semantics.
+                    resp.l1_invalidate.push((c, block));
+                }
+                self.tags[core.index()].fill(
+                    set,
+                    way,
+                    block,
+                    NuEntry { state: MesicState::Communication, fwd: nf, reuse: 0 },
+                );
+                resp.writethrough = true;
+            }
+            return;
+        }
+
+        if signals.dirty && !self.cfg.in_situ_communication {
+            // ISC disabled: MESI behaviour. The dirty holder is
+            // flushed to memory and demoted to S (keeping its frame);
+            // the request then proceeds as clean sharing.
+            resp.class = AccessClass::MissRws;
+            for (c, s, w) in self.other_holders(core, block) {
+                let e = self.entry_mut(c, s, w);
+                if e.state.is_dirty() {
+                    e.state = MesicState::Shared;
+                    self.stats.writebacks += 1;
+                }
+            }
+            self.finish_clean_sharing_miss(core, block, kind, set, way, now, bus, resp);
+            return;
+        }
+
+        if signals.shared {
+            resp.class = AccessClass::MissRos;
+            self.finish_clean_sharing_miss(core, block, kind, set, way, now, bus, resp);
+            return;
+        }
+
+        // No on-chip copy: fetch from memory.
+        resp.class = AccessClass::MissCapacity;
+        let tx = if kind.is_write() { BusTx::BusRdX } else { BusTx::BusRd };
+        let grant = bus.transact(tx, now);
+        resp.latency = self.tag_lat() + grant.stall_from(now) + self.cfg.latencies.memory;
+        self.ensure_free_frame(core, closest, bus, now, resp);
+        let nf = self.data.alloc(closest, block, my_tag);
+        let state = if kind.is_write() { MesicState::Modified } else { MesicState::Exclusive };
+        self.tags[core.index()].fill(set, way, block, NuEntry { state, fwd: nf, reuse: 0 });
+    }
+
+    /// Completes a miss whose block has on-chip clean copies: CR
+    /// pointer transfer or eager replication for reads, BusRdX
+    /// takeover for writes.
+    #[allow(clippy::too_many_arguments)]
+    fn finish_clean_sharing_miss(
+        &mut self,
+        core: CoreId,
+        block: BlockAddr,
+        kind: AccessKind,
+        set: usize,
+        way: usize,
+        now: Cycle,
+        bus: &mut Bus,
+        resp: &mut AccessResponse,
+    ) {
+        let closest = self.closest(core);
+        let my_tag = self.tag_ref(core, set, way);
+        let src = self.nearest_copy(core, block).expect("clean sharing implies a data copy");
+        let src_lat = self.dlat(core, src.group);
+        if kind.is_write() {
+            // BusRdX: every remote tag copy is invalidated; frames
+            // they owned are freed; the requestor takes its own copy.
+            let grant = bus.transact(BusTx::BusRdX, now);
+            resp.latency = self.tag_lat() + grant.stall_from(now) + src_lat;
+            for (c, s, w) in self.other_holders(core, block) {
+                let their_fwd = self.entry(c, s, w).fwd;
+                let their_tag = self.tag_ref(c, s, w);
+                // Guard against a copy already freed via its owner
+                // earlier in this loop.
+                if self.data.is_occupied(their_fwd)
+                    && self.data.frame(their_fwd).owner == their_tag
+                {
+                    self.data.free(their_fwd);
+                }
+                self.tags[c.index()].evict(s, w);
+                resp.l1_invalidate.push((c, block));
+            }
+            self.ensure_free_frame(core, closest, bus, now, resp);
+            let nf = self.data.alloc(closest, block, my_tag);
+            self.tags[core.index()].fill(
+                set,
+                way,
+                block,
+                NuEntry { state: MesicState::Modified, fwd: nf, reuse: 0 },
+            );
+            return;
+        }
+        // Read: demote remote E holders to S.
+        let grant = bus.transact(BusTx::BusRd, now);
+        resp.latency = self.tag_lat() + grant.stall_from(now) + src_lat;
+        for (c, s, w) in self.other_holders(core, block) {
+            let e = self.entry_mut(c, s, w);
+            if e.state == MesicState::Exclusive {
+                e.state = MesicState::Shared;
+            }
+        }
+        if self.cfg.controlled_replication {
+            // CR first use: tag copy only, pointing at the existing
+            // data (the pointer return of Figure 3b).
+            self.stats.pointer_transfers += 1;
+            self.tags[core.index()].fill(
+                set,
+                way,
+                block,
+                NuEntry { state: MesicState::Shared, fwd: src, reuse: 0 },
+            );
+        } else {
+            // Uncontrolled replication: copy the data eagerly, like a
+            // private cache would.
+            self.busy.push(src);
+            self.ensure_free_frame(core, closest, bus, now, resp);
+            let nf = self.data.alloc(closest, block, my_tag);
+            self.stats.replications += 1;
+            self.tags[core.index()].fill(
+                set,
+                way,
+                block,
+                NuEntry { state: MesicState::Shared, fwd: nf, reuse: 0 },
+            );
+        }
+    }
+}
+
+impl CacheOrg for CmpNurapid {
+    fn name(&self) -> &'static str {
+        "nurapid"
+    }
+
+    fn access(
+        &mut self,
+        core: CoreId,
+        block: BlockAddr,
+        kind: AccessKind,
+        now: Cycle,
+        bus: &mut Bus,
+    ) -> AccessResponse {
+        self.busy.clear();
+        let mut resp = AccessResponse::simple(0, AccessClass::MissCapacity);
+        match self.lookup(core, block) {
+            Some((set, way)) => self.hit(core, set, way, block, kind, now, bus, &mut resp),
+            None => self.miss(core, block, kind, now, bus, &mut resp),
+        }
+        self.stats.record_class(resp.class);
+        self.stats.l1_invalidations += resp.l1_invalidate.len() as u64;
+        resp
+    }
+
+    fn stats(&self) -> &OrgStats {
+        &self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = OrgStats::default();
+    }
+
+    fn cores(&self) -> usize {
+        self.cfg.cores
+    }
+}
+
+impl std::fmt::Debug for CmpNurapid {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CmpNurapid")
+            .field("cores", &self.cfg.cores)
+            .field("frames_per_dgroup", &self.cfg.frames_per_dgroup())
+            .field("tag_entries", &self.tags.iter().map(TagArray::len).sum::<usize>())
+            .finish()
+    }
+}

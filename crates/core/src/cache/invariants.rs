@@ -1,0 +1,143 @@
+//! Structural-invariant checker for CMP-NuRAPID.
+//!
+//! These are the invariants the pointer machinery must maintain; the
+//! test suite calls [`CmpNurapid::check_invariants`] after every
+//! operation in its randomized workloads.
+
+use std::collections::HashMap;
+
+use cmp_coherence::mesic::MesicState;
+use cmp_mem::{BlockAddr, CoreId};
+
+use crate::cache::CmpNurapid;
+use crate::data_array::FrameRef;
+
+impl CmpNurapid {
+    /// Verifies every structural invariant, panicking with a
+    /// diagnostic on the first violation:
+    ///
+    /// 1. **Forward pointers are live**: every tag entry's frame is
+    ///    occupied and holds the entry's block.
+    /// 2. **Reverse pointers are live**: every occupied frame's owner
+    ///    tag exists, matches the frame's block, and points back at
+    ///    the frame.
+    /// 3. **E/M blocks are singletons**: one tag entry on the whole
+    ///    chip, which owns its frame.
+    /// 4. **C blocks share one copy**: every tag entry for the block
+    ///    is in C, all forward pointers agree, and exactly one frame
+    ///    holds the block.
+    /// 5. **S sharers point at live S copies**: every frame holding
+    ///    the block is owned by a tag in state S.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any invariant is violated.
+    pub fn check_invariants(&self) {
+        let mut entries_by_block: HashMap<BlockAddr, Vec<(CoreId, usize, usize)>> = HashMap::new();
+        // 1. tag -> frame.
+        for c in CoreId::all(self.cfg.cores) {
+            for (set, way, block, entry) in self.tags[c.index()].iter_all() {
+                assert!(
+                    entry.state.is_valid(),
+                    "{c} holds an Invalid-state resident entry for {block}"
+                );
+                assert!(
+                    self.frame_occupied(entry.fwd),
+                    "{c}'s entry for {block} forward-points at a free frame {:?}",
+                    entry.fwd
+                );
+                let frame = self.data.frame(entry.fwd);
+                assert_eq!(
+                    frame.block, block,
+                    "{c}'s entry for {block} forward-points at a frame holding {}",
+                    frame.block
+                );
+                entries_by_block.entry(block).or_default().push((c, set, way));
+            }
+        }
+        // 2. frame -> tag.
+        for (fref, frame) in self.data.iter_occupied() {
+            let o = frame.owner;
+            let arr = &self.tags[o.core.index()];
+            let owner_block = arr.block_at(o.set as usize, o.way as usize);
+            assert_eq!(
+                owner_block,
+                Some(frame.block),
+                "frame {fref:?} (block {}) has a dangling reverse pointer {o:?}",
+                frame.block
+            );
+            let entry = self.entry(o.core, o.set as usize, o.way as usize);
+            assert_eq!(
+                entry.fwd, fref,
+                "frame {fref:?} owner {o:?} forward-points elsewhere ({:?})",
+                entry.fwd
+            );
+        }
+        // 3-5. per-block coherence structure.
+        let frames_by_block: HashMap<BlockAddr, Vec<FrameRef>> = {
+            let mut m: HashMap<BlockAddr, Vec<FrameRef>> = HashMap::new();
+            for (fref, frame) in self.data.iter_occupied() {
+                m.entry(frame.block).or_default().push(fref);
+            }
+            m
+        };
+        for (block, holders) in &entries_by_block {
+            let states: Vec<MesicState> = holders
+                .iter()
+                .map(|(c, s, w)| self.entry(*c, *s, *w).state)
+                .collect();
+            let frames = frames_by_block.get(block).map_or(&[][..], Vec::as_slice);
+            if states.iter().any(|s| matches!(s, MesicState::Modified | MesicState::Exclusive)) {
+                assert_eq!(
+                    holders.len(),
+                    1,
+                    "E/M block {block} has {} tag entries: {states:?}",
+                    holders.len()
+                );
+                assert_eq!(frames.len(), 1, "E/M block {block} has {} data copies", frames.len());
+                let (c, s, w) = holders[0];
+                let entry = self.entry(c, s, w);
+                assert_eq!(
+                    self.data.frame(entry.fwd).owner,
+                    self.tag_ref(c, s, w),
+                    "E/M block {block} does not own its frame"
+                );
+            }
+            if states.contains(&MesicState::Communication) {
+                assert!(
+                    states.iter().all(|s| *s == MesicState::Communication),
+                    "C block {block} mixes states: {states:?}"
+                );
+                let fwds: Vec<_> =
+                    holders.iter().map(|(c, s, w)| self.entry(*c, *s, *w).fwd).collect();
+                assert!(
+                    fwds.windows(2).all(|w| w[0] == w[1]),
+                    "C block {block} sharers disagree on the data copy: {fwds:?}"
+                );
+                assert_eq!(frames.len(), 1, "C block {block} has {} data copies", frames.len());
+            }
+            if states.contains(&MesicState::Shared) {
+                for fref in frames {
+                    let owner = self.data.frame(*fref).owner;
+                    assert_eq!(
+                        self.owner_state(owner),
+                        MesicState::Shared,
+                        "S block {block} has a copy owned by a non-S tag"
+                    );
+                }
+            }
+        }
+        // Orphan frames: every frame's block must have tag entries
+        // (follows from 2, but assert the map view is consistent too).
+        for block in frames_by_block.keys() {
+            assert!(
+                entries_by_block.contains_key(block),
+                "frames hold block {block} but no tag entry names it"
+            );
+        }
+    }
+
+    fn frame_occupied(&self, fref: FrameRef) -> bool {
+        self.data.is_occupied(fref)
+    }
+}

@@ -1,0 +1,195 @@
+//! CMP-NuRAPID configuration.
+
+use cmp_latency::LatencyBook;
+use cmp_mem::CacheGeometry;
+
+/// Promotion policy for private blocks hit in a farther d-group
+/// (Section 3.3.1).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum PromotionPolicy {
+    /// Promote directly to the requestor's closest d-group. The paper
+    /// finds this more effective in CMPs, because one core's
+    /// next-fastest d-group is another core's fastest and promoting
+    /// into it pollutes that core's best region.
+    #[default]
+    Fastest,
+    /// Promote one step along the requestor's preference ranking
+    /// (NuRAPID's uniprocessor policy, kept for the ablation bench).
+    NextFastest,
+}
+
+/// Configuration of a [`crate::CmpNurapid`] instance.
+///
+/// The `controlled_replication` and `in_situ_communication` switches
+/// exist because the paper evaluates the two optimizations separately
+/// (Figure 8's "CR" and "ISC" bars) before combining them
+/// (Figure 10).
+#[derive(Clone, Debug)]
+pub struct NurapidConfig {
+    /// Number of cores (= number of d-groups).
+    pub cores: usize,
+    /// Capacity of one d-group in bytes (2 MB in the paper).
+    pub dgroup_bytes: usize,
+    /// Cache-block size in bytes (128 in the paper).
+    pub block_bytes: usize,
+    /// Tag-array set associativity (8 in the paper).
+    pub associativity: usize,
+    /// Tag-capacity factor: each core's tag array covers `factor` ×
+    /// its d-group capacity (2 = the paper's doubled tag space;
+    /// Section 2.2.2 also discusses 1 and 4).
+    pub tag_capacity_factor: usize,
+    /// Promotion policy for private blocks.
+    pub promotion: PromotionPolicy,
+    /// Use the staggered d-group preference rankings of Figure 1
+    /// (`true`, the paper's design) or naive distance-sorted rankings
+    /// (`false`, for the ablation of Section 2.2.1's claim).
+    pub staggered_ranking: bool,
+    /// Enable controlled replication (Section 3.1). When disabled, a
+    /// read miss with an on-chip clean copy eagerly replicates the
+    /// data into the requestor's closest d-group, like a private
+    /// cache would.
+    pub controlled_replication: bool,
+    /// Enable in-situ communication (Section 3.2). When disabled,
+    /// dirty sharing falls back to MESI behaviour: the dirty copy is
+    /// flushed/invalidated and the requestor takes its own copy.
+    pub in_situ_communication: bool,
+    /// Extension (the paper's stated future work): the paper has no
+    /// exits from the C state, so a read-write-shared block can stay
+    /// pinned in a d-group close to a core that never reuses it. With
+    /// `c_collapse` enabled, a C block whose *other* sharers' tag
+    /// entries have all been replaced collapses back to M at its one
+    /// remaining holder, re-enabling promotion and write-back
+    /// caching for data that has stopped being shared.
+    pub c_collapse: bool,
+    /// Latencies (Table 1).
+    pub latencies: LatencyBook,
+    /// Seed for the random choices of the demotion policy
+    /// (Section 3.3.2 uses random victim and stop-d-group choices).
+    pub seed: u64,
+}
+
+impl NurapidConfig {
+    /// The paper's configuration: 4 cores, 4 × 2 MB d-groups, 8-way
+    /// doubled tags, fastest promotion, CR + ISC enabled.
+    pub fn paper() -> Self {
+        NurapidConfig {
+            cores: cmp_mem::PAPER_CORES,
+            dgroup_bytes: 2 * 1024 * 1024,
+            block_bytes: cmp_mem::L2_BLOCK_BYTES,
+            associativity: 8,
+            tag_capacity_factor: 2,
+            promotion: PromotionPolicy::Fastest,
+            staggered_ranking: true,
+            controlled_replication: true,
+            in_situ_communication: true,
+            c_collapse: false,
+            latencies: LatencyBook::paper(),
+            seed: 0x0CEA_11CE,
+        }
+    }
+
+    /// Paper configuration with only controlled replication
+    /// (Figure 8's "CR" bars).
+    pub fn paper_cr_only() -> Self {
+        NurapidConfig { in_situ_communication: false, ..Self::paper() }
+    }
+
+    /// Paper configuration with only in-situ communication
+    /// (Figure 8's "ISC" bars).
+    pub fn paper_isc_only() -> Self {
+        NurapidConfig { controlled_replication: false, ..Self::paper() }
+    }
+
+    /// A small configuration for tests: tiny d-groups so replacements
+    /// and demotions trigger quickly.
+    pub fn tiny(cores: usize, dgroup_bytes: usize) -> Self {
+        NurapidConfig {
+            cores,
+            dgroup_bytes,
+            block_bytes: 128,
+            associativity: 2,
+            tag_capacity_factor: 2,
+            promotion: PromotionPolicy::Fastest,
+            staggered_ranking: true,
+            controlled_replication: true,
+            in_situ_communication: true,
+            c_collapse: false,
+            latencies: LatencyBook::from_table1(&cmp_latency::Table1::published(), cores),
+            seed: 7,
+        }
+    }
+
+    /// Geometry of one core's tag array (with the tag-capacity
+    /// factor applied to the number of sets).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameters do not form a valid power-of-two
+    /// geometry.
+    pub fn tag_geometry(&self) -> CacheGeometry {
+        CacheGeometry::new(self.dgroup_bytes, self.block_bytes, self.associativity)
+            .scale_sets(self.tag_capacity_factor)
+    }
+
+    /// Number of data frames per d-group.
+    pub fn frames_per_dgroup(&self) -> usize {
+        self.dgroup_bytes / self.block_bytes
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the configuration is unusable (zero cores, more
+    /// cores than the latency book covers, non-power-of-two sizes).
+    pub fn validate(&self) {
+        assert!(self.cores > 0, "at least one core required");
+        assert!(self.cores <= 32, "core bitmask limited to 32 cores");
+        assert_eq!(self.latencies.cores(), self.cores, "latency book must cover all cores");
+        assert!(self.tag_capacity_factor >= 1, "tag capacity factor must be at least 1");
+        let _ = self.tag_geometry();
+    }
+}
+
+impl Default for NurapidConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_is_valid() {
+        let cfg = NurapidConfig::paper();
+        cfg.validate();
+        assert_eq!(cfg.frames_per_dgroup(), 16384);
+        // Doubled tags: 4096 sets x 8 ways = 32768 entries per core.
+        let tg = cfg.tag_geometry();
+        assert_eq!(tg.num_sets(), 4096);
+        assert_eq!(tg.associativity(), 8);
+    }
+
+    #[test]
+    fn ablation_configs_flip_the_right_switch() {
+        let cr = NurapidConfig::paper_cr_only();
+        assert!(cr.controlled_replication && !cr.in_situ_communication);
+        let isc = NurapidConfig::paper_isc_only();
+        assert!(!isc.controlled_replication && isc.in_situ_communication);
+    }
+
+    #[test]
+    fn tiny_config_is_valid() {
+        NurapidConfig::tiny(4, 1024).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "latency book")]
+    fn validate_rejects_core_mismatch() {
+        let mut cfg = NurapidConfig::paper();
+        cfg.cores = 2;
+        cfg.validate();
+    }
+}

@@ -1,0 +1,341 @@
+//! The shared data array: d-groups, frames, and reverse pointers.
+//!
+//! CMP-NuRAPID's data array is divided into distance groups
+//! (d-groups), each a pool of block frames with a single uniform
+//! access latency per core. Frames are not set-indexed — distance
+//! associativity lets any block live in any frame — so navigation is
+//! entirely pointer-based: tag entries hold *forward pointers*
+//! ([`FrameRef`]) into the data array, and each occupied frame holds
+//! a *reverse pointer* ([`TagRef`]) back to the single tag entry that
+//! owns it (used by the replacement policies, Section 2.1).
+
+use cmp_mem::{BlockAddr, CoreId, Rng};
+
+/// Identifier of a d-group (d-group `a` in Figure 1 is 0, etc.).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct DGroupId(pub u8);
+
+impl DGroupId {
+    /// The d-group's index for table lookups.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Forward pointer: the frame holding a block's data.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct FrameRef {
+    /// The d-group.
+    pub group: DGroupId,
+    /// Frame index within the d-group.
+    pub index: u32,
+}
+
+/// Reverse pointer: the tag entry that owns a frame.
+///
+/// Only the owner may replace the frame; other sharers' tag entries
+/// may point at the frame but are reached via BusRepl, not via the
+/// reverse pointer.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct TagRef {
+    /// Owning core.
+    pub core: CoreId,
+    /// Set index in the owner's tag array.
+    pub set: u32,
+    /// Way within the set.
+    pub way: u8,
+}
+
+/// Contents of one occupied frame.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Frame {
+    /// The block resident in this frame.
+    pub block: BlockAddr,
+    /// Reverse pointer to the owning tag entry.
+    pub owner: TagRef,
+}
+
+/// One d-group's frame pool with O(1) alloc/free and O(1) uniform
+/// random victim selection (the demotion policy chooses victims at
+/// random because LRU over thousands of frames is infeasible,
+/// Section 3.3.2).
+#[derive(Clone, Debug)]
+struct DGroupStore {
+    frames: Vec<Option<Frame>>,
+    /// Free frame indices (stack).
+    free: Vec<u32>,
+    /// Occupied frame indices (dense, unordered).
+    occupied: Vec<u32>,
+    /// `pos[i]` = position of frame `i` in `occupied`, or `u32::MAX`.
+    pos: Vec<u32>,
+}
+
+impl DGroupStore {
+    fn new(frames: usize) -> Self {
+        DGroupStore {
+            frames: vec![None; frames],
+            free: (0..frames as u32).rev().collect(),
+            occupied: Vec::with_capacity(frames),
+            pos: vec![u32::MAX; frames],
+        }
+    }
+
+    fn alloc(&mut self, frame: Frame) -> u32 {
+        let idx = self.free.pop().expect("alloc from a full d-group");
+        debug_assert!(self.frames[idx as usize].is_none());
+        self.frames[idx as usize] = Some(frame);
+        self.pos[idx as usize] = self.occupied.len() as u32;
+        self.occupied.push(idx);
+        idx
+    }
+
+    fn release(&mut self, idx: u32) -> Frame {
+        let frame = self.frames[idx as usize].take().expect("free of an empty frame");
+        let p = self.pos[idx as usize] as usize;
+        let last = self.occupied.pop().expect("occupied list nonempty");
+        if last != idx {
+            self.occupied[p] = last;
+            self.pos[last as usize] = p as u32;
+        }
+        self.pos[idx as usize] = u32::MAX;
+        self.free.push(idx);
+        frame
+    }
+}
+
+/// The full shared data array (all d-groups).
+///
+/// # Example
+///
+/// ```
+/// use cmp_nurapid::{DataArray, DGroupId, TagRef};
+/// use cmp_mem::{BlockAddr, CoreId};
+///
+/// let mut data = DataArray::new(4, 16);
+/// let owner = TagRef { core: CoreId(0), set: 0, way: 0 };
+/// let frame = data.alloc(DGroupId(0), BlockAddr(9), owner);
+/// assert_eq!(data.frame(frame).block, BlockAddr(9));
+/// assert_eq!(data.occupied(DGroupId(0)), 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct DataArray {
+    groups: Vec<DGroupStore>,
+    frames_per_group: usize,
+}
+
+impl DataArray {
+    /// Creates `groups` d-groups of `frames_per_group` frames each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(groups: usize, frames_per_group: usize) -> Self {
+        assert!(groups > 0 && frames_per_group > 0, "data array dimensions must be nonzero");
+        DataArray {
+            groups: (0..groups).map(|_| DGroupStore::new(frames_per_group)).collect(),
+            frames_per_group,
+        }
+    }
+
+    /// Number of d-groups.
+    pub fn num_groups(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Frames per d-group.
+    pub fn frames_per_group(&self) -> usize {
+        self.frames_per_group
+    }
+
+    /// Number of occupied frames in a d-group.
+    pub fn occupied(&self, g: DGroupId) -> usize {
+        self.groups[g.index()].occupied.len()
+    }
+
+    /// `true` if the d-group has at least one free frame.
+    pub fn has_free(&self, g: DGroupId) -> bool {
+        !self.groups[g.index()].free.is_empty()
+    }
+
+    /// Allocates a frame in `g` for `block`, owned by `owner`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the d-group is full (callers must create space
+    /// first via the replacement policies).
+    pub fn alloc(&mut self, g: DGroupId, block: BlockAddr, owner: TagRef) -> FrameRef {
+        let index = self.groups[g.index()].alloc(Frame { block, owner });
+        FrameRef { group: g, index }
+    }
+
+    /// Frees a frame, returning its contents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame is already free.
+    pub fn free(&mut self, frame: FrameRef) -> Frame {
+        self.groups[frame.group.index()].release(frame.index)
+    }
+
+    /// `true` if the frame currently holds a block.
+    pub fn is_occupied(&self, frame: FrameRef) -> bool {
+        self.groups[frame.group.index()].frames[frame.index as usize].is_some()
+    }
+
+    /// The contents of an occupied frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame is free.
+    pub fn frame(&self, frame: FrameRef) -> &Frame {
+        self.groups[frame.group.index()].frames[frame.index as usize]
+            .as_ref()
+            .expect("access to a free frame")
+    }
+
+    /// Rewrites a frame's reverse pointer (ownership transfer, or a
+    /// tag entry that moved during promotion bookkeeping).
+    pub fn set_owner(&mut self, frame: FrameRef, owner: TagRef) {
+        self.groups[frame.group.index()].frames[frame.index as usize]
+            .as_mut()
+            .expect("access to a free frame")
+            .owner = owner;
+    }
+
+    /// Picks a uniformly random occupied frame in `g`, excluding any
+    /// frame in `busy` (the busy-marking that protects frames being
+    /// read from concurrent replacement, Section 3.1's busy bit).
+    ///
+    /// Returns `None` if every occupied frame is busy or the group is
+    /// empty.
+    pub fn random_occupied(&self, g: DGroupId, rng: &mut Rng, busy: &[FrameRef]) -> Option<FrameRef> {
+        let store = &self.groups[g.index()];
+        if store.occupied.is_empty() {
+            return None;
+        }
+        let is_busy = |idx: u32| busy.iter().any(|b| b.group == g && b.index == idx);
+        // Rejection-sample a few times, then fall back to a scan.
+        for _ in 0..8 {
+            let idx = store.occupied[rng.gen_index(store.occupied.len())];
+            if !is_busy(idx) {
+                return Some(FrameRef { group: g, index: idx });
+            }
+        }
+        store
+            .occupied
+            .iter()
+            .copied()
+            .find(|&idx| !is_busy(idx))
+            .map(|index| FrameRef { group: g, index })
+    }
+
+    /// Iterates over all occupied frames as `(FrameRef, &Frame)`.
+    pub fn iter_occupied(&self) -> impl Iterator<Item = (FrameRef, &Frame)> + '_ {
+        self.groups.iter().enumerate().flat_map(|(g, store)| {
+            store.occupied.iter().map(move |&idx| {
+                (
+                    FrameRef { group: DGroupId(g as u8), index: idx },
+                    store.frames[idx as usize].as_ref().expect("occupied frame"),
+                )
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn owner(core: u8) -> TagRef {
+        TagRef { core: CoreId(core), set: 0, way: 0 }
+    }
+
+    #[test]
+    fn alloc_free_roundtrip() {
+        let mut d = DataArray::new(2, 4);
+        let f = d.alloc(DGroupId(1), BlockAddr(5), owner(2));
+        assert_eq!(f.group, DGroupId(1));
+        assert_eq!(d.occupied(DGroupId(1)), 1);
+        assert_eq!(d.frame(f).block, BlockAddr(5));
+        assert_eq!(d.frame(f).owner.core, CoreId(2));
+        let contents = d.free(f);
+        assert_eq!(contents.block, BlockAddr(5));
+        assert_eq!(d.occupied(DGroupId(1)), 0);
+        assert!(d.has_free(DGroupId(1)));
+    }
+
+    #[test]
+    fn fills_to_capacity_then_panics() {
+        let mut d = DataArray::new(1, 2);
+        d.alloc(DGroupId(0), BlockAddr(1), owner(0));
+        d.alloc(DGroupId(0), BlockAddr(2), owner(0));
+        assert!(!d.has_free(DGroupId(0)));
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut d2 = d.clone();
+            d2.alloc(DGroupId(0), BlockAddr(3), owner(0));
+        }));
+        assert!(r.is_err(), "alloc on full group must panic");
+    }
+
+    #[test]
+    fn random_occupied_covers_all_frames() {
+        let mut d = DataArray::new(1, 8);
+        for b in 0..8 {
+            d.alloc(DGroupId(0), BlockAddr(b), owner(0));
+        }
+        let mut rng = Rng::new(3);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            seen.insert(d.random_occupied(DGroupId(0), &mut rng, &[]).unwrap().index);
+        }
+        assert_eq!(seen.len(), 8);
+    }
+
+    #[test]
+    fn random_occupied_respects_busy_marks() {
+        let mut d = DataArray::new(1, 2);
+        let f0 = d.alloc(DGroupId(0), BlockAddr(0), owner(0));
+        let f1 = d.alloc(DGroupId(0), BlockAddr(1), owner(0));
+        let mut rng = Rng::new(9);
+        for _ in 0..50 {
+            let pick = d.random_occupied(DGroupId(0), &mut rng, &[f0]).unwrap();
+            assert_eq!(pick, f1);
+        }
+        assert_eq!(d.random_occupied(DGroupId(0), &mut rng, &[f0, f1]), None);
+    }
+
+    #[test]
+    fn random_occupied_empty_group() {
+        let d = DataArray::new(1, 2);
+        let mut rng = Rng::new(1);
+        assert_eq!(d.random_occupied(DGroupId(0), &mut rng, &[]), None);
+    }
+
+    #[test]
+    fn set_owner_transfers_reverse_pointer() {
+        let mut d = DataArray::new(1, 1);
+        let f = d.alloc(DGroupId(0), BlockAddr(9), owner(0));
+        d.set_owner(f, owner(3));
+        assert_eq!(d.frame(f).owner.core, CoreId(3));
+    }
+
+    #[test]
+    fn free_list_reuses_frames() {
+        let mut d = DataArray::new(1, 1);
+        let f = d.alloc(DGroupId(0), BlockAddr(1), owner(0));
+        d.free(f);
+        let f2 = d.alloc(DGroupId(0), BlockAddr(2), owner(1));
+        assert_eq!(f.index, f2.index, "single frame must be reused");
+    }
+
+    #[test]
+    fn iter_occupied_spans_groups() {
+        let mut d = DataArray::new(3, 2);
+        d.alloc(DGroupId(0), BlockAddr(1), owner(0));
+        d.alloc(DGroupId(2), BlockAddr(2), owner(1));
+        let blocks: Vec<_> = d.iter_occupied().map(|(_, f)| f.block.0).collect();
+        assert_eq!(blocks.len(), 2);
+        assert!(blocks.contains(&1) && blocks.contains(&2));
+    }
+}

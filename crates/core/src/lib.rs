@@ -1,0 +1,54 @@
+#![warn(missing_docs)]
+
+//! CMP-NuRAPID: the paper's primary contribution.
+//!
+//! A hybrid L2 organization for chip multiprocessors (Chishti, Powell
+//! & Vijaykumar, ISCA 2005): **private per-core tag arrays** snooping
+//! on a bus, over a **shared data array** divided into distance
+//! groups (d-groups) with non-uniform access latency. Forward
+//! pointers in the tag arrays and reverse pointers in the data array
+//! decouple a block's set-associative way from its physical placement
+//! (distance associativity), enabling three optimizations:
+//!
+//! * **Controlled replication (CR)** — a read miss for a block with an
+//!   on-chip clean copy takes only a *tag* copy pointing at the
+//!   existing data (a pointer transfer, not a data transfer); a data
+//!   copy in the requestor's closest d-group is made only on second
+//!   use ([`CmpNurapid`], Section 3.1).
+//! * **In-situ communication (ISC)** — read-write-shared blocks live
+//!   in the **C** coherence state with one data copy, placed close to
+//!   a reader; writers write it in place and readers read it without
+//!   coherence misses (Section 3.2, the MESIC protocol of
+//!   `cmp-coherence`).
+//! * **Capacity stealing (CS)** — private blocks are placed in the
+//!   requestor's closest d-group, promoted there on reuse, and
+//!   demoted along each core's staggered d-group preference ranking
+//!   into neighbours' unused frames when capacity runs short
+//!   (Section 3.3).
+//!
+//! # Example
+//!
+//! ```
+//! use cmp_cache::CacheOrg;
+//! use cmp_coherence::Bus;
+//! use cmp_mem::{AccessKind, BlockAddr, CoreId};
+//! use cmp_nurapid::{CmpNurapid, NurapidConfig};
+//!
+//! let mut l2 = CmpNurapid::new(NurapidConfig::paper());
+//! let mut bus = Bus::paper();
+//! // P0 misses to memory; P1 then gets a tag-only copy via CR.
+//! l2.access(CoreId(0), BlockAddr(7), AccessKind::Read, 0, &mut bus);
+//! let cr = l2.access(CoreId(1), BlockAddr(7), AccessKind::Read, 1_000, &mut bus);
+//! assert_eq!(l2.stats().pointer_transfers, 1);
+//! assert!(cr.latency < 100); // on-chip, far cheaper than memory
+//! ```
+
+pub mod cache;
+pub mod config;
+pub mod data_array;
+pub mod ranking;
+
+pub use cache::CmpNurapid;
+pub use config::{NurapidConfig, PromotionPolicy};
+pub use data_array::{DGroupId, DataArray, FrameRef, TagRef};
+pub use ranking::DGroupRanking;

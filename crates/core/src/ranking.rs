@@ -1,0 +1,219 @@
+//! Staggered d-group preference rankings (paper Figure 1).
+//!
+//! Each core ranks the d-groups by preference for placing
+//! frequently-accessed blocks. The closest and farthest d-groups are
+//! obviously first and last, but ties (two d-groups at the same
+//! distance) must be broken so cores do not contend: if P0 and P1
+//! each used the other's first preference as their second, they would
+//! compete in those d-groups even while other equidistant d-groups
+//! have space. The paper staggers the rankings so that **every
+//! preference rank is a permutation of the d-groups across cores**
+//! (each d-group appears exactly once in each column of Figure 1's
+//! table).
+
+use cmp_latency::Floorplan;
+use cmp_mem::CoreId;
+
+/// Per-core preference order over d-groups.
+///
+/// # Example
+///
+/// ```
+/// use cmp_nurapid::DGroupRanking;
+/// use cmp_mem::CoreId;
+///
+/// let r = DGroupRanking::staggered(4);
+/// assert_eq!(r.order(CoreId(0)), &[0, 1, 2, 3]); // a, b, c, d
+/// assert_eq!(r.order(CoreId(1)), &[1, 3, 0, 2]); // b, d, a, c
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DGroupRanking {
+    /// `order[core][rank]` = d-group index.
+    order: Vec<Vec<usize>>,
+}
+
+impl DGroupRanking {
+    /// Builds the staggered ranking for `cores` cores.
+    ///
+    /// For the paper's 4-core layout this reproduces Figure 1's table
+    /// exactly. For other core counts a greedy construction is used:
+    /// rank by floorplan distance, breaking ties so that each rank
+    /// column stays collision-free where possible.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is zero.
+    pub fn staggered(cores: usize) -> Self {
+        assert!(cores > 0, "at least one core required");
+        if cores == 4 {
+            // Figure 1's table, verbatim.
+            return DGroupRanking {
+                order: vec![
+                    vec![0, 1, 2, 3], // P0: a b c d
+                    vec![1, 3, 0, 2], // P1: b d a c
+                    vec![2, 0, 3, 1], // P2: c a d b
+                    vec![3, 2, 1, 0], // P3: d c b a
+                ],
+            };
+        }
+        let fp = Floorplan::paper(cores);
+        let mut order = Vec::with_capacity(cores);
+        for core in CoreId::all(cores) {
+            let mut groups: Vec<usize> = (0..cores).collect();
+            // Distance first; stagger ties by rotating with the core
+            // index so equidistant groups are claimed in different
+            // orders by different cores.
+            groups.sort_by_key(|&g| {
+                (fp.dgroup_distance_rank(core, g), (g + cores - core.index()) % cores)
+            });
+            order.push(groups);
+        }
+        DGroupRanking { order }
+    }
+
+    /// A naive (non-staggered) ranking: every core breaks distance
+    /// ties in ascending d-group order. Section 2.2.1 warns that such
+    /// rankings make cores compete for the same second-preference
+    /// d-groups; this constructor exists for the ablation bench that
+    /// quantifies the cost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is zero.
+    pub fn naive(cores: usize) -> Self {
+        assert!(cores > 0, "at least one core required");
+        let fp = Floorplan::paper(cores);
+        let order = CoreId::all(cores)
+            .map(|core| {
+                let mut groups: Vec<usize> = (0..cores).collect();
+                groups.sort_by_key(|&g| (fp.dgroup_distance_rank(core, g), g));
+                groups
+            })
+            .collect();
+        DGroupRanking { order }
+    }
+
+    /// Number of cores / d-groups.
+    pub fn cores(&self) -> usize {
+        self.order.len()
+    }
+
+    /// The full preference order for `core` (closest first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn order(&self, core: CoreId) -> &[usize] {
+        &self.order[core.index()]
+    }
+
+    /// The d-group at preference `rank` for `core`.
+    pub fn at(&self, core: CoreId, rank: usize) -> usize {
+        self.order[core.index()][rank]
+    }
+
+    /// The closest (rank-0) d-group for `core`.
+    pub fn closest(&self, core: CoreId) -> usize {
+        self.order[core.index()][0]
+    }
+
+    /// The preference rank of d-group `g` for `core`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is not in the ranking.
+    pub fn rank_of(&self, core: CoreId, g: usize) -> usize {
+        self.order[core.index()]
+            .iter()
+            .position(|&x| x == g)
+            .unwrap_or_else(|| panic!("d-group {g} not in ranking of {core}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_core_table_matches_figure1() {
+        let r = DGroupRanking::staggered(4);
+        assert_eq!(r.order(CoreId(0)), &[0, 1, 2, 3]);
+        assert_eq!(r.order(CoreId(1)), &[1, 3, 0, 2]);
+        assert_eq!(r.order(CoreId(2)), &[2, 0, 3, 1]);
+        assert_eq!(r.order(CoreId(3)), &[3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn each_rank_is_a_permutation_for_four_cores() {
+        let r = DGroupRanking::staggered(4);
+        for rank in 0..4 {
+            let mut col: Vec<_> = (0..4u8).map(|c| r.at(CoreId(c), rank)).collect();
+            col.sort_unstable();
+            assert_eq!(col, vec![0, 1, 2, 3], "rank {rank} column collides");
+        }
+    }
+
+    #[test]
+    fn closest_is_own_dgroup() {
+        for n in [1, 2, 4, 8, 16] {
+            let r = DGroupRanking::staggered(n);
+            for c in CoreId::all(n) {
+                assert_eq!(r.closest(c), c.index());
+            }
+        }
+    }
+
+    #[test]
+    fn rank_of_inverts_at() {
+        let r = DGroupRanking::staggered(4);
+        for c in CoreId::all(4) {
+            for rank in 0..4 {
+                assert_eq!(r.rank_of(c, r.at(c, rank)), rank);
+            }
+        }
+    }
+
+    #[test]
+    fn rankings_are_distance_monotonic() {
+        for n in [4usize, 8, 16] {
+            let fp = Floorplan::paper(n);
+            let r = DGroupRanking::staggered(n);
+            for c in CoreId::all(n) {
+                let dists: Vec<_> =
+                    r.order(c).iter().map(|&g| fp.dgroup_distance_rank(c, g)).collect();
+                let mut sorted = dists.clone();
+                sorted.sort_unstable();
+                assert_eq!(dists, sorted, "core {c} ranking not distance-sorted");
+            }
+        }
+    }
+
+    #[test]
+    fn naive_ranking_collides_on_ties() {
+        // P0 and P1 both put d-group b (index 1)... the point: some
+        // preference rank is NOT a permutation across cores.
+        let r = DGroupRanking::naive(4);
+        let collision = (1..4).any(|rank| {
+            let mut col: Vec<_> = (0..4u8).map(|c| r.at(CoreId(c), rank)).collect();
+            col.sort_unstable();
+            col.windows(2).any(|w| w[0] == w[1])
+        });
+        assert!(collision, "naive ranking should collide somewhere");
+        // Rows are still distance-sorted permutations.
+        for c in CoreId::all(4) {
+            assert_eq!(r.closest(c), c.index());
+        }
+    }
+
+    #[test]
+    fn every_row_is_a_permutation() {
+        for n in [2usize, 3, 5, 8] {
+            let r = DGroupRanking::staggered(n);
+            for c in CoreId::all(n) {
+                let mut row = r.order(c).to_vec();
+                row.sort_unstable();
+                assert_eq!(row, (0..n).collect::<Vec<_>>());
+            }
+        }
+    }
+}

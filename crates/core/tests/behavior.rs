@@ -1,0 +1,294 @@
+//! Behavioral tests for CMP-NuRAPID: the paper's scenarios, played
+//! out move by move.
+
+use cmp_cache::{AccessClass, CacheOrg};
+use cmp_coherence::mesic::MesicState;
+use cmp_coherence::{Bus, BusTx};
+use cmp_mem::{AccessKind, BlockAddr, CoreId};
+use cmp_nurapid::{CmpNurapid, DGroupId, NurapidConfig};
+
+fn paper_cache() -> (CmpNurapid, Bus, u64) {
+    (CmpNurapid::new(NurapidConfig::paper()), Bus::paper(), 0)
+}
+
+fn rd(l2: &mut CmpNurapid, bus: &mut Bus, t: &mut u64, core: u8, block: u64) -> cmp_cache::AccessResponse {
+    *t += 1_000;
+    let r = l2.access(CoreId(core), BlockAddr(block), AccessKind::Read, *t, bus);
+    l2.check_invariants();
+    r
+}
+
+fn wr(l2: &mut CmpNurapid, bus: &mut Bus, t: &mut u64, core: u8, block: u64) -> cmp_cache::AccessResponse {
+    *t += 1_000;
+    let r = l2.access(CoreId(core), BlockAddr(block), AccessKind::Write, *t, bus);
+    l2.check_invariants();
+    r
+}
+
+// ---- placement & hits ------------------------------------------------------
+
+#[test]
+fn cold_miss_places_in_closest_dgroup() {
+    let (mut l2, mut bus, mut t) = paper_cache();
+    let miss = rd(&mut l2, &mut bus, &mut t, 2, 77);
+    assert_eq!(miss.class, AccessClass::MissCapacity);
+    // tag (5) + bus (32) + memory (300).
+    assert_eq!(miss.latency, 5 + 32 + 300);
+    assert_eq!(l2.dgroup_of(CoreId(2), BlockAddr(77)), Some(DGroupId(2)));
+    assert_eq!(l2.state_of(CoreId(2), BlockAddr(77)), MesicState::Exclusive);
+}
+
+#[test]
+fn closest_hit_is_eleven_cycles() {
+    let (mut l2, mut bus, mut t) = paper_cache();
+    rd(&mut l2, &mut bus, &mut t, 0, 77);
+    let hit = rd(&mut l2, &mut bus, &mut t, 0, 77);
+    // tag (5) + closest d-group (6).
+    assert_eq!(hit.latency, 11);
+    assert_eq!(hit.class, AccessClass::Hit { closest: true });
+}
+
+#[test]
+fn write_miss_lands_in_modified() {
+    let (mut l2, mut bus, mut t) = paper_cache();
+    wr(&mut l2, &mut bus, &mut t, 1, 9);
+    assert_eq!(l2.state_of(CoreId(1), BlockAddr(9)), MesicState::Modified);
+    assert_eq!(l2.dgroup_of(CoreId(1), BlockAddr(9)), Some(DGroupId(1)));
+}
+
+// ---- controlled replication (Figure 3) -------------------------------------
+
+#[test]
+fn cr_first_use_takes_tag_only_pointer() {
+    let (mut l2, mut bus, mut t) = paper_cache();
+    rd(&mut l2, &mut bus, &mut t, 0, 7); // Figure 3a: P0 has X in d-group a
+    let miss = rd(&mut l2, &mut bus, &mut t, 1, 7); // Figure 3b
+    assert_eq!(miss.class, AccessClass::MissRos);
+    // tag (5) + bus (32) + d-group a from P1 (20): far cheaper than memory.
+    assert_eq!(miss.latency, 5 + 32 + 20);
+    assert_eq!(l2.data_copies(BlockAddr(7)), 1, "no data copy on first use");
+    assert_eq!(l2.dgroup_of(CoreId(1), BlockAddr(7)), Some(DGroupId(0)), "P1 points into d-group a");
+    assert_eq!(l2.stats().pointer_transfers, 1);
+    assert_eq!(l2.state_of(CoreId(0), BlockAddr(7)), MesicState::Shared);
+    assert_eq!(l2.state_of(CoreId(1), BlockAddr(7)), MesicState::Shared);
+}
+
+#[test]
+fn cr_second_use_replicates_into_closest() {
+    let (mut l2, mut bus, mut t) = paper_cache();
+    rd(&mut l2, &mut bus, &mut t, 0, 7);
+    rd(&mut l2, &mut bus, &mut t, 1, 7); // first use: pointer
+    let second = rd(&mut l2, &mut bus, &mut t, 1, 7); // Figure 3c
+    assert_eq!(second.class, AccessClass::Hit { closest: false });
+    assert_eq!(l2.data_copies(BlockAddr(7)), 2, "second use makes the copy");
+    assert_eq!(l2.dgroup_of(CoreId(1), BlockAddr(7)), Some(DGroupId(1)));
+    assert_eq!(l2.stats().replications, 1);
+    // Third use hits the local copy at closest latency.
+    let third = rd(&mut l2, &mut bus, &mut t, 1, 7);
+    assert_eq!(third.latency, 11);
+    assert_eq!(third.class, AccessClass::Hit { closest: true });
+    // P0's copy is untouched.
+    assert_eq!(l2.dgroup_of(CoreId(0), BlockAddr(7)), Some(DGroupId(0)));
+}
+
+#[test]
+fn cr_disabled_replicates_eagerly() {
+    let mut l2 = CmpNurapid::new(NurapidConfig::paper_isc_only());
+    let mut bus = Bus::paper();
+    let mut t = 0;
+    rd(&mut l2, &mut bus, &mut t, 0, 7);
+    rd(&mut l2, &mut bus, &mut t, 1, 7);
+    assert_eq!(l2.data_copies(BlockAddr(7)), 2, "uncontrolled replication copies on first use");
+    assert_eq!(l2.stats().pointer_transfers, 0);
+    assert_eq!(l2.stats().replications, 1);
+}
+
+#[test]
+fn all_four_cores_can_share_one_copy() {
+    let (mut l2, mut bus, mut t) = paper_cache();
+    rd(&mut l2, &mut bus, &mut t, 0, 7);
+    for c in 1..4 {
+        rd(&mut l2, &mut bus, &mut t, c, 7);
+    }
+    assert_eq!(l2.data_copies(BlockAddr(7)), 1);
+    assert_eq!(l2.stats().pointer_transfers, 3);
+}
+
+// ---- in-situ communication (Section 3.2) -----------------------------------
+
+#[test]
+fn isc_read_of_dirty_block_joins_c_and_relocates() {
+    let (mut l2, mut bus, mut t) = paper_cache();
+    wr(&mut l2, &mut bus, &mut t, 0, 9); // P0: M, d-group a
+    let miss = rd(&mut l2, &mut bus, &mut t, 1, 9);
+    assert_eq!(miss.class, AccessClass::MissRws);
+    assert_eq!(l2.state_of(CoreId(0), BlockAddr(9)), MesicState::Communication);
+    assert_eq!(l2.state_of(CoreId(1), BlockAddr(9)), MesicState::Communication);
+    // The copy moved close to the reader (Section 3.2).
+    assert_eq!(l2.dgroup_of(CoreId(1), BlockAddr(9)), Some(DGroupId(1)));
+    assert_eq!(l2.dgroup_of(CoreId(0), BlockAddr(9)), Some(DGroupId(1)));
+    assert_eq!(l2.data_copies(BlockAddr(9)), 1);
+}
+
+#[test]
+fn isc_eliminates_coherence_misses_on_ping_pong() {
+    let (mut l2, mut bus, mut t) = paper_cache();
+    wr(&mut l2, &mut bus, &mut t, 0, 9);
+    rd(&mut l2, &mut bus, &mut t, 1, 9); // one RWS miss to set up C
+    let rws_before = l2.stats().miss_rws;
+    for _ in 0..10 {
+        let w = wr(&mut l2, &mut bus, &mut t, 0, 9);
+        assert!(w.class.is_hit(), "writer hits in C");
+        assert!(w.writethrough, "C blocks are write-through in L1");
+        let r = rd(&mut l2, &mut bus, &mut t, 1, 9);
+        assert!(r.class.is_hit(), "reader hits in C");
+        assert_eq!(r.latency, 11, "reader enjoys closest-d-group latency");
+    }
+    assert_eq!(l2.stats().miss_rws, rws_before, "no further coherence misses");
+}
+
+#[test]
+fn isc_writer_pays_farther_dgroup_on_each_write() {
+    // The copy stays close to the reader; the writer reaches across
+    // (this is why ISC shows more farther-d-group accesses, Fig. 9).
+    let (mut l2, mut bus, mut t) = paper_cache();
+    wr(&mut l2, &mut bus, &mut t, 0, 9);
+    rd(&mut l2, &mut bus, &mut t, 1, 9);
+    let w = wr(&mut l2, &mut bus, &mut t, 0, 9);
+    assert_eq!(w.class, AccessClass::Hit { closest: false });
+    // tag (5) + d-group b from P0 (20).
+    assert_eq!(w.latency, 25);
+}
+
+#[test]
+fn isc_write_to_c_invalidates_remote_l1_copies() {
+    let (mut l2, mut bus, mut t) = paper_cache();
+    wr(&mut l2, &mut bus, &mut t, 0, 9);
+    rd(&mut l2, &mut bus, &mut t, 1, 9);
+    rd(&mut l2, &mut bus, &mut t, 2, 9);
+    let before = bus.stats().count(BusTx::BusRdX);
+    let w = wr(&mut l2, &mut bus, &mut t, 0, 9);
+    assert_eq!(bus.stats().count(BusTx::BusRdX), before + 1, "C writes broadcast BusRdX");
+    let mut cores: Vec<_> = w.l1_invalidate.iter().map(|(c, _)| c.index()).collect();
+    cores.sort_unstable();
+    assert_eq!(cores, vec![1, 2]);
+}
+
+#[test]
+fn isc_write_miss_joins_in_place() {
+    let (mut l2, mut bus, mut t) = paper_cache();
+    wr(&mut l2, &mut bus, &mut t, 0, 9);
+    rd(&mut l2, &mut bus, &mut t, 1, 9); // copy now in d-group b
+    let w = wr(&mut l2, &mut bus, &mut t, 2, 9); // new writer joins
+    assert_eq!(w.class, AccessClass::MissRws);
+    assert_eq!(l2.state_of(CoreId(2), BlockAddr(9)), MesicState::Communication);
+    // Copy stays close to the reader (d-group b), not the new writer.
+    assert_eq!(l2.dgroup_of(CoreId(2), BlockAddr(9)), Some(DGroupId(1)));
+    assert_eq!(l2.data_copies(BlockAddr(9)), 1);
+}
+
+#[test]
+fn isc_disabled_falls_back_to_mesi_ping_pong() {
+    let mut l2 = CmpNurapid::new(NurapidConfig::paper_cr_only());
+    let mut bus = Bus::paper();
+    let mut t = 0;
+    wr(&mut l2, &mut bus, &mut t, 0, 9);
+    let r = rd(&mut l2, &mut bus, &mut t, 1, 9);
+    assert_eq!(r.class, AccessClass::MissRws);
+    // Dirty holder was flushed and demoted to S; no C state anywhere.
+    assert_eq!(l2.state_of(CoreId(0), BlockAddr(9)), MesicState::Shared);
+    assert_eq!(l2.state_of(CoreId(1), BlockAddr(9)), MesicState::Shared);
+    // Writing again invalidates the reader: a coherence miss next round.
+    wr(&mut l2, &mut bus, &mut t, 0, 9);
+    assert_eq!(l2.state_of(CoreId(1), BlockAddr(9)), MesicState::Invalid);
+    let r2 = rd(&mut l2, &mut bus, &mut t, 1, 9);
+    assert_eq!(r2.class, AccessClass::MissRws);
+}
+
+// ---- shared-write upgrades --------------------------------------------------
+
+#[test]
+fn shared_write_upgrade_invalidates_other_tags() {
+    let (mut l2, mut bus, mut t) = paper_cache();
+    rd(&mut l2, &mut bus, &mut t, 0, 7);
+    rd(&mut l2, &mut bus, &mut t, 1, 7); // CR pointer
+    let w = wr(&mut l2, &mut bus, &mut t, 0, 7);
+    assert!(w.class.is_hit());
+    assert_eq!(l2.state_of(CoreId(0), BlockAddr(7)), MesicState::Modified);
+    assert_eq!(l2.state_of(CoreId(1), BlockAddr(7)), MesicState::Invalid);
+    assert!(w.l1_invalidate.contains(&(CoreId(1), BlockAddr(7))));
+    assert_eq!(l2.data_copies(BlockAddr(7)), 1);
+}
+
+#[test]
+fn shared_write_by_pointer_holder_takes_frame_ownership() {
+    let (mut l2, mut bus, mut t) = paper_cache();
+    rd(&mut l2, &mut bus, &mut t, 0, 7); // P0 owns the copy in d-group a
+    rd(&mut l2, &mut bus, &mut t, 1, 7); // P1: tag-only pointer
+    wr(&mut l2, &mut bus, &mut t, 1, 7); // P1 upgrades: takes over the frame
+    assert_eq!(l2.state_of(CoreId(1), BlockAddr(7)), MesicState::Modified);
+    assert_eq!(l2.state_of(CoreId(0), BlockAddr(7)), MesicState::Invalid);
+    // The data is still in d-group a; the next P1 hit promotes it home.
+    assert_eq!(l2.dgroup_of(CoreId(1), BlockAddr(7)), Some(DGroupId(0)));
+    let hit = rd(&mut l2, &mut bus, &mut t, 1, 7);
+    assert_eq!(hit.class, AccessClass::Hit { closest: false });
+    assert_eq!(l2.dgroup_of(CoreId(1), BlockAddr(7)), Some(DGroupId(1)));
+    assert_eq!(l2.stats().promotions, 1);
+}
+
+#[test]
+fn shared_write_frees_duplicate_copies() {
+    let (mut l2, mut bus, mut t) = paper_cache();
+    rd(&mut l2, &mut bus, &mut t, 0, 7);
+    rd(&mut l2, &mut bus, &mut t, 1, 7);
+    rd(&mut l2, &mut bus, &mut t, 1, 7); // second use: P1 replicates
+    assert_eq!(l2.data_copies(BlockAddr(7)), 2);
+    wr(&mut l2, &mut bus, &mut t, 0, 7); // P0 upgrades
+    assert_eq!(l2.data_copies(BlockAddr(7)), 1, "duplicate copy freed on upgrade");
+}
+
+#[test]
+fn write_miss_over_clean_copies_takes_own_copy() {
+    let (mut l2, mut bus, mut t) = paper_cache();
+    rd(&mut l2, &mut bus, &mut t, 0, 7);
+    let w = wr(&mut l2, &mut bus, &mut t, 3, 7);
+    assert_eq!(w.class, AccessClass::MissRos, "clean copy existed");
+    assert_eq!(l2.state_of(CoreId(3), BlockAddr(7)), MesicState::Modified);
+    assert_eq!(l2.state_of(CoreId(0), BlockAddr(7)), MesicState::Invalid);
+    assert_eq!(l2.data_copies(BlockAddr(7)), 1);
+    assert_eq!(l2.dgroup_of(CoreId(3), BlockAddr(7)), Some(DGroupId(3)));
+}
+
+// ---- bus accounting ---------------------------------------------------------
+
+#[test]
+fn busrepl_goes_on_the_bus_when_shared_data_is_replaced() {
+    // Tiny cache: 2 d-groups x 8 frames, 2-way tags.
+    let mut l2 = CmpNurapid::new(NurapidConfig::tiny(2, 8 * 128));
+    let mut bus = Bus::paper();
+    let mut t = 0;
+    // P0 brings in a block; P1 shares it (pointer).
+    rd(&mut l2, &mut bus, &mut t, 0, 1);
+    rd(&mut l2, &mut bus, &mut t, 1, 1);
+    // Flood P0's d-group until the shared frame is evicted.
+    let before = bus.stats().count(BusTx::BusRepl);
+    for b in 0..64 {
+        rd(&mut l2, &mut bus, &mut t, 0, 100 + b);
+    }
+    assert!(bus.stats().count(BusTx::BusRepl) > before, "shared replacement must broadcast BusRepl");
+    assert!(l2.stats().busrepl_invalidations > 0);
+}
+
+#[test]
+fn stats_accumulate_consistently() {
+    let (mut l2, mut bus, mut t) = paper_cache();
+    for b in 0..32 {
+        rd(&mut l2, &mut bus, &mut t, (b % 4) as u8, b);
+        rd(&mut l2, &mut bus, &mut t, ((b + 1) % 4) as u8, b);
+    }
+    let s = l2.stats();
+    assert_eq!(s.accesses(), 64);
+    assert_eq!(s.hits() + s.misses(), 64);
+    assert_eq!(s.miss_capacity, 32);
+    assert_eq!(s.miss_ros, 32);
+}

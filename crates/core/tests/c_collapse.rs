@@ -1,0 +1,142 @@
+//! The `c_collapse` extension: exits from the C state once sharing
+//! stops (the paper's stated future work, Section 3.2).
+
+use cmp_cache::{AccessClass, CacheOrg};
+use cmp_coherence::mesic::MesicState;
+use cmp_coherence::Bus;
+use cmp_mem::{AccessKind, BlockAddr, CoreId, Rng};
+use cmp_nurapid::{CmpNurapid, DGroupId, NurapidConfig};
+
+const FRAMES: usize = 8;
+
+fn cache(collapse: bool) -> (CmpNurapid, Bus, u64) {
+    let cfg = NurapidConfig { c_collapse: collapse, ..NurapidConfig::tiny(4, FRAMES * 128) };
+    (CmpNurapid::new(cfg), Bus::paper(), 0)
+}
+
+fn acc(l2: &mut CmpNurapid, bus: &mut Bus, t: &mut u64, core: u8, block: u64, kind: AccessKind) {
+    *t += 1_000;
+    l2.access(CoreId(core), BlockAddr(block), kind, *t, bus);
+    l2.check_invariants();
+}
+
+/// Sets up a C block shared by P0 (writer) and P1 (reader, who owns
+/// the relocated copy), then evicts the *writer's* (non-owner) tag by
+/// conflicting fills, leaving P1 the lone C holder. Returns the
+/// caches and the block.
+///
+/// Evicting the owner's tag instead would broadcast BusRepl and kill
+/// the whole block — which is why the lonely holder is the owner.
+fn setup_lonely_c(collapse: bool) -> (CmpNurapid, Bus, u64, u64) {
+    let (mut l2, mut bus, mut t) = cache(collapse);
+    let block = 5u64;
+    acc(&mut l2, &mut bus, &mut t, 0, block, AccessKind::Write);
+    acc(&mut l2, &mut bus, &mut t, 1, block, AccessKind::Read); // both in C; copy owned by P1
+    assert_eq!(l2.state_of(CoreId(0), BlockAddr(block)), MesicState::Communication);
+    assert_eq!(l2.state_of(CoreId(1), BlockAddr(block)), MesicState::Communication);
+    // Conflict P0's tag set until its entry for `block` is evicted.
+    // The replacement policy evicts private entries before shared
+    // ones, so the conflicting fills must themselves be shared
+    // (tag-only CR pointers to blocks P2 owns): same set, 2-way.
+    let sets = l2.config().tag_geometry().num_sets() as u64;
+    let mut i = 1;
+    while l2.state_of(CoreId(0), BlockAddr(block)) != MesicState::Invalid {
+        let conflicting = block + i * sets;
+        acc(&mut l2, &mut bus, &mut t, 2, conflicting, AccessKind::Read); // P2 owns it
+        acc(&mut l2, &mut bus, &mut t, 0, conflicting, AccessKind::Read); // P0: shared tag
+        i += 1;
+        assert!(i < 64, "P0's tag entry should conflict out quickly");
+    }
+    assert_eq!(l2.state_of(CoreId(1), BlockAddr(block)), MesicState::Communication);
+    (l2, bus, t, block)
+}
+
+#[test]
+fn without_collapse_the_block_stays_in_c_forever() {
+    let (mut l2, mut bus, mut t, block) = setup_lonely_c(false);
+    for _ in 0..4 {
+        acc(&mut l2, &mut bus, &mut t, 1, block, AccessKind::Write);
+        assert_eq!(
+            l2.state_of(CoreId(1), BlockAddr(block)),
+            MesicState::Communication,
+            "the paper's protocol has no exits from C"
+        );
+    }
+    assert_eq!(l2.stats().c_collapses, 0);
+}
+
+#[test]
+fn with_collapse_a_lonely_c_block_reverts_to_m() {
+    let (mut l2, mut bus, mut t, block) = setup_lonely_c(true);
+    acc(&mut l2, &mut bus, &mut t, 1, block, AccessKind::Write);
+    assert_eq!(l2.state_of(CoreId(1), BlockAddr(block)), MesicState::Modified);
+    assert_eq!(l2.stats().c_collapses, 1);
+}
+
+#[test]
+fn collapsed_block_stays_put_in_the_owners_dgroup() {
+    // The relocated C copy already sits in P1's closest d-group;
+    // collapsing to M there needs no movement, and M hits are now
+    // closest-latency hits.
+    let (mut l2, mut bus, mut t, block) = setup_lonely_c(true);
+    assert_eq!(l2.dgroup_of(CoreId(1), BlockAddr(block)), Some(DGroupId(1)), "copy was relocated to the reader");
+    acc(&mut l2, &mut bus, &mut t, 1, block, AccessKind::Write); // collapse
+    assert_eq!(l2.state_of(CoreId(1), BlockAddr(block)), MesicState::Modified);
+    assert_eq!(l2.dgroup_of(CoreId(1), BlockAddr(block)), Some(DGroupId(1)));
+    t += 1_000;
+    let r = l2.access(CoreId(1), BlockAddr(block), AccessKind::Read, t, &mut bus);
+    assert_eq!(r.class, AccessClass::Hit { closest: true });
+}
+
+#[test]
+fn collapse_requires_all_other_sharers_gone() {
+    let (mut l2, mut bus, mut t) = cache(true);
+    acc(&mut l2, &mut bus, &mut t, 0, 5, AccessKind::Write);
+    acc(&mut l2, &mut bus, &mut t, 1, 5, AccessKind::Read);
+    acc(&mut l2, &mut bus, &mut t, 2, 5, AccessKind::Read);
+    // Both sharers alive: no collapse on P0's writes.
+    acc(&mut l2, &mut bus, &mut t, 0, 5, AccessKind::Write);
+    assert_eq!(l2.state_of(CoreId(0), BlockAddr(5)), MesicState::Communication);
+    assert_eq!(l2.stats().c_collapses, 0);
+}
+
+#[test]
+fn collapsed_writes_stop_posting_busrdx() {
+    use cmp_coherence::BusTx;
+    let (mut l2, mut bus, mut t, block) = setup_lonely_c(true);
+    acc(&mut l2, &mut bus, &mut t, 1, block, AccessKind::Write); // collapse
+    let before = bus.stats().count(BusTx::BusRdX);
+    acc(&mut l2, &mut bus, &mut t, 1, block, AccessKind::Write); // plain M write
+    assert_eq!(bus.stats().count(BusTx::BusRdX), before, "M writes are bus-silent");
+}
+
+#[test]
+fn collapse_responses_lose_the_writethrough_marking() {
+    let (mut l2, mut bus, mut t, block) = setup_lonely_c(true);
+    t += 1_000;
+    let r = l2.access(CoreId(1), BlockAddr(block), AccessKind::Write, t, &mut bus);
+    assert!(!r.writethrough, "collapsed blocks are write-back again");
+    assert!(r.class.is_hit());
+    assert_ne!(r.class, AccessClass::MissRws);
+}
+
+#[test]
+fn stress_with_collapse_keeps_invariants() {
+    let cfg = NurapidConfig { c_collapse: true, ..NurapidConfig::tiny(4, FRAMES * 128) };
+    let mut l2 = CmpNurapid::new(cfg);
+    let mut bus = Bus::paper();
+    let mut rng = Rng::new(0xC011);
+    let mut now = 0;
+    for i in 0..25_000 {
+        now += 50;
+        let core = CoreId(rng.gen_index(4) as u8);
+        let block = BlockAddr(rng.gen_range(48));
+        let kind = if rng.gen_bool(0.35) { AccessKind::Write } else { AccessKind::Read };
+        l2.access(core, block, kind, now, &mut bus);
+        if i % 97 == 0 {
+            l2.check_invariants();
+        }
+    }
+    l2.check_invariants();
+    assert!(l2.stats().c_collapses > 0, "heavy sharing churn should trigger collapses");
+}

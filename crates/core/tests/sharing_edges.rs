@@ -1,0 +1,171 @@
+//! Edge cases of the sharing machinery: multi-copy CR, nearest-copy
+//! selection, write takeovers, and replacement interactions.
+
+use cmp_cache::{AccessClass, CacheOrg};
+use cmp_coherence::mesic::MesicState;
+use cmp_coherence::{Bus, BusTx};
+use cmp_mem::{AccessKind, BlockAddr, CoreId};
+use cmp_nurapid::{CmpNurapid, DGroupId, NurapidConfig};
+
+fn paper() -> (CmpNurapid, Bus, u64) {
+    (CmpNurapid::new(NurapidConfig::paper()), Bus::paper(), 0)
+}
+
+fn rd(l2: &mut CmpNurapid, bus: &mut Bus, t: &mut u64, core: u8, block: u64) -> cmp_cache::AccessResponse {
+    *t += 1_000;
+    let r = l2.access(CoreId(core), BlockAddr(block), AccessKind::Read, *t, bus);
+    l2.check_invariants();
+    r
+}
+
+fn wr(l2: &mut CmpNurapid, bus: &mut Bus, t: &mut u64, core: u8, block: u64) -> cmp_cache::AccessResponse {
+    *t += 1_000;
+    let r = l2.access(CoreId(core), BlockAddr(block), AccessKind::Write, *t, bus);
+    l2.check_invariants();
+    r
+}
+
+#[test]
+fn cr_pointer_targets_the_cheapest_copy() {
+    // P0 and P1 both hold data copies of X (second-use replication).
+    // When P3 takes a CR pointer it must point at the copy cheapest
+    // for it: d-group b (20 cycles from P3's corner? no -- check via
+    // latency book: from P3, d-group a is diagonal (33), b is lateral
+    // (20)), so P3's pointer lands on P1's copy.
+    let (mut l2, mut bus, mut t) = paper();
+    rd(&mut l2, &mut bus, &mut t, 0, 7); // copy in a
+    rd(&mut l2, &mut bus, &mut t, 1, 7); // pointer
+    rd(&mut l2, &mut bus, &mut t, 1, 7); // replicate into b
+    assert_eq!(l2.data_copies(BlockAddr(7)), 2);
+    let miss = rd(&mut l2, &mut bus, &mut t, 3, 7);
+    assert_eq!(miss.class, AccessClass::MissRos);
+    // 5 (tag) + 32 (bus) + 20 (d-group b from P3) = 57, not 70 (a).
+    assert_eq!(miss.latency, 57);
+    assert_eq!(l2.dgroup_of(CoreId(3), BlockAddr(7)), Some(DGroupId(1)));
+}
+
+#[test]
+fn all_cores_replicating_makes_four_copies() {
+    let (mut l2, mut bus, mut t) = paper();
+    for c in 0..4u8 {
+        rd(&mut l2, &mut bus, &mut t, c, 7);
+        rd(&mut l2, &mut bus, &mut t, c, 7); // second use each
+    }
+    assert_eq!(l2.data_copies(BlockAddr(7)), 4, "uncapped replication degree is n_cores");
+    for c in 0..4u8 {
+        let hit = rd(&mut l2, &mut bus, &mut t, c, 7);
+        assert_eq!(hit.latency, 11, "everyone enjoys a local copy");
+    }
+}
+
+#[test]
+fn write_takeover_of_quadruply_shared_block() {
+    let (mut l2, mut bus, mut t) = paper();
+    for c in 0..4u8 {
+        rd(&mut l2, &mut bus, &mut t, c, 7);
+        rd(&mut l2, &mut bus, &mut t, c, 7);
+    }
+    let w = wr(&mut l2, &mut bus, &mut t, 2, 7);
+    assert!(w.class.is_hit());
+    assert_eq!(l2.data_copies(BlockAddr(7)), 1, "upgrade frees all duplicates");
+    assert_eq!(l2.state_of(CoreId(2), BlockAddr(7)), MesicState::Modified);
+    for c in [0u8, 1, 3] {
+        assert_eq!(l2.state_of(CoreId(c), BlockAddr(7)), MesicState::Invalid);
+        assert!(w.l1_invalidate.contains(&(CoreId(c), BlockAddr(7))));
+    }
+    // P2 keeps its own copy in its closest d-group.
+    assert_eq!(l2.dgroup_of(CoreId(2), BlockAddr(7)), Some(DGroupId(2)));
+}
+
+#[test]
+fn isc_relocation_follows_the_latest_reader() {
+    let (mut l2, mut bus, mut t) = paper();
+    wr(&mut l2, &mut bus, &mut t, 0, 9);
+    rd(&mut l2, &mut bus, &mut t, 1, 9); // copy -> b
+    assert_eq!(l2.dgroup_of(CoreId(0), BlockAddr(9)), Some(DGroupId(1)));
+    // P2 now misses: the copy relocates again, to c, and every
+    // sharer's pointer follows.
+    rd(&mut l2, &mut bus, &mut t, 2, 9);
+    for c in 0..3u8 {
+        assert_eq!(l2.dgroup_of(CoreId(c), BlockAddr(9)), Some(DGroupId(2)), "P{c}");
+        assert_eq!(l2.state_of(CoreId(c), BlockAddr(9)), MesicState::Communication);
+    }
+    assert_eq!(l2.data_copies(BlockAddr(9)), 1);
+}
+
+#[test]
+fn c_hits_do_not_relocate() {
+    let (mut l2, mut bus, mut t) = paper();
+    wr(&mut l2, &mut bus, &mut t, 0, 9);
+    rd(&mut l2, &mut bus, &mut t, 1, 9); // relocate to b
+    for _ in 0..5 {
+        rd(&mut l2, &mut bus, &mut t, 0, 9); // P0 reads from afar
+        assert_eq!(l2.dgroup_of(CoreId(0), BlockAddr(9)), Some(DGroupId(1)), "C hits never move the copy");
+    }
+}
+
+#[test]
+fn write_to_exclusive_block_is_silent() {
+    let (mut l2, mut bus, mut t) = paper();
+    rd(&mut l2, &mut bus, &mut t, 0, 11); // E
+    let before = bus.stats().total();
+    let w = wr(&mut l2, &mut bus, &mut t, 0, 11);
+    assert_eq!(l2.state_of(CoreId(0), BlockAddr(11)), MesicState::Modified);
+    assert_eq!(bus.stats().total(), before, "E->M is a silent upgrade");
+    assert_eq!(w.latency, 11);
+}
+
+#[test]
+fn capacity_miss_after_sharers_vanish() {
+    // All tags for a block can disappear (write takeover then victim
+    // pressure); a later read is a plain capacity miss again.
+    let (mut l2, mut bus, mut t) = paper();
+    rd(&mut l2, &mut bus, &mut t, 0, 13);
+    wr(&mut l2, &mut bus, &mut t, 1, 13); // P1 takes over, P0 invalid
+    assert_eq!(l2.state_of(CoreId(0), BlockAddr(13)), MesicState::Invalid);
+    let back = rd(&mut l2, &mut bus, &mut t, 0, 13);
+    assert_eq!(back.class, AccessClass::MissRws, "P1's copy is dirty (M)");
+    assert_eq!(l2.state_of(CoreId(0), BlockAddr(13)), MesicState::Communication);
+}
+
+#[test]
+fn busrepl_only_drops_tags_pointing_at_the_dying_frame() {
+    // P0 owns a copy; P1 replicated its own. Evicting P0's frame must
+    // leave P1's copy and tag alone (the paper's Section 3.1 note).
+    let mut cfg = NurapidConfig::tiny(2, 8 * 128);
+    cfg.seed = 123;
+    let mut l2 = CmpNurapid::new(cfg);
+    let mut bus = Bus::paper();
+    let mut t = 0;
+    rd(&mut l2, &mut bus, &mut t, 0, 1);
+    rd(&mut l2, &mut bus, &mut t, 1, 1);
+    rd(&mut l2, &mut bus, &mut t, 1, 1); // P1 replicates into its d-group
+    assert_eq!(l2.data_copies(BlockAddr(1)), 2);
+    // Flood P0's side until its copy of block 1 is evicted.
+    let before = bus.stats().count(BusTx::BusRepl);
+    for b in 0..200 {
+        rd(&mut l2, &mut bus, &mut t, 0, 1_000 + b);
+        if l2.dgroup_of(CoreId(0), BlockAddr(1)).is_none() {
+            break;
+        }
+    }
+    assert!(l2.dgroup_of(CoreId(0), BlockAddr(1)).is_none(), "P0's copy should be gone");
+    assert!(bus.stats().count(BusTx::BusRepl) > before);
+    // P1 still hits its own copy.
+    let hit = rd(&mut l2, &mut bus, &mut t, 1, 1);
+    assert!(hit.class.is_hit(), "P1's independent copy survives BusRepl");
+}
+
+#[test]
+fn latencies_cover_the_full_dgroup_spectrum() {
+    let (mut l2, mut bus, mut t) = paper();
+    // Place a private block for P0 and demote nothing: closest = 11.
+    rd(&mut l2, &mut bus, &mut t, 0, 21);
+    assert_eq!(rd(&mut l2, &mut bus, &mut t, 0, 21).latency, 11);
+    // A C copy read from the diagonal: 5 + 33 = 38.
+    wr(&mut l2, &mut bus, &mut t, 3, 23); // P3: copy in d
+    rd(&mut l2, &mut bus, &mut t, 0, 23); // relocates to a
+    let far = rd(&mut l2, &mut bus, &mut t, 3, 23); // P3 reads from a: diagonal
+    assert_eq!(far.latency, 38);
+    assert_eq!(far.class, AccessClass::Hit { closest: false });
+}

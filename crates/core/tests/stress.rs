@@ -1,0 +1,148 @@
+//! Randomized stress tests: thousands of random accesses against
+//! tiny, conflict-heavy configurations, with the full structural-
+//! invariant checker run throughout.
+
+use cmp_cache::CacheOrg;
+use cmp_coherence::Bus;
+use cmp_mem::{AccessKind, BlockAddr, CoreId, Rng};
+use cmp_nurapid::{CmpNurapid, NurapidConfig};
+
+fn run_stress(cfg: NurapidConfig, blocks: u64, steps: usize, seed: u64, check_every: usize) {
+    let cores = cfg.cores;
+    let mut l2 = CmpNurapid::new(cfg);
+    let mut bus = Bus::paper();
+    let mut rng = Rng::new(seed);
+    let mut now = 0u64;
+    for step in 0..steps {
+        now += 1 + rng.gen_range(50);
+        let core = CoreId(rng.gen_index(cores) as u8);
+        let block = BlockAddr(rng.gen_range(blocks));
+        let kind = if rng.gen_bool(0.3) { AccessKind::Write } else { AccessKind::Read };
+        let resp = l2.access(core, block, kind, now, &mut bus);
+        assert!(resp.latency >= 1, "every access costs at least a cycle");
+        if step % check_every == 0 {
+            l2.check_invariants();
+        }
+    }
+    l2.check_invariants();
+    let s = l2.stats();
+    assert_eq!(s.accesses(), steps as u64);
+}
+
+#[test]
+fn stress_tiny_high_conflict() {
+    // 4 cores x 8 frames, 64 hot blocks: constant replacement,
+    // demotion, BusRepl, and sharing churn.
+    run_stress(NurapidConfig::tiny(4, 8 * 128), 64, 30_000, 0xA5A5, 97);
+}
+
+#[test]
+fn stress_tiny_exact_capacity() {
+    // Working set exactly equals total frames: heavy stealing.
+    run_stress(NurapidConfig::tiny(4, 8 * 128), 32, 30_000, 0xBEEF, 97);
+}
+
+#[test]
+fn stress_small_sharing_heavy() {
+    let mut cfg = NurapidConfig::tiny(4, 16 * 128);
+    cfg.seed = 11;
+    // Few blocks => almost everything is shared and read-write.
+    run_stress(cfg, 8, 20_000, 0x1234, 53);
+}
+
+#[test]
+fn stress_two_cores() {
+    run_stress(NurapidConfig::tiny(2, 8 * 128), 48, 20_000, 0x7777, 101);
+}
+
+#[test]
+fn stress_cr_only_configuration() {
+    let mut cfg = NurapidConfig::tiny(4, 8 * 128);
+    cfg.in_situ_communication = false;
+    run_stress(cfg, 48, 20_000, 0x9999, 101);
+}
+
+#[test]
+fn stress_isc_only_configuration() {
+    let mut cfg = NurapidConfig::tiny(4, 8 * 128);
+    cfg.controlled_replication = false;
+    run_stress(cfg, 48, 20_000, 0xCAFE, 101);
+}
+
+#[test]
+fn stress_next_fastest_promotion() {
+    let mut cfg = NurapidConfig::tiny(4, 8 * 128);
+    cfg.promotion = cmp_nurapid::PromotionPolicy::NextFastest;
+    run_stress(cfg, 64, 20_000, 0xD00D, 101);
+}
+
+#[test]
+fn stress_eight_cores() {
+    // The structures are generic over the core count: 8 cores, 8
+    // d-groups, greedy-staggered rankings.
+    run_stress(NurapidConfig::tiny(8, 8 * 128), 96, 25_000, 0x8888, 101);
+}
+
+#[test]
+fn stress_sixteen_cores() {
+    run_stress(NurapidConfig::tiny(16, 4 * 128), 128, 20_000, 0x1616, 251);
+}
+
+#[test]
+fn stress_c_collapse_high_conflict() {
+    let mut cfg = NurapidConfig::tiny(4, 8 * 128);
+    cfg.c_collapse = true;
+    run_stress(cfg, 48, 25_000, 0xC0, 101);
+}
+
+#[test]
+fn stress_naive_ranking() {
+    let mut cfg = NurapidConfig::tiny(4, 8 * 128);
+    cfg.staggered_ranking = false;
+    run_stress(cfg, 64, 20_000, 0x99, 101);
+}
+
+#[test]
+fn stress_single_core() {
+    // Degenerate but legal: one core, one d-group — pure capacity
+    // replacement, no sharing.
+    run_stress(NurapidConfig::tiny(1, 8 * 128), 32, 10_000, 0xF00, 53);
+}
+
+#[test]
+fn stress_undoubled_tags() {
+    // Tag capacity factor 1: tags are the bottleneck, exercising the
+    // non-owner tag-drop path heavily.
+    let mut cfg = NurapidConfig::tiny(4, 8 * 128);
+    cfg.tag_capacity_factor = 1;
+    run_stress(cfg, 64, 20_000, 0xAB, 53);
+}
+
+#[test]
+fn stress_quadrupled_tags() {
+    let mut cfg = NurapidConfig::tiny(4, 8 * 128);
+    cfg.tag_capacity_factor = 4;
+    run_stress(cfg, 64, 20_000, 0xCD, 53);
+}
+
+#[test]
+fn deterministic_across_runs() {
+    // The whole simulator is deterministic: identical seeds produce
+    // identical statistics.
+    let run = || {
+        let mut l2 = CmpNurapid::new(NurapidConfig::tiny(4, 8 * 128));
+        let mut bus = Bus::paper();
+        let mut rng = Rng::new(42);
+        let mut now = 0;
+        for _ in 0..5_000 {
+            now += 1 + rng.gen_range(50);
+            let core = CoreId(rng.gen_index(4) as u8);
+            let block = BlockAddr(rng.gen_range(64));
+            let kind = if rng.gen_bool(0.3) { AccessKind::Write } else { AccessKind::Read };
+            l2.access(core, block, kind, now, &mut bus);
+        }
+        let s = l2.stats();
+        (s.hits(), s.miss_ros, s.miss_rws, s.miss_capacity, s.demotions, s.promotions)
+    };
+    assert_eq!(run(), run());
+}

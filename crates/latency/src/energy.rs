@@ -1,0 +1,152 @@
+//! Dynamic-energy model (extension).
+//!
+//! The NuRAPID line of work (Chishti et al., MICRO 2004) motivates
+//! distance associativity with *energy* as much as latency: most
+//! accesses touching a small nearby d-group consume far less energy
+//! than accesses to a monolithic multi-megabyte array. The ISCA 2005
+//! paper evaluates performance only; this module adds the natural
+//! energy accounting as a documented extension so the `energy`
+//! experiment binary can compare organizations.
+//!
+//! Energies are Cacti-flavoured estimates at 70 nm: dynamic energy of
+//! an SRAM access grows roughly with the square root of capacity
+//! (bitline/wordline lengths scale with the subarray side), global
+//! wires cost ~1 pJ/bit/mm, and an off-chip DRAM access costs two
+//! orders of magnitude more than an on-chip one. Only *relative*
+//! magnitudes matter for the comparison, exactly as with Table 1's
+//! latencies.
+
+use crate::floorplan::{BUS_SPAN_MM, CENTRAL_TAG_MM, LATERAL_HOP_MM};
+
+/// Reference dynamic energy of one 2 MB data-array access, in nJ.
+const REFERENCE_DATA_NJ: f64 = 1.10;
+
+/// Reference capacity for [`REFERENCE_DATA_NJ`].
+const REFERENCE_BYTES: f64 = 2.0 * 1024.0 * 1024.0;
+
+/// Global wire energy for one 128 B block transfer, per millimetre
+/// (≈1 pJ/bit/mm × ~1 K bits).
+const WIRE_NJ_PER_MM: f64 = 0.11;
+
+/// Dynamic energy of one access to a data array of `bytes` capacity,
+/// in nJ (square-root capacity scaling).
+///
+/// # Panics
+///
+/// Panics if `bytes` is zero.
+///
+/// # Example
+///
+/// ```
+/// use cmp_latency::energy::data_array_nj;
+///
+/// let two_mb = data_array_nj(2 * 1024 * 1024);
+/// let eight_mb = data_array_nj(8 * 1024 * 1024);
+/// assert!((eight_mb / two_mb - 2.0).abs() < 1e-9); // sqrt(4x) = 2x
+/// ```
+pub fn data_array_nj(bytes: usize) -> f64 {
+    assert!(bytes > 0, "data array capacity must be nonzero");
+    REFERENCE_DATA_NJ * (bytes as f64 / REFERENCE_BYTES).sqrt()
+}
+
+/// Dynamic energy of one probe of a tag array with `entries` entries,
+/// in nJ. Tag arrays are small; energy scales like the array but from
+/// a much lower base.
+pub fn tag_array_nj(entries: usize) -> f64 {
+    assert!(entries > 0, "tag array must have entries");
+    0.05 * (entries as f64 / 16_384.0).sqrt()
+}
+
+/// Energy of moving one block over `mm` of global wire, in nJ.
+pub fn wire_nj(mm: f64) -> f64 {
+    assert!(mm >= 0.0 && mm.is_finite(), "wire length must be finite and nonnegative");
+    WIRE_NJ_PER_MM * mm
+}
+
+/// Per-event energies for the paper's structures, in nJ.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EnergyModel {
+    /// One private / NuRAPID tag-array probe.
+    pub private_tag: f64,
+    /// One probe of the shared cache's central (4x-size) tag.
+    pub shared_tag: f64,
+    /// One access to a 2 MB d-group / private data array, without
+    /// routing.
+    pub dgroup_data: f64,
+    /// Extra energy per lateral d-group routing hop.
+    pub lateral_hop: f64,
+    /// One access to the 8 MB shared data array including its average
+    /// routing span.
+    pub shared_data: f64,
+    /// One SNUCA bank access (512 KB) plus its average routing.
+    pub snuca_access: f64,
+    /// One snoopy bus transaction (address broadcast over the full
+    /// span, all tag arrays snooping).
+    pub bus_tx: f64,
+    /// One L1 access.
+    pub l1_access: f64,
+    /// One off-chip memory access (DRAM row + I/O).
+    pub memory: f64,
+}
+
+impl EnergyModel {
+    /// The 70 nm model used by the `energy` experiment.
+    pub fn paper_70nm() -> Self {
+        let dgroup = data_array_nj(2 * 1024 * 1024);
+        EnergyModel {
+            private_tag: tag_array_nj(16 * 1024),
+            shared_tag: tag_array_nj(64 * 1024) + wire_nj(CENTRAL_TAG_MM),
+            dgroup_data: dgroup,
+            lateral_hop: wire_nj(LATERAL_HOP_MM),
+            // The shared array's data routes on average half the
+            // worst-case span.
+            shared_data: data_array_nj(8 * 1024 * 1024) + wire_nj(LATERAL_HOP_MM),
+            snuca_access: data_array_nj(512 * 1024) + wire_nj(BUS_SPAN_MM / 2.0),
+            bus_tx: wire_nj(BUS_SPAN_MM) + 4.0 * tag_array_nj(16 * 1024),
+            l1_access: data_array_nj(64 * 1024) / 4.0,
+            memory: 40.0,
+        }
+    }
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        Self::paper_70nm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn energies_scale_with_sqrt_capacity() {
+        assert!(data_array_nj(8 * 1024 * 1024) > data_array_nj(2 * 1024 * 1024));
+        let ratio = data_array_nj(4 * 1024 * 1024) / data_array_nj(1024 * 1024);
+        assert!((ratio - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn model_orders_structures_sensibly() {
+        let m = EnergyModel::paper_70nm();
+        assert!(m.private_tag < m.shared_tag, "central 4x tag costs more");
+        assert!(m.dgroup_data < m.shared_data, "2 MB d-group beats 8 MB monolith");
+        assert!(m.snuca_access < m.shared_data, "small banks beat the monolith");
+        assert!(m.memory > 10.0 * m.shared_data, "DRAM dominates everything on-chip");
+        assert!(m.l1_access < m.private_tag * 10.0);
+    }
+
+    #[test]
+    fn dgroup_with_hops_approaches_shared() {
+        // A farther d-group access (2 hops) still costs less than the
+        // monolithic shared array.
+        let m = EnergyModel::paper_70nm();
+        assert!(m.dgroup_data + 2.0 * m.lateral_hop < m.shared_data);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn rejects_zero_capacity() {
+        let _ = data_array_nj(0);
+    }
+}

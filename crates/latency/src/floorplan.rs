@@ -1,0 +1,146 @@
+//! Chip floorplan: d-group placement and routing distances.
+//!
+//! Figure 1 of the paper arranges the four 2 MB d-groups in a 2 × 2
+//! grid with one core at each corner, adjacent to "its" d-group. A
+//! request from core P to d-group *g* routes around any closer
+//! d-groups (the Cacti modification described in Section 4.2), so its
+//! wire length is the Manhattan hop count between the two grid slots
+//! times one d-group pitch.
+//!
+//! At 70 nm a 2 MB SRAM macro occupies roughly 12 mm², i.e. a
+//! ~3.47 mm side. One lateral hop (routing around a neighbouring
+//! d-group to its access port) is 1.5 sides ≈ 5.2 mm; the diagonal
+//! d-group is two lateral hops ≈ 10.4 mm. The shared cache's central
+//! tag sits in the middle of the array, ~7.7 mm from a corner core,
+//! and the snooping bus must span the farthest tag array, ~12.3 mm.
+//! With the 2.6 cycles/mm wire model these distances reproduce
+//! Table 1 exactly (see [`crate::table1`]).
+
+use cmp_mem::CoreId;
+
+/// Side of one 2 MB d-group macro at 70 nm, in millimetres.
+pub const DGROUP_SIDE_MM: f64 = 3.4667;
+
+/// Wire length of one lateral d-group hop, in millimetres.
+pub const LATERAL_HOP_MM: f64 = 1.5 * DGROUP_SIDE_MM;
+
+/// Wire length from a corner core to the centrally placed shared tag.
+pub const CENTRAL_TAG_MM: f64 = 2.22 * DGROUP_SIDE_MM;
+
+/// Wire length of the bus: the span a core needs to reach the farthest
+/// private tag array (Section 4.2's bus latency definition).
+pub const BUS_SPAN_MM: f64 = 3.55 * DGROUP_SIDE_MM;
+
+/// Placement of d-groups (one per core) on a near-square grid, with
+/// each core abutting its own d-group.
+///
+/// # Example
+///
+/// ```
+/// use cmp_latency::Floorplan;
+/// use cmp_mem::CoreId;
+///
+/// let fp = Floorplan::paper(4);
+/// assert_eq!(fp.dgroup_distance_rank(CoreId(0), 0), 0); // own
+/// assert_eq!(fp.dgroup_distance_rank(CoreId(0), 1), 1); // lateral
+/// assert_eq!(fp.dgroup_distance_rank(CoreId(0), 3), 2); // diagonal
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Floorplan {
+    cols: usize,
+    dgroups: usize,
+}
+
+impl Floorplan {
+    /// The paper's floorplan for `cores` cores (one d-group per core,
+    /// near-square grid; 4 cores gives the 2 × 2 layout of Figure 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is zero.
+    pub fn paper(cores: usize) -> Self {
+        assert!(cores > 0, "at least one core required");
+        let cols = (cores as f64).sqrt().ceil() as usize;
+        Floorplan { cols, dgroups: cores }
+    }
+
+    /// Number of d-groups in the floorplan.
+    pub fn dgroups(&self) -> usize {
+        self.dgroups
+    }
+
+    /// Grid position of d-group `g`.
+    fn position(&self, g: usize) -> (usize, usize) {
+        (g % self.cols, g / self.cols)
+    }
+
+    /// Manhattan hop count from `core`'s own d-group slot to d-group
+    /// `g` (0 = own, 1 = lateral neighbour, 2 = diagonal, ...).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` or `g` is out of range.
+    pub fn dgroup_distance_rank(&self, core: CoreId, g: usize) -> usize {
+        assert!(core.index() < self.dgroups && g < self.dgroups, "core/d-group out of range");
+        let (x0, y0) = self.position(core.index());
+        let (x1, y1) = self.position(g);
+        x0.abs_diff(x1) + y0.abs_diff(y1)
+    }
+
+    /// Wire length in millimetres from `core` to d-group `g`.
+    pub fn dgroup_distance_mm(&self, core: CoreId, g: usize) -> f64 {
+        self.dgroup_distance_rank(core, g) as f64 * LATERAL_HOP_MM
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_core_grid_matches_figure1() {
+        let fp = Floorplan::paper(4);
+        // P0 abuts d-group a; b and c are equidistant laterals; d is
+        // the diagonal (Figure 1's geometry).
+        assert_eq!(fp.dgroup_distance_rank(CoreId(0), 0), 0);
+        assert_eq!(fp.dgroup_distance_rank(CoreId(0), 1), 1);
+        assert_eq!(fp.dgroup_distance_rank(CoreId(0), 2), 1);
+        assert_eq!(fp.dgroup_distance_rank(CoreId(0), 3), 2);
+    }
+
+    #[test]
+    fn distances_are_symmetric_across_cores() {
+        let fp = Floorplan::paper(4);
+        for c in 0..4u8 {
+            let mut ranks: Vec<_> = (0..4).map(|g| fp.dgroup_distance_rank(CoreId(c), g)).collect();
+            ranks.sort_unstable();
+            assert_eq!(ranks, vec![0, 1, 1, 2]);
+        }
+    }
+
+    #[test]
+    fn own_dgroup_is_closest() {
+        for n in [1usize, 2, 4, 8, 9, 16] {
+            let fp = Floorplan::paper(n);
+            for c in 0..n {
+                assert_eq!(fp.dgroup_distance_rank(CoreId(c as u8), c), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn distance_mm_scales_with_rank() {
+        let fp = Floorplan::paper(4);
+        assert_eq!(fp.dgroup_distance_mm(CoreId(0), 0), 0.0);
+        let lat = fp.dgroup_distance_mm(CoreId(0), 1);
+        let diag = fp.dgroup_distance_mm(CoreId(0), 3);
+        assert!((diag - 2.0 * lat).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eight_core_floorplan_has_wider_spread() {
+        let fp = Floorplan::paper(8);
+        let max_rank = (0..8).map(|g| fp.dgroup_distance_rank(CoreId(0), g)).max().unwrap();
+        assert!(max_rank >= 3);
+    }
+}

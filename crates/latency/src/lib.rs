@@ -1,0 +1,178 @@
+#![warn(missing_docs)]
+
+//! Analytical latency model for the CMP-NuRAPID reproduction.
+//!
+//! The paper derives its cache latencies (Table 1) from a modified
+//! Cacti 3.2 at 70 nm / 5 GHz, treating each d-group as an independent
+//! tagless cache and accounting for RC wire delay to route around
+//! closer d-groups. Cacti itself is a C tool we cannot ship, so this
+//! crate implements the same two ingredients analytically:
+//!
+//! * [`subarray`] — SRAM array access time as a function of capacity,
+//!   associativity, and port count (square-root subarray scaling);
+//! * [`wire`] — repeated-RC global wire delay in cycles per millimetre;
+//! * [`floorplan`] — the 2 × 2 d-group chip layout of the paper's
+//!   Figure 1 plus the 4 × 4 banked layout used for CMP-SNUCA,
+//!   yielding per-(core, region) routing distances.
+//!
+//! [`Table1::from_model`] combines them and reproduces the paper's
+//! published Table 1 exactly; [`Table1::published`] pins the published
+//! numbers as constants. The simulator consumes [`LatencyBook`], which
+//! is built from either source.
+//!
+//! # Example
+//!
+//! ```
+//! use cmp_latency::Table1;
+//!
+//! let model = Table1::from_model();
+//! assert_eq!(model, Table1::published());
+//! assert_eq!(model.shared_total(), 59);
+//! ```
+
+pub mod energy;
+pub mod floorplan;
+pub mod snuca;
+pub mod subarray;
+pub mod table1;
+pub mod wire;
+
+pub use floorplan::Floorplan;
+pub use snuca::SnucaLatencies;
+pub use table1::Table1;
+
+use cmp_mem::{CoreId, Cycle, MEMORY_LATENCY};
+
+/// Every latency the system simulator needs, in one place.
+///
+/// Constructed from [`Table1`] (published or model-derived) plus the
+/// SNUCA bank latencies and the fixed L1/memory numbers from
+/// Section 4.1 of the paper.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LatencyBook {
+    /// L1 hit latency (3 cycles in the paper).
+    pub l1: Cycle,
+    /// Main memory latency (300 cycles).
+    pub memory: Cycle,
+    /// Uniform-shared L2: tag latency (includes central-tag wire delay).
+    pub shared_tag: Cycle,
+    /// Uniform-shared L2: total hit latency (tag + data).
+    pub shared_total: Cycle,
+    /// Private L2: tag latency.
+    pub private_tag: Cycle,
+    /// Private L2: total hit latency.
+    pub private_total: Cycle,
+    /// CMP-NuRAPID: private tag array latency (with doubled tag space).
+    pub nurapid_tag: Cycle,
+    /// CMP-NuRAPID: d-group data latencies from each core's viewpoint,
+    /// indexed `[core][dgroup]`.
+    pub dgroup: Vec<Vec<Cycle>>,
+    /// CMP-SNUCA: per-(core, bank) hit latencies.
+    pub snuca: SnucaLatencies,
+    /// Pipelined split-transaction bus latency.
+    pub bus: Cycle,
+    /// The ideal cache's hit latency (shared capacity at private
+    /// latency — Section 5.1.1).
+    pub ideal_total: Cycle,
+}
+
+impl LatencyBook {
+    /// Builds the book from a [`Table1`] for `cores` cores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is zero.
+    pub fn from_table1(t: &Table1, cores: usize) -> Self {
+        assert!(cores > 0, "at least one core required");
+        let fp = Floorplan::paper(cores);
+        let dgroup = CoreId::all(cores)
+            .map(|c| (0..cores).map(|g| t.dgroup_data(fp.dgroup_distance_rank(c, g))).collect())
+            .collect();
+        LatencyBook {
+            l1: 3,
+            memory: MEMORY_LATENCY,
+            shared_tag: t.shared_tag(),
+            shared_total: t.shared_total(),
+            private_tag: t.private_tag(),
+            private_total: t.private_total(),
+            nurapid_tag: t.nurapid_tag(),
+            dgroup,
+            snuca: SnucaLatencies::paper(cores),
+            bus: t.bus(),
+            ideal_total: t.private_total(),
+        }
+    }
+
+    /// The book for the paper's published Table 1 and 4 cores.
+    pub fn paper() -> Self {
+        Self::from_table1(&Table1::published(), cmp_mem::PAPER_CORES)
+    }
+
+    /// Number of cores (and d-groups) this book covers.
+    pub fn cores(&self) -> usize {
+        self.dgroup.len()
+    }
+
+    /// Data latency of d-group `g` as seen by `core`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` or `g` is out of range.
+    pub fn dgroup_latency(&self, core: CoreId, g: usize) -> Cycle {
+        self.dgroup[core.index()][g]
+    }
+}
+
+impl Default for LatencyBook {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_book_matches_table1_values() {
+        let book = LatencyBook::paper();
+        assert_eq!(book.shared_total, 59);
+        assert_eq!(book.shared_tag, 26);
+        assert_eq!(book.private_total, 10);
+        assert_eq!(book.private_tag, 4);
+        assert_eq!(book.nurapid_tag, 5);
+        assert_eq!(book.bus, 32);
+        assert_eq!(book.l1, 3);
+        assert_eq!(book.memory, 300);
+        assert_eq!(book.ideal_total, 10);
+    }
+
+    #[test]
+    fn dgroup_latencies_follow_figure1_symmetry() {
+        let book = LatencyBook::paper();
+        // From P0's viewpoint: a=6, b=20, c=20, d=33 (Table 1).
+        assert_eq!(book.dgroup[0], vec![6, 20, 20, 33]);
+        // Results are symmetric for other cores (Section 4.2): each core
+        // sees 6 at its own d-group and 33 at the diagonal one.
+        for c in 0..4 {
+            let mut sorted = book.dgroup[c].clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, vec![6, 20, 20, 33]);
+            assert_eq!(book.dgroup[c][c], 6);
+        }
+    }
+
+    #[test]
+    fn dgroup_closest_is_own_for_each_core() {
+        let book = LatencyBook::paper();
+        for c in 0..4 {
+            let own = book.dgroup_latency(CoreId(c as u8), c);
+            assert!(book.dgroup[c].iter().all(|&l| l >= own));
+        }
+    }
+
+    #[test]
+    fn default_is_paper() {
+        assert_eq!(LatencyBook::default(), LatencyBook::paper());
+    }
+}

@@ -1,0 +1,120 @@
+//! SRAM array access-time model.
+//!
+//! Cacti decomposes a cache access into decoder, wordline, bitline,
+//! sense-amp, and output-driver delays, with the array split into
+//! subarrays whose side grows with the square root of capacity. We use
+//! the same asymptotics, calibrated at 70 nm / 5 GHz so that the
+//! paper's structures land on their Table 1 values:
+//!
+//! * a 2 MB tagless data array (one d-group) accesses in 6 cycles;
+//! * a 2 MB / 8-way tag array (16 K entries) in 4 cycles;
+//! * doubling the tag entries adds one cycle (5 cycles, the
+//!   CMP-NuRAPID doubled-tag configuration);
+//! * the 8 MB shared cache's 64 K-entry tag array takes 6 cycles
+//!   before wire delay.
+
+use cmp_mem::Cycle;
+
+/// Reference data-array capacity for the calibration point (2 MB).
+const REFERENCE_DATA_BYTES: f64 = 2.0 * 1024.0 * 1024.0;
+
+/// Access cycles of the reference 2 MB data array.
+const REFERENCE_DATA_CYCLES: f64 = 6.0;
+
+/// Access time in cycles of a tagless data array of `bytes` capacity.
+///
+/// Square-root subarray scaling: time grows with the array side, i.e.
+/// with `sqrt(capacity)`.
+///
+/// # Panics
+///
+/// Panics if `bytes` is zero.
+///
+/// # Example
+///
+/// ```
+/// use cmp_latency::subarray::data_array_cycles;
+///
+/// assert_eq!(data_array_cycles(2 * 1024 * 1024), 6); // one d-group
+/// assert_eq!(data_array_cycles(512 * 1024), 3);      // one SNUCA bank
+/// ```
+pub fn data_array_cycles(bytes: usize) -> Cycle {
+    assert!(bytes > 0, "data array capacity must be nonzero");
+    let t = REFERENCE_DATA_CYCLES * (bytes as f64 / REFERENCE_DATA_BYTES).sqrt();
+    (t.round() as Cycle).max(1)
+}
+
+/// Access time in cycles of a set-associative tag array with `entries`
+/// tag entries.
+///
+/// Tag arrays are far smaller than data arrays (a few bits per 128 B
+/// block), so their delay is dominated by the decoder depth, which
+/// grows logarithmically: calibrated as `1 + 0.75 * log2(entries/1K)`.
+///
+/// # Panics
+///
+/// Panics if `entries` is zero.
+///
+/// # Example
+///
+/// ```
+/// use cmp_latency::subarray::tag_array_cycles;
+///
+/// assert_eq!(tag_array_cycles(16 * 1024), 4); // private 2 MB, 8-way
+/// assert_eq!(tag_array_cycles(32 * 1024), 5); // doubled NuRAPID tag
+/// ```
+pub fn tag_array_cycles(entries: usize) -> Cycle {
+    assert!(entries > 0, "tag array must have entries");
+    let kilo_entries = (entries as f64 / 1024.0).max(1.0);
+    let t = 1.0 + 0.75 * kilo_entries.log2();
+    (t.round() as Cycle).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_points_match_table1() {
+        // Private L2 (Table 1): 2 MB tag 4, data 6.
+        assert_eq!(tag_array_cycles(16 * 1024), 4);
+        assert_eq!(data_array_cycles(2 * 1024 * 1024), 6);
+        // CMP-NuRAPID tag with doubled tag space: 5.
+        assert_eq!(tag_array_cycles(32 * 1024), 5);
+        // Shared 8 MB tag, before central wire delay: 6.
+        assert_eq!(tag_array_cycles(64 * 1024), 6);
+    }
+
+    #[test]
+    fn data_time_is_monotonic_in_capacity() {
+        let mut last = 0;
+        for shift in 10..25 {
+            let c = data_array_cycles(1usize << shift);
+            assert!(c >= last, "capacity {} regressed", 1usize << shift);
+            last = c;
+        }
+    }
+
+    #[test]
+    fn tag_time_is_monotonic_in_entries() {
+        let mut last = 0;
+        for shift in 8..22 {
+            let c = tag_array_cycles(1usize << shift);
+            assert!(c >= last);
+            last = c;
+        }
+    }
+
+    #[test]
+    fn quadrupled_tag_is_slower_than_doubled() {
+        // Section 2.2.2's argument against quadrupling the tag arrays:
+        // larger tags are slower (and cost 23% capacity).
+        assert!(tag_array_cycles(64 * 1024) > tag_array_cycles(32 * 1024));
+    }
+
+    #[test]
+    fn tiny_arrays_cost_at_least_one_cycle() {
+        assert_eq!(data_array_cycles(1), 1);
+        assert_eq!(tag_array_cycles(1), 1);
+    }
+}

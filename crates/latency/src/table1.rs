@@ -1,0 +1,199 @@
+//! Table 1 of the paper: 8 MB cache and bus latencies.
+//!
+//! Two constructors are provided: [`Table1::published`] pins the
+//! numbers printed in the paper, and [`Table1::from_model`] derives
+//! the same numbers from the analytical subarray/wire/floorplan model
+//! (this crate's substitute for the authors' modified Cacti 3.2). A
+//! unit test asserts the two agree, which is the calibration contract
+//! of the whole latency model.
+
+use std::fmt;
+
+use cmp_mem::{CoreId, Cycle};
+
+use crate::floorplan::{Floorplan, BUS_SPAN_MM, CENTRAL_TAG_MM};
+use crate::subarray::{data_array_cycles, tag_array_cycles};
+use crate::wire::wire_cycles;
+
+/// Latencies of Table 1 (cycles), from core P0's perspective.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Table1 {
+    shared_tag: Cycle,
+    shared_data: Cycle,
+    private_tag: Cycle,
+    private_data: Cycle,
+    nurapid_tag: Cycle,
+    /// Data latency by d-group *distance rank* (0 = own, 1 = lateral,
+    /// 2 = diagonal, ...).
+    dgroup_by_rank: Vec<Cycle>,
+    bus: Cycle,
+}
+
+impl Table1 {
+    /// The latencies as printed in the paper.
+    pub fn published() -> Self {
+        Table1 {
+            shared_tag: 26,
+            shared_data: 33,
+            private_tag: 4,
+            private_data: 6,
+            nurapid_tag: 5,
+            dgroup_by_rank: vec![6, 20, 33],
+            bus: 32,
+        }
+    }
+
+    /// Derives the latencies from the analytical model.
+    ///
+    /// * shared 8 MB 32-way cache, rated as 8-way 1-port (Section 4.2):
+    ///   tag = 64 K-entry array + wire to the centrally placed tag;
+    ///   data = one 2 MB quadrant + worst-case span of the array;
+    /// * private 2 MB 8-way: 16 K-entry tag, 2 MB data, both adjacent;
+    /// * CMP-NuRAPID: doubled (32 K-entry) tag; d-group data latency is
+    ///   the 2 MB array plus the routing hops from the floorplan;
+    /// * bus: the wire span needed to reach the farthest tag array.
+    pub fn from_model() -> Self {
+        let fp = Floorplan::paper(4);
+        let quadrant = data_array_cycles(2 * 1024 * 1024);
+        let max_rank =
+            (0..4).map(|g| fp.dgroup_distance_rank(CoreId(0), g)).max().expect("four d-groups");
+        let dgroup_by_rank = (0..=max_rank)
+            .map(|rank| quadrant + wire_cycles(rank as f64 * crate::floorplan::LATERAL_HOP_MM))
+            .collect::<Vec<_>>();
+        Table1 {
+            shared_tag: tag_array_cycles(64 * 1024) + wire_cycles(CENTRAL_TAG_MM),
+            shared_data: *dgroup_by_rank.last().expect("nonempty ranks"),
+            private_tag: tag_array_cycles(16 * 1024),
+            private_data: quadrant,
+            nurapid_tag: tag_array_cycles(32 * 1024),
+            dgroup_by_rank,
+            bus: wire_cycles(BUS_SPAN_MM),
+        }
+    }
+
+    /// Shared cache tag latency (includes central-tag wire delay).
+    pub fn shared_tag(&self) -> Cycle {
+        self.shared_tag
+    }
+
+    /// Shared cache data latency.
+    pub fn shared_data(&self) -> Cycle {
+        self.shared_data
+    }
+
+    /// Shared cache total hit latency (59 in the paper).
+    pub fn shared_total(&self) -> Cycle {
+        self.shared_tag + self.shared_data
+    }
+
+    /// Private cache tag latency.
+    pub fn private_tag(&self) -> Cycle {
+        self.private_tag
+    }
+
+    /// Private cache data latency.
+    pub fn private_data(&self) -> Cycle {
+        self.private_data
+    }
+
+    /// Private cache total hit latency (10 in the paper).
+    pub fn private_total(&self) -> Cycle {
+        self.private_tag + self.private_data
+    }
+
+    /// CMP-NuRAPID tag latency with the doubled tag space.
+    pub fn nurapid_tag(&self) -> Cycle {
+        self.nurapid_tag
+    }
+
+    /// D-group data latency for a floorplan distance rank; ranks past
+    /// the table's end are clamped to the farthest entry.
+    pub fn dgroup_data(&self, rank: usize) -> Cycle {
+        let idx = rank.min(self.dgroup_by_rank.len() - 1);
+        self.dgroup_by_rank[idx]
+    }
+
+    /// Bus latency (pipelined split-transaction bus).
+    pub fn bus(&self) -> Cycle {
+        self.bus
+    }
+
+    /// D-group latencies from P0's viewpoint in the paper's (a, b, c,
+    /// d) order.
+    pub fn dgroups_from_p0(&self) -> Vec<Cycle> {
+        let fp = Floorplan::paper(4);
+        (0..4).map(|g| self.dgroup_data(fp.dgroup_distance_rank(CoreId(0), g))).collect()
+    }
+}
+
+impl Default for Table1 {
+    fn default() -> Self {
+        Self::published()
+    }
+}
+
+impl fmt::Display for Table1 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Table 1: 8 MB Cache and Bus Latencies")?;
+        writeln!(f, "{}", "-".repeat(62))?;
+        writeln!(f, "{:<48}Latency (cycles)", "Cache and Component")?;
+        writeln!(f, "Shared 8 MB 32-way, 4 ports (latency of 8-way, 1-port)")?;
+        writeln!(f, "  {:<46}{}", "Tag (includes wire delay of central tag)", self.shared_tag)?;
+        writeln!(f, "  {:<46}{}", "Data", self.shared_data)?;
+        writeln!(f, "  {:<46}{}", "Total", self.shared_total())?;
+        writeln!(f, "Private 2 MB 8-way, 1 port")?;
+        writeln!(f, "  {:<46}{}", "Tag", self.private_tag)?;
+        writeln!(f, "  {:<46}{}", "Data", self.private_data)?;
+        writeln!(f, "  {:<46}{}", "Total", self.private_total())?;
+        writeln!(f, "CMP-NuRAPID with four 2 MB d-groups")?;
+        writeln!(f, "  {:<46}{}", "Tag w/ extra tag space", self.nurapid_tag)?;
+        let dgroups = self
+            .dgroups_from_p0()
+            .iter()
+            .map(|c| c.to_string())
+            .collect::<Vec<_>>()
+            .join(",");
+        writeln!(f, "  {:<46}{}", "Data d-groups (a,b,c,d)", dgroups)?;
+        write!(f, "{:<48}{}", "Pipelined split-transaction bus (all designs)", self.bus)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_reproduces_published_table() {
+        assert_eq!(Table1::from_model(), Table1::published());
+    }
+
+    #[test]
+    fn published_totals() {
+        let t = Table1::published();
+        assert_eq!(t.shared_total(), 59);
+        assert_eq!(t.private_total(), 10);
+        assert_eq!(t.dgroups_from_p0(), vec![6, 20, 20, 33]);
+        assert_eq!(t.bus(), 32);
+    }
+
+    #[test]
+    fn dgroup_rank_clamps_past_diagonal() {
+        let t = Table1::published();
+        assert_eq!(t.dgroup_data(2), t.dgroup_data(99));
+    }
+
+    #[test]
+    fn display_contains_all_rows() {
+        let s = Table1::published().to_string();
+        assert!(s.contains("Shared 8 MB"));
+        assert!(s.contains("26"));
+        assert!(s.contains("59"));
+        assert!(s.contains("6,20,20,33"));
+        assert!(s.contains("32"));
+    }
+
+    #[test]
+    fn default_is_published() {
+        assert_eq!(Table1::default(), Table1::published());
+    }
+}

@@ -1,0 +1,69 @@
+//! Global-wire delay model.
+//!
+//! At 70 nm, global wires with optimally spaced repeaters have a delay
+//! that is linear in length. Projections used by the NUCA and NuRAPID
+//! papers put repeated-wire delay around 500 ps/mm at that node; at the
+//! paper's 5 GHz clock (200 ps/cycle) that is ~2.5–2.7 cycles/mm. We
+//! calibrate to **2.6 cycles/mm**, which reproduces every wire-derived
+//! entry of Table 1 (see [`crate::table1`]).
+
+use cmp_mem::Cycle;
+
+/// Repeated global wire delay, cycles per millimetre, at 70 nm / 5 GHz.
+pub const CYCLES_PER_MM: f64 = 2.6;
+
+/// Delay in cycles of a repeated wire of `mm` millimetres, rounded to
+/// the nearest cycle.
+///
+/// # Panics
+///
+/// Panics if `mm` is negative or non-finite.
+///
+/// # Example
+///
+/// ```
+/// use cmp_latency::wire::wire_cycles;
+///
+/// assert_eq!(wire_cycles(0.0), 0);
+/// assert_eq!(wire_cycles(5.2), 14); // lateral d-group hop
+/// ```
+pub fn wire_cycles(mm: f64) -> Cycle {
+    assert!(mm >= 0.0 && mm.is_finite(), "wire length must be finite and nonnegative");
+    (mm * CYCLES_PER_MM).round() as Cycle
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_length_is_free() {
+        assert_eq!(wire_cycles(0.0), 0);
+    }
+
+    #[test]
+    fn delay_is_monotonic_in_length() {
+        let mut last = 0;
+        for tenths in 0..200 {
+            let c = wire_cycles(tenths as f64 / 10.0);
+            assert!(c >= last);
+            last = c;
+        }
+    }
+
+    #[test]
+    fn table1_wire_segments() {
+        // The three routing distances that produce Table 1's non-uniform
+        // entries (see crate::floorplan for their derivation).
+        assert_eq!(wire_cycles(5.2), 14); // lateral d-group (6 + 14 = 20)
+        assert_eq!(wire_cycles(10.4), 27); // diagonal d-group (6 + 27 = 33)
+        assert_eq!(wire_cycles(7.7), 20); // corner -> central shared tag (6 + 20 = 26)
+        assert_eq!(wire_cycles(12.3), 32); // farthest tag array span = bus
+    }
+
+    #[test]
+    #[should_panic(expected = "nonnegative")]
+    fn rejects_negative_length() {
+        let _ = wire_cycles(-1.0);
+    }
+}

@@ -1,0 +1,181 @@
+//! Set-associative cache geometry math.
+
+use crate::addr::BlockAddr;
+
+/// Geometry of a set-associative cache: capacity, block size, and
+/// associativity, with derived set-index and tag extraction.
+///
+/// # Example
+///
+/// ```
+/// use cmp_mem::CacheGeometry;
+///
+/// // The paper's private L2: 2 MB, 128 B blocks, 8-way.
+/// let geom = CacheGeometry::new(2 * 1024 * 1024, 128, 8);
+/// assert_eq!(geom.num_blocks(), 16384);
+/// assert_eq!(geom.num_sets(), 2048);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct CacheGeometry {
+    capacity_bytes: usize,
+    block_bytes: usize,
+    associativity: usize,
+}
+
+impl CacheGeometry {
+    /// Creates a geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is zero, if `capacity_bytes` or
+    /// `block_bytes` is not a power of two, if the capacity is not a
+    /// multiple of `block_bytes * associativity`, or if the derived
+    /// set count is not a power of two (required for mask-based set
+    /// indexing).
+    pub fn new(capacity_bytes: usize, block_bytes: usize, associativity: usize) -> Self {
+        assert!(capacity_bytes > 0 && block_bytes > 0 && associativity > 0, "geometry parameters must be nonzero");
+        assert!(capacity_bytes.is_power_of_two(), "capacity must be a power of two");
+        assert!(block_bytes.is_power_of_two(), "block size must be a power of two");
+        assert_eq!(
+            capacity_bytes % (block_bytes * associativity),
+            0,
+            "capacity must be divisible by block size times associativity"
+        );
+        let sets = capacity_bytes / (block_bytes * associativity);
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        CacheGeometry { capacity_bytes, block_bytes, associativity }
+    }
+
+    /// Total capacity in bytes.
+    #[inline]
+    pub fn capacity_bytes(&self) -> usize {
+        self.capacity_bytes
+    }
+
+    /// Cache-block size in bytes.
+    #[inline]
+    pub fn block_bytes(&self) -> usize {
+        self.block_bytes
+    }
+
+    /// Number of ways per set.
+    #[inline]
+    pub fn associativity(&self) -> usize {
+        self.associativity
+    }
+
+    /// Number of sets.
+    #[inline]
+    pub fn num_sets(&self) -> usize {
+        self.capacity_bytes / (self.block_bytes * self.associativity)
+    }
+
+    /// Total number of block frames.
+    #[inline]
+    pub fn num_blocks(&self) -> usize {
+        self.capacity_bytes / self.block_bytes
+    }
+
+    /// Set index for a block address.
+    #[inline]
+    pub fn set_of(&self, block: BlockAddr) -> usize {
+        (block.0 as usize) & (self.num_sets() - 1)
+    }
+
+    /// Tag (the block-address bits above the set index).
+    #[inline]
+    pub fn tag_of(&self, block: BlockAddr) -> u64 {
+        block.0 >> self.num_sets().trailing_zeros()
+    }
+
+    /// Reconstructs a block address from its tag and set index.
+    ///
+    /// Inverse of ([`CacheGeometry::tag_of`], [`CacheGeometry::set_of`]).
+    #[inline]
+    pub fn block_of(&self, tag: u64, set: usize) -> BlockAddr {
+        debug_assert!(set < self.num_sets());
+        BlockAddr((tag << self.num_sets().trailing_zeros()) | set as u64)
+    }
+
+    /// Returns the same geometry with the set count multiplied by
+    /// `factor` (capacity scaled accordingly, associativity kept).
+    ///
+    /// CMP-NuRAPID doubles each core's tag capacity this way
+    /// (Section 2.2.2: "We double the number of sets while maintaining
+    /// the same set associativity").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is zero or not a power of two.
+    pub fn scale_sets(&self, factor: usize) -> CacheGeometry {
+        assert!(factor > 0 && factor.is_power_of_two(), "set scale factor must be a power of two");
+        CacheGeometry::new(self.capacity_bytes * factor, self.block_bytes, self.associativity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_private_l2_geometry() {
+        let g = CacheGeometry::new(2 * 1024 * 1024, 128, 8);
+        assert_eq!(g.num_sets(), 2048);
+        assert_eq!(g.num_blocks(), 16384);
+        assert_eq!(g.capacity_bytes(), 2 * 1024 * 1024);
+        assert_eq!(g.block_bytes(), 128);
+        assert_eq!(g.associativity(), 8);
+    }
+
+    #[test]
+    fn paper_shared_l2_geometry() {
+        let g = CacheGeometry::new(8 * 1024 * 1024, 128, 32);
+        assert_eq!(g.num_sets(), 2048);
+        assert_eq!(g.num_blocks(), 65536);
+    }
+
+    #[test]
+    fn paper_l1_geometry() {
+        let g = CacheGeometry::new(64 * 1024, 64, 2);
+        assert_eq!(g.num_sets(), 512);
+        assert_eq!(g.num_blocks(), 1024);
+    }
+
+    #[test]
+    fn tag_set_roundtrip() {
+        let g = CacheGeometry::new(2 * 1024 * 1024, 128, 8);
+        for raw in [0u64, 1, 2047, 2048, 0xdead_beef, u64::MAX >> 8] {
+            let b = BlockAddr(raw);
+            assert_eq!(g.block_of(g.tag_of(b), g.set_of(b)), b);
+        }
+    }
+
+    #[test]
+    fn doubled_tag_sets() {
+        let g = CacheGeometry::new(2 * 1024 * 1024, 128, 8);
+        let doubled = g.scale_sets(2);
+        assert_eq!(doubled.num_sets(), 4096);
+        assert_eq!(doubled.associativity(), 8);
+    }
+
+    #[test]
+    fn same_set_blocks_differ_in_tag() {
+        let g = CacheGeometry::new(64 * 1024, 64, 2);
+        let a = BlockAddr(5);
+        let b = BlockAddr(5 + g.num_sets() as u64);
+        assert_eq!(g.set_of(a), g.set_of(b));
+        assert_ne!(g.tag_of(a), g.tag_of(b));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two_capacity() {
+        let _ = CacheGeometry::new(3 * 1024 * 1024, 128, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn rejects_zero_associativity() {
+        let _ = CacheGeometry::new(1024, 64, 0);
+    }
+}

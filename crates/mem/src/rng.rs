@@ -1,0 +1,292 @@
+//! Deterministic random-number generation for reproducible experiments.
+//!
+//! The workload generators and the random replacement choices in the
+//! distance-replacement policy (paper Section 3.3.2) all draw from this
+//! generator. It is a self-contained xoshiro256**-style PRNG seeded via
+//! SplitMix64, so a given seed produces byte-identical experiment
+//! results on every platform and toolchain — a property external RNG
+//! crates do not guarantee across versions.
+
+/// A small, fast, deterministic PRNG (xoshiro256**).
+///
+/// # Example
+///
+/// ```
+/// use cmp_mem::Rng;
+///
+/// let mut a = Rng::new(42);
+/// let mut b = Rng::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Rng {
+    state: [u64; 4],
+}
+
+impl Rng {
+    /// Creates a generator from a seed, expanding it with SplitMix64.
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        Rng { state: [next(), next(), next(), next()] }
+    }
+
+    /// Derives an independent child generator; used to give each core
+    /// and each workload region its own stream.
+    pub fn fork(&mut self) -> Rng {
+        Rng::new(self.next_u64())
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.state[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.state[1] << 17;
+        self.state[2] ^= self.state[0];
+        self.state[3] ^= self.state[1];
+        self.state[1] ^= self.state[2];
+        self.state[0] ^= self.state[3];
+        self.state[2] ^= t;
+        self.state[3] = self.state[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform value in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn gen_range(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "gen_range bound must be nonzero");
+        // Lemire's multiply-shift rejection method: unbiased.
+        let mut x = self.next_u64();
+        let mut m = (x as u128).wrapping_mul(bound as u128);
+        let mut lo = m as u64;
+        if lo < bound {
+            let threshold = bound.wrapping_neg() % bound;
+            while lo < threshold {
+                x = self.next_u64();
+                m = (x as u128).wrapping_mul(bound as u128);
+                lo = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Uniform value in `[0, bound)` as a `usize`.
+    pub fn gen_index(&mut self, bound: usize) -> usize {
+        self.gen_range(bound as u64) as usize
+    }
+
+    /// Uniform floating-point value in `[0, 1)`.
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Bernoulli draw with probability `p`.
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen_f64() < p
+    }
+
+    /// Picks an index according to a table of weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty or sums to zero.
+    pub fn pick_weighted(&mut self, weights: &[f64]) -> usize {
+        let total: f64 = weights.iter().sum();
+        assert!(!weights.is_empty() && total > 0.0, "weights must be nonempty with positive sum");
+        let mut draw = self.gen_f64() * total;
+        for (i, w) in weights.iter().enumerate() {
+            if draw < *w {
+                return i;
+            }
+            draw -= w;
+        }
+        weights.len() - 1
+    }
+}
+
+/// A Zipf(θ) sampler over `0..n`, used to model skewed block
+/// popularity inside the synthetic workload working sets.
+///
+/// Uses the classic inverse-CDF table; construction is `O(n)` and
+/// sampling is `O(log n)`.
+///
+/// # Example
+///
+/// ```
+/// use cmp_mem::{Rng, Zipf};
+///
+/// let mut rng = Rng::new(7);
+/// let zipf = Zipf::new(1000, 0.8);
+/// let x = zipf.sample(&mut rng);
+/// assert!(x < 1000);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds a sampler for ranks `0..n` with skew `theta >= 0`
+    /// (`theta == 0` is uniform).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or `theta` is negative or non-finite.
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 0, "Zipf support must be nonempty");
+        assert!(theta >= 0.0 && theta.is_finite(), "Zipf theta must be finite and nonnegative");
+        let mut cdf = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for rank in 1..=n {
+            total += 1.0 / (rank as f64).powf(theta);
+            cdf.push(total);
+        }
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of ranks in the support.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// `true` when the support is a single rank.
+    pub fn is_empty(&self) -> bool {
+        false // support is always nonempty by construction
+    }
+
+    /// Draws a rank in `0..n`; rank 0 is the most popular.
+    pub fn sample(&self, rng: &mut Rng) -> usize {
+        let u = rng.gen_f64();
+        match self.cdf.binary_search_by(|p| p.partial_cmp(&u).expect("CDF is finite")) {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = Rng::new(123);
+        let mut b = Rng::new(123);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Rng::new(1);
+        let mut b = Rng::new(2);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn fork_streams_are_independent() {
+        let mut parent = Rng::new(9);
+        let mut c1 = parent.fork();
+        let mut c2 = parent.fork();
+        assert_ne!(c1.next_u64(), c2.next_u64());
+    }
+
+    #[test]
+    fn gen_range_respects_bound() {
+        let mut rng = Rng::new(55);
+        for bound in [1u64, 2, 3, 7, 100, 1 << 40] {
+            for _ in 0..200 {
+                assert!(rng.gen_range(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_small_domain() {
+        let mut rng = Rng::new(77);
+        let mut seen = [false; 5];
+        for _ in 0..500 {
+            seen[rng.gen_index(5)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_f64_in_unit_interval() {
+        let mut rng = Rng::new(3);
+        for _ in 0..1000 {
+            let x = rng.gen_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = Rng::new(11);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((2_700..3_300).contains(&hits), "got {hits}");
+    }
+
+    #[test]
+    fn pick_weighted_respects_weights() {
+        let mut rng = Rng::new(21);
+        let mut counts = [0usize; 3];
+        for _ in 0..30_000 {
+            counts[rng.pick_weighted(&[1.0, 2.0, 7.0])] += 1;
+        }
+        assert!(counts[2] > counts[1] && counts[1] > counts[0]);
+        // Roughly 10% / 20% / 70%.
+        assert!((counts[0] as f64 / 30_000.0 - 0.1).abs() < 0.02);
+    }
+
+    #[test]
+    fn zipf_uniform_when_theta_zero() {
+        let mut rng = Rng::new(31);
+        let zipf = Zipf::new(4, 0.0);
+        let mut counts = [0usize; 4];
+        for _ in 0..40_000 {
+            counts[zipf.sample(&mut rng)] += 1;
+        }
+        for c in counts {
+            assert!((8_000..12_000).contains(&c), "got {c}");
+        }
+    }
+
+    #[test]
+    fn zipf_skews_toward_low_ranks() {
+        let mut rng = Rng::new(41);
+        let zipf = Zipf::new(100, 1.0);
+        let mut low = 0usize;
+        const DRAWS: usize = 20_000;
+        for _ in 0..DRAWS {
+            if zipf.sample(&mut rng) < 10 {
+                low += 1;
+            }
+        }
+        // Under Zipf(1.0) over 100 ranks, the top-10 mass is ~56%.
+        assert!(low as f64 / DRAWS as f64 > 0.45, "got {low}");
+    }
+
+    #[test]
+    fn zipf_single_rank() {
+        let mut rng = Rng::new(5);
+        let zipf = Zipf::new(1, 1.2);
+        assert_eq!(zipf.sample(&mut rng), 0);
+        assert_eq!(zipf.len(), 1);
+    }
+}

@@ -1,0 +1,209 @@
+//! Statistics containers used by the evaluation harness.
+
+use std::fmt;
+
+/// A ratio with a pretty percentage rendering, used in experiment
+/// tables.
+///
+/// # Example
+///
+/// ```
+/// use cmp_mem::Fraction;
+///
+/// let f = Fraction::new(13, 100);
+/// assert_eq!(f.value(), 0.13);
+/// assert_eq!(f.to_string(), "13.00%");
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Fraction {
+    numerator: u64,
+    denominator: u64,
+}
+
+impl Fraction {
+    /// Creates a fraction; a zero denominator yields a value of zero
+    /// rather than a division error (empty experiment slices).
+    pub fn new(numerator: u64, denominator: u64) -> Self {
+        Fraction { numerator, denominator }
+    }
+
+    /// The ratio as a float (0 when the denominator is 0).
+    pub fn value(&self) -> f64 {
+        if self.denominator == 0 {
+            0.0
+        } else {
+            self.numerator as f64 / self.denominator as f64
+        }
+    }
+}
+
+impl fmt::Display for Fraction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2}%", self.value() * 100.0)
+    }
+}
+
+/// Reuse-count buckets from the paper's Figure 7: a block is reused
+/// 0, 1, 2–5, or more than 5 times between fill and
+/// replacement/invalidation.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ReuseBucket {
+    /// Replaced or invalidated without any reuse.
+    Zero,
+    /// Exactly one reuse.
+    One,
+    /// Two to five reuses.
+    TwoToFive,
+    /// More than five reuses.
+    MoreThanFive,
+}
+
+impl ReuseBucket {
+    /// Buckets a raw reuse count.
+    pub fn from_count(count: u64) -> Self {
+        match count {
+            0 => ReuseBucket::Zero,
+            1 => ReuseBucket::One,
+            2..=5 => ReuseBucket::TwoToFive,
+            _ => ReuseBucket::MoreThanFive,
+        }
+    }
+
+    /// All buckets in display order.
+    pub const ALL: [ReuseBucket; 4] =
+        [ReuseBucket::Zero, ReuseBucket::One, ReuseBucket::TwoToFive, ReuseBucket::MoreThanFive];
+
+    /// Paper-style label.
+    pub fn label(self) -> &'static str {
+        match self {
+            ReuseBucket::Zero => "0 reuse",
+            ReuseBucket::One => "1 reuse",
+            ReuseBucket::TwoToFive => "2-5 reuses",
+            ReuseBucket::MoreThanFive => ">5 reuses",
+        }
+    }
+}
+
+impl fmt::Display for ReuseBucket {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Histogram over [`ReuseBucket`]s (Figure 7's y-axis).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReuseHistogram {
+    counts: [u64; 4],
+}
+
+impl ReuseHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one block's final reuse count.
+    pub fn record(&mut self, reuse_count: u64) {
+        self.counts[Self::slot(ReuseBucket::from_count(reuse_count))] += 1;
+    }
+
+    /// Count in one bucket.
+    pub fn count(&self, bucket: ReuseBucket) -> u64 {
+        self.counts[Self::slot(bucket)]
+    }
+
+    /// Total records.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Fraction of records landing in `bucket`.
+    pub fn fraction(&self, bucket: ReuseBucket) -> Fraction {
+        Fraction::new(self.count(bucket), self.total())
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &ReuseHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+    }
+
+    fn slot(bucket: ReuseBucket) -> usize {
+        match bucket {
+            ReuseBucket::Zero => 0,
+            ReuseBucket::One => 1,
+            ReuseBucket::TwoToFive => 2,
+            ReuseBucket::MoreThanFive => 3,
+        }
+    }
+}
+
+impl fmt::Display for ReuseHistogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for bucket in ReuseBucket::ALL {
+            if !first {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}: {}", bucket.label(), self.fraction(bucket))?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fraction_handles_zero_denominator() {
+        assert_eq!(Fraction::new(5, 0).value(), 0.0);
+    }
+
+    #[test]
+    fn fraction_displays_as_percent() {
+        assert_eq!(Fraction::new(1, 8).to_string(), "12.50%");
+    }
+
+    #[test]
+    fn bucket_boundaries_match_figure7() {
+        assert_eq!(ReuseBucket::from_count(0), ReuseBucket::Zero);
+        assert_eq!(ReuseBucket::from_count(1), ReuseBucket::One);
+        assert_eq!(ReuseBucket::from_count(2), ReuseBucket::TwoToFive);
+        assert_eq!(ReuseBucket::from_count(5), ReuseBucket::TwoToFive);
+        assert_eq!(ReuseBucket::from_count(6), ReuseBucket::MoreThanFive);
+        assert_eq!(ReuseBucket::from_count(u64::MAX), ReuseBucket::MoreThanFive);
+    }
+
+    #[test]
+    fn histogram_records_and_fractions() {
+        let mut h = ReuseHistogram::new();
+        for c in [0, 0, 1, 3, 4, 9] {
+            h.record(c);
+        }
+        assert_eq!(h.total(), 6);
+        assert_eq!(h.count(ReuseBucket::Zero), 2);
+        assert_eq!(h.count(ReuseBucket::TwoToFive), 2);
+        assert!((h.fraction(ReuseBucket::Zero).value() - 2.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_merge_adds_counts() {
+        let mut a = ReuseHistogram::new();
+        a.record(0);
+        let mut b = ReuseHistogram::new();
+        b.record(7);
+        b.record(1);
+        a.merge(&b);
+        assert_eq!(a.total(), 3);
+        assert_eq!(a.count(ReuseBucket::MoreThanFive), 1);
+    }
+
+    #[test]
+    fn histogram_display_is_nonempty() {
+        let h = ReuseHistogram::new();
+        assert!(h.to_string().contains("0 reuse"));
+    }
+}

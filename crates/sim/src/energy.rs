@@ -1,0 +1,162 @@
+//! Post-hoc energy accounting over a [`RunResult`] (extension).
+//!
+//! Converts a run's event counts (tag probes, data-array accesses at
+//! each distance, bus transactions, memory accesses, L1 activity)
+//! into dynamic energy using [`cmp_latency::energy::EnergyModel`].
+//! The accounting is organization-aware: a hit costs a central
+//! tag + monolithic array access in the uniform-shared cache, but a
+//! small private tag + d-group access (plus hops, when farther) in
+//! CMP-NuRAPID.
+
+use cmp_latency::energy::EnergyModel;
+
+use crate::runner::OrgKind;
+use crate::system::RunResult;
+
+/// Energy breakdown of one run, in millijoules.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EnergyBreakdown {
+    /// Tag-array probes.
+    pub tag_mj: f64,
+    /// Data-array accesses (all levels of the L2).
+    pub data_mj: f64,
+    /// Snoopy-bus transactions.
+    pub bus_mj: f64,
+    /// Off-chip memory accesses.
+    pub memory_mj: f64,
+    /// L1 activity.
+    pub l1_mj: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total dynamic energy in millijoules.
+    pub fn total_mj(&self) -> f64 {
+        self.tag_mj + self.data_mj + self.bus_mj + self.memory_mj + self.l1_mj
+    }
+
+    /// Average energy per memory reference, in nanojoules.
+    pub fn per_reference_nj(&self, references: u64) -> f64 {
+        if references == 0 {
+            0.0
+        } else {
+            self.total_mj() * 1e6 / references as f64
+        }
+    }
+}
+
+/// Computes the energy breakdown of `run` under `model`, accounting
+/// structure accesses according to the organization `kind`.
+pub fn account(run: &RunResult, kind: OrgKind, model: &EnergyModel) -> EnergyBreakdown {
+    let nj_to_mj = 1e-6;
+    let s = &run.l2;
+    let accesses = s.accesses() as f64;
+    let hits_closest = s.hits_closest as f64;
+    let hits_farther = s.hits_farther as f64;
+    let misses = s.misses() as f64;
+    let bus_txs = run.bus.total() as f64;
+
+    let (tag_nj, data_nj) = match kind {
+        OrgKind::Shared | OrgKind::Ideal => {
+            // Central tag + monolithic data array on every access
+            // (misses still probe the tag; fills write the array).
+            (accesses * model.shared_tag, accesses * model.shared_data)
+        }
+        OrgKind::Snuca | OrgKind::Dnuca => {
+            // Distributed small tags at the banks; bank-sized data
+            // accesses with routing included in `snuca_access` (DNUCA
+            // additionally pays for migrations, counted as promotions).
+            let moves = s.promotions as f64;
+            (
+                accesses * model.private_tag,
+                accesses * model.snuca_access + moves * 2.0 * model.snuca_access,
+            )
+        }
+        OrgKind::Private => {
+            // Own tag probe per access; remote caches probe on
+            // snoops (counted under bus energy). Data is always the
+            // local 2 MB array (cache-to-cache transfers re-write it).
+            (accesses * model.private_tag, (accesses - misses) * model.dgroup_data
+                + misses * model.dgroup_data)
+        }
+        OrgKind::Nurapid | OrgKind::NurapidCrOnly | OrgKind::NurapidIscOnly => {
+            // Doubled tags cost ~sqrt(2) of a private probe; closest
+            // hits touch one d-group, farther hits add ~1.5 hops on
+            // average, and promotions/demotions/replications each
+            // move a block one d-group (read + write + hop).
+            let tag = accesses * model.private_tag * std::f64::consts::SQRT_2;
+            let moves = (s.promotions + s.demotions + s.replications) as f64;
+            let data = hits_closest * model.dgroup_data
+                + hits_farther * (model.dgroup_data + 1.5 * model.lateral_hop)
+                + misses * model.dgroup_data
+                + moves * (2.0 * model.dgroup_data + model.lateral_hop);
+            (tag, data)
+        }
+    };
+
+    EnergyBreakdown {
+        tag_mj: tag_nj * nj_to_mj,
+        data_mj: data_nj * nj_to_mj,
+        bus_mj: bus_txs * model.bus_tx * nj_to_mj,
+        memory_mj: misses * model.memory * nj_to_mj,
+        l1_mj: (run.l1.hits + run.l1.misses + run.l1.store_forwards) as f64
+            * model.l1_access
+            * nj_to_mj,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{run_multithreaded, RunConfig};
+
+    fn quick() -> RunConfig {
+        RunConfig { warmup_accesses: 10_000, measure_accesses: 20_000, seed: 0xE6 }
+    }
+
+    #[test]
+    fn nurapid_spends_less_l2_energy_than_shared() {
+        let model = EnergyModel::paper_70nm();
+        let shared = run_multithreaded("oltp", OrgKind::Shared, &quick());
+        let nurapid = run_multithreaded("oltp", OrgKind::Nurapid, &quick());
+        let es = account(&shared, OrgKind::Shared, &model);
+        let en = account(&nurapid, OrgKind::Nurapid, &model);
+        // The monolithic array + central tag dominate: NuRAPID's
+        // small-structure accesses must be cheaper per run.
+        assert!(
+            en.tag_mj + en.data_mj < es.tag_mj + es.data_mj,
+            "nurapid L2 {:.3} vs shared L2 {:.3} mJ",
+            en.tag_mj + en.data_mj,
+            es.tag_mj + es.data_mj
+        );
+    }
+
+    #[test]
+    fn memory_energy_tracks_misses() {
+        let model = EnergyModel::paper_70nm();
+        let r = run_multithreaded("barnes", OrgKind::Shared, &quick());
+        let e = account(&r, OrgKind::Shared, &model);
+        let expect = r.l2.misses() as f64 * model.memory * 1e-6;
+        assert!((e.memory_mj - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn breakdown_totals_are_consistent() {
+        let model = EnergyModel::paper_70nm();
+        let r = run_multithreaded("apache", OrgKind::Private, &quick());
+        let e = account(&r, OrgKind::Private, &model);
+        let sum = e.tag_mj + e.data_mj + e.bus_mj + e.memory_mj + e.l1_mj;
+        assert!((e.total_mj() - sum).abs() < 1e-12);
+        assert!(e.per_reference_nj(r.accesses) > 0.0);
+        assert_eq!(e.per_reference_nj(0), 0.0);
+    }
+
+    #[test]
+    fn private_pays_more_bus_energy_than_shared() {
+        let model = EnergyModel::paper_70nm();
+        let shared = run_multithreaded("oltp", OrgKind::Shared, &quick());
+        let private = run_multithreaded("oltp", OrgKind::Private, &quick());
+        let es = account(&shared, OrgKind::Shared, &model);
+        let ep = account(&private, OrgKind::Private, &model);
+        assert!(ep.bus_mj > es.bus_mj, "private coherence must cost bus energy");
+    }
+}

@@ -1,0 +1,256 @@
+//! Per-core L1 data cache.
+//!
+//! 64 KB, 2-way, 64 B blocks, 3-cycle latency (Section 4.1),
+//! inclusive under the L2. Lines are write-back unless the L2 marked
+//! them write-through (MESIC C-state blocks, Section 3.2). A line
+//! filled by a read does not carry write permission: the first store
+//! to it consults the L2 (which performs the silent E→M upgrade or a
+//! BusUpg), after which stores are local.
+
+use cmp_cache::TagArray;
+use cmp_mem::{AccessKind, BlockAddr, CacheGeometry, Cycle};
+
+/// L1 line state.
+#[derive(Clone, Copy, Debug)]
+struct L1Entry {
+    dirty: bool,
+    /// Stores must be forwarded to the L2 (C-state block).
+    writethrough: bool,
+    /// Stores may complete locally (L2 line is M).
+    write_permitted: bool,
+}
+
+/// What the L1 decided about one processor reference.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum L1Outcome {
+    /// Served locally.
+    Hit,
+    /// Present and write-through (a MESIC C block): the store is
+    /// *posted* to the L2 — the L2 state updates and the bus sees the
+    /// BusRdX, but the core retires the store through its store
+    /// buffer without stalling for the L2.
+    HitWritethrough,
+    /// Present, but the store needs L2 write permission first (the
+    /// L2's silent E->M upgrade or a BusUpg); the core waits.
+    HitNeedsPermission,
+    /// Not present: the L2 must be accessed and the line filled.
+    Miss,
+}
+
+/// L1 statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct L1Stats {
+    /// References served entirely by the L1.
+    pub hits: u64,
+    /// References that had to touch the L2.
+    pub misses: u64,
+    /// Store hits forwarded to the L2 (write-throughs and write-
+    /// permission upgrades).
+    pub store_forwards: u64,
+    /// Lines invalidated by coherence/inclusion.
+    pub invalidations: u64,
+    /// Dirty lines evicted (absorbed by the L2, not timed).
+    pub writebacks: u64,
+}
+
+/// One core's L1 data cache.
+///
+/// # Example
+///
+/// ```
+/// use cmp_sim::l1::{L1Cache, L1Outcome};
+/// use cmp_mem::{AccessKind, BlockAddr};
+///
+/// let mut l1 = L1Cache::paper();
+/// assert_eq!(l1.access(BlockAddr(5), AccessKind::Read), L1Outcome::Miss);
+/// l1.fill(BlockAddr(5), false, false);
+/// assert_eq!(l1.access(BlockAddr(5), AccessKind::Read), L1Outcome::Hit);
+/// ```
+pub struct L1Cache {
+    tags: TagArray<L1Entry>,
+    latency: Cycle,
+    stats: L1Stats,
+}
+
+impl L1Cache {
+    /// Creates an L1 with the given geometry and latency.
+    pub fn new(geom: CacheGeometry, latency: Cycle) -> Self {
+        L1Cache { tags: TagArray::new(geom), latency, stats: L1Stats::default() }
+    }
+
+    /// The paper's configuration: 64 KB, 2-way, 64 B blocks, 3 cycles.
+    pub fn paper() -> Self {
+        L1Cache::new(CacheGeometry::new(64 * 1024, cmp_mem::L1_BLOCK_BYTES, 2), 3)
+    }
+
+    /// Access latency in cycles.
+    pub fn latency(&self) -> Cycle {
+        self.latency
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> &L1Stats {
+        &self.stats
+    }
+
+    /// Resets statistics (contents kept).
+    pub fn reset_stats(&mut self) {
+        self.stats = L1Stats::default();
+    }
+
+    /// Looks up `block` (L1-block address) for a read or write.
+    pub fn access(&mut self, block: BlockAddr, kind: AccessKind) -> L1Outcome {
+        let set = self.tags.set_of(block);
+        let Some(way) = self.tags.lookup(block) else {
+            self.stats.misses += 1;
+            return L1Outcome::Miss;
+        };
+        self.tags.touch(set, way);
+        let entry = &mut self.tags.entry_mut(set, way).expect("hit entry").payload;
+        match kind {
+            AccessKind::Read => {
+                self.stats.hits += 1;
+                L1Outcome::Hit
+            }
+            AccessKind::Write if entry.writethrough => {
+                self.stats.store_forwards += 1;
+                L1Outcome::HitWritethrough
+            }
+            AccessKind::Write if entry.write_permitted => {
+                entry.dirty = true;
+                self.stats.hits += 1;
+                L1Outcome::Hit
+            }
+            AccessKind::Write => {
+                // Needs L2 write permission; granted via the refill
+                // path when the L2 access completes.
+                self.stats.store_forwards += 1;
+                L1Outcome::HitNeedsPermission
+            }
+        }
+    }
+
+    /// Installs `block` after an L2 access. `writethrough` comes from
+    /// the L2 response (C-state block); `written` is true when the
+    /// triggering reference was a store.
+    pub fn fill(&mut self, block: BlockAddr, writethrough: bool, written: bool) {
+        let set = self.tags.set_of(block);
+        if let Some(way) = self.tags.lookup(block) {
+            // Already present (store-forward path): update flags.
+            let entry = &mut self.tags.entry_mut(set, way).expect("present").payload;
+            entry.writethrough = writethrough;
+            entry.write_permitted = written && !writethrough;
+            entry.dirty = entry.dirty || (written && !writethrough);
+            return;
+        }
+        let way = self.tags.victim_by(set, |e| u32::from(e.is_some()));
+        if let Some((_victim, payload)) = self.tags.evict(set, way) {
+            if payload.dirty {
+                self.stats.writebacks += 1;
+            }
+        }
+        self.tags.fill(
+            set,
+            way,
+            block,
+            L1Entry {
+                dirty: written && !writethrough,
+                writethrough,
+                write_permitted: written && !writethrough,
+            },
+        );
+    }
+
+    /// Invalidates `block` if present (coherence or inclusion);
+    /// returns whether a line was dropped.
+    pub fn invalidate(&mut self, block: BlockAddr) -> bool {
+        let set = self.tags.set_of(block);
+        let Some(way) = self.tags.lookup(block) else { return false };
+        let (_, payload) = self.tags.evict(set, way).expect("present");
+        if payload.dirty {
+            // Dirty data is pulled down with the invalidation
+            // (flush); counted, not timed.
+            self.stats.writebacks += 1;
+        }
+        self.stats.invalidations += 1;
+        true
+    }
+
+    /// `true` if `block` is resident.
+    pub fn contains(&self, block: BlockAddr) -> bool {
+        self.tags.lookup(block).is_some()
+    }
+}
+
+impl std::fmt::Debug for L1Cache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("L1Cache").field("occupied", &self.tags.len()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_fill_then_hit() {
+        let mut l1 = L1Cache::paper();
+        assert_eq!(l1.access(BlockAddr(9), AccessKind::Read), L1Outcome::Miss);
+        l1.fill(BlockAddr(9), false, false);
+        assert_eq!(l1.access(BlockAddr(9), AccessKind::Read), L1Outcome::Hit);
+        assert_eq!(l1.stats().hits, 1);
+        assert_eq!(l1.stats().misses, 1);
+    }
+
+    #[test]
+    fn first_store_to_read_line_needs_l2() {
+        let mut l1 = L1Cache::paper();
+        l1.access(BlockAddr(9), AccessKind::Read);
+        l1.fill(BlockAddr(9), false, false);
+        assert_eq!(l1.access(BlockAddr(9), AccessKind::Write), L1Outcome::HitNeedsPermission);
+        // The L2 granted permission via the refill path.
+        l1.fill(BlockAddr(9), false, true);
+        assert_eq!(l1.access(BlockAddr(9), AccessKind::Write), L1Outcome::Hit);
+    }
+
+    #[test]
+    fn writethrough_lines_forward_every_store() {
+        let mut l1 = L1Cache::paper();
+        l1.fill(BlockAddr(9), true, true);
+        for _ in 0..3 {
+            assert_eq!(l1.access(BlockAddr(9), AccessKind::Write), L1Outcome::HitWritethrough);
+        }
+        assert_eq!(l1.stats().store_forwards, 3);
+        // Reads are still local.
+        assert_eq!(l1.access(BlockAddr(9), AccessKind::Read), L1Outcome::Hit);
+    }
+
+    #[test]
+    fn invalidate_drops_line() {
+        let mut l1 = L1Cache::paper();
+        l1.fill(BlockAddr(9), false, false);
+        assert!(l1.contains(BlockAddr(9)));
+        assert!(l1.invalidate(BlockAddr(9)));
+        assert!(!l1.contains(BlockAddr(9)));
+        assert!(!l1.invalidate(BlockAddr(9)));
+        assert_eq!(l1.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn dirty_eviction_counts_writeback() {
+        // 2-way sets: three conflicting blocks evict the first.
+        let mut l1 = L1Cache::new(CacheGeometry::new(256, 64, 2), 3);
+        let sets = 2u64;
+        l1.fill(BlockAddr(0), false, true); // dirty
+        l1.fill(BlockAddr(sets), false, false);
+        l1.fill(BlockAddr(2 * sets), false, false); // evicts block 0
+        assert_eq!(l1.stats().writebacks, 1);
+        assert!(!l1.contains(BlockAddr(0)));
+    }
+
+    #[test]
+    fn paper_geometry() {
+        let l1 = L1Cache::paper();
+        assert_eq!(l1.latency(), 3);
+    }
+}

@@ -1,0 +1,44 @@
+#![warn(missing_docs)]
+
+//! System simulator for the CMP-NuRAPID reproduction.
+//!
+//! Drives N in-order cores (CPI = 1 plus memory stalls, one
+//! outstanding miss — the paper's core model, Section 4.1) through a
+//! pluggable L2 organization:
+//!
+//! * [`l1`] — per-core 64 KB 2-way L1 data caches with 64 B blocks,
+//!   3-cycle latency, L1/L2 inclusion, write-back by default and
+//!   write-through for MESIC C-state blocks;
+//! * [`system`] — the discrete-event driver: each core has a local
+//!   clock, and the core with the smallest clock executes its next
+//!   reference (compute gap + L1 access + possible L2/memory access),
+//!   so coherence events interleave in global time order;
+//! * [`runner`] — experiment plumbing: builds any of the five L2
+//!   organizations by name, runs warm-up + measurement phases, and
+//!   returns the statistics the figure harnesses print.
+//!
+//! # Example
+//!
+//! ```
+//! use cmp_sim::{OrgKind, RunConfig};
+//!
+//! // A short OLTP run: the ideal cache (shared capacity at private
+//! // latency) beats the uniform-shared cache at any scale.
+//! let cfg = RunConfig { warmup_accesses: 2_000, measure_accesses: 2_000, seed: 1 };
+//! let ideal = cmp_sim::run_multithreaded("oltp", OrgKind::Ideal, &cfg);
+//! let shared = cmp_sim::run_multithreaded("oltp", OrgKind::Shared, &cfg);
+//! assert!(ideal.ipc() > shared.ipc());
+//! ```
+
+pub mod energy;
+pub mod l1;
+pub mod runner;
+pub mod system;
+
+pub use energy::{account as energy_account, EnergyBreakdown};
+pub use l1::{L1Cache, L1Stats};
+pub use runner::{
+    build_org, run_mix, run_mix_custom, run_multithreaded, run_multithreaded_custom, OrgKind,
+    RunConfig,
+};
+pub use system::{RunResult, System};

@@ -1,0 +1,149 @@
+//! Trace records and the address-space layout of synthetic workloads.
+
+use cmp_mem::{AccessKind, Addr, CoreId};
+
+/// One memory reference emitted by a workload generator.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Access {
+    /// Byte address referenced.
+    pub addr: Addr,
+    /// Load or store.
+    pub kind: AccessKind,
+    /// Number of non-memory instructions executed before this
+    /// reference (the core's compute gap).
+    pub gap: u32,
+}
+
+/// A per-core stream of memory references.
+///
+/// One generator object serves all cores so that shared regions
+/// (read-only pools, communication objects) are coordinated across
+/// them.
+pub trait TraceSource {
+    /// Produces the next reference for `core`. Streams are infinite;
+    /// the simulator decides how many references to run.
+    fn next_access(&mut self, core: CoreId) -> Access;
+
+    /// Workload name for experiment tables.
+    fn name(&self) -> &str;
+
+    /// Number of cores this workload drives.
+    fn cores(&self) -> usize;
+
+    /// The code region `core` executes from, as `(base address,
+    /// region bytes, jump probability per step)`, if the workload
+    /// models an instruction stream. Multithreaded workloads share
+    /// one code region across cores (instructions are the canonical
+    /// read-only-shared data); multiprogrammed ones use disjoint
+    /// regions. `None` (the default) disables instruction fetch.
+    fn code_region(&self, core: CoreId) -> Option<(Addr, u64, f64)> {
+        let _ = core;
+        None
+    }
+}
+
+/// Logical regions of the synthetic address space. The region is
+/// encoded in the upper address bits so streams from different
+/// regions (and different cores' private regions) can never alias.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Region {
+    /// Per-core private data.
+    Private(CoreId),
+    /// Read-only shared data (hot pool).
+    ReadOnlyShared,
+    /// Read-only streaming data (touched once, never reused).
+    Streaming(CoreId),
+    /// Read-write shared communication objects.
+    ReadWriteShared,
+    /// Executable code (read-only; shared by all cores in
+    /// multithreaded workloads, per-core in multiprogrammed ones —
+    /// the core id tags the owner, with `CoreId(0xFF)` for shared
+    /// code).
+    Code(CoreId),
+}
+
+impl Region {
+    const PRIVATE_BASE: u64 = 0x1000_0000_0000;
+    const ROS_BASE: u64 = 0x2000_0000_0000;
+    const STREAM_BASE: u64 = 0x3000_0000_0000;
+    const RWS_BASE: u64 = 0x4000_0000_0000;
+    const CODE_BASE: u64 = 0x5000_0000_0000;
+    const CORE_SHIFT: u32 = 36;
+
+    /// The owner tag used for code shared by every core.
+    pub const SHARED_CODE: CoreId = CoreId(0xFF);
+
+    /// The byte address of 128-byte block number `block` within this
+    /// region.
+    pub fn block_addr(self, block: u64) -> Addr {
+        let base = match self {
+            Region::Private(c) => Self::PRIVATE_BASE + ((c.index() as u64) << Self::CORE_SHIFT),
+            Region::ReadOnlyShared => Self::ROS_BASE,
+            Region::Streaming(c) => Self::STREAM_BASE + ((c.index() as u64) << Self::CORE_SHIFT),
+            Region::ReadWriteShared => Self::RWS_BASE,
+            Region::Code(c) => Self::CODE_BASE + ((c.index() as u64) << Self::CORE_SHIFT),
+        };
+        Addr(base + block * cmp_mem::L2_BLOCK_BYTES as u64)
+    }
+
+    /// Decodes the region of an address produced by
+    /// [`Region::block_addr`]. Used by calibration tests.
+    pub fn of(addr: Addr) -> Option<Region> {
+        let core = CoreId(((addr.0 >> Self::CORE_SHIFT) & 0xff) as u8);
+        match addr.0 & 0xF000_0000_0000 {
+            Self::PRIVATE_BASE => Some(Region::Private(core)),
+            Self::ROS_BASE => Some(Region::ReadOnlyShared),
+            Self::STREAM_BASE => Some(Region::Streaming(core)),
+            Self::RWS_BASE => Some(Region::ReadWriteShared),
+            Self::CODE_BASE => Some(Region::Code(core)),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_never_alias() {
+        let addrs = [
+            Region::Private(CoreId(0)).block_addr(5),
+            Region::Private(CoreId(1)).block_addr(5),
+            Region::ReadOnlyShared.block_addr(5),
+            Region::Streaming(CoreId(0)).block_addr(5),
+            Region::ReadWriteShared.block_addr(5),
+        ];
+        for (i, a) in addrs.iter().enumerate() {
+            for b in addrs.iter().skip(i + 1) {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn region_roundtrip() {
+        for r in [
+            Region::Private(CoreId(2)),
+            Region::ReadOnlyShared,
+            Region::Streaming(CoreId(3)),
+            Region::ReadWriteShared,
+            Region::Code(Region::SHARED_CODE),
+            Region::Code(CoreId(1)),
+        ] {
+            assert_eq!(Region::of(r.block_addr(77)), Some(r));
+        }
+    }
+
+    #[test]
+    fn blocks_are_block_aligned() {
+        let a = Region::ReadOnlyShared.block_addr(3);
+        assert_eq!(a.offset(cmp_mem::L2_BLOCK_BYTES), 0);
+        assert_eq!(a.block(cmp_mem::L2_BLOCK_BYTES).0 & 0xFFF, 3);
+    }
+
+    #[test]
+    fn unknown_region_decodes_to_none() {
+        assert_eq!(Region::of(Addr(0x42)), None);
+    }
+}

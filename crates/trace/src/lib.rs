@@ -1,0 +1,53 @@
+#![warn(missing_docs)]
+
+//! Synthetic workload generation for the CMP-NuRAPID reproduction.
+//!
+//! The paper evaluates commercial multithreaded workloads (OLTP on
+//! PostgreSQL, Apache with SURGE, SPECjbb2000), two SPLASH-2
+//! scientific codes (ocean, barnes), and four multiprogrammed SPEC2K
+//! mixes — none of which can be run here (full-system Simics plus
+//! proprietary setups). What the paper's *evaluation* actually
+//! depends on, however, is a small set of measurable stream
+//! statistics it reports itself:
+//!
+//! * the sharing mix of L2 accesses — hits vs read-only-sharing (ROS)
+//!   vs read-write-sharing (RWS) vs capacity misses (Figure 5);
+//! * block reuse patterns — how many times an ROS/RWS block is reused
+//!   before replacement/invalidation (Figure 7: many ROS blocks never
+//!   reused, most reused ones reused ≥ 2 times; RWS blocks mostly
+//!   read 2–5 times per write);
+//! * working-set sizes relative to the 2 MB private / 8 MB shared
+//!   capacities (multiprogrammed mixes, Table 2).
+//!
+//! This crate synthesizes per-core reference streams with exactly
+//! those knobs: a private region with Zipf popularity, a read-only
+//! shared region with a streaming (touch-once) component, and
+//! read-write-shared communication objects with producer/consumer
+//! phases and calibrated reads-per-write. Named profiles
+//! ([`profiles`], [`spec`], [`mix`]) instantiate the paper's
+//! workloads (Tables 2 and 3).
+//!
+//! # Example
+//!
+//! ```
+//! use cmp_mem::CoreId;
+//! use cmp_trace::{profiles, TraceSource};
+//!
+//! let mut w = profiles::oltp(4, 42);
+//! let a = w.next_access(CoreId(0));
+//! assert!(a.gap <= 1_000);
+//! ```
+
+pub mod access;
+pub mod mix;
+pub mod profiles;
+pub mod recorded;
+pub mod spec;
+pub mod synthetic;
+
+pub use access::{Access, Region, TraceSource};
+pub use mix::{MixWorkload, SPEC_MIXES};
+pub use profiles::WorkloadParams;
+pub use recorded::RecordedTrace;
+pub use spec::SpecApp;
+pub use synthetic::SyntheticWorkload;

@@ -1,0 +1,186 @@
+//! Multiprogrammed workloads: the SPEC2K mixes of Table 2.
+//!
+//! Each core runs one independent application — there is no sharing,
+//! which is exactly why capacity stealing matters: cores with big
+//! working sets (mcf, art, swim) can use frames left idle by cores
+//! with small ones (mesa, gzip).
+
+use cmp_mem::{Addr, CoreId};
+
+use crate::access::{Access, Region, TraceSource};
+use crate::spec::{self, SpecApp, SpecStream};
+
+/// Table 2's four mixes, by application name.
+pub const SPEC_MIXES: [(&str, [&str; 4]); 4] = [
+    ("MIX1", ["apsi", "art", "equake", "mesa"]),
+    ("MIX2", ["ammp", "swim", "mesa", "vortex"]),
+    ("MIX3", ["apsi", "mcf", "gzip", "mesa"]),
+    ("MIX4", ["ammp", "gzip", "vortex", "wupwise"]),
+];
+
+/// A multiprogrammed workload: one SPEC application per core.
+///
+/// # Example
+///
+/// ```
+/// use cmp_trace::{MixWorkload, TraceSource};
+/// use cmp_mem::CoreId;
+///
+/// let mut mix1 = MixWorkload::table2("MIX1", 7).expect("MIX1 exists");
+/// assert_eq!(mix1.cores(), 4);
+/// let _ = mix1.next_access(CoreId(2));
+/// ```
+pub struct MixWorkload {
+    name: String,
+    streams: Vec<SpecStream>,
+}
+
+impl MixWorkload {
+    /// Builds a mix from explicit applications (one per core).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `apps` is empty.
+    pub fn new(name: impl Into<String>, apps: &[SpecApp], seed: u64) -> Self {
+        assert!(!apps.is_empty(), "a mix needs at least one application");
+        MixWorkload {
+            name: name.into(),
+            streams: apps
+                .iter()
+                .enumerate()
+                .map(|(i, app)| SpecStream::new(*app, CoreId(i as u8), seed.wrapping_add(i as u64)))
+                .collect(),
+        }
+    }
+
+    /// Builds one of Table 2's mixes by name ("MIX1".."MIX4").
+    pub fn table2(name: &str, seed: u64) -> Option<Self> {
+        let (mix_name, apps) = SPEC_MIXES.iter().find(|(n, _)| *n == name)?;
+        let apps: Vec<SpecApp> =
+            apps.iter().map(|a| spec::by_name(a).expect("Table 2 app exists")).collect();
+        Some(MixWorkload::new(*mix_name, &apps, seed))
+    }
+
+    /// All four Table 2 mixes.
+    pub fn all_table2(seed: u64) -> Vec<MixWorkload> {
+        SPEC_MIXES
+            .iter()
+            .map(|(name, _)| MixWorkload::table2(name, seed).expect("static table"))
+            .collect()
+    }
+
+    /// The application running on `core`.
+    pub fn app(&self, core: CoreId) -> &SpecApp {
+        self.streams[core.index()].app()
+    }
+
+    /// Total working-set footprint across cores, in bytes.
+    pub fn total_footprint_bytes(&self) -> usize {
+        self.streams.iter().map(|s| s.app().footprint_bytes()).sum()
+    }
+}
+
+impl TraceSource for MixWorkload {
+    fn next_access(&mut self, core: CoreId) -> Access {
+        self.streams[core.index()].next_access()
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn cores(&self) -> usize {
+        self.streams.len()
+    }
+
+    fn code_region(&self, core: CoreId) -> Option<(Addr, u64, f64)> {
+        let app = self.streams[core.index()].app();
+        if app.code_bytes == 0 {
+            return None;
+        }
+        // Each application executes its own binary.
+        Some((Region::Code(core).block_addr(0), app.code_bytes, app.code_jump_prob))
+    }
+}
+
+impl std::fmt::Debug for MixWorkload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let apps: Vec<_> = self.streams.iter().map(|s| s.app().name).collect();
+        f.debug_struct("MixWorkload").field("name", &self.name).field("apps", &apps).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::Region;
+
+    #[test]
+    fn table2_mixes_resolve() {
+        for (name, apps) in SPEC_MIXES {
+            let mix = MixWorkload::table2(name, 1).expect("mix exists");
+            assert_eq!(mix.cores(), 4);
+            for (i, app) in apps.iter().enumerate() {
+                assert_eq!(mix.app(CoreId(i as u8)).name, *app);
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_mix_is_none() {
+        assert!(MixWorkload::table2("MIX9", 1).is_none());
+    }
+
+    #[test]
+    fn cores_never_share_addresses() {
+        let mut mix = MixWorkload::table2("MIX1", 3).expect("mix exists");
+        let mut per_core: Vec<std::collections::HashSet<u64>> = vec![Default::default(); 4];
+        for i in 0..40_000 {
+            let c = (i % 4) as usize;
+            per_core[c].insert(mix.next_access(CoreId(c as u8)).addr.0);
+        }
+        for a in 0..4 {
+            for b in (a + 1)..4 {
+                assert!(per_core[a].is_disjoint(&per_core[b]), "cores {a} and {b} alias");
+            }
+        }
+    }
+
+    #[test]
+    fn mix_addresses_are_private_or_streaming() {
+        let mut mix = MixWorkload::table2("MIX3", 5).expect("mix exists");
+        for i in 0..10_000 {
+            let c = (i % 4) as u8;
+            let a = mix.next_access(CoreId(c));
+            match Region::of(a.addr) {
+                Some(Region::Private(p)) | Some(Region::Streaming(p)) => assert_eq!(p, CoreId(c)),
+                other => panic!("multiprogrammed access in shared region: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn mixes_have_asymmetric_demands() {
+        // Every Table 2 mix pairs at least one over-2MB app with at
+        // least one comfortably-fitting app — the asymmetry capacity
+        // stealing exploits.
+        for (name, _) in SPEC_MIXES {
+            let mix = MixWorkload::table2(name, 1).expect("mix exists");
+            let big = (0..4).any(|c| mix.app(CoreId(c)).exceeds_private());
+            let small =
+                (0..4).any(|c| mix.app(CoreId(c)).footprint_bytes() < 1024 * 1024);
+            assert!(big && small, "{name} lacks demand asymmetry");
+        }
+    }
+
+    #[test]
+    fn total_footprints_relative_to_shared_capacity() {
+        // MIX1 presses the 8 MB shared cache hardest; MIX4 fits
+        // comfortably (the paper's miss rates order the same way).
+        let mix1 = MixWorkload::table2("MIX1", 1).expect("mix exists");
+        let mix4 = MixWorkload::table2("MIX4", 1).expect("mix exists");
+        assert!(mix1.total_footprint_bytes() > 6 * 1024 * 1024);
+        assert!(mix4.total_footprint_bytes() < 6 * 1024 * 1024);
+        assert!(mix1.total_footprint_bytes() > mix4.total_footprint_bytes());
+    }
+}

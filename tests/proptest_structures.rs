@@ -1,0 +1,216 @@
+//! Property-based tests: the core data structures checked against
+//! simple reference models under random operation sequences.
+
+use proptest::prelude::*;
+
+use nurapid_suite::cache::{lru::LruOrder, CacheOrg, TagArray};
+use nurapid_suite::coherence::{mesic, Bus, BusTx};
+use nurapid_suite::mem::{AccessKind, Addr, BlockAddr, CacheGeometry, CoreId, Rng, Zipf};
+use nurapid_suite::nurapid::{CmpNurapid, DGroupId, DataArray, NurapidConfig, TagRef};
+
+// ---- LRU vs a Vec-based reference model -----------------------------------
+
+proptest! {
+    #[test]
+    fn lru_matches_reference_model(ops in proptest::collection::vec(0usize..4, 1..200)) {
+        let mut lru = LruOrder::new(4);
+        let mut model: Vec<usize> = (0..4).collect(); // front = LRU
+        for way in ops {
+            lru.touch(way);
+            model.retain(|w| *w != way);
+            model.push(way);
+            prop_assert_eq!(lru.least_recent(), model[0]);
+            prop_assert_eq!(lru.most_recent(), *model.last().expect("nonempty"));
+            let order: Vec<usize> = lru.iter().collect();
+            prop_assert_eq!(&order, &model);
+        }
+    }
+}
+
+// ---- TagArray vs a HashMap reference model --------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn tag_array_matches_reference(blocks in proptest::collection::vec(0u64..64, 1..300)) {
+        // 4 sets x 2 ways.
+        let mut tags: TagArray<u64> = TagArray::new(CacheGeometry::new(512, 64, 2));
+        let mut resident: std::collections::HashSet<u64> = Default::default();
+        for (i, raw) in blocks.iter().enumerate() {
+            let b = BlockAddr(*raw);
+            let set = tags.set_of(b);
+            match tags.lookup(b) {
+                Some(way) => {
+                    prop_assert!(resident.contains(raw));
+                    tags.touch(set, way);
+                }
+                None => {
+                    prop_assert!(!resident.contains(raw));
+                    let way = tags.victim_by(set, |e| u32::from(e.is_some()));
+                    if let Some((victim, _)) = tags.evict(set, way) {
+                        prop_assert!(resident.remove(&victim.0));
+                    }
+                    tags.fill(set, way, b, i as u64);
+                    resident.insert(*raw);
+                }
+            }
+            prop_assert_eq!(tags.len(), resident.len());
+        }
+        // Every resident block is still findable.
+        for raw in &resident {
+            prop_assert!(tags.lookup(BlockAddr(*raw)).is_some());
+        }
+    }
+}
+
+// ---- Geometry roundtrips ----------------------------------------------------
+
+proptest! {
+    #[test]
+    fn geometry_tag_set_roundtrip(
+        raw in 0u64..1_000_000_000,
+        cap_shift in 10u32..23,
+        block_shift in 5u32..8,
+        assoc_shift in 0u32..4,
+    ) {
+        let capacity = 1usize << cap_shift;
+        let block = 1usize << block_shift;
+        let assoc = 1usize << assoc_shift;
+        prop_assume!(capacity >= block * assoc);
+        let g = CacheGeometry::new(capacity, block, assoc);
+        let b = BlockAddr(raw);
+        prop_assert_eq!(g.block_of(g.tag_of(b), g.set_of(b)), b);
+        prop_assert!(g.set_of(b) < g.num_sets());
+    }
+
+    #[test]
+    fn block_addr_parent_child_roundtrip(raw in 0u64..1_000_000) {
+        let l2 = BlockAddr(raw);
+        let children: Vec<BlockAddr> = l2.children(128, 64).collect();
+        prop_assert_eq!(children.len(), 2);
+        for child in children {
+            prop_assert_eq!(child.parent(64, 128), l2);
+        }
+        let a = Addr(raw * 128 + raw % 128);
+        prop_assert_eq!(a.block(128), l2);
+    }
+}
+
+// ---- Zipf sampler stays in range and is deterministic -----------------------
+
+proptest! {
+    #[test]
+    fn zipf_sampler_bounds(n in 1usize..5_000, theta in 0.0f64..1.5, seed in any::<u64>()) {
+        let zipf = Zipf::new(n, theta);
+        let mut a = Rng::new(seed);
+        let mut b = Rng::new(seed);
+        for _ in 0..50 {
+            let x = zipf.sample(&mut a);
+            prop_assert!(x < n);
+            prop_assert_eq!(x, zipf.sample(&mut b));
+        }
+    }
+}
+
+// ---- MESIC protocol invariants under random stimuli --------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+    #[test]
+    fn mesic_transitions_preserve_validity(
+        ops in proptest::collection::vec((0usize..4, any::<bool>()), 1..150)
+    ) {
+        use mesic::MesicState;
+        let mut states = [MesicState::Invalid; 4];
+        for (agent, is_write) in ops {
+            let kind = if is_write { AccessKind::Write } else { AccessKind::Read };
+            let mut sig = nurapid_suite::coherence::SnoopSignals::NONE;
+            for (i, s) in states.iter().enumerate() {
+                if i != agent && s.is_valid() {
+                    sig.shared = true;
+                    if s.is_dirty() {
+                        sig.dirty = true;
+                    }
+                }
+            }
+            let action = mesic::processor_access(states[agent], kind, sig);
+            if let Some(tx) = action.bus {
+                for (i, state) in states.iter_mut().enumerate() {
+                    if i != agent {
+                        *state = mesic::snoop(*state, tx).0;
+                    }
+                }
+            }
+            states[agent] = action.next;
+            // Invariants: single exclusive owner; C never mixes with
+            // clean sharers.
+            let m = states.iter().filter(|s| matches!(s, MesicState::Modified)).count();
+            let e = states.iter().filter(|s| matches!(s, MesicState::Exclusive)).count();
+            let c = states.iter().filter(|s| matches!(s, MesicState::Communication)).count();
+            let sh = states.iter().filter(|s| matches!(s, MesicState::Shared)).count();
+            let valid = states.iter().filter(|s| s.is_valid()).count();
+            prop_assert!(m <= 1 && e <= 1);
+            if m + e == 1 {
+                prop_assert_eq!(valid, 1);
+            }
+            if c > 0 {
+                prop_assert_eq!(m + e + sh, 0);
+            }
+        }
+    }
+}
+
+// ---- DataArray alloc/free against a set model --------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn data_array_alloc_free_model(ops in proptest::collection::vec(any::<bool>(), 1..300)) {
+        let mut data = DataArray::new(2, 16);
+        let owner = TagRef { core: CoreId(0), set: 0, way: 0 };
+        let mut live: Vec<nurapid_suite::nurapid::FrameRef> = Vec::new();
+        let mut next_block = 0u64;
+        for do_alloc in ops {
+            if do_alloc && live.len() < 16 {
+                next_block += 1;
+                let f = data.alloc(DGroupId(0), BlockAddr(next_block), owner);
+                prop_assert!(data.is_occupied(f));
+                live.push(f);
+            } else if let Some(f) = live.pop() {
+                let contents = data.free(f);
+                prop_assert_eq!(contents.owner, owner);
+                prop_assert!(!data.is_occupied(f));
+            }
+            prop_assert_eq!(data.occupied(DGroupId(0)), live.len());
+            prop_assert_eq!(data.has_free(DGroupId(0)), live.len() < 16);
+        }
+    }
+}
+
+// ---- CMP-NuRAPID invariants under random access sequences --------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn nurapid_invariants_hold_under_random_traffic(
+        seed in any::<u64>(),
+        ops in proptest::collection::vec((0u8..4, 0u64..48, any::<bool>()), 20..250)
+    ) {
+        let mut cfg = NurapidConfig::tiny(4, 8 * 128);
+        cfg.seed = seed;
+        let mut l2 = CmpNurapid::new(cfg);
+        let mut bus = Bus::paper();
+        let mut now = 0u64;
+        for (core, block, is_write) in ops {
+            now += 500;
+            let kind = if is_write { AccessKind::Write } else { AccessKind::Read };
+            let resp = l2.access(CoreId(core), BlockAddr(block), kind, now, &mut bus);
+            prop_assert!(resp.latency >= 1);
+        }
+        l2.check_invariants();
+        // BusRepl accounting is consistent: every BusRepl on the bus
+        // had at least one cause (a shared-block eviction).
+        let s = l2.stats();
+        prop_assert!(bus.stats().count(BusTx::BusRepl) >= s.evictions_shared);
+    }
+}
