@@ -1,0 +1,374 @@
+//! The audited organization wrapper.
+//!
+//! [`AuditedOrg`] composes around any [`CacheOrg`] and implements the
+//! same trait, so the system simulator drives it unchanged. On every
+//! access it (a) delegates through the fallible
+//! [`CacheOrg::try_access`] path, (b) checks the response against the
+//! [`ShadowModel`], and (c) at a configurable cadence runs the
+//! organization's structural audit. Scheduled faults (tag corruption
+//! on the organization, snoop-wire tampering on the bus) arm at their
+//! access index. Violations are appended to a shared
+//! [`ViolationLog`] handle instead of tearing the run down.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+use cmp_cache::{AccessClass, AccessResponse, CacheOrg, OrgStats, Violation as OrgViolation};
+use cmp_coherence::{Bus, SnoopFaultPlan};
+use cmp_mem::{AccessKind, BlockAddr, CoreId, Cycle, Rng};
+
+use crate::fault::{FaultKind, FaultSpec};
+use crate::shadow::ShadowModel;
+
+/// Audit policy for one run.
+#[derive(Clone, Debug)]
+pub struct AuditConfig {
+    /// Check every response against the shadow functional model.
+    pub shadow: bool,
+    /// Run the structural audit every N accesses (0 disables it).
+    pub audit_every: u64,
+    /// Stop recording (and stop auditing) after this many violations;
+    /// the run itself continues.
+    pub max_violations: usize,
+    /// Seed for the fault-injection RNG (victim selection inside
+    /// `inject_tag_fault`). The *schedule* comes from `faults`.
+    pub seed: u64,
+    /// Faults to arm, by access index.
+    pub faults: Vec<FaultSpec>,
+}
+
+impl AuditConfig {
+    /// Full checking, no faults: the configuration for clean runs.
+    pub fn checking(audit_every: u64) -> Self {
+        AuditConfig {
+            shadow: true,
+            audit_every,
+            max_violations: 64,
+            seed: 0xA0D17,
+            faults: Vec::new(),
+        }
+    }
+
+    /// Adds a scheduled fault.
+    pub fn with_fault(mut self, spec: FaultSpec) -> Self {
+        self.faults.push(spec);
+        self
+    }
+}
+
+impl Default for AuditConfig {
+    fn default() -> Self {
+        AuditConfig::checking(1024)
+    }
+}
+
+/// One violation observed during an audited run, with enough context
+/// to reproduce it deterministically.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AuditViolation {
+    /// Organization name (`CacheOrg::name`).
+    pub org: String,
+    /// Workload name (set by the harness; empty when unknown).
+    pub workload: String,
+    /// Workload seed.
+    pub seed: u64,
+    /// L2 access index (0-based, warm-up included) at which the
+    /// violation was detected.
+    pub access_index: u64,
+    /// Requesting core of the access that surfaced the violation.
+    pub core: Option<CoreId>,
+    /// Block involved, when attributable.
+    pub block: Option<BlockAddr>,
+    /// Stable name of the violated check.
+    pub check: String,
+    /// What the check required.
+    pub expected: String,
+    /// What the machine actually held.
+    pub actual: String,
+}
+
+impl AuditViolation {
+    fn from_org(
+        v: OrgViolation,
+        org: &str,
+        workload: &str,
+        seed: u64,
+        access_index: u64,
+        core: CoreId,
+    ) -> Self {
+        AuditViolation {
+            org: org.to_string(),
+            workload: workload.to_string(),
+            seed,
+            access_index,
+            core: v.core.or(Some(core)),
+            block: v.block,
+            check: v.check.to_string(),
+            expected: v.expected,
+            actual: v.actual,
+        }
+    }
+}
+
+impl fmt::Display for AuditViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{} / {} seed={:#x}] access #{}: check '{}' violated",
+            self.org, self.workload, self.seed, self.access_index, self.check
+        )?;
+        if let Some(core) = self.core {
+            write!(f, " at {core}")?;
+        }
+        if let Some(block) = self.block {
+            write!(f, " for block {block}")?;
+        }
+        write!(f, ": expected {}, found {}", self.expected, self.actual)
+    }
+}
+
+/// Shared handle to the violations recorded by an [`AuditedOrg`].
+///
+/// Clone it *before* boxing the audited organization for the
+/// simulator: the box erases the concrete type, and the log handle is
+/// the only way back to the findings.
+#[derive(Clone, Debug, Default)]
+pub struct ViolationLog {
+    inner: Rc<RefCell<Vec<AuditViolation>>>,
+}
+
+impl ViolationLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        ViolationLog::default()
+    }
+
+    /// Number of violations recorded.
+    pub fn len(&self) -> usize {
+        self.inner.borrow().len()
+    }
+
+    /// `true` when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.inner.borrow().is_empty()
+    }
+
+    /// Snapshot of the recorded violations.
+    pub fn snapshot(&self) -> Vec<AuditViolation> {
+        self.inner.borrow().clone()
+    }
+
+    /// The first recorded violation, if any.
+    pub fn first(&self) -> Option<AuditViolation> {
+        self.inner.borrow().first().cloned()
+    }
+
+    fn push(&self, v: AuditViolation) {
+        self.inner.borrow_mut().push(v);
+    }
+}
+
+/// Descriptions of faults that were actually injected (the schedule
+/// may arm more than the run reaches).
+#[derive(Clone, Debug, Default)]
+pub struct InjectionLog {
+    inner: Rc<RefCell<Vec<(u64, String)>>>,
+}
+
+impl InjectionLog {
+    /// `(access_index, description)` of every injected fault.
+    pub fn snapshot(&self) -> Vec<(u64, String)> {
+        self.inner.borrow().clone()
+    }
+
+    /// Number of injected faults.
+    pub fn len(&self) -> usize {
+        self.inner.borrow().len()
+    }
+
+    /// `true` when nothing was injected.
+    pub fn is_empty(&self) -> bool {
+        self.inner.borrow().is_empty()
+    }
+}
+
+/// A [`CacheOrg`] decorator that audits every access of the wrapped
+/// organization.
+pub struct AuditedOrg {
+    inner: Box<dyn CacheOrg>,
+    cfg: AuditConfig,
+    workload: String,
+    workload_seed: u64,
+    shadow: ShadowModel,
+    rng: Rng,
+    log: ViolationLog,
+    injections: InjectionLog,
+    /// Scheduled faults not yet injected/armed.
+    pending: Vec<FaultSpec>,
+    /// Total accesses observed (warm-up included).
+    index: u64,
+}
+
+impl AuditedOrg {
+    /// Wraps `inner` under `cfg`. `workload` and `workload_seed` are
+    /// carried verbatim into every violation record so artifacts can
+    /// name the run they came from.
+    pub fn new(
+        inner: Box<dyn CacheOrg>,
+        cfg: AuditConfig,
+        workload: impl Into<String>,
+        workload_seed: u64,
+    ) -> Self {
+        let rng = Rng::new(cfg.seed);
+        let mut pending = cfg.faults.clone();
+        pending.sort_by_key(|f| f.at);
+        AuditedOrg {
+            inner,
+            cfg,
+            workload: workload.into(),
+            workload_seed,
+            shadow: ShadowModel::new(),
+            rng,
+            log: ViolationLog::new(),
+            injections: InjectionLog::default(),
+            pending,
+            index: 0,
+        }
+    }
+
+    /// The shared violation log. Clone before boxing.
+    pub fn log(&self) -> ViolationLog {
+        self.log.clone()
+    }
+
+    /// The shared injection log. Clone before boxing.
+    pub fn injections(&self) -> InjectionLog {
+        self.injections.clone()
+    }
+
+    /// Accesses observed so far (warm-up included).
+    pub fn accesses_observed(&self) -> u64 {
+        self.index
+    }
+
+    /// The wrapped organization.
+    pub fn inner(&self) -> &dyn CacheOrg {
+        self.inner.as_ref()
+    }
+
+    fn record(&mut self, v: OrgViolation, core: CoreId) {
+        if self.log.len() >= self.cfg.max_violations {
+            return;
+        }
+        self.log.push(AuditViolation::from_org(
+            v,
+            self.inner.name(),
+            &self.workload,
+            self.workload_seed,
+            self.index,
+            core,
+        ));
+    }
+
+    /// Injects/arms every scheduled fault whose index has come up.
+    fn arm_due_faults(&mut self, bus: &mut Bus) {
+        while let Some(spec) = self.pending.first().copied() {
+            if spec.at > self.index {
+                break;
+            }
+            match spec.kind {
+                FaultKind::TagCorruption => {
+                    match self.inner.inject_tag_fault(&mut self.rng) {
+                        Some(desc) => {
+                            self.pending.remove(0);
+                            self.injections.inner.borrow_mut().push((self.index, desc));
+                        }
+                        // Nothing corruptible yet (cold cache): retry
+                        // on the next access.
+                        None => break,
+                    }
+                }
+                kind => {
+                    let fault = kind.snoop_fault().expect("non-tag faults map to the bus");
+                    let mut plan = bus.fault_plan().cloned().unwrap_or_else(SnoopFaultPlan::new);
+                    plan.arm(bus.samples(), fault);
+                    bus.set_fault_plan(plan);
+                    self.pending.remove(0);
+                    self.injections
+                        .inner
+                        .borrow_mut()
+                        .push((self.index, format!("armed snoop fault {} on the bus", spec)));
+                }
+            }
+        }
+    }
+}
+
+impl CacheOrg for AuditedOrg {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn access(
+        &mut self,
+        core: CoreId,
+        block: BlockAddr,
+        kind: AccessKind,
+        now: Cycle,
+        bus: &mut Bus,
+    ) -> AccessResponse {
+        self.arm_due_faults(bus);
+        let resp = match self.inner.try_access(core, block, kind, now, bus) {
+            Ok(resp) => resp,
+            Err(v) => {
+                self.record(v, core);
+                // Degrade to a memory-latency capacity miss so the
+                // run can continue deterministically.
+                AccessResponse::simple(300, AccessClass::MissCapacity)
+            }
+        };
+        if self.cfg.shadow {
+            if let Err(v) = self.shadow.observe(core, block, kind, &resp) {
+                self.record(v, core);
+            }
+        }
+        if self.cfg.audit_every > 0
+            && self.index % self.cfg.audit_every == self.cfg.audit_every - 1
+            && self.log.len() < self.cfg.max_violations
+        {
+            if let Err(v) = self.inner.audit() {
+                self.record(v, core);
+            }
+        }
+        self.index += 1;
+        resp
+    }
+
+    fn stats(&self) -> &OrgStats {
+        self.inner.stats()
+    }
+
+    fn reset_stats(&mut self) {
+        self.inner.reset_stats();
+    }
+
+    fn cores(&self) -> usize {
+        self.inner.cores()
+    }
+
+    fn audit(&self) -> Result<(), OrgViolation> {
+        self.inner.audit()
+    }
+}
+
+impl fmt::Debug for AuditedOrg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AuditedOrg")
+            .field("inner", &self.inner.name())
+            .field("accesses", &self.index)
+            .field("violations", &self.log.len())
+            .field("pending_faults", &self.pending.len())
+            .finish()
+    }
+}

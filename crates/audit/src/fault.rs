@@ -1,0 +1,155 @@
+//! The fault taxonomy injected by the audit harness.
+//!
+//! Each fault class targets a different piece of redundant state in
+//! the simulated machine, and each is *guaranteed detectable* by some
+//! layer of the audit (that guarantee is what the mutation self-test
+//! in `tests/` proves):
+//!
+//! | kind | corrupts | detected by |
+//! |------|----------|-------------|
+//! | [`FaultKind::TagCorruption`] | a tag entry's forward pointer | structural audit (`forward-pointer-*`) |
+//! | [`FaultKind::DropSnoopReply`] | snoop wires forced to silence | structural audit (`private-singleton`, `private-implies-sole-copy`) |
+//! | [`FaultKind::DuplicateSnoopReply`] | phantom shared assertion | protocol check in `try_access` (`shared-signal-has-*`) |
+//! | [`FaultKind::FlipDirtySignal`] | dirty wire inverted | protocol check (`dirty-signal-has-*`) or structural audit |
+
+use std::fmt;
+use std::str::FromStr;
+
+use cmp_coherence::SnoopFault;
+
+/// One class of injectable fault.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum FaultKind {
+    /// Corrupt one tag entry's internal pointer state in the wrapped
+    /// organization (via [`cmp_cache::CacheOrg::inject_tag_fault`]).
+    TagCorruption,
+    /// Suppress the snoop wires of one bus sample: a copy on chip
+    /// becomes invisible to the requestor.
+    DropSnoopReply,
+    /// Assert the shared wire on one bus sample where no copy exists:
+    /// a phantom sharer.
+    DuplicateSnoopReply,
+    /// Invert the dirty wire on one bus sample (either hiding a dirty
+    /// copy or fabricating one).
+    FlipDirtySignal,
+}
+
+impl FaultKind {
+    /// Every fault class, for exhaustive self-tests.
+    pub const ALL: [FaultKind; 4] = [
+        FaultKind::TagCorruption,
+        FaultKind::DropSnoopReply,
+        FaultKind::DuplicateSnoopReply,
+        FaultKind::FlipDirtySignal,
+    ];
+
+    /// Compact stable token used in replay artifacts.
+    pub fn token(self) -> &'static str {
+        match self {
+            FaultKind::TagCorruption => "tag",
+            FaultKind::DropSnoopReply => "drop",
+            FaultKind::DuplicateSnoopReply => "dup",
+            FaultKind::FlipDirtySignal => "flip",
+        }
+    }
+
+    /// The bus-level fault this class maps to, or `None` for tag
+    /// corruption (which targets the organization, not the bus).
+    pub fn snoop_fault(self) -> Option<SnoopFault> {
+        match self {
+            FaultKind::TagCorruption => None,
+            FaultKind::DropSnoopReply => Some(SnoopFault::DropReply),
+            FaultKind::DuplicateSnoopReply => Some(SnoopFault::DuplicateReply),
+            FaultKind::FlipDirtySignal => Some(SnoopFault::FlipDirty),
+        }
+    }
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.token())
+    }
+}
+
+impl FromStr for FaultKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "tag" => Ok(FaultKind::TagCorruption),
+            "drop" => Ok(FaultKind::DropSnoopReply),
+            "dup" => Ok(FaultKind::DuplicateSnoopReply),
+            "flip" => Ok(FaultKind::FlipDirtySignal),
+            other => Err(format!("unknown fault kind {other:?}")),
+        }
+    }
+}
+
+/// A fault scheduled at a specific L2 access index, serialized as
+/// `kind@index` (e.g. `tag@120`) in replay artifacts.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct FaultSpec {
+    /// What to corrupt.
+    pub kind: FaultKind,
+    /// L2 access index (0-based, counting every access the audited
+    /// organization sees, warm-up included) at which the fault arms.
+    pub at: u64,
+}
+
+impl FaultSpec {
+    /// Builds a spec.
+    pub fn new(kind: FaultKind, at: u64) -> Self {
+        FaultSpec { kind, at }
+    }
+}
+
+impl fmt::Display for FaultSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}", self.kind, self.at)
+    }
+}
+
+impl FromStr for FaultSpec {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (kind, at) = s.split_once('@').ok_or_else(|| format!("missing '@' in {s:?}"))?;
+        Ok(FaultSpec {
+            kind: kind.parse()?,
+            at: at.parse().map_err(|e| format!("bad fault index in {s:?}: {e}"))?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokens_roundtrip() {
+        for kind in FaultKind::ALL {
+            assert_eq!(kind.token().parse::<FaultKind>().unwrap(), kind);
+        }
+    }
+
+    #[test]
+    fn spec_roundtrip() {
+        for kind in FaultKind::ALL {
+            let spec = FaultSpec::new(kind, 1234);
+            assert_eq!(spec.to_string().parse::<FaultSpec>().unwrap(), spec);
+        }
+    }
+
+    #[test]
+    fn bad_specs_are_rejected() {
+        assert!("tag".parse::<FaultSpec>().is_err());
+        assert!("tag@x".parse::<FaultSpec>().is_err());
+        assert!("bogus@1".parse::<FaultSpec>().is_err());
+    }
+
+    #[test]
+    fn snoop_mapping() {
+        assert_eq!(FaultKind::TagCorruption.snoop_fault(), None);
+        assert!(FaultKind::DropSnoopReply.snoop_fault().is_some());
+    }
+}

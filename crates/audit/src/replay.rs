@@ -1,0 +1,218 @@
+//! Replay artifacts: one line of `key=value` pairs that pins down an
+//! audited run precisely enough to re-execute it deterministically.
+//!
+//! Everything the runner needs is in the artifact: the organization,
+//! the workload and its seed, the run sizing, the audit cadence, and
+//! the fault schedule. `violation_index` and `check` record what the
+//! original run observed, so the replayer can verify it reproduced
+//! the *same* violation at the *same* access index.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::audited::AuditViolation;
+use crate::fault::FaultSpec;
+
+/// A serialized audited run plus the violation it observed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReplayArtifact {
+    /// Organization short name (`OrgKind`-resolvable: "nurapid",
+    /// "private", ...).
+    pub org: String,
+    /// Workload name (a Table 3 multithreaded workload or a Table 2
+    /// mix).
+    pub workload: String,
+    /// Workload seed.
+    pub seed: u64,
+    /// Warm-up references per core.
+    pub warmup: u64,
+    /// Measured references per core.
+    pub measure: u64,
+    /// Structural-audit cadence used in the original run.
+    pub audit_every: u64,
+    /// The fault schedule (possibly empty: clean-run artifacts).
+    pub faults: Vec<FaultSpec>,
+    /// Access index of the first recorded violation.
+    pub violation_index: u64,
+    /// Check name of the first recorded violation.
+    pub check: String,
+}
+
+impl ReplayArtifact {
+    /// Builds an artifact from a run description and its first
+    /// violation.
+    pub fn from_violation(
+        v: &AuditViolation,
+        warmup: u64,
+        measure: u64,
+        audit_every: u64,
+        faults: &[FaultSpec],
+    ) -> Self {
+        ReplayArtifact {
+            org: v.org.clone(),
+            workload: v.workload.clone(),
+            seed: v.seed,
+            warmup,
+            measure,
+            audit_every,
+            faults: faults.to_vec(),
+            violation_index: v.access_index,
+            check: v.check.clone(),
+        }
+    }
+
+    /// `true` when `v` is the violation this artifact recorded: same
+    /// check at the same access index.
+    pub fn matches(&self, v: &AuditViolation) -> bool {
+        v.access_index == self.violation_index && v.check == self.check
+    }
+}
+
+impl fmt::Display for ReplayArtifact {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let faults = self.faults.iter().map(ToString::to_string).collect::<Vec<_>>().join(",");
+        write!(
+            f,
+            "org={} workload={} seed={:#x} warmup={} measure={} audit_every={} \
+             faults={} violation_index={} check={}",
+            self.org,
+            self.workload,
+            self.seed,
+            self.warmup,
+            self.measure,
+            self.audit_every,
+            if faults.is_empty() { "-" } else { &faults },
+            self.violation_index,
+            self.check,
+        )
+    }
+}
+
+impl FromStr for ReplayArtifact {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut org = None;
+        let mut workload = None;
+        let mut seed = None;
+        let mut warmup = None;
+        let mut measure = None;
+        let mut audit_every = None;
+        let mut faults = None;
+        let mut violation_index = None;
+        let mut check = None;
+        for pair in s.split_whitespace() {
+            let (key, value) =
+                pair.split_once('=').ok_or_else(|| format!("missing '=' in {pair:?}"))?;
+            let parse_u64 = |v: &str| -> Result<u64, String> {
+                if let Some(hex) = v.strip_prefix("0x") {
+                    u64::from_str_radix(hex, 16)
+                } else {
+                    v.parse()
+                }
+                .map_err(|e| format!("bad number {v:?} for {key}: {e}"))
+            };
+            match key {
+                "org" => org = Some(value.to_string()),
+                "workload" => workload = Some(value.to_string()),
+                "seed" => seed = Some(parse_u64(value)?),
+                "warmup" => warmup = Some(parse_u64(value)?),
+                "measure" => measure = Some(parse_u64(value)?),
+                "audit_every" => audit_every = Some(parse_u64(value)?),
+                "violation_index" => violation_index = Some(parse_u64(value)?),
+                "check" => check = Some(value.to_string()),
+                "faults" => {
+                    faults = Some(if value == "-" {
+                        Vec::new()
+                    } else {
+                        value.split(',').map(FaultSpec::from_str).collect::<Result<Vec<_>, _>>()?
+                    });
+                }
+                other => return Err(format!("unknown key {other:?}")),
+            }
+        }
+        let missing = |k: &str| format!("missing key {k:?}");
+        Ok(ReplayArtifact {
+            org: org.ok_or_else(|| missing("org"))?,
+            workload: workload.ok_or_else(|| missing("workload"))?,
+            seed: seed.ok_or_else(|| missing("seed"))?,
+            warmup: warmup.ok_or_else(|| missing("warmup"))?,
+            measure: measure.ok_or_else(|| missing("measure"))?,
+            audit_every: audit_every.ok_or_else(|| missing("audit_every"))?,
+            faults: faults.ok_or_else(|| missing("faults"))?,
+            violation_index: violation_index.ok_or_else(|| missing("violation_index"))?,
+            check: check.ok_or_else(|| missing("check"))?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultKind;
+
+    fn sample() -> ReplayArtifact {
+        ReplayArtifact {
+            org: "nurapid".into(),
+            workload: "oltp".into(),
+            seed: 0x15CA,
+            warmup: 2_000,
+            measure: 4_000,
+            audit_every: 256,
+            faults: vec![
+                FaultSpec::new(FaultKind::TagCorruption, 1_000),
+                FaultSpec::new(FaultKind::FlipDirtySignal, 2_500),
+            ],
+            violation_index: 1_255,
+            check: "forward-pointer-live".into(),
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let art = sample();
+        let line = art.to_string();
+        assert_eq!(line.parse::<ReplayArtifact>().unwrap(), art);
+    }
+
+    #[test]
+    fn roundtrip_without_faults() {
+        let mut art = sample();
+        art.faults.clear();
+        assert_eq!(art.to_string().parse::<ReplayArtifact>().unwrap(), art);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!("org=x".parse::<ReplayArtifact>().is_err(), "missing keys");
+        assert!("garbage".parse::<ReplayArtifact>().is_err(), "no '='");
+        let line = sample().to_string() + " bogus=1";
+        assert!(line.parse::<ReplayArtifact>().is_err(), "unknown key");
+    }
+
+    #[test]
+    fn hex_seed_roundtrips() {
+        let art = sample();
+        assert!(art.to_string().contains("seed=0x15ca"));
+        assert_eq!(art.to_string().parse::<ReplayArtifact>().unwrap().seed, 0x15CA);
+    }
+
+    #[test]
+    fn matches_same_index_and_check() {
+        let art = sample();
+        let mut v = AuditViolation {
+            org: "nurapid".into(),
+            workload: "oltp".into(),
+            seed: 0x15CA,
+            access_index: 1_255,
+            core: None,
+            block: None,
+            check: "forward-pointer-live".into(),
+            expected: String::new(),
+            actual: String::new(),
+        };
+        assert!(art.matches(&v));
+        v.access_index += 1;
+        assert!(!art.matches(&v));
+    }
+}

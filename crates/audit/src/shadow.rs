@@ -1,0 +1,214 @@
+//! The shadow functional memory model.
+//!
+//! The cache organizations are *timing* models: they track block
+//! residency, coherence state, and pointers, but carry no data
+//! values. The shadow model therefore checks every access response
+//! against the strongest data-free oracle available — a last-writer
+//! log per [`BlockAddr`], maintained across cores:
+//!
+//! * a **hit** implies the block has been referenced before (caches
+//!   do not invent blocks);
+//! * a **read-only-sharing miss** implies a prior reference left an
+//!   on-chip copy;
+//! * a **read-write-sharing miss** implies the block has been
+//!   *written* before (a dirty copy cannot exist otherwise);
+//! * a **write-through directive** (MESIC's C state) implies a dirty
+//!   copy, so again a prior or current write;
+//! * every response must charge a positive latency, and every L1
+//!   invalidation directive must name a block the machine has seen.
+//!
+//! These are one-directional implications on purpose: the shadow
+//! model cannot see evictions, so "capacity miss" is always
+//! plausible. The structural audits ([`cmp_cache::CacheOrg::audit`])
+//! carry the other direction.
+
+use std::collections::HashMap;
+
+use cmp_cache::{AccessClass, AccessResponse, Violation};
+use cmp_mem::{AccessKind, BlockAddr, CoreId};
+
+/// Per-block shadow state: the write log.
+#[derive(Clone, Copy, Debug, Default)]
+struct BlockShadow {
+    /// How many references the block has received.
+    references: u64,
+    /// How many writes the block has received.
+    writes: u64,
+    /// Last core to write the block.
+    last_writer: Option<CoreId>,
+}
+
+/// The cross-core functional shadow of the memory system.
+#[derive(Clone, Debug, Default)]
+pub struct ShadowModel {
+    blocks: HashMap<BlockAddr, BlockShadow>,
+}
+
+impl ShadowModel {
+    /// An empty shadow (cold memory).
+    pub fn new() -> Self {
+        ShadowModel::default()
+    }
+
+    /// Number of distinct blocks observed.
+    pub fn blocks_seen(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Last core to write `block`, if it was ever written.
+    pub fn last_writer(&self, block: BlockAddr) -> Option<CoreId> {
+        self.blocks.get(&block).and_then(|b| b.last_writer)
+    }
+
+    /// Checks one access response against the shadow, then folds the
+    /// access into the write log. Returns the first inconsistency.
+    pub fn observe(
+        &mut self,
+        core: CoreId,
+        block: BlockAddr,
+        kind: AccessKind,
+        resp: &AccessResponse,
+    ) -> Result<(), Violation> {
+        let seen = self.blocks.get(&block).copied().unwrap_or_default();
+        if resp.latency == 0 {
+            return Err(Violation::at(
+                "shadow-positive-latency",
+                core,
+                block,
+                "a positive access latency",
+                "0 cycles",
+            ));
+        }
+        match resp.class {
+            AccessClass::Hit { .. } if seen.references == 0 => {
+                return Err(Violation::at(
+                    "shadow-hit-requires-history",
+                    core,
+                    block,
+                    "a prior reference before any hit",
+                    "first-ever reference classified as a hit",
+                ));
+            }
+            AccessClass::MissRos if seen.references == 0 => {
+                return Err(Violation::at(
+                    "shadow-ros-requires-history",
+                    core,
+                    block,
+                    "a prior reference before a read-only-sharing miss",
+                    "first-ever reference classified as ROS",
+                ));
+            }
+            AccessClass::MissRws if seen.writes == 0 => {
+                return Err(Violation::at(
+                    "shadow-rws-requires-writer",
+                    core,
+                    block,
+                    "a prior write before a read-write-sharing miss",
+                    format!("{} reads, 0 writes", seen.references),
+                ));
+            }
+            _ => {}
+        }
+        if resp.writethrough && seen.writes == 0 && !kind.is_write() {
+            return Err(Violation::at(
+                "shadow-writethrough-requires-writer",
+                core,
+                block,
+                "a dirty copy (prior or current write) behind a write-through directive",
+                "read access to a never-written block",
+            ));
+        }
+        for &(_, inv_block) in &resp.l1_invalidate {
+            let known =
+                inv_block == block || self.blocks.get(&inv_block).is_some_and(|b| b.references > 0);
+            if !known {
+                return Err(Violation::at(
+                    "shadow-invalidate-known-block",
+                    core,
+                    inv_block,
+                    "L1 invalidations naming blocks the machine has seen",
+                    "invalidation of a never-referenced block",
+                ));
+            }
+        }
+        let entry = self.blocks.entry(block).or_default();
+        entry.references += 1;
+        if kind.is_write() {
+            entry.writes += 1;
+            entry.last_writer = Some(core);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmp_mem::Cycle;
+
+    fn resp(latency: Cycle, class: AccessClass) -> AccessResponse {
+        AccessResponse::simple(latency, class)
+    }
+
+    #[test]
+    fn cold_capacity_miss_is_plausible() {
+        let mut s = ShadowModel::new();
+        let r = resp(300, AccessClass::MissCapacity);
+        assert!(s.observe(CoreId(0), BlockAddr(1), AccessKind::Read, &r).is_ok());
+        assert_eq!(s.blocks_seen(), 1);
+    }
+
+    #[test]
+    fn hit_without_history_is_flagged() {
+        let mut s = ShadowModel::new();
+        let r = resp(10, AccessClass::Hit { closest: true });
+        let v = s.observe(CoreId(0), BlockAddr(1), AccessKind::Read, &r).unwrap_err();
+        assert_eq!(v.check, "shadow-hit-requires-history");
+    }
+
+    #[test]
+    fn rws_requires_a_prior_write() {
+        let mut s = ShadowModel::new();
+        let cold = resp(300, AccessClass::MissCapacity);
+        s.observe(CoreId(0), BlockAddr(1), AccessKind::Read, &cold).unwrap();
+        let r = resp(40, AccessClass::MissRws);
+        let v = s.observe(CoreId(1), BlockAddr(1), AccessKind::Read, &r).unwrap_err();
+        assert_eq!(v.check, "shadow-rws-requires-writer");
+        let w = resp(40, AccessClass::MissRws);
+        s.observe(CoreId(0), BlockAddr(1), AccessKind::Write, &cold).unwrap();
+        assert!(s.observe(CoreId(1), BlockAddr(1), AccessKind::Read, &w).is_ok());
+        assert_eq!(s.last_writer(BlockAddr(1)), Some(CoreId(0)));
+    }
+
+    #[test]
+    fn zero_latency_is_flagged() {
+        let mut s = ShadowModel::new();
+        let r = resp(0, AccessClass::MissCapacity);
+        let v = s.observe(CoreId(0), BlockAddr(1), AccessKind::Read, &r).unwrap_err();
+        assert_eq!(v.check, "shadow-positive-latency");
+    }
+
+    #[test]
+    fn writethrough_on_read_requires_writer() {
+        let mut s = ShadowModel::new();
+        let mut r = resp(40, AccessClass::MissCapacity);
+        r.writethrough = true;
+        let v = s.observe(CoreId(0), BlockAddr(1), AccessKind::Read, &r).unwrap_err();
+        assert_eq!(v.check, "shadow-writethrough-requires-writer");
+        // A *write* may legitimately install a write-through block.
+        assert!(s.observe(CoreId(0), BlockAddr(2), AccessKind::Write, &r).is_ok());
+    }
+
+    #[test]
+    fn invalidations_must_name_known_blocks() {
+        let mut s = ShadowModel::new();
+        let mut r = resp(40, AccessClass::MissCapacity);
+        r.l1_invalidate.push((CoreId(1), BlockAddr(99)));
+        let v = s.observe(CoreId(0), BlockAddr(1), AccessKind::Read, &r).unwrap_err();
+        assert_eq!(v.check, "shadow-invalidate-known-block");
+        // Self-invalidation of the accessed block itself is fine.
+        let mut r2 = resp(40, AccessClass::MissCapacity);
+        r2.l1_invalidate.push((CoreId(1), BlockAddr(2)));
+        assert!(s.observe(CoreId(0), BlockAddr(2), AccessKind::Read, &r2).is_ok());
+    }
+}

@@ -23,9 +23,7 @@ fn bench_cfg() -> RunConfig {
 }
 
 fn bench_table1(c: &mut Criterion) {
-    c.bench_function("table1_latency_model", |b| {
-        b.iter(|| black_box(Table1::from_model()))
-    });
+    c.bench_function("table1_latency_model", |b| b.iter(|| black_box(Table1::from_model())));
 }
 
 fn bench_figures(c: &mut Criterion) {
@@ -70,11 +68,7 @@ fn bench_ablations(c: &mut Criterion) {
                     in_situ_communication: isc,
                     ..NurapidConfig::paper()
                 };
-                black_box(run_multithreaded_custom(
-                    "oltp",
-                    Box::new(CmpNurapid::new(nur)),
-                    &cfg,
-                ));
+                black_box(run_multithreaded_custom("oltp", Box::new(CmpNurapid::new(nur)), &cfg));
             }
         })
     });
@@ -94,11 +88,7 @@ fn bench_ablations(c: &mut Criterion) {
         b.iter(|| {
             for factor in [1usize, 2, 4] {
                 let nur = NurapidConfig { tag_capacity_factor: factor, ..NurapidConfig::paper() };
-                black_box(run_multithreaded_custom(
-                    "oltp",
-                    Box::new(CmpNurapid::new(nur)),
-                    &cfg,
-                ));
+                black_box(run_multithreaded_custom("oltp", Box::new(CmpNurapid::new(nur)), &cfg));
             }
         })
     });
@@ -106,11 +96,7 @@ fn bench_ablations(c: &mut Criterion) {
         b.iter(|| {
             for staggered in [true, false] {
                 let nur = NurapidConfig { staggered_ranking: staggered, ..NurapidConfig::paper() };
-                black_box(run_multithreaded_custom(
-                    "apache",
-                    Box::new(CmpNurapid::new(nur)),
-                    &cfg,
-                ));
+                black_box(run_multithreaded_custom("apache", Box::new(CmpNurapid::new(nur)), &cfg));
             }
         })
     });

@@ -76,7 +76,13 @@ fn bench_nurapid_access(c: &mut Criterion) {
         b.iter(|| {
             now += 400;
             blk += 1;
-            black_box(l2.access(CoreId((blk % 4) as u8), BlockAddr(blk), AccessKind::Read, now, &mut bus))
+            black_box(l2.access(
+                CoreId((blk % 4) as u8),
+                BlockAddr(blk),
+                AccessKind::Read,
+                now,
+                &mut bus,
+            ))
         })
     });
 }

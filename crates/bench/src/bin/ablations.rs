@@ -8,16 +8,19 @@
 //! 4. staggered vs naive d-group rankings (Section 2.2.1).
 
 use cmp_bench::table::{pct, rel, TextTable};
-use cmp_bench::config_from_args;
+use cmp_bench::{config_from_args, ok_or_exit};
 use cmp_nurapid::{CmpNurapid, NurapidConfig, PromotionPolicy};
-use cmp_sim::{run_mix, run_mix_custom, run_multithreaded, run_multithreaded_custom, OrgKind};
+use cmp_sim::{
+    try_run_mix, try_run_mix_custom, try_run_multithreaded, try_run_multithreaded_custom, OrgKind,
+};
 
 fn main() {
     let cfg = config_from_args();
 
     // --- 1. CR x ISC factorial on OLTP --------------------------------
-    let shared = run_multithreaded("oltp", OrgKind::Shared, &cfg);
-    let mut t = TextTable::new(vec!["configuration", "rel perf", "ROS miss", "RWS miss", "cap miss"]);
+    let shared = ok_or_exit(try_run_multithreaded("oltp", OrgKind::Shared, &cfg));
+    let mut t =
+        TextTable::new(vec!["configuration", "rel perf", "ROS miss", "RWS miss", "cap miss"]);
     let combos: [(&str, bool, bool); 4] = [
         ("neither (migration only)", false, false),
         ("CR only", true, false),
@@ -30,7 +33,8 @@ fn main() {
             in_situ_communication: isc,
             ..NurapidConfig::paper()
         };
-        let r = run_multithreaded_custom("oltp", Box::new(CmpNurapid::new(nur)), &cfg);
+        let r =
+            ok_or_exit(try_run_multithreaded_custom("oltp", Box::new(CmpNurapid::new(nur)), &cfg));
         t.row(vec![
             label.to_string(),
             rel(r.ipc() / shared.ipc()),
@@ -43,29 +47,33 @@ fn main() {
 
     // --- 2. Promotion policy ------------------------------------------
     let mut t = TextTable::new(vec![
-        "workload", "fastest", "(closest hits)", "next-fastest", "(closest hits)",
+        "workload",
+        "fastest",
+        "(closest hits)",
+        "next-fastest",
+        "(closest hits)",
     ]);
     for wl in ["specjbb", "ocean", "MIX3"] {
         let is_mix = wl.starts_with("MIX");
-        let base = if is_mix {
-            run_mix(wl, OrgKind::Shared, &cfg).ipc()
+        let base = ok_or_exit(if is_mix {
+            try_run_mix(wl, OrgKind::Shared, &cfg)
         } else {
-            run_multithreaded(wl, OrgKind::Shared, &cfg).ipc()
-        };
+            try_run_multithreaded(wl, OrgKind::Shared, &cfg)
+        })
+        .ipc();
         let run_with = |policy| {
             let nur = NurapidConfig { promotion: policy, ..NurapidConfig::paper() };
             let org = Box::new(CmpNurapid::new(nur));
-            if is_mix {
-                run_mix_custom(wl, org, &cfg)
+            ok_or_exit(if is_mix {
+                try_run_mix_custom(wl, org, &cfg)
             } else {
-                run_multithreaded_custom(wl, org, &cfg)
-            }
+                try_run_multithreaded_custom(wl, org, &cfg)
+            })
         };
         let fast = run_with(PromotionPolicy::Fastest);
         let next = run_with(PromotionPolicy::NextFastest);
-        let closest = |r: &cmp_sim::RunResult| {
-            pct(r.l2.hits_closest as f64 / r.l2.hits().max(1) as f64)
-        };
+        let closest =
+            |r: &cmp_sim::RunResult| pct(r.l2.hits_closest as f64 / r.l2.hits().max(1) as f64);
         t.row(vec![
             wl.to_string(),
             rel(fast.ipc() / base),
@@ -93,7 +101,8 @@ fn main() {
         let entries_per_core = nur.tag_geometry().num_blocks();
         let overhead_bytes = 4 * (entries_per_core - baseline_entries) * 8;
         let total = 8 * 1024 * 1024 + 4 * baseline_entries * 8 + overhead_bytes;
-        let r = run_multithreaded_custom("oltp", Box::new(CmpNurapid::new(nur)), &cfg);
+        let r =
+            ok_or_exit(try_run_multithreaded_custom("oltp", Box::new(CmpNurapid::new(nur)), &cfg));
         t.row(vec![
             format!("{factor}x"),
             rel(r.ipc() / base),
@@ -109,10 +118,10 @@ fn main() {
     // --- 4. Ranking -----------------------------------------------------
     let mut t = TextTable::new(vec!["mix", "staggered", "(demotions)", "naive", "(demotions)"]);
     for m in ["MIX2", "MIX3"] {
-        let base = run_mix(m, OrgKind::Shared, &cfg).ipc();
+        let base = ok_or_exit(try_run_mix(m, OrgKind::Shared, &cfg)).ipc();
         let run_with = |staggered| {
             let nur = NurapidConfig { staggered_ranking: staggered, ..NurapidConfig::paper() };
-            run_mix_custom(m, Box::new(CmpNurapid::new(nur)), &cfg)
+            ok_or_exit(try_run_mix_custom(m, Box::new(CmpNurapid::new(nur)), &cfg))
         };
         let stag = run_with(true);
         let naive = run_with(false);
@@ -132,13 +141,17 @@ fn main() {
 
     // --- 5. C-collapse extension ----------------------------------------
     let mut t = TextTable::new(vec![
-        "workload", "no exits from C (paper)", "(collapses)", "c_collapse", "(collapses)",
+        "workload",
+        "no exits from C (paper)",
+        "(collapses)",
+        "c_collapse",
+        "(collapses)",
     ]);
     for wl in ["oltp", "specjbb"] {
-        let base = run_multithreaded(wl, OrgKind::Shared, &cfg).ipc();
+        let base = ok_or_exit(try_run_multithreaded(wl, OrgKind::Shared, &cfg)).ipc();
         let run_with = |collapse| {
             let nur = NurapidConfig { c_collapse: collapse, ..NurapidConfig::paper() };
-            run_multithreaded_custom(wl, Box::new(CmpNurapid::new(nur)), &cfg)
+            ok_or_exit(try_run_multithreaded_custom(wl, Box::new(CmpNurapid::new(nur)), &cfg))
         };
         let paper = run_with(false);
         let ext = run_with(true);

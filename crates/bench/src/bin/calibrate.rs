@@ -2,9 +2,10 @@
 //! statistics of every figure at moderate scale so workload profiles
 //! can be tuned against the paper's targets.
 
+use cmp_bench::ok_or_exit;
 use cmp_cache::AccessClass;
 use cmp_mem::ReuseBucket;
-use cmp_sim::{run_mix, run_multithreaded, OrgKind, RunConfig};
+use cmp_sim::{try_run_mix, try_run_multithreaded, OrgKind, RunConfig};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -13,10 +14,22 @@ fn main() {
     println!("== multithreaded (scale {scale}/core) ==");
     let mut relsum = std::collections::HashMap::<&str, (f64, usize)>::new();
     for wl in ["oltp", "apache", "specjbb", "ocean", "barnes"] {
-        let shared = run_multithreaded(wl, OrgKind::Shared, &cfg);
+        let shared = ok_or_exit(try_run_multithreaded(wl, OrgKind::Shared, &cfg));
         let base_ipc = shared.ipc();
-        for kind in [OrgKind::Shared, OrgKind::Private, OrgKind::Snuca, OrgKind::Ideal, OrgKind::Nurapid, OrgKind::NurapidCrOnly, OrgKind::NurapidIscOnly] {
-            let r = if kind == OrgKind::Shared { shared.clone() } else { run_multithreaded(wl, kind, &cfg) };
+        for kind in [
+            OrgKind::Shared,
+            OrgKind::Private,
+            OrgKind::Snuca,
+            OrgKind::Ideal,
+            OrgKind::Nurapid,
+            OrgKind::NurapidCrOnly,
+            OrgKind::NurapidIscOnly,
+        ] {
+            let r = if kind == OrgKind::Shared {
+                shared.clone()
+            } else {
+                ok_or_exit(try_run_multithreaded(wl, kind, &cfg))
+            };
             let s = &r.l2;
             let f = |c| s.class_fraction(c).value() * 100.0;
             println!(
@@ -54,9 +67,13 @@ fn main() {
     }
     println!("\n== multiprogrammed ==");
     for mix in ["MIX1", "MIX2", "MIX3", "MIX4"] {
-        let shared = run_mix(mix, OrgKind::Shared, &cfg);
+        let shared = ok_or_exit(try_run_mix(mix, OrgKind::Shared, &cfg));
         for kind in [OrgKind::Shared, OrgKind::Private, OrgKind::Snuca, OrgKind::Nurapid] {
-            let r = if kind == OrgKind::Shared { shared.clone() } else { run_mix(mix, kind, &cfg) };
+            let r = if kind == OrgKind::Shared {
+                shared.clone()
+            } else {
+                ok_or_exit(try_run_mix(mix, kind, &cfg))
+            };
             println!(
                 "{mix:5} {:24} rel={:6.3} miss={:5.2}% l2acc/ref {:4.1}% stall/l2acc {:5.1} buswait {:4} ipc {:.3}",
                 kind.label(),

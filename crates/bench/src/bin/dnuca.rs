@@ -9,18 +9,22 @@
 
 use cmp_bench::config_from_args;
 use cmp_bench::table::{pct, rel, TextTable};
-use cmp_bench::MULTITHREADED;
-use cmp_sim::{run_multithreaded, OrgKind};
+use cmp_bench::{ok_or_exit, MULTITHREADED};
+use cmp_sim::{try_run_multithreaded, OrgKind};
 
 fn main() {
     let cfg = config_from_args();
     let mut t = TextTable::new(vec![
-        "workload", "SNUCA (rel)", "DNUCA (rel)", "DNUCA closest hits", "DNUCA migrations",
+        "workload",
+        "SNUCA (rel)",
+        "DNUCA (rel)",
+        "DNUCA closest hits",
+        "DNUCA migrations",
     ]);
     for wl in MULTITHREADED {
-        let shared = run_multithreaded(wl, OrgKind::Shared, &cfg);
-        let snuca = run_multithreaded(wl, OrgKind::Snuca, &cfg);
-        let dnuca = run_multithreaded(wl, OrgKind::Dnuca, &cfg);
+        let shared = ok_or_exit(try_run_multithreaded(wl, OrgKind::Shared, &cfg));
+        let snuca = ok_or_exit(try_run_multithreaded(wl, OrgKind::Snuca, &cfg));
+        let dnuca = ok_or_exit(try_run_multithreaded(wl, OrgKind::Dnuca, &cfg));
         t.row(vec![
             wl.to_string(),
             rel(snuca.ipc() / shared.ipc()),

@@ -4,21 +4,28 @@
 //!
 //! Usage: `energy [quick|paper|REFS]`
 
-use cmp_bench::config_from_args;
 use cmp_bench::table::TextTable;
+use cmp_bench::{config_from_args, ok_or_exit};
 use cmp_latency::energy::EnergyModel;
-use cmp_sim::{energy_account, run_multithreaded, OrgKind};
+use cmp_sim::{energy_account, try_run_multithreaded, OrgKind};
 
 fn main() {
     let cfg = config_from_args();
     let model = EnergyModel::paper_70nm();
     for wl in ["oltp", "apache"] {
         let mut t = TextTable::new(vec![
-            "org", "tag mJ", "data mJ", "bus mJ", "memory mJ", "L1 mJ", "total mJ", "nJ/ref",
+            "org",
+            "tag mJ",
+            "data mJ",
+            "bus mJ",
+            "memory mJ",
+            "L1 mJ",
+            "total mJ",
+            "nJ/ref",
         ]);
         let mut shared_total = 0.0;
         for kind in OrgKind::COMPARISON {
-            let r = run_multithreaded(wl, kind, &cfg);
+            let r = ok_or_exit(try_run_multithreaded(wl, kind, &cfg));
             let e = energy_account(&r, kind, &model);
             if kind == OrgKind::Shared {
                 shared_total = e.total_mj();
@@ -30,7 +37,11 @@ fn main() {
                 format!("{:.2}", e.bus_mj),
                 format!("{:.2}", e.memory_mj),
                 format!("{:.2}", e.l1_mj),
-                format!("{:.2} ({:+.0}%)", e.total_mj(), (e.total_mj() / shared_total - 1.0) * 100.0),
+                format!(
+                    "{:.2} ({:+.0}%)",
+                    e.total_mj(),
+                    (e.total_mj() / shared_total - 1.0) * 100.0
+                ),
                 format!("{:.2}", e.per_reference_nj(r.accesses)),
             ]);
         }

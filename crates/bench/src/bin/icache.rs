@@ -6,19 +6,23 @@
 //!
 //! Usage: `icache [quick|paper|REFS]`
 
-use cmp_bench::config_from_args;
 use cmp_bench::table::{pct, rel, TextTable};
+use cmp_bench::{config_from_args, ok_or_exit};
 use cmp_sim::{build_org, OrgKind, System};
 
 fn main() {
     let cfg = config_from_args();
     for wl in ["oltp", "apache"] {
         let mut t = TextTable::new(vec![
-            "org", "rel perf", "L1I hit rate", "L2 ROS misses", "L2 miss rate",
+            "org",
+            "rel perf",
+            "L1I hit rate",
+            "L2 ROS misses",
+            "L2 miss rate",
         ]);
         let mut base = 0.0;
         for kind in [OrgKind::Shared, OrgKind::Private, OrgKind::Nurapid] {
-            let workload = cmp_sim::runner::multithreaded_workload(wl, cfg.seed);
+            let workload = ok_or_exit(cmp_sim::try_multithreaded_workload(wl, cfg.seed));
             let mut sys = System::new(workload, build_org(kind));
             assert!(sys.enable_instruction_fetch(cfg.seed), "profiles model code");
             let r = sys.run_measured(cfg.warmup_accesses, cfg.measure_accesses);

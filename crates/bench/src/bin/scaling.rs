@@ -36,7 +36,11 @@ fn main() {
     // comparable.
     println!("Core-count scaling on OLTP, total L2 capacity fixed at 8 MB\n");
     let mut t = TextTable::new(vec![
-        "cores", "private (rel)", "non-uniform-shared (rel)", "CMP-NuRAPID (rel)", "NuRAPID miss%",
+        "cores",
+        "private (rel)",
+        "non-uniform-shared (rel)",
+        "CMP-NuRAPID (rel)",
+        "NuRAPID miss%",
     ]);
     for cores in [2usize, 4, 8, 16] {
         let book = LatencyBook::from_table1(&Table1::published(), cores);

@@ -9,9 +9,10 @@
 //!           nurapid-cr | nurapid-isc
 //! ```
 
+use cmp_bench::ok_or_exit;
 use cmp_cache::AccessClass;
 use cmp_mem::ReuseBucket;
-use cmp_sim::{run_mix, run_multithreaded, OrgKind, RunConfig};
+use cmp_sim::{try_run_mix, try_run_multithreaded, OrgKind, RunConfig};
 
 fn usage() -> ! {
     eprintln!(
@@ -25,36 +26,34 @@ fn usage() -> ! {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (Some(workload), Some(org)) = (args.first(), args.get(1)) else { usage() };
-    let kind = match org.as_str() {
-        "shared" => OrgKind::Shared,
-        "private" => OrgKind::Private,
-        "snuca" => OrgKind::Snuca,
-        "dnuca" => OrgKind::Dnuca,
-        "ideal" => OrgKind::Ideal,
-        "nurapid" => OrgKind::Nurapid,
-        "nurapid-cr" => OrgKind::NurapidCrOnly,
-        "nurapid-isc" => OrgKind::NurapidIscOnly,
-        _ => usage(),
-    };
+    let Some(kind) = OrgKind::from_name(org) else { usage() };
     let measure = args.get(2).map_or(1_000_000, |s| s.parse().unwrap_or_else(|_| usage()));
     let warmup = args.get(3).map_or(measure / 2, |s| s.parse().unwrap_or_else(|_| usage()));
     let seed = args.get(4).map_or(0x15CA, |s| s.parse().unwrap_or_else(|_| usage()));
     let cfg = RunConfig { warmup_accesses: warmup, measure_accesses: measure, seed };
     let is_mix = workload.starts_with("MIX");
-    let r = if is_mix {
-        run_mix(workload, kind, &cfg)
+    let r = ok_or_exit(if is_mix {
+        try_run_mix(workload, kind, &cfg)
     } else {
-        run_multithreaded(workload, kind, &cfg)
-    };
+        try_run_multithreaded(workload, kind, &cfg)
+    });
 
-    println!("workload {} on {} (warmup {warmup}, measure {measure}, seed {seed:#x})", r.workload, kind.label());
+    println!(
+        "workload {} on {} (warmup {warmup}, measure {measure}, seed {seed:#x})",
+        r.workload,
+        kind.label()
+    );
     println!("  instructions        {:>12}", r.instructions);
     println!("  references          {:>12}", r.accesses);
     println!("  cycles              {:>12}", r.cycles);
     println!("  IPC (all cores)     {:>12.3}", r.ipc());
     let s = &r.l2;
     let f = |c| s.class_fraction(c).value() * 100.0;
-    println!("  L2 accesses         {:>12}   ({:.1}% of references)", s.accesses(), 100.0 * s.accesses() as f64 / r.accesses as f64);
+    println!(
+        "  L2 accesses         {:>12}   ({:.1}% of references)",
+        s.accesses(),
+        100.0 * s.accesses() as f64 / r.accesses as f64
+    );
     println!("    hits closest      {:>11.1}%", f(AccessClass::Hit { closest: true }));
     println!("    hits farther      {:>11.1}%", f(AccessClass::Hit { closest: false }));
     println!("    ROS misses        {:>11.1}%", f(AccessClass::MissRos));

@@ -50,7 +50,11 @@ pub fn table2() -> String {
 /// `cmp_trace::profiles`).
 pub fn table3() -> String {
     let mut t = TextTable::new(vec![
-        "Workload", "cold mix P/ROS/RWS", "private blocks", "ROS pool", "RWS objects",
+        "Workload",
+        "cold mix P/ROS/RWS",
+        "private blocks",
+        "ROS pool",
+        "RWS objects",
     ]);
     for params in [
         cmp_trace::profiles::oltp_params(),
@@ -61,7 +65,12 @@ pub fn table3() -> String {
     ] {
         t.row(vec![
             params.name.clone(),
-            format!("{:.0}/{:.0}/{:.0}%", params.weight_private * 100.0, params.weight_ros * 100.0, params.weight_rws * 100.0),
+            format!(
+                "{:.0}/{:.0}/{:.0}%",
+                params.weight_private * 100.0,
+                params.weight_ros * 100.0,
+                params.weight_rws * 100.0
+            ),
             params.private_blocks.to_string(),
             params.ros_pool_blocks().to_string(),
             params.rws_objects.to_string(),
@@ -130,7 +139,13 @@ fn reuse_cells(h: &ReuseHistogram) -> Vec<String> {
 /// RWS blocks in private caches.
 pub fn fig7(lab: &mut Lab) -> String {
     let mut t = TextTable::new(vec![
-        "workload", "kind", "0 reuse", "1 reuse", "2-5 reuses", ">5 reuses", "n",
+        "workload",
+        "kind",
+        "0 reuse",
+        "1 reuse",
+        "2-5 reuses",
+        ">5 reuses",
+        "n",
     ]);
     for wl in MULTITHREADED {
         let s = lab.result(mt(wl), OrgKind::Private).l2.clone();
@@ -188,7 +203,8 @@ pub fn fig8(lab: &mut Lab) -> String {
 /// Figure 9: distribution of data-array accesses for CR and ISC:
 /// closest-d-group hits vs farther hits vs misses.
 pub fn fig9(lab: &mut Lab) -> String {
-    let mut t = TextTable::new(vec!["workload", "config", "closest hits", "farther hits", "misses"]);
+    let mut t =
+        TextTable::new(vec!["workload", "config", "closest hits", "farther hits", "misses"]);
     for wl in MULTITHREADED {
         for (kind, label) in [
             (OrgKind::NurapidCrOnly, "CR"),
@@ -216,9 +232,8 @@ pub fn fig9(lab: &mut Lab) -> String {
 /// Figure 10: relative performance of all organizations on the
 /// multithreaded workloads.
 pub fn fig10(lab: &mut Lab) -> String {
-    let mut t = TextTable::new(vec![
-        "workload", "non-uniform-shared", "private", "ideal", "CMP-NuRAPID",
-    ]);
+    let mut t =
+        TextTable::new(vec!["workload", "non-uniform-shared", "private", "ideal", "CMP-NuRAPID"]);
     for wl in MULTITHREADED {
         t.row(vec![
             wl.to_string(),
@@ -274,8 +289,7 @@ pub fn fig11(lab: &mut Lab) -> String {
 
 /// Figure 12: relative IPC for the multiprogrammed mixes.
 pub fn fig12(lab: &mut Lab) -> String {
-    let mut t =
-        TextTable::new(vec!["mix", "non-uniform-shared", "private", "CMP-NuRAPID"]);
+    let mut t = TextTable::new(vec!["mix", "non-uniform-shared", "private", "CMP-NuRAPID"]);
     for m in MIXES {
         t.row(vec![
             m.to_string(),

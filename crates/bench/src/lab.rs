@@ -2,7 +2,7 @@
 
 use std::collections::HashMap;
 
-use cmp_sim::{run_mix, run_multithreaded, OrgKind, RunConfig, RunResult};
+use cmp_sim::{try_run_mix, try_run_multithreaded, OrgKind, RunConfig, RunResult, SimError};
 
 /// Identifies a workload for the result cache.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -45,14 +45,32 @@ impl Lab {
         &self.cfg
     }
 
-    /// Returns the (cached) result for a workload/organization pair.
-    pub fn result(&mut self, workload: WorkloadId, kind: OrgKind) -> &RunResult {
+    /// Returns the (cached) result for a workload/organization pair,
+    /// surfacing unknown workload names instead of panicking.
+    pub fn try_result(
+        &mut self,
+        workload: WorkloadId,
+        kind: OrgKind,
+    ) -> Result<&RunResult, SimError> {
         let key = (workload, kind.label());
-        let cfg = self.cfg;
-        self.cache.entry(key).or_insert_with(|| match workload {
-            WorkloadId::Multithreaded(name) => run_multithreaded(name, kind, &cfg),
-            WorkloadId::Mix(name) => run_mix(name, kind, &cfg),
-        })
+        if !self.cache.contains_key(&key) {
+            let r = match workload {
+                WorkloadId::Multithreaded(name) => try_run_multithreaded(name, kind, &self.cfg)?,
+                WorkloadId::Mix(name) => try_run_mix(name, kind, &self.cfg)?,
+            };
+            self.cache.insert(key, r);
+        }
+        Ok(&self.cache[&key])
+    }
+
+    /// Returns the (cached) result for a workload/organization pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown workload name; prefer [`Lab::try_result`]
+    /// when the name is not a compile-time constant.
+    pub fn result(&mut self, workload: WorkloadId, kind: OrgKind) -> &RunResult {
+        self.try_result(workload, kind).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Relative performance of `kind` vs the uniform-shared baseline
@@ -66,10 +84,8 @@ impl Lab {
     /// Geometric-free average of `relative` over several workloads
     /// (the paper reports arithmetic averages).
     pub fn average_relative(&mut self, workloads: &[&'static str], kind: OrgKind) -> f64 {
-        let sum: f64 = workloads
-            .iter()
-            .map(|w| self.relative(WorkloadId::Multithreaded(w), kind))
-            .sum();
+        let sum: f64 =
+            workloads.iter().map(|w| self.relative(WorkloadId::Multithreaded(w), kind)).sum();
         sum / workloads.len() as f64
     }
 
@@ -109,6 +125,16 @@ mod tests {
         let mut lab = Lab::new(tiny_cfg());
         let r = lab.result(WorkloadId::Mix("MIX4"), OrgKind::Private);
         assert_eq!(r.workload, "MIX4");
+    }
+
+    #[test]
+    fn unknown_workload_surfaces_as_error() {
+        let mut lab = Lab::new(tiny_cfg());
+        let err = lab.try_result(WorkloadId::Multithreaded("tpch"), OrgKind::Shared).unwrap_err();
+        assert_eq!(err, SimError::UnknownWorkload("tpch".into()));
+        let err = lab.try_result(WorkloadId::Mix("MIX9"), OrgKind::Shared).unwrap_err();
+        assert_eq!(err, SimError::UnknownMix("MIX9".into()));
+        assert_eq!(lab.runs(), 0, "failed lookups must not pollute the cache");
     }
 
     #[test]

@@ -44,6 +44,15 @@ pub fn config_from_args() -> RunConfig {
     }
 }
 
+/// Unwraps a runner result in a binary: prints the error and exits
+/// with status 2 instead of panicking with a backtrace.
+pub fn ok_or_exit<T>(r: Result<T, cmp_sim::SimError>) -> T {
+    r.unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    })
+}
+
 /// The five multithreaded workloads in the paper's order.
 pub const MULTITHREADED: [&str; 5] = ["oltp", "apache", "specjbb", "ocean", "barnes"];
 

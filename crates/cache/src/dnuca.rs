@@ -105,7 +105,11 @@ impl Dnuca {
     /// farthest bank's latency — the partial-tag "smart search" of
     /// Beckmann & Wood resolves a definite miss with one overlapped
     /// sweep rather than four serial probes.
-    fn search(&self, core: CoreId, block: BlockAddr) -> (Vec<usize>, Option<(usize, usize, usize)>, Cycle) {
+    fn search(
+        &self,
+        core: CoreId,
+        block: BlockAddr,
+    ) -> (Vec<usize>, Option<(usize, usize, usize)>, Cycle) {
         let order = self.search_order(core, Self::column_of(block));
         let mut latency = 0;
         for (pos, &bank) in order.iter().enumerate() {
@@ -133,8 +137,7 @@ impl Dnuca {
             // The displaced block takes the vacated slot in the old
             // bank (a swap, so nothing leaves the cache).
             let back_set = self.banks[from_bank].set_of(victim_block);
-            let back_way =
-                self.banks[from_bank].victim_by(back_set, |e| u32::from(e.is_some()));
+            let back_way = self.banks[from_bank].victim_by(back_set, |e| u32::from(e.is_some()));
             if let Some((evicted, evicted_payload)) =
                 self.banks[from_bank].evict(back_set, back_way)
             {
@@ -259,7 +262,7 @@ mod tests {
     fn repeated_hits_migrate_the_block_closer() {
         let (mut l2, mut bus, mut t) = paper_dnuca();
         rd(&mut l2, &mut bus, &mut t, 0, 77); // cold fill already nearest
-        // Fill lands nearest already; push it away by making P3 hit it.
+                                              // Fill lands nearest already; push it away by making P3 hit it.
         for _ in 0..6 {
             rd(&mut l2, &mut bus, &mut t, 3, 77);
         }
@@ -273,7 +276,7 @@ mod tests {
     fn migration_latency_is_monotone_for_a_lone_user() {
         let (mut l2, mut bus, mut t) = paper_dnuca();
         rd(&mut l2, &mut bus, &mut t, 2, 40); // P2 cold fill
-        // P1 starts hitting it from the other corner.
+                                              // P1 starts hitting it from the other corner.
         let mut last = u64::MAX;
         for _ in 0..6 {
             let hit = rd(&mut l2, &mut bus, &mut t, 1, 40);
@@ -316,9 +319,8 @@ mod tests {
             rd(&mut l2, &mut bus, &mut t, c, 13);
         }
         let col = Dnuca::column_of(BlockAddr(13));
-        let resident: Vec<usize> = (0..16)
-            .filter(|&b| l2.banks[b].lookup(BlockAddr(13)).is_some())
-            .collect();
+        let resident: Vec<usize> =
+            (0..16).filter(|&b| l2.banks[b].lookup(BlockAddr(13)).is_some()).collect();
         assert_eq!(resident.len(), 1, "exactly one copy");
         assert_eq!(resident[0] % COLUMNS, col, "still in its column bankset");
     }
@@ -336,7 +338,7 @@ mod tests {
     fn search_reaches_farther_banks_at_higher_cost() {
         let (mut l2, mut bus, mut t) = paper_dnuca();
         rd(&mut l2, &mut bus, &mut t, 0, 16); // P0 fills its nearest bank, column 0
-        // P3 finds it only after probing its own closer banks first.
+                                              // P3 finds it only after probing its own closer banks first.
         let hit = rd(&mut l2, &mut bus, &mut t, 3, 16);
         assert!(hit.class.is_hit());
         let p3_nearest = l2.search_order(CoreId(3), 0)[0];

@@ -12,7 +12,11 @@
 //!   selection;
 //! * [`org`] — the [`CacheOrg`] trait the system simulator drives,
 //!   plus the access classification ([`AccessClass`]) and statistics
-//!   ([`OrgStats`]) shared by every organization;
+//!   ([`OrgStats`]) shared by every organization; the trait also
+//!   carries the audit hooks (`try_access`, `audit`,
+//!   `inject_tag_fault`) the `cmp-audit` harness drives;
+//! * [`violation`] — the structured [`Violation`] record those hooks
+//!   report instead of panicking;
 //! * [`shared`] — the **uniform-shared** 8 MB cache (59-cycle hits)
 //!   and the **ideal** cache (shared capacity at private latency,
 //!   Section 5.1.1's upper bound);
@@ -31,6 +35,7 @@ pub mod private_mesi;
 pub mod shared;
 pub mod snuca;
 pub mod tag_array;
+pub mod violation;
 
 pub use dnuca::Dnuca;
 pub use org::{AccessClass, AccessResponse, CacheOrg, OrgStats};
@@ -38,3 +43,4 @@ pub use private_mesi::PrivateMesi;
 pub use shared::UniformShared;
 pub use snuca::Snuca;
 pub use tag_array::TagArray;
+pub use violation::Violation;

@@ -1,7 +1,9 @@
 //! The L2-organization interface driven by the system simulator.
 
 use cmp_coherence::Bus;
-use cmp_mem::{AccessKind, BlockAddr, CoreId, Cycle, Fraction, ReuseHistogram};
+use cmp_mem::{AccessKind, BlockAddr, CoreId, Cycle, Fraction, ReuseHistogram, Rng};
+
+use crate::violation::Violation;
 
 /// Classification of one L2 access, matching the categories of the
 //  paper's Figure 5:
@@ -187,6 +189,47 @@ pub trait CacheOrg {
 
     /// Number of cores this organization serves.
     fn cores(&self) -> usize;
+
+    /// Fallible access path: like [`CacheOrg::access`], but surfaces a
+    /// protocol [`Violation`] instead of panicking when the
+    /// organization's internal state contradicts the snoop results
+    /// (which happens under fault injection).
+    ///
+    /// The default delegates to the infallible path; organizations
+    /// with internal consistency checks override it. Implementations
+    /// must leave the structure in a *usable* (if degraded) state on
+    /// `Err` so an audit harness can continue the run.
+    fn try_access(
+        &mut self,
+        core: CoreId,
+        block: BlockAddr,
+        kind: AccessKind,
+        now: Cycle,
+        bus: &mut Bus,
+    ) -> Result<AccessResponse, Violation> {
+        Ok(self.access(core, block, kind, now, bus))
+    }
+
+    /// Runs the organization's structural self-checks, returning the
+    /// first violated invariant. The default reports success:
+    /// organizations without internal redundancy (nothing to
+    /// cross-check) are vacuously consistent.
+    fn audit(&self) -> Result<(), Violation> {
+        Ok(())
+    }
+
+    /// Deterministically corrupts one piece of internal tag state
+    /// (fault injection for audit self-tests). Returns a description
+    /// of the corruption, or `None` when the organization does not
+    /// support injection or holds no corruptible state yet.
+    ///
+    /// Implementations must choose corruptions their [`CacheOrg::audit`]
+    /// is guaranteed to detect — the mutation self-test in `cmp-audit`
+    /// relies on it.
+    fn inject_tag_fault(&mut self, rng: &mut Rng) -> Option<String> {
+        let _ = rng;
+        None
+    }
 }
 
 #[cfg(test)]

@@ -16,10 +16,11 @@
 use cmp_coherence::mesi::{self, MesiState};
 use cmp_coherence::{Bus, BusTx, SnoopSignals};
 use cmp_latency::LatencyBook;
-use cmp_mem::{AccessKind, BlockAddr, CacheGeometry, CoreId, Cycle};
+use cmp_mem::{AccessKind, BlockAddr, CacheGeometry, CoreId, Cycle, Rng};
 
 use crate::org::{AccessClass, AccessResponse, CacheOrg, OrgStats};
 use crate::tag_array::TagArray;
+use crate::violation::Violation;
 
 /// How a block originally entered a private cache (for Figure 7).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -114,7 +115,8 @@ impl PrivateMesi {
                 continue;
             }
             if let Some(way) = arr.lookup(block) {
-                let state = arr.entry(arr.set_of(block), way).expect("looked-up entry").payload.state;
+                let state =
+                    arr.entry(arr.set_of(block), way).expect("looked-up entry").payload.state;
                 if state.is_valid() {
                     sig.shared = true;
                     if state.is_dirty() {
@@ -203,6 +205,20 @@ impl CacheOrg for PrivateMesi {
         now: Cycle,
         bus: &mut Bus,
     ) -> AccessResponse {
+        match CacheOrg::try_access(self, core, block, kind, now, bus) {
+            Ok(resp) => resp,
+            Err(v) => panic!("private-MESI protocol violation: {v}"),
+        }
+    }
+
+    fn try_access(
+        &mut self,
+        core: CoreId,
+        block: BlockAddr,
+        kind: AccessKind,
+        now: Cycle,
+        bus: &mut Bus,
+    ) -> Result<AccessResponse, Violation> {
         let arr = &self.arrays[core.index()];
         let set = arr.set_of(block);
         let hit_way = arr.lookup(block);
@@ -216,7 +232,8 @@ impl CacheOrg for PrivateMesi {
             if let Some(tx) = action.bus {
                 debug_assert_eq!(tx, BusTx::BusUpg, "the only hit-side transaction is an upgrade");
                 let grant = bus.transact(tx, now);
-                latency = self.tag_latency + grant.stall_from(now)
+                latency = self.tag_latency
+                    + grant.stall_from(now)
                     + (self.hit_latency - self.tag_latency);
                 self.snoop_remotes(core, block, tx, &mut resp);
             }
@@ -227,8 +244,10 @@ impl CacheOrg for PrivateMesi {
             entry.payload.state = action.next;
             entry.payload.reuse += 1;
         } else {
-            // Miss: sample snoop wires, classify, transact, fill.
-            let signals = self.signals_for(core, block);
+            // Miss: sample snoop wires (through the bus, so the audit
+            // harness's fault plan can tamper with them), classify,
+            // transact, fill.
+            let signals = bus.sample_signals(self.signals_for(core, block));
             let class = if signals.dirty {
                 AccessClass::MissRws
             } else if signals.shared {
@@ -241,6 +260,28 @@ impl CacheOrg for PrivateMesi {
             let tx = action.bus.expect("misses always use the bus");
             let grant = bus.transact(tx, now);
             let supplied = self.snoop_remotes(core, block, tx, &mut resp);
+            // Consistency of the sampled wires against what the snoop
+            // actually did. On BusRd every valid remote copy flushes,
+            // so `shared` and `supplied` must agree; on BusRdX a dirty
+            // remote copy always flushes.
+            if tx == BusTx::BusRd && signals.shared != supplied {
+                return Err(Violation::at(
+                    "shared-signal-has-supplier",
+                    core,
+                    block,
+                    format!("shared wire ({}) matching a remote supplier", signals.shared),
+                    format!("supplied = {supplied}"),
+                ));
+            }
+            if signals.dirty && !supplied {
+                return Err(Violation::at(
+                    "dirty-signal-has-supplier",
+                    core,
+                    block,
+                    "a dirty remote copy flushing behind an asserted dirty wire",
+                    "no remote flush",
+                ));
+            }
             let transfer = if supplied { self.hit_latency } else { self.memory_latency };
             resp.latency = self.tag_latency + grant.stall_from(now) + transfer;
             if let Some(inv) = self.evict_victim(core, block) {
@@ -258,7 +299,7 @@ impl CacheOrg for PrivateMesi {
         }
         self.stats.l1_invalidations += resp.l1_invalidate.len() as u64;
         self.stats.record_class(resp.class);
-        resp
+        Ok(resp)
     }
 
     fn stats(&self) -> &OrgStats {
@@ -271,6 +312,68 @@ impl CacheOrg for PrivateMesi {
 
     fn cores(&self) -> usize {
         self.arrays.len()
+    }
+
+    fn audit(&self) -> Result<(), Violation> {
+        // MESI structural redundancy: per block, at most one dirty
+        // copy, and a private-state (M/E) copy is the *only* copy.
+        let mut holders: std::collections::HashMap<BlockAddr, Vec<(CoreId, MesiState)>> =
+            std::collections::HashMap::new();
+        for (i, arr) in self.arrays.iter().enumerate() {
+            for (_, _, block, e) in arr.iter_all() {
+                if e.state.is_valid() {
+                    holders.entry(block).or_default().push((CoreId(i as u8), e.state));
+                }
+            }
+        }
+        for (block, hs) in &holders {
+            let dirty = hs.iter().filter(|(_, s)| s.is_dirty()).count();
+            if dirty > 1 {
+                return Err(Violation::on_block(
+                    "dirty-singleton",
+                    *block,
+                    "at most 1 dirty copy",
+                    format!("{dirty} dirty copies in {hs:?}"),
+                ));
+            }
+            if hs.iter().any(|(_, s)| s.is_private()) && hs.len() != 1 {
+                return Err(Violation::on_block(
+                    "private-implies-sole-copy",
+                    *block,
+                    "an M/E copy being the only on-chip copy",
+                    format!("{} copies in {hs:?}", hs.len()),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn inject_tag_fault(&mut self, rng: &mut Rng) -> Option<String> {
+        // Promote one sharer of a multi-holder block to Modified: the
+        // audit's private-implies-sole-copy check is guaranteed to
+        // fire. Without a shared block there is nothing to corrupt
+        // detectably.
+        let mut shared: Vec<(CoreId, BlockAddr)> = Vec::new();
+        let mut count: std::collections::HashMap<BlockAddr, usize> =
+            std::collections::HashMap::new();
+        for (i, arr) in self.arrays.iter().enumerate() {
+            for (_, _, block, e) in arr.iter_all() {
+                if e.state.is_valid() {
+                    *count.entry(block).or_default() += 1;
+                    shared.push((CoreId(i as u8), block));
+                }
+            }
+        }
+        shared.retain(|(_, b)| count[b] > 1);
+        if shared.is_empty() {
+            return None;
+        }
+        let (core, block) = shared[rng.gen_index(shared.len())];
+        let arr = &mut self.arrays[core.index()];
+        let set = arr.set_of(block);
+        let way = arr.lookup(block)?;
+        arr.entry_mut(set, way)?.payload.state = MesiState::Modified;
+        Some(format!("forced {core} copy of {block} to Modified alongside other sharers"))
     }
 }
 

@@ -161,7 +161,10 @@ impl CacheOrg for Snuca {
 
 impl std::fmt::Debug for Snuca {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Snuca").field("banks", &self.latencies.banks()).field("occupied", &self.tags.len()).finish()
+        f.debug_struct("Snuca")
+            .field("banks", &self.latencies.banks())
+            .field("occupied", &self.tags.len())
+            .finish()
     }
 }
 

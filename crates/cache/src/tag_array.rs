@@ -106,7 +106,11 @@ impl<P> TagArray<P> {
     /// recency)`. Passing a category function implements the paper's
     /// "invalid, then private, then shared; LRU within each category"
     /// policy; passing a constant gives plain LRU.
-    pub fn victim_by(&self, set: usize, mut rank_fn: impl FnMut(Option<&Entry<P>>) -> u32) -> usize {
+    pub fn victim_by(
+        &self,
+        set: usize,
+        mut rank_fn: impl FnMut(Option<&Entry<P>>) -> u32,
+    ) -> usize {
         let s = &self.sets[set];
         s.lru
             .iter()
@@ -226,8 +230,8 @@ mod tests {
         let b2 = BlockAddr(5);
         fill_block(&mut t, b1, 10); // payload 10 = "shared"
         fill_block(&mut t, b2, 20); // payload 20 = "private"
-        // Rank: prefer evicting the "private" (20) entry despite b1
-        // being older.
+                                    // Rank: prefer evicting the "private" (20) entry despite b1
+                                    // being older.
         let set = t.set_of(b1);
         let victim = t.victim_by(set, |e| match e {
             None => 0,

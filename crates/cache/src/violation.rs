@@ -1,0 +1,100 @@
+//! Structured check failures reported by cache organizations.
+//!
+//! A [`Violation`] is the non-panicking replacement for the `assert!`
+//! diagnostics the structural checkers used to emit: it names the
+//! violated check, the coordinates of the offending state (core,
+//! block), and an expected/actual pair, so an audit harness can log,
+//! serialize, and replay it instead of tearing the process down.
+
+use std::fmt;
+
+use cmp_mem::{BlockAddr, CoreId};
+
+/// One violated structural or protocol check inside a cache
+/// organization.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// Stable machine-readable name of the violated check
+    /// (e.g. `"forward-pointer-live"`, `"dirty-singleton"`).
+    pub check: &'static str,
+    /// Core whose state violated the check, when attributable.
+    pub core: Option<CoreId>,
+    /// Block whose state violated the check, when attributable.
+    pub block: Option<BlockAddr>,
+    /// What the check required.
+    pub expected: String,
+    /// What the structure actually held.
+    pub actual: String,
+}
+
+impl Violation {
+    /// Builds a violation record.
+    pub fn new(
+        check: &'static str,
+        core: Option<CoreId>,
+        block: Option<BlockAddr>,
+        expected: impl Into<String>,
+        actual: impl Into<String>,
+    ) -> Self {
+        Violation { check, core, block, expected: expected.into(), actual: actual.into() }
+    }
+
+    /// A violation scoped to one core's view of one block.
+    pub fn at(
+        check: &'static str,
+        core: CoreId,
+        block: BlockAddr,
+        expected: impl Into<String>,
+        actual: impl Into<String>,
+    ) -> Self {
+        Violation::new(check, Some(core), Some(block), expected, actual)
+    }
+
+    /// A violation scoped to one block, without a responsible core.
+    pub fn on_block(
+        check: &'static str,
+        block: BlockAddr,
+        expected: impl Into<String>,
+        actual: impl Into<String>,
+    ) -> Self {
+        Violation::new(check, None, Some(block), expected, actual)
+    }
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "check '{}' violated", self.check)?;
+        if let Some(core) = self.core {
+            write!(f, " at {core}")?;
+        }
+        if let Some(block) = self.block {
+            write!(f, " for block {block}")?;
+        }
+        write!(f, ": expected {}, found {}", self.expected, self.actual)
+    }
+}
+
+impl std::error::Error for Violation {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_coordinates() {
+        let v = Violation::at("dirty-singleton", CoreId(2), BlockAddr(0x40), "1 dirty copy", "2");
+        let s = v.to_string();
+        assert!(s.contains("dirty-singleton"), "{s}");
+        assert!(s.contains("P2"), "{s}");
+        assert!(s.contains("0x40"), "{s}");
+        assert!(s.contains("expected 1 dirty copy, found 2"), "{s}");
+    }
+
+    #[test]
+    fn coordinates_are_optional() {
+        let v = Violation::new("orphan-frame", None, None, "none", "one");
+        assert_eq!(v.to_string(), "check 'orphan-frame' violated: expected none, found one");
+        let b = Violation::on_block("orphan-frame", BlockAddr(3), "none", "one");
+        assert!(b.to_string().contains("for block 0x3"));
+    }
+}

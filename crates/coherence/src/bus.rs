@@ -14,7 +14,7 @@
 
 use cmp_mem::Cycle;
 
-use crate::BusTx;
+use crate::{BusTx, SnoopSignals};
 
 /// Default occupancy: one address slot of the pipelined bus. With a
 /// 32-cycle end-to-end latency and an 8-deep pipeline this is 4
@@ -68,6 +68,87 @@ impl BusStats {
     }
 }
 
+/// A fault injectable into the snoop-reply path (audit harness).
+///
+/// The snoop wires are wired-OR lines sampled by the requestor during
+/// its transaction; these faults model the reply either not making it
+/// onto the wires, arriving twice (a stale duplicate from a cache
+/// that no longer holds the block), or the dirty line glitching.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SnoopFault {
+    /// No reply asserts the wires: the requestor sees no on-chip copy.
+    DropReply,
+    /// A stale duplicate reply asserts `shared` although no cache
+    /// holds the block.
+    DuplicateReply,
+    /// The dirty wire is inverted (asserting `shared` too when it
+    /// glitches high, since a dirty reply implies a copy exists).
+    FlipDirty,
+}
+
+/// A deterministic schedule of [`SnoopFault`]s.
+///
+/// Each entry arms at a snoop-sample index (the bus counts every
+/// [`Bus::sample_signals`] call) and fires at the *first* sample at or
+/// after that index where the fault actually changes the sampled
+/// signals — so an injected fault is guaranteed to perturb the
+/// protocol rather than vanish into a no-op. Fired faults are
+/// recorded for the audit report.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SnoopFaultPlan {
+    /// Armed faults: `(sample index, fault)`.
+    pending: Vec<(u64, SnoopFault)>,
+    /// Faults that fired: `(sample index they fired at, fault)`.
+    fired: Vec<(u64, SnoopFault)>,
+}
+
+impl SnoopFaultPlan {
+    /// An empty plan.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Arms `fault` to fire at the first effective sample at or after
+    /// `sample_index`.
+    pub fn arm(&mut self, sample_index: u64, fault: SnoopFault) {
+        self.pending.push((sample_index, fault));
+    }
+
+    /// Faults that have fired so far, with the sample index at which
+    /// each one perturbed the wires.
+    pub fn fired(&self) -> &[(u64, SnoopFault)] {
+        &self.fired
+    }
+
+    /// Faults still waiting for an effective sample.
+    pub fn pending(&self) -> &[(u64, SnoopFault)] {
+        &self.pending
+    }
+
+    /// Applies at most one armed fault to `signals` at `sample`.
+    fn apply(&mut self, sample: u64, signals: SnoopSignals) -> SnoopSignals {
+        for i in 0..self.pending.len() {
+            let (armed_at, fault) = self.pending[i];
+            if sample < armed_at {
+                continue;
+            }
+            let tampered = match fault {
+                SnoopFault::DropReply => SnoopSignals::NONE,
+                SnoopFault::DuplicateReply => SnoopSignals { shared: true, dirty: signals.dirty },
+                SnoopFault::FlipDirty => {
+                    SnoopSignals { shared: signals.shared || !signals.dirty, dirty: !signals.dirty }
+                }
+            };
+            if tampered != signals {
+                self.pending.remove(i);
+                self.fired.push((sample, fault));
+                return tampered;
+            }
+        }
+        signals
+    }
+}
+
 /// The snoopy bus: arbitrates the shared address slot and tracks
 /// statistics.
 ///
@@ -89,6 +170,11 @@ pub struct Bus {
     occupancy: Cycle,
     next_free: Cycle,
     stats: BusStats,
+    /// Snoop-sample counter (number of `sample_signals` calls).
+    samples: u64,
+    /// Armed fault schedule; `None` keeps the sampling path branchless
+    /// beyond a single null check.
+    faults: Option<Box<SnoopFaultPlan>>,
 }
 
 impl Bus {
@@ -100,7 +186,14 @@ impl Bus {
     /// Panics if `occupancy` is zero or exceeds `latency`.
     pub fn new(latency: Cycle, occupancy: Cycle) -> Self {
         assert!(occupancy > 0 && occupancy <= latency, "occupancy must be in 1..=latency");
-        Bus { latency, occupancy, next_free: 0, stats: BusStats::default() }
+        Bus {
+            latency,
+            occupancy,
+            next_free: 0,
+            stats: BusStats::default(),
+            samples: 0,
+            faults: None,
+        }
     }
 
     /// The paper's configuration: 32-cycle latency, 4-cycle slot.
@@ -133,6 +226,38 @@ impl Bus {
     /// Statistics accumulated so far.
     pub fn stats(&self) -> &BusStats {
         &self.stats
+    }
+
+    /// Samples the snoop wires for one transaction: snooping caches
+    /// computed `signals`; the bus applies any armed [`SnoopFault`]
+    /// before the requestor sees them. Snooping organizations route
+    /// their sampled signals through this so the audit harness can
+    /// inject wire-level faults.
+    #[inline]
+    pub fn sample_signals(&mut self, signals: SnoopSignals) -> SnoopSignals {
+        let sample = self.samples;
+        self.samples += 1;
+        match &mut self.faults {
+            None => signals,
+            Some(plan) => plan.apply(sample, signals),
+        }
+    }
+
+    /// Number of snoop samples taken so far (the index space
+    /// [`SnoopFaultPlan::arm`] refers to).
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Installs a fault schedule on the snoop-reply path.
+    pub fn set_fault_plan(&mut self, plan: SnoopFaultPlan) {
+        self.faults = Some(Box::new(plan));
+    }
+
+    /// The installed fault schedule, if any (for reading back which
+    /// faults fired).
+    pub fn fault_plan(&self) -> Option<&SnoopFaultPlan> {
+        self.faults.as_deref()
     }
 }
 
@@ -200,5 +325,58 @@ mod tests {
     #[should_panic(expected = "occupancy")]
     fn rejects_zero_occupancy() {
         let _ = Bus::new(32, 0);
+    }
+
+    #[test]
+    fn sampling_without_a_plan_is_identity() {
+        let mut bus = Bus::paper();
+        assert_eq!(bus.sample_signals(SnoopSignals::DIRTY), SnoopSignals::DIRTY);
+        assert_eq!(bus.sample_signals(SnoopSignals::NONE), SnoopSignals::NONE);
+        assert_eq!(bus.samples(), 2);
+        assert!(bus.fault_plan().is_none());
+    }
+
+    #[test]
+    fn drop_reply_waits_for_an_effective_sample() {
+        let mut bus = Bus::paper();
+        let mut plan = SnoopFaultPlan::new();
+        plan.arm(1, SnoopFault::DropReply);
+        bus.set_fault_plan(plan);
+        // Sample 0: before the arming index — untouched.
+        assert_eq!(bus.sample_signals(SnoopSignals::SHARED), SnoopSignals::SHARED);
+        // Sample 1: armed, but dropping a nothing-reply changes
+        // nothing — the fault holds its fire.
+        assert_eq!(bus.sample_signals(SnoopSignals::NONE), SnoopSignals::NONE);
+        // Sample 2: a real reply to drop.
+        assert_eq!(bus.sample_signals(SnoopSignals::DIRTY), SnoopSignals::NONE);
+        assert_eq!(bus.fault_plan().unwrap().fired(), &[(2, SnoopFault::DropReply)]);
+        // One-shot: the next dirty reply passes through.
+        assert_eq!(bus.sample_signals(SnoopSignals::DIRTY), SnoopSignals::DIRTY);
+    }
+
+    #[test]
+    fn duplicate_reply_asserts_shared_only_when_absent() {
+        let mut bus = Bus::paper();
+        let mut plan = SnoopFaultPlan::new();
+        plan.arm(0, SnoopFault::DuplicateReply);
+        bus.set_fault_plan(plan);
+        // Already shared: a duplicate is invisible on wired-OR lines.
+        assert_eq!(bus.sample_signals(SnoopSignals::SHARED), SnoopSignals::SHARED);
+        assert_eq!(bus.sample_signals(SnoopSignals::NONE), SnoopSignals::SHARED);
+        assert_eq!(bus.fault_plan().unwrap().fired(), &[(1, SnoopFault::DuplicateReply)]);
+    }
+
+    #[test]
+    fn flip_dirty_inverts_the_dirty_wire() {
+        let mut bus = Bus::paper();
+        let mut plan = SnoopFaultPlan::new();
+        plan.arm(0, SnoopFault::FlipDirty);
+        plan.arm(1, SnoopFault::FlipDirty);
+        bus.set_fault_plan(plan);
+        // 0 -> 1: a phantom dirty reply (implies shared).
+        assert_eq!(bus.sample_signals(SnoopSignals::NONE), SnoopSignals::DIRTY);
+        // 1 -> 0: the dirty assertion is lost, shared survives.
+        assert_eq!(bus.sample_signals(SnoopSignals::DIRTY), SnoopSignals::SHARED);
+        assert_eq!(bus.fault_plan().unwrap().pending().len(), 0);
     }
 }

@@ -11,8 +11,9 @@
 //!   readers share one dirty data copy through their private tag
 //!   arrays (in-situ communication, Section 3.2);
 //! * [`bus`] — a pipelined split-transaction snoopy bus with
-//!   occupancy-based arbitration, plus the *shared* and *dirty*
-//!   snoop signals.
+//!   occupancy-based arbitration, the *shared* and *dirty* snoop
+//!   signals, and deterministic snoop-fault injection hooks
+//!   ([`SnoopFaultPlan`]) used by the `cmp-audit` harness.
 //!
 //! The tables are pure functions from (state, stimulus, snoop
 //! signals) to (next state, bus action), so they can be unit-tested
@@ -23,7 +24,7 @@ pub mod bus;
 pub mod mesi;
 pub mod mesic;
 
-pub use bus::{Bus, BusGrant, BusStats};
+pub use bus::{Bus, BusGrant, BusStats, SnoopFault, SnoopFaultPlan};
 
 /// A transaction type broadcast on the snoopy bus.
 ///

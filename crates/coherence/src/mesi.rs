@@ -91,7 +91,9 @@ pub fn processor_access(
             bus: Some(BusTx::BusRd),
         },
         // PrWr/BusRdX from I.
-        (Invalid, AccessKind::Write) => RequestorAction { next: Modified, bus: Some(BusTx::BusRdX) },
+        (Invalid, AccessKind::Write) => {
+            RequestorAction { next: Modified, bus: Some(BusTx::BusRdX) }
+        }
     }
 }
 
@@ -109,27 +111,57 @@ pub fn snoop(state: MesiState, tx: BusTx) -> (MesiState, SnoopReply) {
         (Invalid, _) => (Invalid, reply_none),
         (Modified, BusTx::BusRd) => (
             Shared,
-            SnoopReply { assert_shared: true, assert_dirty: true, flush: true, invalidate_l1: false },
+            SnoopReply {
+                assert_shared: true,
+                assert_dirty: true,
+                flush: true,
+                invalidate_l1: false,
+            },
         ),
         (Modified, BusTx::BusRdX) => (
             Invalid,
-            SnoopReply { assert_shared: true, assert_dirty: true, flush: true, invalidate_l1: true },
+            SnoopReply {
+                assert_shared: true,
+                assert_dirty: true,
+                flush: true,
+                invalidate_l1: true,
+            },
         ),
         (Exclusive, BusTx::BusRd) => (
             Shared,
-            SnoopReply { assert_shared: true, assert_dirty: false, flush: true, invalidate_l1: false },
+            SnoopReply {
+                assert_shared: true,
+                assert_dirty: false,
+                flush: true,
+                invalidate_l1: false,
+            },
         ),
         (Exclusive, BusTx::BusRdX) => (
             Invalid,
-            SnoopReply { assert_shared: true, assert_dirty: false, flush: true, invalidate_l1: true },
+            SnoopReply {
+                assert_shared: true,
+                assert_dirty: false,
+                flush: true,
+                invalidate_l1: true,
+            },
         ),
         (Shared, BusTx::BusRd) => (
             Shared,
-            SnoopReply { assert_shared: true, assert_dirty: false, flush: true, invalidate_l1: false },
+            SnoopReply {
+                assert_shared: true,
+                assert_dirty: false,
+                flush: true,
+                invalidate_l1: false,
+            },
         ),
         (Shared, BusTx::BusRdX) | (Shared, BusTx::BusUpg) => (
             Invalid,
-            SnoopReply { assert_shared: true, assert_dirty: false, flush: false, invalidate_l1: true },
+            SnoopReply {
+                assert_shared: true,
+                assert_dirty: false,
+                flush: false,
+                invalidate_l1: true,
+            },
         ),
         // BusUpg is only legal when every other copy is in S; M/E
         // observers indicate a protocol violation upstream.
@@ -181,7 +213,12 @@ mod tests {
 
     #[test]
     fn hits_stay_put_without_bus() {
-        for (s, k) in [(Modified, AccessKind::Read), (Modified, AccessKind::Write), (Exclusive, AccessKind::Read), (Shared, AccessKind::Read)] {
+        for (s, k) in [
+            (Modified, AccessKind::Read),
+            (Modified, AccessKind::Write),
+            (Exclusive, AccessKind::Read),
+            (Shared, AccessKind::Read),
+        ] {
             let act = processor_access(s, k, SnoopSignals::NONE);
             assert_eq!(act.bus, None);
         }

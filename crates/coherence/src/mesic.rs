@@ -114,11 +114,7 @@ pub struct MesicAction {
 /// assert!(act.relocate_copy);
 /// assert_eq!(act.bus, Some(BusTx::BusRd));
 /// ```
-pub fn processor_access(
-    state: MesicState,
-    kind: AccessKind,
-    signals: SnoopSignals,
-) -> MesicAction {
+pub fn processor_access(state: MesicState, kind: AccessKind, signals: SnoopSignals) -> MesicAction {
     use MesicState::*;
     let plain = |next, bus| MesicAction { next, bus, relocate_copy: false };
     match (state, kind) {
@@ -167,40 +163,80 @@ pub fn snoop(state: MesicState, tx: BusTx) -> (MesicState, SnoopReply) {
         // Deleted arc x: M goes to C (not S) on an observed read.
         (Modified, BusTx::BusRd) => (
             Communication,
-            SnoopReply { assert_shared: true, assert_dirty: true, flush: true, invalidate_l1: false },
+            SnoopReply {
+                assert_shared: true,
+                assert_dirty: true,
+                flush: true,
+                invalidate_l1: false,
+            },
         ),
         // A writer joining the dirty block: M holder also drops to C
         // (the block now has two tag copies) and must discard its L1
         // copy of the now remotely-written block.
         (Modified, BusTx::BusRdX) => (
             Communication,
-            SnoopReply { assert_shared: true, assert_dirty: true, flush: true, invalidate_l1: true },
+            SnoopReply {
+                assert_shared: true,
+                assert_dirty: true,
+                flush: true,
+                invalidate_l1: true,
+            },
         ),
         (Communication, BusTx::BusRd) => (
             Communication,
-            SnoopReply { assert_shared: true, assert_dirty: true, flush: true, invalidate_l1: false },
+            SnoopReply {
+                assert_shared: true,
+                assert_dirty: true,
+                flush: true,
+                invalidate_l1: false,
+            },
         ),
         // "Whenever a sharer in C state observes a BusRdX transaction,
         // it remains in the C state but invalidates the L1 copy."
         (Communication, BusTx::BusRdX) => (
             Communication,
-            SnoopReply { assert_shared: true, assert_dirty: true, flush: false, invalidate_l1: true },
+            SnoopReply {
+                assert_shared: true,
+                assert_dirty: true,
+                flush: false,
+                invalidate_l1: true,
+            },
         ),
         (Exclusive, BusTx::BusRd) => (
             Shared,
-            SnoopReply { assert_shared: true, assert_dirty: false, flush: true, invalidate_l1: false },
+            SnoopReply {
+                assert_shared: true,
+                assert_dirty: false,
+                flush: true,
+                invalidate_l1: false,
+            },
         ),
         (Exclusive, BusTx::BusRdX) => (
             Invalid,
-            SnoopReply { assert_shared: true, assert_dirty: false, flush: true, invalidate_l1: true },
+            SnoopReply {
+                assert_shared: true,
+                assert_dirty: false,
+                flush: true,
+                invalidate_l1: true,
+            },
         ),
         (Shared, BusTx::BusRd) => (
             Shared,
-            SnoopReply { assert_shared: true, assert_dirty: false, flush: true, invalidate_l1: false },
+            SnoopReply {
+                assert_shared: true,
+                assert_dirty: false,
+                flush: true,
+                invalidate_l1: false,
+            },
         ),
         (Shared, BusTx::BusRdX) | (Shared, BusTx::BusUpg) => (
             Invalid,
-            SnoopReply { assert_shared: true, assert_dirty: false, flush: false, invalidate_l1: true },
+            SnoopReply {
+                assert_shared: true,
+                assert_dirty: false,
+                flush: false,
+                invalidate_l1: true,
+            },
         ),
         // BusUpg is only issued against all-S copies.
         (Modified | Exclusive | Communication, BusTx::BusUpg) => {
@@ -210,7 +246,12 @@ pub fn snoop(state: MesicState, tx: BusTx) -> (MesicState, SnoopReply) {
         // entries (conditionally applied by the caller).
         (Shared, BusTx::BusRepl) | (Communication, BusTx::BusRepl) => (
             Invalid,
-            SnoopReply { assert_shared: false, assert_dirty: false, flush: false, invalidate_l1: true },
+            SnoopReply {
+                assert_shared: false,
+                assert_dirty: false,
+                flush: false,
+                invalidate_l1: true,
+            },
         ),
         // Owners of other frames are unaffected.
         (s @ (Modified | Exclusive), BusTx::BusRepl) => (s, none),
@@ -242,7 +283,10 @@ mod tests {
     fn clean_misses_follow_mesi() {
         assert_eq!(processor_access(Invalid, AccessKind::Read, SnoopSignals::SHARED).next, Shared);
         assert_eq!(processor_access(Invalid, AccessKind::Read, SnoopSignals::NONE).next, Exclusive);
-        assert_eq!(processor_access(Invalid, AccessKind::Write, SnoopSignals::SHARED).next, Modified);
+        assert_eq!(
+            processor_access(Invalid, AccessKind::Write, SnoopSignals::SHARED).next,
+            Modified
+        );
     }
 
     #[test]
@@ -297,7 +341,10 @@ mod tests {
     fn only_exits_from_c_are_replacements() {
         // Processor ops and snoops other than BusRepl keep C in C.
         for kind in [AccessKind::Read, AccessKind::Write] {
-            assert_eq!(processor_access(Communication, kind, SnoopSignals::NONE).next, Communication);
+            assert_eq!(
+                processor_access(Communication, kind, SnoopSignals::NONE).next,
+                Communication
+            );
         }
         for tx in [BusTx::BusRd, BusTx::BusRdX] {
             assert_eq!(snoop(Communication, tx).0, Communication);

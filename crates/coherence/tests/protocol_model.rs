@@ -35,7 +35,12 @@ struct MesiSystem {
 
 impl MesiSystem {
     fn new() -> Self {
-        MesiSystem { states: Default::default(), copy_version: [0; AGENTS], memory_version: 0, current: 0 }
+        MesiSystem {
+            states: Default::default(),
+            copy_version: [0; AGENTS],
+            memory_version: 0,
+            current: 0,
+        }
     }
 
     fn signals_for(&self, requestor: usize) -> SnoopSignals {

@@ -10,7 +10,7 @@
 mod invariants;
 mod replace;
 
-use cmp_cache::{AccessClass, AccessResponse, CacheOrg, OrgStats, TagArray};
+use cmp_cache::{AccessClass, AccessResponse, CacheOrg, OrgStats, TagArray, Violation};
 use cmp_coherence::mesic::MesicState;
 use cmp_coherence::{Bus, BusTx, SnoopSignals};
 use cmp_mem::{AccessKind, BlockAddr, CoreId, Cycle, Rng};
@@ -101,7 +101,10 @@ impl CmpNurapid {
     pub fn dgroup_occupancy(&self) -> Vec<(usize, usize)> {
         (0..self.data.num_groups())
             .map(|g| {
-                (self.data.occupied(crate::data_array::DGroupId(g as u8)), self.data.frames_per_group())
+                (
+                    self.data.occupied(crate::data_array::DGroupId(g as u8)),
+                    self.data.frames_per_group(),
+                )
             })
             .collect()
     }
@@ -221,7 +224,7 @@ impl CmpNurapid {
         now: Cycle,
         bus: &mut Bus,
         resp: &mut AccessResponse,
-    ) {
+    ) -> Result<(), Violation> {
         let closest = self.closest(core);
         let mut state = self.entry(core, set, way).state;
         // Extension: a C block whose other sharers are all gone
@@ -309,11 +312,20 @@ impl CmpNurapid {
                     resp.l1_invalidate.push((c, block));
                 }
             }
-            (MesicState::Invalid, _) => unreachable!("invalid entries are never resident"),
+            (MesicState::Invalid, _) => {
+                return Err(Violation::at(
+                    "resident-entry-valid",
+                    core,
+                    block,
+                    "a valid MESIC state for a resident entry",
+                    "Invalid",
+                ));
+            }
         }
         if self.entry(core, set, way).state == MesicState::Communication {
             resp.writethrough = true;
         }
+        Ok(())
     }
 
     // ---- miss path --------------------------------------------------------
@@ -327,9 +339,11 @@ impl CmpNurapid {
         now: Cycle,
         bus: &mut Bus,
         resp: &mut AccessResponse,
-    ) {
+    ) -> Result<(), Violation> {
         let closest = self.closest(core);
-        let signals = self.signals_for(core, block);
+        // Routed through the bus so the audit harness's snoop-fault
+        // plan can tamper with the sampled wires deterministically.
+        let signals = bus.sample_signals(self.signals_for(core, block));
         // Make room in the tag array first; any frame it frees becomes
         // the demotion chain's preferred stopping point.
         let (set, way, _hole) = self.make_tag_room(core, block, bus, now, resp);
@@ -338,7 +352,15 @@ impl CmpNurapid {
         if signals.dirty && self.cfg.in_situ_communication {
             // In-situ communication (Section 3.2).
             resp.class = AccessClass::MissRws;
-            let src = self.dirty_frame(block).expect("dirty signal implies a dirty frame");
+            let src = self.dirty_frame(block).ok_or_else(|| {
+                Violation::at(
+                    "dirty-signal-has-frame",
+                    core,
+                    block,
+                    "a dirty (M/C) data copy behind an asserted dirty signal",
+                    "no dirty copy on chip",
+                )
+            })?;
             let tx = if kind.is_write() { BusTx::BusRdX } else { BusTx::BusRd };
             let grant = bus.transact(tx, now);
             resp.latency = self.tag_lat() + grant.stall_from(now) + self.dlat(core, src.group);
@@ -378,7 +400,7 @@ impl CmpNurapid {
                 );
                 resp.writethrough = true;
             }
-            return;
+            return Ok(());
         }
 
         if signals.dirty && !self.cfg.in_situ_communication {
@@ -393,14 +415,12 @@ impl CmpNurapid {
                     self.stats.writebacks += 1;
                 }
             }
-            self.finish_clean_sharing_miss(core, block, kind, set, way, now, bus, resp);
-            return;
+            return self.finish_clean_sharing_miss(core, block, kind, set, way, now, bus, resp);
         }
 
         if signals.shared {
             resp.class = AccessClass::MissRos;
-            self.finish_clean_sharing_miss(core, block, kind, set, way, now, bus, resp);
-            return;
+            return self.finish_clean_sharing_miss(core, block, kind, set, way, now, bus, resp);
         }
 
         // No on-chip copy: fetch from memory.
@@ -412,6 +432,7 @@ impl CmpNurapid {
         let nf = self.data.alloc(closest, block, my_tag);
         let state = if kind.is_write() { MesicState::Modified } else { MesicState::Exclusive };
         self.tags[core.index()].fill(set, way, block, NuEntry { state, fwd: nf, reuse: 0 });
+        Ok(())
     }
 
     /// Completes a miss whose block has on-chip clean copies: CR
@@ -428,10 +449,18 @@ impl CmpNurapid {
         now: Cycle,
         bus: &mut Bus,
         resp: &mut AccessResponse,
-    ) {
+    ) -> Result<(), Violation> {
         let closest = self.closest(core);
         let my_tag = self.tag_ref(core, set, way);
-        let src = self.nearest_copy(core, block).expect("clean sharing implies a data copy");
+        let src = self.nearest_copy(core, block).ok_or_else(|| {
+            Violation::at(
+                "shared-signal-has-copy",
+                core,
+                block,
+                "an on-chip data copy behind an asserted shared signal",
+                "no copy on chip",
+            )
+        })?;
         let src_lat = self.dlat(core, src.group);
         if kind.is_write() {
             // BusRdX: every remote tag copy is invalidated; frames
@@ -443,8 +472,7 @@ impl CmpNurapid {
                 let their_tag = self.tag_ref(c, s, w);
                 // Guard against a copy already freed via its owner
                 // earlier in this loop.
-                if self.data.is_occupied(their_fwd)
-                    && self.data.frame(their_fwd).owner == their_tag
+                if self.data.is_occupied(their_fwd) && self.data.frame(their_fwd).owner == their_tag
                 {
                     self.data.free(their_fwd);
                 }
@@ -459,7 +487,7 @@ impl CmpNurapid {
                 block,
                 NuEntry { state: MesicState::Modified, fwd: nf, reuse: 0 },
             );
-            return;
+            return Ok(());
         }
         // Read: demote remote E holders to S.
         let grant = bus.transact(BusTx::BusRd, now);
@@ -494,6 +522,64 @@ impl CmpNurapid {
                 NuEntry { state: MesicState::Shared, fwd: nf, reuse: 0 },
             );
         }
+        Ok(())
+    }
+
+    // ---- audited access ---------------------------------------------------
+
+    /// Fallible access path: like [`CacheOrg::access`] but surfaces a
+    /// protocol [`Violation`] instead of panicking when the structure
+    /// contradicts the sampled snoop signals (possible under the audit
+    /// harness's fault injection). On `Err` the access is not counted
+    /// in the statistics and any partial tag-room changes are left in
+    /// a structurally benign state (an empty way at worst).
+    pub fn try_access(
+        &mut self,
+        core: CoreId,
+        block: BlockAddr,
+        kind: AccessKind,
+        now: Cycle,
+        bus: &mut Bus,
+    ) -> Result<AccessResponse, Violation> {
+        self.busy.clear();
+        let mut resp = AccessResponse::simple(0, AccessClass::MissCapacity);
+        match self.lookup(core, block) {
+            Some((set, way)) => self.hit(core, set, way, block, kind, now, bus, &mut resp)?,
+            None => self.miss(core, block, kind, now, bus, &mut resp)?,
+        }
+        self.stats.record_class(resp.class);
+        self.stats.l1_invalidations += resp.l1_invalidate.len() as u64;
+        Ok(resp)
+    }
+
+    /// Deterministically skews one randomly chosen tag entry's forward
+    /// pointer to a frame that is either free or holds a different
+    /// block — corruptions [`CmpNurapid::try_check_invariants`] is
+    /// guaranteed to flag (`forward-pointer-live` /
+    /// `forward-pointer-block`). Returns a description of the
+    /// corruption, or `None` when no entry is resident yet.
+    pub fn inject_tag_fault(&mut self, rng: &mut Rng) -> Option<String> {
+        let entries: Vec<(CoreId, usize, usize, BlockAddr)> = CoreId::all(self.cfg.cores)
+            .flat_map(|c| self.tags[c.index()].iter_all().map(move |(s, w, b, _)| (c, s, w, b)))
+            .collect();
+        if entries.is_empty() {
+            return None;
+        }
+        let (core, set, way, block) = entries[rng.gen_index(entries.len())];
+        let cur = self.entry(core, set, way).fwd;
+        let mut targets: Vec<FrameRef> = Vec::new();
+        for g in 0..self.data.num_groups() {
+            let gid = DGroupId(g as u8);
+            for index in 0..self.data.frames_per_group() {
+                let f = FrameRef { group: gid, index: index as u32 };
+                if f != cur && (!self.data.is_occupied(f) || self.data.frame(f).block != block) {
+                    targets.push(f);
+                }
+            }
+        }
+        let nf = *targets.get(rng.gen_index(targets.len().max(1)))?;
+        self.entry_mut(core, set, way).fwd = nf;
+        Some(format!("skewed {core} tag for {block}: fwd {cur:?} -> {nf:?}"))
     }
 }
 
@@ -510,15 +596,10 @@ impl CacheOrg for CmpNurapid {
         now: Cycle,
         bus: &mut Bus,
     ) -> AccessResponse {
-        self.busy.clear();
-        let mut resp = AccessResponse::simple(0, AccessClass::MissCapacity);
-        match self.lookup(core, block) {
-            Some((set, way)) => self.hit(core, set, way, block, kind, now, bus, &mut resp),
-            None => self.miss(core, block, kind, now, bus, &mut resp),
+        match CmpNurapid::try_access(self, core, block, kind, now, bus) {
+            Ok(resp) => resp,
+            Err(v) => panic!("CMP-NuRAPID protocol violation: {v}"),
         }
-        self.stats.record_class(resp.class);
-        self.stats.l1_invalidations += resp.l1_invalidate.len() as u64;
-        resp
     }
 
     fn stats(&self) -> &OrgStats {
@@ -531,6 +612,25 @@ impl CacheOrg for CmpNurapid {
 
     fn cores(&self) -> usize {
         self.cfg.cores
+    }
+
+    fn try_access(
+        &mut self,
+        core: CoreId,
+        block: BlockAddr,
+        kind: AccessKind,
+        now: Cycle,
+        bus: &mut Bus,
+    ) -> Result<AccessResponse, Violation> {
+        CmpNurapid::try_access(self, core, block, kind, now, bus)
+    }
+
+    fn audit(&self) -> Result<(), Violation> {
+        self.try_check_invariants()
+    }
+
+    fn inject_tag_fault(&mut self, rng: &mut Rng) -> Option<String> {
+        CmpNurapid::inject_tag_fault(self, rng)
     }
 }
 

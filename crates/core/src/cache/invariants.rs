@@ -1,11 +1,14 @@
 //! Structural-invariant checker for CMP-NuRAPID.
 //!
-//! These are the invariants the pointer machinery must maintain; the
-//! test suite calls [`CmpNurapid::check_invariants`] after every
-//! operation in its randomized workloads.
+//! These are the invariants the pointer machinery must maintain. The
+//! non-panicking [`CmpNurapid::try_check_invariants`] is the audit
+//! entry point (`cmp-audit` calls it through `CacheOrg::audit` at a
+//! configurable cadence); the panicking [`CmpNurapid::check_invariants`]
+//! wrapper is kept for the test suite's randomized workloads.
 
 use std::collections::HashMap;
 
+use cmp_cache::Violation;
 use cmp_coherence::mesic::MesicState;
 use cmp_mem::{BlockAddr, CoreId};
 
@@ -13,8 +16,8 @@ use crate::cache::CmpNurapid;
 use crate::data_array::FrameRef;
 
 impl CmpNurapid {
-    /// Verifies every structural invariant, panicking with a
-    /// diagnostic on the first violation:
+    /// Verifies every structural invariant, returning a structured
+    /// [`Violation`] for the first one that fails:
     ///
     /// 1. **Forward pointers are live**: every tag entry's frame is
     ///    occupied and holds the entry's block.
@@ -28,30 +31,39 @@ impl CmpNurapid {
     ///    holds the block.
     /// 5. **S sharers point at live S copies**: every frame holding
     ///    the block is owned by a tag in state S.
-    ///
-    /// # Panics
-    ///
-    /// Panics if any invariant is violated.
-    pub fn check_invariants(&self) {
+    pub fn try_check_invariants(&self) -> Result<(), Violation> {
         let mut entries_by_block: HashMap<BlockAddr, Vec<(CoreId, usize, usize)>> = HashMap::new();
         // 1. tag -> frame.
         for c in CoreId::all(self.cfg.cores) {
             for (set, way, block, entry) in self.tags[c.index()].iter_all() {
-                assert!(
-                    entry.state.is_valid(),
-                    "{c} holds an Invalid-state resident entry for {block}"
-                );
-                assert!(
-                    self.frame_occupied(entry.fwd),
-                    "{c}'s entry for {block} forward-points at a free frame {:?}",
-                    entry.fwd
-                );
+                if !entry.state.is_valid() {
+                    return Err(Violation::at(
+                        "resident-entry-valid",
+                        c,
+                        block,
+                        "a valid MESIC state",
+                        format!("{:?} (set {set}, way {way})", entry.state),
+                    ));
+                }
+                if !self.frame_occupied(entry.fwd) {
+                    return Err(Violation::at(
+                        "forward-pointer-live",
+                        c,
+                        block,
+                        "an occupied frame",
+                        format!("free frame {:?}", entry.fwd),
+                    ));
+                }
                 let frame = self.data.frame(entry.fwd);
-                assert_eq!(
-                    frame.block, block,
-                    "{c}'s entry for {block} forward-points at a frame holding {}",
-                    frame.block
-                );
+                if frame.block != block {
+                    return Err(Violation::at(
+                        "forward-pointer-block",
+                        c,
+                        block,
+                        format!("frame {:?} holding {block}", entry.fwd),
+                        format!("frame holding {}", frame.block),
+                    ));
+                }
                 entries_by_block.entry(block).or_default().push((c, set, way));
             }
         }
@@ -60,18 +72,23 @@ impl CmpNurapid {
             let o = frame.owner;
             let arr = &self.tags[o.core.index()];
             let owner_block = arr.block_at(o.set as usize, o.way as usize);
-            assert_eq!(
-                owner_block,
-                Some(frame.block),
-                "frame {fref:?} (block {}) has a dangling reverse pointer {o:?}",
-                frame.block
-            );
+            if owner_block != Some(frame.block) {
+                return Err(Violation::on_block(
+                    "reverse-pointer-live",
+                    frame.block,
+                    format!("owner tag {o:?} naming {}", frame.block),
+                    format!("{owner_block:?} (frame {fref:?})"),
+                ));
+            }
             let entry = self.entry(o.core, o.set as usize, o.way as usize);
-            assert_eq!(
-                entry.fwd, fref,
-                "frame {fref:?} owner {o:?} forward-points elsewhere ({:?})",
-                entry.fwd
-            );
+            if entry.fwd != fref {
+                return Err(Violation::on_block(
+                    "reverse-pointer-agrees",
+                    frame.block,
+                    format!("owner {o:?} forward-pointing at {fref:?}"),
+                    format!("forward pointer {:?}", entry.fwd),
+                ));
+            }
         }
         // 3-5. per-block coherence structure.
         let frames_by_block: HashMap<BlockAddr, Vec<FrameRef>> = {
@@ -82,58 +99,106 @@ impl CmpNurapid {
             m
         };
         for (block, holders) in &entries_by_block {
-            let states: Vec<MesicState> = holders
-                .iter()
-                .map(|(c, s, w)| self.entry(*c, *s, *w).state)
-                .collect();
+            let states: Vec<MesicState> =
+                holders.iter().map(|(c, s, w)| self.entry(*c, *s, *w).state).collect();
             let frames = frames_by_block.get(block).map_or(&[][..], Vec::as_slice);
             if states.iter().any(|s| matches!(s, MesicState::Modified | MesicState::Exclusive)) {
-                assert_eq!(
-                    holders.len(),
-                    1,
-                    "E/M block {block} has {} tag entries: {states:?}",
-                    holders.len()
-                );
-                assert_eq!(frames.len(), 1, "E/M block {block} has {} data copies", frames.len());
+                if holders.len() != 1 {
+                    return Err(Violation::on_block(
+                        "private-singleton",
+                        *block,
+                        "1 tag entry for an E/M block",
+                        format!("{} entries in states {states:?}", holders.len()),
+                    ));
+                }
+                if frames.len() != 1 {
+                    return Err(Violation::on_block(
+                        "private-single-copy",
+                        *block,
+                        "1 data copy for an E/M block",
+                        format!("{} copies", frames.len()),
+                    ));
+                }
                 let (c, s, w) = holders[0];
                 let entry = self.entry(c, s, w);
-                assert_eq!(
-                    self.data.frame(entry.fwd).owner,
-                    self.tag_ref(c, s, w),
-                    "E/M block {block} does not own its frame"
-                );
+                if self.data.frame(entry.fwd).owner != self.tag_ref(c, s, w) {
+                    return Err(Violation::at(
+                        "private-owns-frame",
+                        c,
+                        *block,
+                        "the E/M holder owning its frame",
+                        format!("owner {:?}", self.data.frame(entry.fwd).owner),
+                    ));
+                }
             }
             if states.contains(&MesicState::Communication) {
-                assert!(
-                    states.iter().all(|s| *s == MesicState::Communication),
-                    "C block {block} mixes states: {states:?}"
-                );
+                if !states.iter().all(|s| *s == MesicState::Communication) {
+                    return Err(Violation::on_block(
+                        "c-uniform-states",
+                        *block,
+                        "all sharers of a C block in C",
+                        format!("{states:?}"),
+                    ));
+                }
                 let fwds: Vec<_> =
                     holders.iter().map(|(c, s, w)| self.entry(*c, *s, *w).fwd).collect();
-                assert!(
-                    fwds.windows(2).all(|w| w[0] == w[1]),
-                    "C block {block} sharers disagree on the data copy: {fwds:?}"
-                );
-                assert_eq!(frames.len(), 1, "C block {block} has {} data copies", frames.len());
+                if !fwds.windows(2).all(|w| w[0] == w[1]) {
+                    return Err(Violation::on_block(
+                        "c-single-pointer",
+                        *block,
+                        "all C sharers pointing at one data copy",
+                        format!("{fwds:?}"),
+                    ));
+                }
+                if frames.len() != 1 {
+                    return Err(Violation::on_block(
+                        "c-single-copy",
+                        *block,
+                        "1 data copy for a C block",
+                        format!("{} copies", frames.len()),
+                    ));
+                }
             }
             if states.contains(&MesicState::Shared) {
                 for fref in frames {
                     let owner = self.data.frame(*fref).owner;
-                    assert_eq!(
-                        self.owner_state(owner),
-                        MesicState::Shared,
-                        "S block {block} has a copy owned by a non-S tag"
-                    );
+                    let owner_state = self.owner_state(owner);
+                    if owner_state != MesicState::Shared {
+                        return Err(Violation::on_block(
+                            "shared-copy-owner",
+                            *block,
+                            "every copy of an S block owned by an S tag",
+                            format!("owner {owner:?} in {owner_state:?}"),
+                        ));
+                    }
                 }
             }
         }
         // Orphan frames: every frame's block must have tag entries
-        // (follows from 2, but assert the map view is consistent too).
+        // (follows from 2, but check the map view is consistent too).
         for block in frames_by_block.keys() {
-            assert!(
-                entries_by_block.contains_key(block),
-                "frames hold block {block} but no tag entry names it"
-            );
+            if !entries_by_block.contains_key(block) {
+                return Err(Violation::on_block(
+                    "no-orphan-frames",
+                    *block,
+                    "a tag entry naming every resident block",
+                    "frames holding the block with no tag entry".to_string(),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Verifies every structural invariant, panicking with a
+    /// diagnostic on the first violation. Kept for tests; audit
+    /// harnesses use [`CmpNurapid::try_check_invariants`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any invariant is violated.
+    pub fn check_invariants(&self) {
+        if let Err(v) = self.try_check_invariants() {
+            panic!("CMP-NuRAPID invariant violated: {v}");
         }
     }
 

@@ -127,7 +127,8 @@ impl CmpNurapid {
             .find(|&r| self.data.has_free(DGroupId(order[r] as u8)))
             .unwrap_or_else(|| start + self.rng.gen_index(order.len() - start));
         let mut carried: Option<(BlockAddr, TagRef)> = None;
-        #[allow(clippy::needless_range_loop)] // rank is semantic (preference rank), not just an index
+        #[allow(clippy::needless_range_loop)]
+        // rank is semantic (preference rank), not just an index
         for rank in start..=stop_rank {
             let g = DGroupId(order[rank] as u8);
             if rank > start && self.data.has_free(g) {
@@ -190,7 +191,11 @@ impl CmpNurapid {
         let target = DGroupId(self.ranking.at(core, target_rank) as u8);
         let contents = self.data.free(fwd);
         debug_assert_eq!(contents.block, block, "reverse pointer names the promoted block");
-        debug_assert_eq!(contents.owner, self.tag_ref(core, set, way), "private blocks are self-owned");
+        debug_assert_eq!(
+            contents.owner,
+            self.tag_ref(core, set, way),
+            "private blocks are self-owned"
+        );
         self.ensure_free_frame(core, target, bus, now, resp);
         let nf = self.data.alloc(target, block, contents.owner);
         self.entry_mut(core, set, way).fwd = nf;

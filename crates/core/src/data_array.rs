@@ -209,7 +209,12 @@ impl DataArray {
     ///
     /// Returns `None` if every occupied frame is busy or the group is
     /// empty.
-    pub fn random_occupied(&self, g: DGroupId, rng: &mut Rng, busy: &[FrameRef]) -> Option<FrameRef> {
+    pub fn random_occupied(
+        &self,
+        g: DGroupId,
+        rng: &mut Rng,
+        busy: &[FrameRef],
+    ) -> Option<FrameRef> {
         let store = &self.groups[g.index()];
         if store.occupied.is_empty() {
             return None;

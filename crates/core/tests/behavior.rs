@@ -11,14 +11,26 @@ fn paper_cache() -> (CmpNurapid, Bus, u64) {
     (CmpNurapid::new(NurapidConfig::paper()), Bus::paper(), 0)
 }
 
-fn rd(l2: &mut CmpNurapid, bus: &mut Bus, t: &mut u64, core: u8, block: u64) -> cmp_cache::AccessResponse {
+fn rd(
+    l2: &mut CmpNurapid,
+    bus: &mut Bus,
+    t: &mut u64,
+    core: u8,
+    block: u64,
+) -> cmp_cache::AccessResponse {
     *t += 1_000;
     let r = l2.access(CoreId(core), BlockAddr(block), AccessKind::Read, *t, bus);
     l2.check_invariants();
     r
 }
 
-fn wr(l2: &mut CmpNurapid, bus: &mut Bus, t: &mut u64, core: u8, block: u64) -> cmp_cache::AccessResponse {
+fn wr(
+    l2: &mut CmpNurapid,
+    bus: &mut Bus,
+    t: &mut u64,
+    core: u8,
+    block: u64,
+) -> cmp_cache::AccessResponse {
     *t += 1_000;
     let r = l2.access(CoreId(core), BlockAddr(block), AccessKind::Write, *t, bus);
     l2.check_invariants();
@@ -67,7 +79,11 @@ fn cr_first_use_takes_tag_only_pointer() {
     // tag (5) + bus (32) + d-group a from P1 (20): far cheaper than memory.
     assert_eq!(miss.latency, 5 + 32 + 20);
     assert_eq!(l2.data_copies(BlockAddr(7)), 1, "no data copy on first use");
-    assert_eq!(l2.dgroup_of(CoreId(1), BlockAddr(7)), Some(DGroupId(0)), "P1 points into d-group a");
+    assert_eq!(
+        l2.dgroup_of(CoreId(1), BlockAddr(7)),
+        Some(DGroupId(0)),
+        "P1 points into d-group a"
+    );
     assert_eq!(l2.stats().pointer_transfers, 1);
     assert_eq!(l2.state_of(CoreId(0), BlockAddr(7)), MesicState::Shared);
     assert_eq!(l2.state_of(CoreId(1), BlockAddr(7)), MesicState::Shared);
@@ -275,7 +291,10 @@ fn busrepl_goes_on_the_bus_when_shared_data_is_replaced() {
     for b in 0..64 {
         rd(&mut l2, &mut bus, &mut t, 0, 100 + b);
     }
-    assert!(bus.stats().count(BusTx::BusRepl) > before, "shared replacement must broadcast BusRepl");
+    assert!(
+        bus.stats().count(BusTx::BusRepl) > before,
+        "shared replacement must broadcast BusRepl"
+    );
     assert!(l2.stats().busrepl_invalidations > 0);
 }
 

@@ -79,7 +79,11 @@ fn collapsed_block_stays_put_in_the_owners_dgroup() {
     // collapsing to M there needs no movement, and M hits are now
     // closest-latency hits.
     let (mut l2, mut bus, mut t, block) = setup_lonely_c(true);
-    assert_eq!(l2.dgroup_of(CoreId(1), BlockAddr(block)), Some(DGroupId(1)), "copy was relocated to the reader");
+    assert_eq!(
+        l2.dgroup_of(CoreId(1), BlockAddr(block)),
+        Some(DGroupId(1)),
+        "copy was relocated to the reader"
+    );
     acc(&mut l2, &mut bus, &mut t, 1, block, AccessKind::Write); // collapse
     assert_eq!(l2.state_of(CoreId(1), BlockAddr(block)), MesicState::Modified);
     assert_eq!(l2.dgroup_of(CoreId(1), BlockAddr(block)), Some(DGroupId(1)));

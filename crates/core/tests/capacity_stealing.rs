@@ -11,7 +11,13 @@ fn tiny() -> (CmpNurapid, Bus, u64) {
     (CmpNurapid::new(NurapidConfig::tiny(4, TINY_FRAMES * 128)), Bus::paper(), 0)
 }
 
-fn rd(l2: &mut CmpNurapid, bus: &mut Bus, t: &mut u64, core: u8, block: u64) -> cmp_cache::AccessResponse {
+fn rd(
+    l2: &mut CmpNurapid,
+    bus: &mut Bus,
+    t: &mut u64,
+    core: u8,
+    block: u64,
+) -> cmp_cache::AccessResponse {
     *t += 1_000;
     let r = l2.access(CoreId(core), BlockAddr(block), AccessKind::Read, *t, bus);
     l2.check_invariants();
@@ -33,9 +39,8 @@ fn overflow_spills_into_neighbor_dgroups() {
     assert!(l2.stats().demotions > 0, "overflow must demote, not just evict");
     // Every block stays resident: the overflow lands in neighbour
     // d-groups' free frames instead of being evicted.
-    let resident = (0..blocks as u64)
-        .filter(|b| l2.dgroup_of(CoreId(0), BlockAddr(*b)).is_some())
-        .count();
+    let resident =
+        (0..blocks as u64).filter(|b| l2.dgroup_of(CoreId(0), BlockAddr(*b)).is_some()).count();
     assert_eq!(resident, blocks, "capacity stealing keeps the whole working set on chip");
     assert_eq!(l2.stats().miss_capacity, blocks as u64, "each block missed exactly once");
 }
@@ -48,9 +53,8 @@ fn reuse_promotes_demoted_blocks_back() {
         rd(&mut l2, &mut bus, &mut t, 0, b);
     }
     // Find a block demoted to a farther d-group and touch it.
-    let demoted = (0..(2 * TINY_FRAMES) as u64).find(|b| {
-        matches!(l2.dgroup_of(CoreId(0), BlockAddr(*b)), Some(g) if g != DGroupId(0))
-    });
+    let demoted = (0..(2 * TINY_FRAMES) as u64)
+        .find(|b| matches!(l2.dgroup_of(CoreId(0), BlockAddr(*b)), Some(g) if g != DGroupId(0)));
     let Some(b) = demoted else {
         panic!("expected at least one demoted block");
     };
@@ -83,13 +87,13 @@ fn next_fastest_promotion_moves_one_rank() {
         // Demotion randomness may leave nothing in the farthest group;
         // fall back to any non-closest block.
         let b = (0..(3 * TINY_FRAMES) as u64)
-            .find(|b| {
-                matches!(l2.dgroup_of(CoreId(0), BlockAddr(*b)), Some(g) if g != DGroupId(0))
-            })
+            .find(|b| matches!(l2.dgroup_of(CoreId(0), BlockAddr(*b)), Some(g) if g != DGroupId(0)))
             .expect("some block must be demoted");
-        let old_rank = l2.ranking().rank_of(CoreId(0), l2.dgroup_of(CoreId(0), BlockAddr(b)).unwrap().index());
+        let old_rank =
+            l2.ranking().rank_of(CoreId(0), l2.dgroup_of(CoreId(0), BlockAddr(b)).unwrap().index());
         rd(&mut l2, &mut bus, &mut t, 0, b);
-        let new_rank = l2.ranking().rank_of(CoreId(0), l2.dgroup_of(CoreId(0), BlockAddr(b)).unwrap().index());
+        let new_rank =
+            l2.ranking().rank_of(CoreId(0), l2.dgroup_of(CoreId(0), BlockAddr(b)).unwrap().index());
         assert_eq!(new_rank, old_rank - 1, "next-fastest promotes exactly one rank");
         return;
     };
@@ -115,11 +119,7 @@ fn shared_blocks_are_never_demoted() {
     // evicted on replacement, never demoted outward.
     for c in 0..2u8 {
         if let Some(g) = l2.dgroup_of(CoreId(c), BlockAddr(500)) {
-            let owner_closest = l2
-                .ranking()
-                .order(CoreId(c))
-                .iter()
-                .position(|&x| x == g.index());
+            let owner_closest = l2.ranking().order(CoreId(c)).iter().position(|&x| x == g.index());
             // Either the core points at its own closest copy or at
             // another sharer's copy; it must never point at a d-group
             // that is not some core's closest-resident copy.
@@ -176,8 +176,8 @@ fn eviction_order_prefers_private_over_shared() {
     rd(&mut l2, &mut bus, &mut t, 0, b1); // E (private)
     rd(&mut l2, &mut bus, &mut t, 1, b2);
     rd(&mut l2, &mut bus, &mut t, 0, b2); // S (shared), MRU
-    // b1 is private and LRU; but even if we touch b1 to make the
-    // shared b2 the LRU, the private b1 must still be the victim.
+                                          // b1 is private and LRU; but even if we touch b1 to make the
+                                          // shared b2 the LRU, the private b1 must still be the victim.
     rd(&mut l2, &mut bus, &mut t, 0, b1);
     rd(&mut l2, &mut bus, &mut t, 0, b3);
     assert_eq!(l2.dgroup_of(CoreId(0), BlockAddr(b1)), None, "private victim evicted");

@@ -11,14 +11,26 @@ fn paper() -> (CmpNurapid, Bus, u64) {
     (CmpNurapid::new(NurapidConfig::paper()), Bus::paper(), 0)
 }
 
-fn rd(l2: &mut CmpNurapid, bus: &mut Bus, t: &mut u64, core: u8, block: u64) -> cmp_cache::AccessResponse {
+fn rd(
+    l2: &mut CmpNurapid,
+    bus: &mut Bus,
+    t: &mut u64,
+    core: u8,
+    block: u64,
+) -> cmp_cache::AccessResponse {
     *t += 1_000;
     let r = l2.access(CoreId(core), BlockAddr(block), AccessKind::Read, *t, bus);
     l2.check_invariants();
     r
 }
 
-fn wr(l2: &mut CmpNurapid, bus: &mut Bus, t: &mut u64, core: u8, block: u64) -> cmp_cache::AccessResponse {
+fn wr(
+    l2: &mut CmpNurapid,
+    bus: &mut Bus,
+    t: &mut u64,
+    core: u8,
+    block: u64,
+) -> cmp_cache::AccessResponse {
     *t += 1_000;
     let r = l2.access(CoreId(core), BlockAddr(block), AccessKind::Write, *t, bus);
     l2.check_invariants();
@@ -100,7 +112,11 @@ fn c_hits_do_not_relocate() {
     rd(&mut l2, &mut bus, &mut t, 1, 9); // relocate to b
     for _ in 0..5 {
         rd(&mut l2, &mut bus, &mut t, 0, 9); // P0 reads from afar
-        assert_eq!(l2.dgroup_of(CoreId(0), BlockAddr(9)), Some(DGroupId(1)), "C hits never move the copy");
+        assert_eq!(
+            l2.dgroup_of(CoreId(0), BlockAddr(9)),
+            Some(DGroupId(1)),
+            "C hits never move the copy"
+        );
     }
 }
 

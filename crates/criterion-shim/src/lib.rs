@@ -1,0 +1,172 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access to crates.io, so this
+//! workspace vendors the subset of criterion's API its benches use:
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`Bencher::iter`], and the [`criterion_group!`]/[`criterion_main!`]
+//! macros. Timing is a plain wall-clock median over a fixed batch —
+//! good enough to spot order-of-magnitude regressions, with zero
+//! dependencies.
+//!
+//! Like real criterion, when the binary is run without `--bench`
+//! (i.e. by `cargo test`, which executes `harness = false` bench
+//! targets) every closure runs exactly once as a smoke test, so the
+//! test suite stays fast.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Whether the process was launched by `cargo bench` (full timing) or
+/// `cargo test` (single-iteration smoke mode).
+fn bench_mode() -> bool {
+    std::env::args().any(|a| a == "--bench")
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    measure: bool,
+    /// Target measurement time per benchmark.
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { measure: bench_mode(), budget: Duration::from_millis(200) }
+    }
+}
+
+impl Criterion {
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { measure: self.measure, budget: self.budget, report: None };
+        f(&mut b);
+        match b.report {
+            Some(ns) => println!("bench {name:<40} {:>12.1} ns/iter", ns),
+            None => println!("bench {name:<40} ok (smoke)"),
+        }
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group {name}");
+        BenchmarkGroup { c: self }
+    }
+}
+
+/// A group of related benchmarks (sample-size hints are accepted and
+/// ignored; the shim's budget is already small).
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim ignores it.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.c.bench_function(name, f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; [`Bencher::iter`] times the
+/// routine.
+pub struct Bencher {
+    measure: bool,
+    budget: Duration,
+    report: Option<f64>,
+}
+
+impl Bencher {
+    /// Times `routine`. In smoke mode (under `cargo test`) the routine
+    /// runs once; in bench mode it is repeated until the time budget
+    /// is spent and the mean ns/iter is reported.
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        if !self.measure {
+            std_black_box(routine());
+            return;
+        }
+        // Warm-up and per-iteration estimate.
+        let t0 = Instant::now();
+        std_black_box(routine());
+        let first = t0.elapsed();
+        let iters = (self.budget.as_nanos() / first.as_nanos().max(1)).clamp(1, 1_000_000) as u64;
+        let t1 = Instant::now();
+        for _ in 0..iters {
+            std_black_box(routine());
+        }
+        let total = t1.elapsed();
+        self.report = Some(total.as_nanos() as f64 / iters as f64);
+    }
+}
+
+/// Declares a group-runner function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        c.bench_function("shim_smoke", |b| b.iter(|| 2 + 2));
+        let mut g = c.benchmark_group("shim_group");
+        g.sample_size(10);
+        g.bench_function("inner", |b| b.iter(|| black_box(1u64.wrapping_mul(3))));
+        g.finish();
+    }
+
+    #[test]
+    fn smoke_mode_runs_every_closure_once() {
+        // Not launched via `--bench`, so this exercises smoke mode.
+        let mut c = Criterion::default();
+        sample_bench(&mut c);
+    }
+
+    #[test]
+    fn bench_mode_reports_timing() {
+        let mut c = Criterion { measure: true, budget: Duration::from_millis(5) };
+        let mut b = Bencher { measure: true, budget: c.budget, report: None };
+        b.iter(|| black_box(7u64.wrapping_add(1)));
+        assert!(b.report.is_some());
+        c.bench_function("timed", |bb| bb.iter(|| 1 + 1));
+    }
+}

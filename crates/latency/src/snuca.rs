@@ -73,7 +73,8 @@ impl SnucaLatencies {
             + tag_array_cycles(PAPER_BANK_BYTES / cmp_mem::L2_BLOCK_BYTES)
             + NETWORK_OVERHEAD_CYCLES;
         // Core corner positions on the grid (in bank units).
-        let corners = [(0.0, 0.0), (grid as f64, 0.0), (0.0, grid as f64), (grid as f64, grid as f64)];
+        let corners =
+            [(0.0, 0.0), (grid as f64, 0.0), (0.0, grid as f64), (grid as f64, grid as f64)];
         let table = (0..cores)
             .map(|c| {
                 let (cx, cy) = corners[c % corners.len()];

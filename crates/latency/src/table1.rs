@@ -147,12 +147,8 @@ impl fmt::Display for Table1 {
         writeln!(f, "  {:<46}{}", "Total", self.private_total())?;
         writeln!(f, "CMP-NuRAPID with four 2 MB d-groups")?;
         writeln!(f, "  {:<46}{}", "Tag w/ extra tag space", self.nurapid_tag)?;
-        let dgroups = self
-            .dgroups_from_p0()
-            .iter()
-            .map(|c| c.to_string())
-            .collect::<Vec<_>>()
-            .join(",");
+        let dgroups =
+            self.dgroups_from_p0().iter().map(|c| c.to_string()).collect::<Vec<_>>().join(",");
         writeln!(f, "  {:<46}{}", "Data d-groups (a,b,c,d)", dgroups)?;
         write!(f, "{:<48}{}", "Pipelined split-transaction bus (all designs)", self.bus)
     }

@@ -33,7 +33,10 @@ impl CacheGeometry {
     /// set count is not a power of two (required for mask-based set
     /// indexing).
     pub fn new(capacity_bytes: usize, block_bytes: usize, associativity: usize) -> Self {
-        assert!(capacity_bytes > 0 && block_bytes > 0 && associativity > 0, "geometry parameters must be nonzero");
+        assert!(
+            capacity_bytes > 0 && block_bytes > 0 && associativity > 0,
+            "geometry parameters must be nonzero"
+        );
         assert!(capacity_bytes.is_power_of_two(), "capacity must be a power of two");
         assert!(block_bytes.is_power_of_two(), "block size must be a power of two");
         assert_eq!(

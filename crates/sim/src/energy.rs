@@ -75,8 +75,10 @@ pub fn account(run: &RunResult, kind: OrgKind, model: &EnergyModel) -> EnergyBre
             // Own tag probe per access; remote caches probe on
             // snoops (counted under bus energy). Data is always the
             // local 2 MB array (cache-to-cache transfers re-write it).
-            (accesses * model.private_tag, (accesses - misses) * model.dgroup_data
-                + misses * model.dgroup_data)
+            (
+                accesses * model.private_tag,
+                (accesses - misses) * model.dgroup_data + misses * model.dgroup_data,
+            )
         }
         OrgKind::Nurapid | OrgKind::NurapidCrOnly | OrgKind::NurapidIscOnly => {
             // Doubled tags cost ~sqrt(2) of a private probe; closest

@@ -1,0 +1,51 @@
+//! Error type for the experiment runner.
+//!
+//! The original runner entry points panicked on unknown workload,
+//! mix, or organization names. Batch experiment drivers (and the
+//! replay path, which parses artifacts produced elsewhere) need to
+//! surface those conditions instead of tearing the process down, so
+//! every panicking entry point now has a `try_` twin returning
+//! [`SimError`].
+
+use std::fmt;
+
+/// Errors the fallible runner entry points can return.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimError {
+    /// The multithreaded-workload name is not one of Table 3's.
+    UnknownWorkload(String),
+    /// The mix name is not one of Table 2's.
+    UnknownMix(String),
+    /// The organization name does not resolve to an
+    /// [`crate::OrgKind`].
+    UnknownOrg(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::UnknownWorkload(name) => {
+                write!(f, "unknown multithreaded workload {name:?}")
+            }
+            SimError::UnknownMix(name) => write!(f, "unknown mix {name:?}"),
+            SimError::UnknownOrg(name) => write!(f, "unknown organization {name:?}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_offender() {
+        let e = SimError::UnknownWorkload("tpch".into());
+        assert_eq!(e.to_string(), "unknown multithreaded workload \"tpch\"");
+        let e = SimError::UnknownMix("MIX9".into());
+        assert_eq!(e.to_string(), "unknown mix \"MIX9\"");
+        let e = SimError::UnknownOrg("l4".into());
+        assert_eq!(e.to_string(), "unknown organization \"l4\"");
+    }
+}

@@ -30,15 +30,20 @@
 //! assert!(ideal.ipc() > shared.ipc());
 //! ```
 
+pub mod audited;
 pub mod energy;
+pub mod error;
 pub mod l1;
 pub mod runner;
 pub mod system;
 
+pub use audited::{run_replay, run_workload_audited, AuditedRunOutcome, ReplayOutcome};
 pub use energy::{account as energy_account, EnergyBreakdown};
+pub use error::SimError;
 pub use l1::{L1Cache, L1Stats};
 pub use runner::{
-    build_org, run_mix, run_mix_custom, run_multithreaded, run_multithreaded_custom, OrgKind,
-    RunConfig,
+    build_org, run_mix, run_mix_custom, run_multithreaded, run_multithreaded_custom,
+    try_multithreaded_workload, try_run_mix, try_run_mix_custom, try_run_multithreaded,
+    try_run_multithreaded_custom, workload_by_name, AnyWorkload, OrgKind, RunConfig,
 };
 pub use system::{RunResult, System};

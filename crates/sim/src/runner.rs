@@ -2,9 +2,11 @@
 
 use cmp_cache::{CacheOrg, Dnuca, PrivateMesi, Snuca, UniformShared};
 use cmp_latency::LatencyBook;
+use cmp_mem::{Addr, CoreId};
 use cmp_nurapid::{CmpNurapid, NurapidConfig};
-use cmp_trace::{profiles, MixWorkload, SyntheticWorkload};
+use cmp_trace::{profiles, Access, MixWorkload, SyntheticWorkload, TraceSource};
 
+use crate::error::SimError;
 use crate::system::{RunResult, System};
 
 /// The five L2 organizations the paper compares (Section 4.2), plus
@@ -36,6 +38,18 @@ impl OrgKind {
     pub const COMPARISON: [OrgKind; 5] =
         [OrgKind::Shared, OrgKind::Snuca, OrgKind::Private, OrgKind::Ideal, OrgKind::Nurapid];
 
+    /// Every organization the runner can build, ablations included.
+    pub const ALL: [OrgKind; 8] = [
+        OrgKind::Shared,
+        OrgKind::Private,
+        OrgKind::Snuca,
+        OrgKind::Dnuca,
+        OrgKind::Ideal,
+        OrgKind::Nurapid,
+        OrgKind::NurapidCrOnly,
+        OrgKind::NurapidIscOnly,
+    ];
+
     /// Display name.
     pub fn label(self) -> &'static str {
         match self {
@@ -48,6 +62,27 @@ impl OrgKind {
             OrgKind::NurapidCrOnly => "CMP-NuRAPID (CR only)",
             OrgKind::NurapidIscOnly => "CMP-NuRAPID (ISC only)",
         }
+    }
+
+    /// Stable short name, unique per variant (unlike
+    /// [`CacheOrg::name`], which reports "nurapid" for all three
+    /// NuRAPID configurations). Replay artifacts use these.
+    pub fn name(self) -> &'static str {
+        match self {
+            OrgKind::Shared => "shared",
+            OrgKind::Private => "private",
+            OrgKind::Snuca => "snuca",
+            OrgKind::Dnuca => "dnuca",
+            OrgKind::Ideal => "ideal",
+            OrgKind::Nurapid => "nurapid",
+            OrgKind::NurapidCrOnly => "nurapid-cr",
+            OrgKind::NurapidIscOnly => "nurapid-isc",
+        }
+    }
+
+    /// Resolves a short name back to the kind.
+    pub fn from_name(name: &str) -> Option<OrgKind> {
+        OrgKind::ALL.into_iter().find(|k| k.name() == name)
     }
 }
 
@@ -98,61 +133,162 @@ impl Default for RunConfig {
 }
 
 /// Builds one of the Table 3 multithreaded workloads by name.
+pub fn try_multithreaded_workload(name: &str, seed: u64) -> Result<SyntheticWorkload, SimError> {
+    let cores = cmp_mem::PAPER_CORES;
+    match name {
+        "oltp" => Ok(profiles::oltp(cores, seed)),
+        "apache" => Ok(profiles::apache(cores, seed)),
+        "specjbb" => Ok(profiles::specjbb(cores, seed)),
+        "ocean" => Ok(profiles::ocean(cores, seed)),
+        "barnes" => Ok(profiles::barnes(cores, seed)),
+        other => Err(SimError::UnknownWorkload(other.to_string())),
+    }
+}
+
+/// Builds one of the Table 3 multithreaded workloads by name.
 ///
 /// # Panics
 ///
-/// Panics on an unknown name.
+/// Panics on an unknown name; batch drivers should prefer
+/// [`try_multithreaded_workload`].
 pub fn multithreaded_workload(name: &str, seed: u64) -> SyntheticWorkload {
-    let cores = cmp_mem::PAPER_CORES;
-    match name {
-        "oltp" => profiles::oltp(cores, seed),
-        "apache" => profiles::apache(cores, seed),
-        "specjbb" => profiles::specjbb(cores, seed),
-        "ocean" => profiles::ocean(cores, seed),
-        "barnes" => profiles::barnes(cores, seed),
-        other => panic!("unknown multithreaded workload {other:?}"),
+    try_multithreaded_workload(name, seed).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Any workload the runner can name: a Table 3 multithreaded
+/// workload or a Table 2 multiprogrammed mix, behind one
+/// [`TraceSource`]. Lets the audited/replay entry points accept
+/// either namespace from one string.
+#[derive(Debug)]
+pub enum AnyWorkload {
+    /// A Table 3 multithreaded workload (boxed: the generators are
+    /// large and the enum is moved around by value).
+    Synthetic(Box<SyntheticWorkload>),
+    /// A Table 2 multiprogrammed mix.
+    Mix(MixWorkload),
+}
+
+impl TraceSource for AnyWorkload {
+    fn next_access(&mut self, core: CoreId) -> Access {
+        match self {
+            AnyWorkload::Synthetic(w) => w.next_access(core),
+            AnyWorkload::Mix(w) => w.next_access(core),
+        }
+    }
+
+    fn name(&self) -> &str {
+        match self {
+            AnyWorkload::Synthetic(w) => w.name(),
+            AnyWorkload::Mix(w) => w.name(),
+        }
+    }
+
+    fn cores(&self) -> usize {
+        match self {
+            AnyWorkload::Synthetic(w) => w.cores(),
+            AnyWorkload::Mix(w) => w.cores(),
+        }
+    }
+
+    fn code_region(&self, core: CoreId) -> Option<(Addr, u64, f64)> {
+        match self {
+            AnyWorkload::Synthetic(w) => w.code_region(core),
+            AnyWorkload::Mix(w) => w.code_region(core),
+        }
+    }
+}
+
+/// Resolves a workload name against Table 3 first, then Table 2.
+pub fn workload_by_name(name: &str, seed: u64) -> Result<AnyWorkload, SimError> {
+    if let Ok(w) = try_multithreaded_workload(name, seed) {
+        return Ok(AnyWorkload::Synthetic(Box::new(w)));
+    }
+    match MixWorkload::table2(name, seed) {
+        Some(w) => Ok(AnyWorkload::Mix(w)),
+        None => Err(SimError::UnknownWorkload(name.to_string())),
     }
 }
 
 /// Runs one multithreaded workload on one organization.
+pub fn try_run_multithreaded(
+    workload: &str,
+    kind: OrgKind,
+    cfg: &RunConfig,
+) -> Result<RunResult, SimError> {
+    try_run_multithreaded_custom(workload, build_org(kind), cfg)
+}
+
+/// Runs one multithreaded workload on one organization.
+///
+/// # Panics
+///
+/// Panics on an unknown name; batch drivers should prefer
+/// [`try_run_multithreaded`].
 pub fn run_multithreaded(workload: &str, kind: OrgKind, cfg: &RunConfig) -> RunResult {
-    let mut sys = System::new(multithreaded_workload(workload, cfg.seed), build_org(kind));
-    sys.run_measured(cfg.warmup_accesses, cfg.measure_accesses)
+    try_run_multithreaded(workload, kind, cfg).unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Runs a custom organization against a named multithreaded workload
 /// (used by the ablation studies, which vary `NurapidConfig` beyond
 /// the stock [`OrgKind`] variants).
+pub fn try_run_multithreaded_custom(
+    workload: &str,
+    org: Box<dyn CacheOrg>,
+    cfg: &RunConfig,
+) -> Result<RunResult, SimError> {
+    let mut sys = System::new(try_multithreaded_workload(workload, cfg.seed)?, org);
+    Ok(sys.run_measured(cfg.warmup_accesses, cfg.measure_accesses))
+}
+
+/// Runs a custom organization against a named multithreaded workload.
+///
+/// # Panics
+///
+/// Panics on an unknown name; batch drivers should prefer
+/// [`try_run_multithreaded_custom`].
 pub fn run_multithreaded_custom(
     workload: &str,
     org: Box<dyn CacheOrg>,
     cfg: &RunConfig,
 ) -> RunResult {
-    let mut sys = System::new(multithreaded_workload(workload, cfg.seed), org);
-    sys.run_measured(cfg.warmup_accesses, cfg.measure_accesses)
+    try_run_multithreaded_custom(workload, org, cfg).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Runs a custom organization against a Table 2 mix.
+pub fn try_run_mix_custom(
+    mix: &str,
+    org: Box<dyn CacheOrg>,
+    cfg: &RunConfig,
+) -> Result<RunResult, SimError> {
+    let workload =
+        MixWorkload::table2(mix, cfg.seed).ok_or_else(|| SimError::UnknownMix(mix.to_string()))?;
+    let mut sys = System::new(workload, org);
+    Ok(sys.run_measured(cfg.warmup_accesses, cfg.measure_accesses))
 }
 
 /// Runs a custom organization against a Table 2 mix.
 ///
 /// # Panics
 ///
-/// Panics on an unknown mix name.
+/// Panics on an unknown mix name; batch drivers should prefer
+/// [`try_run_mix_custom`].
 pub fn run_mix_custom(mix: &str, org: Box<dyn CacheOrg>, cfg: &RunConfig) -> RunResult {
-    let workload =
-        MixWorkload::table2(mix, cfg.seed).unwrap_or_else(|| panic!("unknown mix {mix:?}"));
-    let mut sys = System::new(workload, org);
-    sys.run_measured(cfg.warmup_accesses, cfg.measure_accesses)
+    try_run_mix_custom(mix, org, cfg).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Runs one Table 2 mix on one organization.
+pub fn try_run_mix(mix: &str, kind: OrgKind, cfg: &RunConfig) -> Result<RunResult, SimError> {
+    try_run_mix_custom(mix, build_org(kind), cfg)
 }
 
 /// Runs one Table 2 mix on one organization.
 ///
 /// # Panics
 ///
-/// Panics on an unknown mix name.
+/// Panics on an unknown mix name; batch drivers should prefer
+/// [`try_run_mix`].
 pub fn run_mix(mix: &str, kind: OrgKind, cfg: &RunConfig) -> RunResult {
-    let workload = MixWorkload::table2(mix, cfg.seed).unwrap_or_else(|| panic!("unknown mix {mix:?}"));
-    let mut sys = System::new(workload, build_org(kind));
-    sys.run_measured(cfg.warmup_accesses, cfg.measure_accesses)
+    try_run_mix(mix, kind, cfg).unwrap_or_else(|e| panic!("{e}"))
 }
 
 #[cfg(test)]
@@ -161,20 +297,55 @@ mod tests {
 
     #[test]
     fn build_all_orgs() {
-        for kind in [
-            OrgKind::Shared,
-            OrgKind::Private,
-            OrgKind::Snuca,
-            OrgKind::Dnuca,
-            OrgKind::Ideal,
-            OrgKind::Nurapid,
-            OrgKind::NurapidCrOnly,
-            OrgKind::NurapidIscOnly,
-        ] {
+        for kind in OrgKind::ALL {
             let org = build_org(kind);
             assert_eq!(org.cores(), 4);
             assert!(!kind.label().is_empty());
         }
+    }
+
+    #[test]
+    fn org_names_roundtrip_and_are_unique() {
+        for kind in OrgKind::ALL {
+            assert_eq!(OrgKind::from_name(kind.name()), Some(kind));
+        }
+        let names: std::collections::HashSet<_> = OrgKind::ALL.iter().map(|k| k.name()).collect();
+        assert_eq!(names.len(), OrgKind::ALL.len());
+        assert_eq!(OrgKind::from_name("l4"), None);
+    }
+
+    #[test]
+    fn fallible_entry_points_return_errors() {
+        use crate::error::SimError;
+        assert_eq!(
+            try_multithreaded_workload("tpch", 1).unwrap_err(),
+            SimError::UnknownWorkload("tpch".into())
+        );
+        let cfg = RunConfig { warmup_accesses: 10, measure_accesses: 10, seed: 1 };
+        assert_eq!(
+            try_run_multithreaded("tpch", OrgKind::Private, &cfg).unwrap_err(),
+            SimError::UnknownWorkload("tpch".into())
+        );
+        assert_eq!(
+            try_run_mix("MIX9", OrgKind::Private, &cfg).unwrap_err(),
+            SimError::UnknownMix("MIX9".into())
+        );
+        assert_eq!(
+            workload_by_name("nope", 1).unwrap_err(),
+            SimError::UnknownWorkload("nope".into())
+        );
+    }
+
+    #[test]
+    fn workload_by_name_resolves_both_namespaces() {
+        use cmp_trace::TraceSource;
+        let w = workload_by_name("oltp", 1).unwrap();
+        assert_eq!(w.name(), "oltp");
+        assert!(matches!(w, AnyWorkload::Synthetic(_)));
+        let m = workload_by_name("MIX4", 1).unwrap();
+        assert_eq!(m.name(), "MIX4");
+        assert!(matches!(m, AnyWorkload::Mix(_)));
+        assert_eq!(m.cores(), 4);
     }
 
     #[test]

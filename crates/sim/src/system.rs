@@ -352,7 +352,12 @@ mod tests {
         let mut sys = small_system(Box::new(cmp_cache::UniformShared::paper_shared(&book)));
         let r = sys.run_measured(2_000, 4_000);
         // L2 sees only L1 misses and store-forwards.
-        assert!(r.l2.accesses() < r.accesses, "L2 accesses {} vs refs {}", r.l2.accesses(), r.accesses);
+        assert!(
+            r.l2.accesses() < r.accesses,
+            "L2 accesses {} vs refs {}",
+            r.l2.accesses(),
+            r.accesses
+        );
         assert!(r.l1.hits > 0);
     }
 

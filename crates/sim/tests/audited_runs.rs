@@ -1,0 +1,86 @@
+//! End-to-end audited execution through the full system simulator.
+//!
+//! The acceptance bar for the audit harness: a clean
+//! [`RunConfig::quick`] run over *every* organization reports zero
+//! violations (the checks must not cry wolf under the real driver,
+//! L1 filtering and all), and a faulted run's replay artifact
+//! reproduces the same violation at the same access index.
+
+use cmp_audit::{AuditConfig, FaultKind, FaultSpec, ReplayArtifact};
+use cmp_sim::{run_replay, run_workload_audited, OrgKind, RunConfig, SimError};
+
+#[test]
+fn clean_audited_quick_run_over_every_org() {
+    let cfg = RunConfig::quick();
+    for kind in OrgKind::ALL {
+        let outcome =
+            run_workload_audited("oltp", kind, &cfg, AuditConfig::checking(4_096)).unwrap();
+        assert!(
+            outcome.clean(),
+            "clean {} run violated: {}",
+            kind.name(),
+            outcome.violations.first().map(|v| v.to_string()).unwrap_or_default()
+        );
+        assert!(outcome.artifact.is_none());
+        assert!(outcome.injections.is_empty());
+        assert!(outcome.result.l2.accesses() > 0, "{} saw no L2 traffic", kind.name());
+    }
+}
+
+#[test]
+fn audited_mix_run_is_also_clean() {
+    let cfg = RunConfig { warmup_accesses: 5_000, measure_accesses: 10_000, seed: 0x15CA };
+    let outcome =
+        run_workload_audited("MIX4", OrgKind::Nurapid, &cfg, AuditConfig::checking(1_024)).unwrap();
+    assert!(outcome.clean());
+    assert_eq!(outcome.result.workload, "MIX4");
+}
+
+#[test]
+fn replay_reproduces_the_recorded_violation() {
+    let cfg = RunConfig { warmup_accesses: 5_000, measure_accesses: 10_000, seed: 0x15CA };
+    // Fault indices count *L2 accesses* (the references the L1s let
+    // through — a few percent of the core-side stream), so keep the
+    // index small relative to the run size.
+    let audit = AuditConfig::checking(64).with_fault(FaultSpec::new(FaultKind::TagCorruption, 200));
+    let outcome = run_workload_audited("oltp", OrgKind::Nurapid, &cfg, audit).unwrap();
+    assert!(!outcome.clean(), "the scheduled tag fault must be detected");
+    let artifact = outcome.artifact.expect("a violation implies an artifact");
+    assert_eq!(artifact.org, "nurapid");
+
+    // Serialize, parse back, replay: the loop a bug report travels.
+    let line = artifact.to_string();
+    let parsed: ReplayArtifact = line.parse().expect("artifact line parses");
+    let replay = run_replay(&parsed).unwrap();
+    assert!(
+        replay.reproduced,
+        "replay saw {:?}, artifact recorded index {} check {}",
+        replay.violation, parsed.violation_index, parsed.check
+    );
+}
+
+#[test]
+fn replay_rejects_unknown_coordinates() {
+    let artifact = ReplayArtifact {
+        org: "l4".into(),
+        workload: "oltp".into(),
+        seed: 1,
+        warmup: 10,
+        measure: 10,
+        audit_every: 64,
+        faults: vec![],
+        violation_index: 0,
+        check: "x".into(),
+    };
+    assert_eq!(run_replay(&artifact).unwrap_err(), SimError::UnknownOrg("l4".into()));
+    let artifact = ReplayArtifact { org: "nurapid".into(), workload: "tpch".into(), ..artifact };
+    assert_eq!(run_replay(&artifact).unwrap_err(), SimError::UnknownWorkload("tpch".into()));
+}
+
+#[test]
+fn audited_run_rejects_unknown_workload() {
+    let cfg = RunConfig { warmup_accesses: 10, measure_accesses: 10, seed: 1 };
+    let err =
+        run_workload_audited("tpch", OrgKind::Private, &cfg, AuditConfig::default()).unwrap_err();
+    assert_eq!(err, SimError::UnknownWorkload("tpch".into()));
+}

@@ -71,7 +71,12 @@ fn c_state_stores_post_without_stalling() {
     // far-away reads so P0 finishes its script first (run-until-any).
     let p1 = vec![(0x3000, AccessKind::Read, 0), (0x9999_0000, AccessKind::Read, 5_000)];
     let book = LatencyBook::from_table1(&cmp_latency::Table1::published(), 2);
-    let cfg = NurapidConfig { cores: 2, dgroup_bytes: 4 * 1024 * 1024, latencies: book, ..NurapidConfig::paper() };
+    let cfg = NurapidConfig {
+        cores: 2,
+        dgroup_bytes: 4 * 1024 * 1024,
+        latencies: book,
+        ..NurapidConfig::paper()
+    };
     let trace = scripted(vec![p0, p1]);
     let mut sys = System::new(trace, Box::new(CmpNurapid::new(cfg)));
     let r = sys.run_measured(0, 4);

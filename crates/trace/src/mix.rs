@@ -167,8 +167,7 @@ mod tests {
         for (name, _) in SPEC_MIXES {
             let mix = MixWorkload::table2(name, 1).expect("mix exists");
             let big = (0..4).any(|c| mix.app(CoreId(c)).exceeds_private());
-            let small =
-                (0..4).any(|c| mix.app(CoreId(c)).footprint_bytes() < 1024 * 1024);
+            let small = (0..4).any(|c| mix.app(CoreId(c)).footprint_bytes() < 1024 * 1024);
             assert!(big && small, "{name} lacks demand asymmetry");
         }
     }

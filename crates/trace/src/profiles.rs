@@ -155,7 +155,7 @@ pub fn apache_params() -> WorkloadParams {
         private_zipf: 0.55,
         private_write_frac: 0.25,
         ros_classes: [(0.40, 700), (0.35, 2_000), (0.25, 2_800)], // the 700 MB file set's hot tail
-        ros_stream_frac: 0.05, // cold files stream through once
+        ros_stream_frac: 0.05,                                    // cold files stream through once
         rws_objects: 1_400,
         rws_modify_prob: 0.45,
         rws_reader_burst: (1, 4),

@@ -264,7 +264,8 @@ mod tests {
         let h = histogram(&mut w, 120_000);
         let p = w.params().clone();
         let priv_n = h["private"] as f64;
-        let ros_n = (h.get("ros").copied().unwrap_or(0) + h.get("stream").copied().unwrap_or(0)) as f64;
+        let ros_n =
+            (h.get("ros").copied().unwrap_or(0) + h.get("stream").copied().unwrap_or(0)) as f64;
         let ratio = priv_n / ros_n;
         let expect = p.weight_private / p.weight_ros;
         assert!((ratio - expect).abs() < expect * 0.35, "private/ros ratio {ratio} vs {expect}");

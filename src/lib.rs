@@ -5,6 +5,7 @@
 //! Re-exports every workspace crate under one roof so examples and
 //! integration tests can use a single dependency.
 
+pub use cmp_audit as audit;
 pub use cmp_cache as cache;
 pub use cmp_coherence as coherence;
 pub use cmp_latency as latency;

@@ -54,10 +54,7 @@ fn isc_cuts_rws_misses_versus_private() {
     let n = nurapid.l2.class_fraction(AccessClass::MissRws).value();
     // At this (cold, small) scale the cut is partial; the paper-scale
     // harness shows ~80% (see EXPERIMENTS.md).
-    assert!(
-        n < p * 0.8,
-        "ISC should clearly cut RWS misses: private {p:.4} vs nurapid {n:.4}"
-    );
+    assert!(n < p * 0.8, "ISC should clearly cut RWS misses: private {p:.4} vs nurapid {n:.4}");
 }
 
 #[test]
