@@ -1,9 +1,15 @@
 //! Regenerates every table and figure of the paper in one run,
 //! sharing simulation results across figures.
 //!
+//! The union of every figure's (workload, organization) pairs is
+//! prefetched through the parallel lab up front — the full sweep
+//! fans out across `CMP_BENCH_THREADS` workers (default: available
+//! parallelism) and the figures then render from cache, byte-identical
+//! to the sequential path.
+//!
 //! Usage: all `[quick|paper|<refs>]`
 
-use cmp_bench::{config_from_args, figures, Lab};
+use cmp_bench::{config_from_args, figures, ok_or_exit, ParallelLab};
 
 fn main() {
     let cfg = config_from_args();
@@ -14,19 +20,23 @@ fn main() {
     println!("{}", figures::table1());
     println!("{}", figures::table2());
     println!("{}", figures::table3());
-    let mut lab = Lab::new(cfg);
-    for f in [
-        figures::fig5 as fn(&mut Lab) -> String,
-        figures::fig6,
-        figures::fig7,
-        figures::fig8,
-        figures::fig9,
-        figures::fig10,
-        figures::fig11,
-        figures::fig12,
-        figures::closest_dgroup_share,
-    ] {
-        println!("{}", f(&mut lab));
-    }
-    eprintln!("({} simulation runs)", lab.runs());
+    let mut lab = ParallelLab::new(cfg);
+    let t0 = std::time::Instant::now();
+    ok_or_exit(lab.prefetch(&figures::pairs::all()));
+    let sweep_ms = t0.elapsed().as_secs_f64() * 1e3;
+    println!("{}", figures::fig5(&mut lab));
+    println!("{}", figures::fig6(&mut lab));
+    println!("{}", figures::fig7(&mut lab));
+    println!("{}", figures::fig8(&mut lab));
+    println!("{}", figures::fig9(&mut lab));
+    println!("{}", figures::fig10(&mut lab));
+    println!("{}", figures::fig11(&mut lab));
+    println!("{}", figures::fig12(&mut lab));
+    println!("{}", figures::closest_dgroup_share(&mut lab));
+    eprintln!(
+        "({} simulation runs, {:.0} ms sweep on {} thread(s))",
+        lab.simulations(),
+        sweep_ms,
+        lab.threads()
+    );
 }

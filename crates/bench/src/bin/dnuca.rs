@@ -3,17 +3,26 @@
 //! showed realistic CMP-DNUCA performs *worse* than CMP-SNUCA, and
 //! Section 1 explains why — each sharer pulls a shared block toward
 //! itself, stranding it in the middle. This binary runs both on the
-//! multithreaded workloads to check that the claim reproduces.
+//! multithreaded workloads to check that the claim reproduces. The
+//! full workload x organization grid is prefetched through the
+//! parallel lab before rendering.
 //!
 //! Usage: `dnuca [quick|paper|REFS]`
 
 use cmp_bench::config_from_args;
 use cmp_bench::table::{pct, rel, TextTable};
-use cmp_bench::{ok_or_exit, MULTITHREADED};
-use cmp_sim::{try_run_multithreaded, OrgKind};
+use cmp_bench::{ok_or_exit, ParallelLab, ResultSource, WorkloadId, MULTITHREADED};
+use cmp_sim::OrgKind;
 
 fn main() {
     let cfg = config_from_args();
+    let orgs = [OrgKind::Shared, OrgKind::Snuca, OrgKind::Dnuca];
+    let mut lab = ParallelLab::new(cfg);
+    let pairs: Vec<_> = MULTITHREADED
+        .iter()
+        .flat_map(|&wl| orgs.into_iter().map(move |k| (WorkloadId::Multithreaded(wl), k)))
+        .collect();
+    ok_or_exit(lab.prefetch(&pairs));
     let mut t = TextTable::new(vec![
         "workload",
         "SNUCA (rel)",
@@ -22,13 +31,14 @@ fn main() {
         "DNUCA migrations",
     ]);
     for wl in MULTITHREADED {
-        let shared = ok_or_exit(try_run_multithreaded(wl, OrgKind::Shared, &cfg));
-        let snuca = ok_or_exit(try_run_multithreaded(wl, OrgKind::Snuca, &cfg));
-        let dnuca = ok_or_exit(try_run_multithreaded(wl, OrgKind::Dnuca, &cfg));
+        let id = WorkloadId::Multithreaded(wl);
+        let shared = lab.result(id, OrgKind::Shared).ipc();
+        let snuca = lab.result(id, OrgKind::Snuca).ipc();
+        let dnuca = lab.result(id, OrgKind::Dnuca).clone();
         t.row(vec![
             wl.to_string(),
-            rel(snuca.ipc() / shared.ipc()),
-            rel(dnuca.ipc() / shared.ipc()),
+            rel(snuca / shared),
+            rel(dnuca.ipc() / shared),
             pct(dnuca.l2.hits_closest as f64 / dnuca.l2.hits().max(1) as f64 / 100.0 * 100.0),
             dnuca.l2.promotions.to_string(),
         ]);

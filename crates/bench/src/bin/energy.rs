@@ -5,14 +5,26 @@
 //! Usage: `energy [quick|paper|REFS]`
 
 use cmp_bench::table::TextTable;
-use cmp_bench::{config_from_args, ok_or_exit};
+use cmp_bench::{config_from_args, ok_or_exit, ParallelLab, ResultSource, WorkloadId};
 use cmp_latency::energy::EnergyModel;
-use cmp_sim::{energy_account, try_run_multithreaded, OrgKind};
+use cmp_sim::{energy_account, OrgKind};
+
+const WORKLOADS: [&str; 2] = ["oltp", "apache"];
 
 fn main() {
     let cfg = config_from_args();
     let model = EnergyModel::paper_70nm();
-    for wl in ["oltp", "apache"] {
+    // Prefetch the full workload x organization grid across the
+    // worker pool before rendering anything.
+    let mut lab = ParallelLab::new(cfg);
+    let pairs: Vec<_> = WORKLOADS
+        .iter()
+        .flat_map(|&wl| {
+            OrgKind::COMPARISON.into_iter().map(move |k| (WorkloadId::Multithreaded(wl), k))
+        })
+        .collect();
+    ok_or_exit(lab.prefetch(&pairs));
+    for wl in WORKLOADS {
         let mut t = TextTable::new(vec![
             "org",
             "tag mJ",
@@ -25,7 +37,7 @@ fn main() {
         ]);
         let mut shared_total = 0.0;
         for kind in OrgKind::COMPARISON {
-            let r = ok_or_exit(try_run_multithreaded(wl, kind, &cfg));
+            let r = ok_or_exit(lab.try_result(WorkloadId::Multithreaded(wl), kind)).clone();
             let e = energy_account(&r, kind, &model);
             if kind == OrgKind::Shared {
                 shared_total = e.total_mj();

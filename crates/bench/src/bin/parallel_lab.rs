@@ -1,0 +1,118 @@
+//! Parallel-lab benchmark and self-check: runs the full figure sweep
+//! (the union of every figure's (workload, organization) pairs) once
+//! through the sequential `Lab` and once through the `ParallelLab`,
+//! verifies that every `RunResult`, every rendered figure, and every
+//! numeric series is byte-identical, and writes a
+//! `BENCH_parallel_lab.json` report (wall-clock sequential vs
+//! parallel, per-pair timings, thread count) so the perf trajectory
+//! is tracked across PRs. Any divergence makes the binary exit
+//! nonzero, so CI can use it as a determinism gate as well as a perf
+//! report.
+//!
+//! Usage: `parallel_lab [quick|paper|REFS]` (worker count from
+//! `CMP_BENCH_THREADS`, default: available parallelism)
+
+use std::collections::HashSet;
+use std::time::Instant;
+
+use cmp_bench::{config_from_args, figures, ok_or_exit, Json, Lab, ParallelLab, ResultSource};
+
+const REPORT_PATH: &str = "BENCH_parallel_lab.json";
+
+fn main() {
+    let cfg = config_from_args();
+    let submitted = figures::pairs::all();
+    let mut seen = HashSet::new();
+    let unique: Vec<_> = submitted.iter().copied().filter(|p| seen.insert(*p)).collect();
+
+    // Sequential sweep, one pair at a time.
+    let mut seq = Lab::new(cfg);
+    let t0 = Instant::now();
+    for &(wl, kind) in &unique {
+        ok_or_exit(seq.try_result(wl, kind).map(|_| ()));
+    }
+    let sequential_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    // Parallel sweep of the same batch.
+    let mut par = ParallelLab::new(cfg);
+    let t0 = Instant::now();
+    let timings = ok_or_exit(par.prefetch(&submitted));
+    let parallel_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    // Determinism check 1: bit-identical results per pair.
+    let mut mismatches = Vec::new();
+    for &(wl, kind) in &unique {
+        if seq.result(wl, kind) != par.result(wl, kind) {
+            mismatches.push(format!("{}/{}", wl.name(), kind.name()));
+        }
+    }
+    // Determinism check 2: byte-identical rendered figures and
+    // numeric series.
+    type Renderer = (&'static str, fn(&mut Lab) -> String, fn(&mut ParallelLab) -> String);
+    let renderers: Vec<Renderer> = vec![
+        ("fig5", figures::fig5, figures::fig5),
+        ("fig6", figures::fig6, figures::fig6),
+        ("fig7", figures::fig7, figures::fig7),
+        ("fig8", figures::fig8, figures::fig8),
+        ("fig9", figures::fig9, figures::fig9),
+        ("fig10", figures::fig10, figures::fig10),
+        ("fig11", figures::fig11, figures::fig11),
+        ("fig12", figures::fig12, figures::fig12),
+        ("closest_dgroup_share", figures::closest_dgroup_share, figures::closest_dgroup_share),
+    ];
+    for (name, render_seq, render_par) in renderers {
+        if render_seq(&mut seq) != render_par(&mut par) {
+            mismatches.push(format!("figure {name}"));
+        }
+    }
+    for ((name, _, seq_extract), (_, _, par_extract)) in
+        figures::series::catalog::<Lab>().into_iter().zip(figures::series::catalog::<ParallelLab>())
+    {
+        if seq_extract(&mut seq) != par_extract(&mut par) {
+            mismatches.push(format!("series {name}"));
+        }
+    }
+
+    let identical = mismatches.is_empty();
+    let speedup = sequential_ms / parallel_ms;
+
+    let mut report = Json::obj();
+    let mut config = Json::obj();
+    config.set("warmup_accesses", Json::Num(cfg.warmup_accesses as f64));
+    config.set("measure_accesses", Json::Num(cfg.measure_accesses as f64));
+    config.set("seed", Json::Num(cfg.seed as f64));
+    report.set("config", config);
+    report.set("threads", Json::Num(par.threads() as f64));
+    report.set("pairs", Json::Num(unique.len() as f64));
+    report.set("sequential_ms", Json::Num(sequential_ms));
+    report.set("parallel_ms", Json::Num(parallel_ms));
+    report.set("speedup", Json::Num(speedup));
+    report.set("identical", Json::Bool(identical));
+    let per_pair = timings
+        .iter()
+        .map(|t| {
+            let mut row = Json::obj();
+            row.set("workload", Json::Str(t.workload.name().to_string()));
+            row.set("org", Json::Str(t.kind.name().to_string()));
+            row.set("ms", Json::Num((t.millis * 1000.0).round() / 1000.0));
+            row
+        })
+        .collect();
+    report.set("per_pair", Json::Arr(per_pair));
+    let text = report.to_string();
+    if let Err(e) = std::fs::write(REPORT_PATH, format!("{text}\n")) {
+        eprintln!("warning: could not write {REPORT_PATH}: {e}");
+    }
+    println!("{text}");
+
+    eprintln!(
+        "{} pairs: sequential {sequential_ms:.0} ms, parallel {parallel_ms:.0} ms \
+         on {} thread(s) ({speedup:.2}x)",
+        unique.len(),
+        par.threads(),
+    );
+    if !identical {
+        eprintln!("DETERMINISM VIOLATION: parallel sweep diverged on: {}", mismatches.join(", "));
+        std::process::exit(1);
+    }
+}

@@ -9,10 +9,10 @@
 //!           nurapid-cr | nurapid-isc
 //! ```
 
-use cmp_bench::ok_or_exit;
+use cmp_bench::{ok_or_exit, ParallelLab, ResultSource, WorkloadId};
 use cmp_cache::AccessClass;
 use cmp_mem::ReuseBucket;
-use cmp_sim::{try_run_mix, try_run_multithreaded, OrgKind, RunConfig};
+use cmp_sim::{OrgKind, RunConfig};
 
 fn usage() -> ! {
     eprintln!(
@@ -31,12 +31,17 @@ fn main() {
     let warmup = args.get(3).map_or(measure / 2, |s| s.parse().unwrap_or_else(|_| usage()));
     let seed = args.get(4).map_or(0x15CA, |s| s.parse().unwrap_or_else(|_| usage()));
     let cfg = RunConfig { warmup_accesses: warmup, measure_accesses: measure, seed };
-    let is_mix = workload.starts_with("MIX");
-    let r = ok_or_exit(if is_mix {
-        try_run_mix(workload, kind, &cfg)
+    // WorkloadId keys the lab's memo cache on &'static str; a CLI
+    // argument lives for the whole process anyway, so leak it.
+    let name: &'static str = Box::leak(workload.clone().into_boxed_str());
+    let id = if name.starts_with("MIX") {
+        WorkloadId::Mix(name)
     } else {
-        try_run_multithreaded(workload, kind, &cfg)
-    });
+        WorkloadId::Multithreaded(name)
+    };
+    let mut lab = ParallelLab::new(cfg);
+    ok_or_exit(lab.prefetch(&[(id, kind)]));
+    let r = ok_or_exit(lab.try_result(id, kind)).clone();
 
     println!(
         "workload {} on {} (warmup {warmup}, measure {measure}, seed {seed:#x})",

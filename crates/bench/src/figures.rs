@@ -3,15 +3,26 @@
 //! Every function renders the measured results in the paper's layout
 //! and, where the paper states numbers, appends them for comparison.
 //! The functions return `String`s so binaries and EXPERIMENTS.md
-//! generation share one code path.
+//! generation share one code path, and they are generic over
+//! [`ResultSource`] so the sequential [`crate::Lab`] and the
+//! [`crate::ParallelLab`] render through the same code — the
+//! determinism suite compares their outputs byte for byte.
+//!
+//! Two sibling modules expose the figures' data without the text
+//! layout: [`pairs`] names each figure's full (workload,
+//! organization) set so batch drivers can prefetch it through
+//! [`crate::ParallelLab::prefetch`] before rendering, and [`series`]
+//! extracts each figure's numeric series for the golden-figure
+//! regression suite.
 
 use cmp_cache::AccessClass;
 use cmp_latency::Table1;
 use cmp_mem::{ReuseBucket, ReuseHistogram};
 use cmp_sim::OrgKind;
 
+use crate::lab::ResultSource;
 use crate::table::{pct, rel, TextTable};
-use crate::{Lab, WorkloadId, COMMERCIAL, MIXES, MULTITHREADED};
+use crate::{WorkloadId, COMMERCIAL, MIXES, MULTITHREADED};
 
 fn mt(name: &'static str) -> WorkloadId {
     WorkloadId::Multithreaded(name)
@@ -19,6 +30,114 @@ fn mt(name: &'static str) -> WorkloadId {
 
 fn mix(name: &'static str) -> WorkloadId {
     WorkloadId::Mix(name)
+}
+
+/// The figure's (workload, organization) pair sets, in rendering
+/// order. Prefetching a figure's set through
+/// [`crate::ParallelLab::prefetch`] before calling the renderer moves
+/// every simulation onto the worker pool; the renderer then only
+/// takes cache hits.
+pub mod pairs {
+    use super::*;
+    use crate::lab::Pair;
+
+    fn cross(
+        workloads: &[&'static str],
+        id: fn(&'static str) -> WorkloadId,
+        orgs: &[OrgKind],
+    ) -> Vec<Pair> {
+        workloads.iter().flat_map(|w| orgs.iter().map(move |&k| (id(w), k))).collect()
+    }
+
+    /// Figure 5: multithreaded workloads on shared and private.
+    pub fn fig5() -> Vec<Pair> {
+        cross(&MULTITHREADED, mt, &[OrgKind::Shared, OrgKind::Private])
+    }
+
+    /// Figure 6: the performance-opportunity organizations (plus the
+    /// uniform-shared baseline every `relative` call divides by).
+    pub fn fig6() -> Vec<Pair> {
+        cross(
+            &MULTITHREADED,
+            mt,
+            &[OrgKind::Shared, OrgKind::Snuca, OrgKind::Private, OrgKind::Ideal],
+        )
+    }
+
+    /// Figure 7: private-cache reuse patterns.
+    pub fn fig7() -> Vec<Pair> {
+        cross(&MULTITHREADED, mt, &[OrgKind::Private])
+    }
+
+    /// Figure 8: tag-array access distribution across five
+    /// organizations.
+    pub fn fig8() -> Vec<Pair> {
+        cross(
+            &MULTITHREADED,
+            mt,
+            &[
+                OrgKind::Shared,
+                OrgKind::Private,
+                OrgKind::NurapidCrOnly,
+                OrgKind::NurapidIscOnly,
+                OrgKind::Nurapid,
+            ],
+        )
+    }
+
+    /// Figure 9: data-array access distribution of the NuRAPID
+    /// configurations.
+    pub fn fig9() -> Vec<Pair> {
+        cross(
+            &MULTITHREADED,
+            mt,
+            &[OrgKind::NurapidCrOnly, OrgKind::NurapidIscOnly, OrgKind::Nurapid],
+        )
+    }
+
+    /// Figure 10: the headline comparison.
+    pub fn fig10() -> Vec<Pair> {
+        cross(
+            &MULTITHREADED,
+            mt,
+            &[OrgKind::Shared, OrgKind::Snuca, OrgKind::Private, OrgKind::Ideal, OrgKind::Nurapid],
+        )
+    }
+
+    /// Figure 11: multiprogrammed access distribution.
+    pub fn fig11() -> Vec<Pair> {
+        cross(&MIXES, mix, &[OrgKind::Shared, OrgKind::Private, OrgKind::Nurapid])
+    }
+
+    /// Figure 12: multiprogrammed relative performance.
+    pub fn fig12() -> Vec<Pair> {
+        cross(&MIXES, mix, &[OrgKind::Shared, OrgKind::Snuca, OrgKind::Private, OrgKind::Nurapid])
+    }
+
+    /// The closest-d-group share table (Section 5.2.1).
+    pub fn closest_dgroup_share() -> Vec<Pair> {
+        cross(&MIXES, mix, &[OrgKind::Nurapid])
+    }
+
+    /// The union of every figure's pairs, in figure order, duplicates
+    /// included (prefetch deduplicates).
+    pub fn all() -> Vec<Pair> {
+        let mut out = Vec::new();
+        for set in [
+            fig5(),
+            fig6(),
+            fig7(),
+            fig8(),
+            fig9(),
+            fig10(),
+            fig11(),
+            fig12(),
+            closest_dgroup_share(),
+        ] {
+            out.extend(set);
+        }
+        out
+    }
 }
 
 /// Table 1: cache and bus latencies, from the analytical model, with
@@ -84,7 +203,7 @@ pub fn table3() -> String {
 }
 
 /// Figure 5: distribution of L2 cache accesses, shared vs private.
-pub fn fig5(lab: &mut Lab) -> String {
+pub fn fig5<L: ResultSource>(lab: &mut L) -> String {
     let mut t = TextTable::new(vec!["workload", "org", "hits", "ROS miss", "RWS miss", "cap miss"]);
     for wl in MULTITHREADED {
         for kind in [OrgKind::Shared, OrgKind::Private] {
@@ -108,7 +227,7 @@ pub fn fig5(lab: &mut Lab) -> String {
 
 /// Figure 6: performance opportunity — non-uniform-shared, private,
 /// and ideal relative to uniform-shared.
-pub fn fig6(lab: &mut Lab) -> String {
+pub fn fig6<L: ResultSource>(lab: &mut L) -> String {
     let mut t = TextTable::new(vec!["workload", "non-uniform-shared", "private", "ideal"]);
     for wl in MULTITHREADED {
         t.row(vec![
@@ -118,7 +237,7 @@ pub fn fig6(lab: &mut Lab) -> String {
             rel(lab.relative(mt(wl), OrgKind::Ideal)),
         ]);
     }
-    let avg = |lab: &mut Lab, k| lab.average_relative(&COMMERCIAL, k);
+    let avg = |lab: &mut L, k| lab.average_relative(&COMMERCIAL, k);
     let row = format!(
         "commercial average: non-uniform-shared {}, private {}, ideal {}",
         rel(avg(lab, OrgKind::Snuca)),
@@ -137,7 +256,7 @@ fn reuse_cells(h: &ReuseHistogram) -> Vec<String> {
 
 /// Figure 7: reuse patterns of replaced ROS blocks and invalidated
 /// RWS blocks in private caches.
-pub fn fig7(lab: &mut Lab) -> String {
+pub fn fig7<L: ResultSource>(lab: &mut L) -> String {
     let mut t = TextTable::new(vec![
         "workload",
         "kind",
@@ -168,7 +287,7 @@ pub fn fig7(lab: &mut Lab) -> String {
 
 /// Figure 8: distribution of tag-array accesses for shared, private,
 /// CMP-NuRAPID with CR only, and with ISC only.
-pub fn fig8(lab: &mut Lab) -> String {
+pub fn fig8<L: ResultSource>(lab: &mut L) -> String {
     let mut t = TextTable::new(vec!["workload", "org", "hits", "ROS miss", "RWS miss", "cap miss"]);
     let orgs = [
         (OrgKind::Shared, "shared"),
@@ -202,7 +321,7 @@ pub fn fig8(lab: &mut Lab) -> String {
 
 /// Figure 9: distribution of data-array accesses for CR and ISC:
 /// closest-d-group hits vs farther hits vs misses.
-pub fn fig9(lab: &mut Lab) -> String {
+pub fn fig9<L: ResultSource>(lab: &mut L) -> String {
     let mut t =
         TextTable::new(vec!["workload", "config", "closest hits", "farther hits", "misses"]);
     for wl in MULTITHREADED {
@@ -231,7 +350,7 @@ pub fn fig9(lab: &mut Lab) -> String {
 
 /// Figure 10: relative performance of all organizations on the
 /// multithreaded workloads.
-pub fn fig10(lab: &mut Lab) -> String {
+pub fn fig10<L: ResultSource>(lab: &mut L) -> String {
     let mut t =
         TextTable::new(vec!["workload", "non-uniform-shared", "private", "ideal", "CMP-NuRAPID"]);
     for wl in MULTITHREADED {
@@ -243,7 +362,7 @@ pub fn fig10(lab: &mut Lab) -> String {
             rel(lab.relative(mt(wl), OrgKind::Nurapid)),
         ]);
     }
-    let avg = |lab: &mut Lab, k| lab.average_relative(&COMMERCIAL, k);
+    let avg = |lab: &mut L, k| lab.average_relative(&COMMERCIAL, k);
     let row = format!(
         "commercial average: non-uniform-shared {}, private {}, ideal {}, CMP-NuRAPID {}",
         rel(avg(lab, OrgKind::Snuca)),
@@ -260,7 +379,7 @@ pub fn fig10(lab: &mut Lab) -> String {
 
 /// Figure 11: cache access distribution (hits vs misses) for the
 /// multiprogrammed mixes.
-pub fn fig11(lab: &mut Lab) -> String {
+pub fn fig11<L: ResultSource>(lab: &mut L) -> String {
     let mut t = TextTable::new(vec!["mix", "org", "hits", "misses"]);
     for m in MIXES {
         for kind in [OrgKind::Shared, OrgKind::Private, OrgKind::Nurapid] {
@@ -288,7 +407,7 @@ pub fn fig11(lab: &mut Lab) -> String {
 }
 
 /// Figure 12: relative IPC for the multiprogrammed mixes.
-pub fn fig12(lab: &mut Lab) -> String {
+pub fn fig12<L: ResultSource>(lab: &mut L) -> String {
     let mut t = TextTable::new(vec!["mix", "non-uniform-shared", "private", "CMP-NuRAPID"]);
     for m in MIXES {
         t.row(vec![
@@ -298,7 +417,7 @@ pub fn fig12(lab: &mut Lab) -> String {
             rel(lab.relative(mix(m), OrgKind::Nurapid)),
         ]);
     }
-    let avg = |lab: &mut Lab, k: OrgKind| {
+    let avg = |lab: &mut L, k: OrgKind| {
         let s: f64 = MIXES.iter().map(|m| lab.relative(mix(m), k)).sum();
         s / MIXES.len() as f64
     };
@@ -318,7 +437,7 @@ pub fn fig12(lab: &mut Lab) -> String {
 /// CMP-NuRAPID's closest-d-group hit share on the multiprogrammed
 /// mixes (the capacity-stealing effectiveness claim of Section
 /// 5.2.1).
-pub fn closest_dgroup_share(lab: &mut Lab) -> String {
+pub fn closest_dgroup_share<L: ResultSource>(lab: &mut L) -> String {
     let mut t = TextTable::new(vec!["mix", "closest/accesses", "closest/hits"]);
     for m in MIXES {
         let s = lab.result(mix(m), OrgKind::Nurapid).l2.clone();
@@ -334,13 +453,222 @@ pub fn closest_dgroup_share(lab: &mut Lab) -> String {
     )
 }
 
+/// Raw numeric series per figure, for the golden-figure regression
+/// suite: flat `(key, value)` lists in a stable order, with raw
+/// (unrounded) values so goldens catch drifts smaller than the text
+/// renderers' display precision. Keys are
+/// `<workload>/<org-short-name>/<metric>`.
+pub mod series {
+    use super::*;
+
+    /// One figure's series: `(key, value)` in rendering order.
+    pub type Series = Vec<(String, f64)>;
+
+    fn access_classes(out: &mut Series, wl: &str, org: OrgKind, s: &cmp_cache::OrgStats) {
+        let key = |metric: &str| format!("{wl}/{}/{metric}", org.name());
+        out.push((key("hits"), s.hit_fraction().value()));
+        out.push((key("miss_ros"), s.class_fraction(AccessClass::MissRos).value()));
+        out.push((key("miss_rws"), s.class_fraction(AccessClass::MissRws).value()));
+        out.push((key("miss_capacity"), s.class_fraction(AccessClass::MissCapacity).value()));
+    }
+
+    /// Figure 5 series: access-class fractions, shared vs private.
+    pub fn fig5<L: ResultSource>(lab: &mut L) -> Series {
+        let mut out = Vec::new();
+        for wl in MULTITHREADED {
+            for kind in [OrgKind::Shared, OrgKind::Private] {
+                let s = lab.result(mt(wl), kind).l2.clone();
+                access_classes(&mut out, wl, kind, &s);
+            }
+        }
+        out
+    }
+
+    /// Figure 6 series: relative performance per workload plus the
+    /// commercial averages.
+    pub fn fig6<L: ResultSource>(lab: &mut L) -> Series {
+        let mut out = Vec::new();
+        let orgs = [OrgKind::Snuca, OrgKind::Private, OrgKind::Ideal];
+        for wl in MULTITHREADED {
+            for kind in orgs {
+                out.push((format!("{wl}/{}/rel", kind.name()), lab.relative(mt(wl), kind)));
+            }
+        }
+        for kind in orgs {
+            out.push((
+                format!("commercial-avg/{}/rel", kind.name()),
+                lab.average_relative(&COMMERCIAL, kind),
+            ));
+        }
+        out
+    }
+
+    /// Figure 7 series: reuse-bucket fractions and totals of the
+    /// private organization.
+    pub fn fig7<L: ResultSource>(lab: &mut L) -> Series {
+        let mut out = Vec::new();
+        for wl in MULTITHREADED {
+            let s = lab.result(mt(wl), OrgKind::Private).l2.clone();
+            for (name, hist) in [("ros_reuse", &s.ros_reuse), ("rws_reuse", &s.rws_reuse)] {
+                for b in ReuseBucket::ALL {
+                    out.push((
+                        format!("{wl}/private/{name}/{}", b.label()),
+                        hist.fraction(b).value(),
+                    ));
+                }
+                out.push((format!("{wl}/private/{name}/n"), hist.total() as f64));
+            }
+        }
+        out
+    }
+
+    /// Figure 8 series: access-class fractions across the five
+    /// tag-array organizations.
+    pub fn fig8<L: ResultSource>(lab: &mut L) -> Series {
+        let mut out = Vec::new();
+        for wl in MULTITHREADED {
+            for kind in [
+                OrgKind::Shared,
+                OrgKind::Private,
+                OrgKind::NurapidCrOnly,
+                OrgKind::NurapidIscOnly,
+                OrgKind::Nurapid,
+            ] {
+                let s = lab.result(mt(wl), kind).l2.clone();
+                access_classes(&mut out, wl, kind, &s);
+            }
+        }
+        out
+    }
+
+    /// Figure 9 series: data-array hit/miss split of the NuRAPID
+    /// configurations.
+    pub fn fig9<L: ResultSource>(lab: &mut L) -> Series {
+        let mut out = Vec::new();
+        for wl in MULTITHREADED {
+            for kind in [OrgKind::NurapidCrOnly, OrgKind::NurapidIscOnly, OrgKind::Nurapid] {
+                let s = lab.result(mt(wl), kind).l2.clone();
+                let key = |metric: &str| format!("{wl}/{}/{metric}", kind.name());
+                out.push((
+                    key("hits_closest"),
+                    s.class_fraction(AccessClass::Hit { closest: true }).value(),
+                ));
+                out.push((
+                    key("hits_farther"),
+                    s.class_fraction(AccessClass::Hit { closest: false }).value(),
+                ));
+                out.push((key("misses"), s.miss_fraction().value()));
+            }
+        }
+        out
+    }
+
+    /// Figure 10 series: headline relative performance plus the
+    /// commercial averages.
+    pub fn fig10<L: ResultSource>(lab: &mut L) -> Series {
+        let mut out = Vec::new();
+        let orgs = [OrgKind::Snuca, OrgKind::Private, OrgKind::Ideal, OrgKind::Nurapid];
+        for wl in MULTITHREADED {
+            for kind in orgs {
+                out.push((format!("{wl}/{}/rel", kind.name()), lab.relative(mt(wl), kind)));
+            }
+        }
+        for kind in orgs {
+            out.push((
+                format!("commercial-avg/{}/rel", kind.name()),
+                lab.average_relative(&COMMERCIAL, kind),
+            ));
+        }
+        out
+    }
+
+    /// Figure 11 series: hit/miss fractions of the mixes plus average
+    /// miss rates.
+    pub fn fig11<L: ResultSource>(lab: &mut L) -> Series {
+        let mut out = Vec::new();
+        let orgs = [OrgKind::Shared, OrgKind::Private, OrgKind::Nurapid];
+        for m in MIXES {
+            for kind in orgs {
+                let s = lab.result(mix(m), kind).l2.clone();
+                let key = |metric: &str| format!("{m}/{}/{metric}", kind.name());
+                out.push((key("hits"), s.hit_fraction().value()));
+                out.push((key("misses"), s.miss_fraction().value()));
+            }
+        }
+        for kind in orgs {
+            let total: f64 =
+                MIXES.iter().map(|m| lab.result(mix(m), kind).l2.miss_fraction().value()).sum();
+            out.push((format!("mix-avg/{}/miss_rate", kind.name()), total / MIXES.len() as f64));
+        }
+        out
+    }
+
+    /// Figure 12 series: relative IPC of the mixes plus averages.
+    pub fn fig12<L: ResultSource>(lab: &mut L) -> Series {
+        let mut out = Vec::new();
+        let orgs = [OrgKind::Snuca, OrgKind::Private, OrgKind::Nurapid];
+        for m in MIXES {
+            for kind in orgs {
+                out.push((format!("{m}/{}/rel", kind.name()), lab.relative(mix(m), kind)));
+            }
+        }
+        for kind in orgs {
+            let s: f64 = MIXES.iter().map(|m| lab.relative(mix(m), kind)).sum();
+            out.push((format!("mix-avg/{}/rel", kind.name()), s / MIXES.len() as f64));
+        }
+        out
+    }
+
+    /// Closest-d-group share series (Section 5.2.1).
+    pub fn closest_dgroup_share<L: ResultSource>(lab: &mut L) -> Series {
+        let mut out = Vec::new();
+        for m in MIXES {
+            let s = lab.result(mix(m), OrgKind::Nurapid).l2.clone();
+            out.push((
+                format!("{m}/nurapid/closest_of_accesses"),
+                s.class_fraction(AccessClass::Hit { closest: true }).value(),
+            ));
+            out.push((
+                format!("{m}/nurapid/closest_of_hits"),
+                s.hits_closest as f64 / s.hits().max(1) as f64,
+            ));
+        }
+        out
+    }
+
+    /// One golden-tracked figure: its name, the pair set it needs
+    /// prefetched, and the extractor producing its numeric series.
+    pub type CatalogEntry<L> = (&'static str, Vec<crate::lab::Pair>, fn(&mut L) -> Series);
+
+    /// Every golden-tracked figure — the single list the golden suite
+    /// and the parallel report iterate.
+    pub fn catalog<L: ResultSource>() -> Vec<CatalogEntry<L>> {
+        vec![
+            ("fig5", pairs::fig5(), fig5::<L>),
+            ("fig6", pairs::fig6(), fig6::<L>),
+            ("fig7", pairs::fig7(), fig7::<L>),
+            ("fig8", pairs::fig8(), fig8::<L>),
+            ("fig9", pairs::fig9(), fig9::<L>),
+            ("fig10", pairs::fig10(), fig10::<L>),
+            ("fig11", pairs::fig11(), fig11::<L>),
+            ("fig12", pairs::fig12(), fig12::<L>),
+            ("closest_dgroup_share", pairs::closest_dgroup_share(), closest_dgroup_share::<L>),
+        ]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::{Lab, ParallelLab};
     use cmp_sim::RunConfig;
 
+    fn tiny_cfg() -> RunConfig {
+        RunConfig { warmup_accesses: 300, measure_accesses: 600, seed: 5 }
+    }
+
     fn tiny_lab() -> Lab {
-        Lab::new(RunConfig { warmup_accesses: 300, measure_accesses: 600, seed: 5 })
+        Lab::new(tiny_cfg())
     }
 
     #[test]
@@ -393,5 +721,41 @@ mod tests {
         let _ = fig10(&mut lab);
         // fig10 adds only the nurapid runs on top of fig6's.
         assert_eq!(lab.runs(), runs_after_fig6 + MULTITHREADED.len());
+    }
+
+    #[test]
+    fn prefetched_figure_takes_no_extra_runs() {
+        let mut lab = ParallelLab::with_threads(tiny_cfg(), 2);
+        lab.prefetch(&pairs::fig5()).unwrap();
+        let runs = lab.runs();
+        let _ = fig5(&mut lab);
+        assert_eq!(lab.runs(), runs, "prefetch must cover the whole figure");
+    }
+
+    #[test]
+    fn pair_sets_cover_their_figures() {
+        // Rendering each figure from a prefetched lab must not add
+        // runs — i.e. the pair sets are complete.
+        for (name, pairs, extract) in series::catalog::<ParallelLab>() {
+            let mut lab = ParallelLab::with_threads(tiny_cfg(), 2);
+            lab.prefetch(&pairs).unwrap();
+            let runs = lab.runs();
+            let _ = extract(&mut lab);
+            assert_eq!(lab.runs(), runs, "{name} pair set incomplete");
+        }
+    }
+
+    #[test]
+    fn series_keys_are_unique_and_finite() {
+        let mut lab = tiny_lab();
+        for (name, _, extract) in series::catalog::<Lab>() {
+            let s = extract(&mut lab);
+            assert!(!s.is_empty(), "{name} empty");
+            let keys: std::collections::HashSet<_> = s.iter().map(|(k, _)| k.clone()).collect();
+            assert_eq!(keys.len(), s.len(), "{name} has duplicate keys");
+            for (k, v) in &s {
+                assert!(v.is_finite(), "{name}/{k} not finite");
+            }
+        }
     }
 }

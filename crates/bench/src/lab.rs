@@ -1,8 +1,24 @@
-//! The memoizing experiment runner.
+//! The memoizing experiment runners: the sequential [`Lab`] and the
+//! scoped-thread [`ParallelLab`] that fans a batch of (workload,
+//! organization) pairs across workers.
+//!
+//! Both implement [`ResultSource`], the interface the figure
+//! renderers are written against, and both are backed by the same
+//! memo cache keyed on `(WorkloadId, OrgKind)`, so a pair is
+//! simulated at most once per lab no matter how figures overlap.
+//! Every simulation takes its seed from the lab's [`RunConfig`] and
+//! shares no mutable state with any other, which is why the parallel
+//! path is deterministic: the result of a pair is a pure function of
+//! `(pair, config)`, and [`ParallelLab::prefetch`] merges results
+//! back in submission order, so any thread count produces
+//! byte-identical figures and tables.
 
 use std::collections::HashMap;
+use std::time::Instant;
 
 use cmp_sim::{try_run_mix, try_run_multithreaded, OrgKind, RunConfig, RunResult, SimError};
+
+use crate::pool;
 
 /// Identifies a workload for the result cache.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -22,76 +38,226 @@ impl WorkloadId {
     }
 }
 
-/// Runs (workload, organization) pairs on demand and memoizes the
-/// results, so the figures that share runs (5, 6, 7, 8, 9, 10 all
-/// reuse the shared/private baselines) simulate each pair once.
-pub struct Lab {
-    cfg: RunConfig,
-    cache: HashMap<(WorkloadId, OrgKindKey), RunResult>,
+/// A (workload, organization) pair — the unit of simulation the labs
+/// memoize and the batch API prefetches.
+pub type Pair = (WorkloadId, OrgKind);
+
+/// Simulates one pair from scratch. Pure: no shared state, seed and
+/// sizing come from `cfg`, so equal inputs give bit-identical
+/// [`RunResult`]s on any thread at any time.
+fn simulate_pair(pair: Pair, cfg: &RunConfig) -> Result<RunResult, SimError> {
+    match pair.0 {
+        WorkloadId::Multithreaded(name) => try_run_multithreaded(name, pair.1, cfg),
+        WorkloadId::Mix(name) => try_run_mix(name, pair.1, cfg),
+    }
 }
 
-/// `OrgKind` lacks `Hash` upstream intentionally (it is a plain enum
-/// in `cmp-sim`); key on its discriminant label instead.
-type OrgKindKey = &'static str;
-
-impl Lab {
-    /// Creates a lab with the given run sizing.
-    pub fn new(cfg: RunConfig) -> Self {
-        Lab { cfg, cache: HashMap::new() }
-    }
-
+/// Anything that can produce memoized [`RunResult`]s for (workload,
+/// organization) pairs: the figure/table renderers are generic over
+/// this, so the sequential [`Lab`] and the [`ParallelLab`] share one
+/// rendering path (which is also how the determinism suite compares
+/// them byte for byte).
+pub trait ResultSource {
     /// The run configuration in use.
-    pub fn config(&self) -> &RunConfig {
-        &self.cfg
-    }
+    fn config(&self) -> &RunConfig;
 
-    /// Returns the (cached) result for a workload/organization pair,
-    /// surfacing unknown workload names instead of panicking.
-    pub fn try_result(
-        &mut self,
-        workload: WorkloadId,
-        kind: OrgKind,
-    ) -> Result<&RunResult, SimError> {
-        let key = (workload, kind.label());
-        if !self.cache.contains_key(&key) {
-            let r = match workload {
-                WorkloadId::Multithreaded(name) => try_run_multithreaded(name, kind, &self.cfg)?,
-                WorkloadId::Mix(name) => try_run_mix(name, kind, &self.cfg)?,
-            };
-            self.cache.insert(key, r);
-        }
-        Ok(&self.cache[&key])
-    }
+    /// Returns the (cached) result for a pair, surfacing unknown
+    /// workload names instead of panicking.
+    fn try_result(&mut self, workload: WorkloadId, kind: OrgKind) -> Result<&RunResult, SimError>;
+
+    /// Number of pairs simulated so far.
+    fn runs(&self) -> usize;
 
     /// Returns the (cached) result for a workload/organization pair.
     ///
     /// # Panics
     ///
-    /// Panics on an unknown workload name; prefer [`Lab::try_result`]
-    /// when the name is not a compile-time constant.
-    pub fn result(&mut self, workload: WorkloadId, kind: OrgKind) -> &RunResult {
+    /// Panics on an unknown workload name; prefer
+    /// [`ResultSource::try_result`] when the name is not a
+    /// compile-time constant.
+    fn result(&mut self, workload: WorkloadId, kind: OrgKind) -> &RunResult {
         self.try_result(workload, kind).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Relative performance of `kind` vs the uniform-shared baseline
     /// on one workload (Figures 6, 10, 12).
-    pub fn relative(&mut self, workload: WorkloadId, kind: OrgKind) -> f64 {
+    fn relative(&mut self, workload: WorkloadId, kind: OrgKind) -> f64 {
         let base = self.result(workload, OrgKind::Shared).ipc();
         let this = self.result(workload, kind).ipc();
         this / base
     }
 
-    /// Geometric-free average of `relative` over several workloads
-    /// (the paper reports arithmetic averages).
-    pub fn average_relative(&mut self, workloads: &[&'static str], kind: OrgKind) -> f64 {
+    /// Arithmetic average of `relative` over several multithreaded
+    /// workloads (the paper reports arithmetic averages).
+    fn average_relative(&mut self, workloads: &[&'static str], kind: OrgKind) -> f64 {
         let sum: f64 =
             workloads.iter().map(|w| self.relative(WorkloadId::Multithreaded(w), kind)).sum();
         sum / workloads.len() as f64
     }
+}
 
-    /// Number of simulation runs performed so far.
-    pub fn runs(&self) -> usize {
+/// Runs (workload, organization) pairs on demand and memoizes the
+/// results, so the figures that share runs (5, 6, 7, 8, 9, 10 all
+/// reuse the shared/private baselines) simulate each pair once.
+pub struct Lab {
+    cfg: RunConfig,
+    cache: HashMap<Pair, RunResult>,
+    simulations: usize,
+}
+
+impl Lab {
+    /// Creates a lab with the given run sizing.
+    pub fn new(cfg: RunConfig) -> Self {
+        Lab { cfg, cache: HashMap::new(), simulations: 0 }
+    }
+
+    /// Number of simulations actually performed (as opposed to cache
+    /// hits). Equals [`ResultSource::runs`] unless results were
+    /// inserted from outside, as [`ParallelLab::prefetch`] does.
+    pub fn simulations(&self) -> usize {
+        self.simulations
+    }
+
+    /// Whether a pair is already cached.
+    pub fn contains(&self, workload: WorkloadId, kind: OrgKind) -> bool {
+        self.cache.contains_key(&(workload, kind))
+    }
+
+    /// Inserts an externally simulated result (the parallel batch
+    /// path). Counts as a simulation performed by this lab.
+    fn insert(&mut self, pair: Pair, result: RunResult) {
+        self.simulations += 1;
+        self.cache.insert(pair, result);
+    }
+}
+
+impl ResultSource for Lab {
+    fn config(&self) -> &RunConfig {
+        &self.cfg
+    }
+
+    fn try_result(&mut self, workload: WorkloadId, kind: OrgKind) -> Result<&RunResult, SimError> {
+        let key = (workload, kind);
+        if !self.cache.contains_key(&key) {
+            let r = simulate_pair(key, &self.cfg)?;
+            self.insert(key, r);
+        }
+        Ok(&self.cache[&key])
+    }
+
+    fn runs(&self) -> usize {
         self.cache.len()
+    }
+}
+
+/// Per-pair timing recorded by [`ParallelLab::prefetch`], in
+/// submission order of the deduplicated misses.
+#[derive(Clone, Debug)]
+pub struct PairTiming {
+    /// The workload of the simulated pair.
+    pub workload: WorkloadId,
+    /// The organization of the simulated pair.
+    pub kind: OrgKind,
+    /// Wall-clock milliseconds the simulation took on its worker.
+    pub millis: f64,
+}
+
+/// A [`Lab`] with a batch front door: [`ParallelLab::prefetch`]
+/// deduplicates a batch of pairs against the memo cache, fans the
+/// misses out across `CMP_BENCH_THREADS` scoped workers (default:
+/// available parallelism), and merges the results back in submission
+/// order. Single lookups fall back to the sequential path, so the
+/// type is a drop-in [`ResultSource`].
+pub struct ParallelLab {
+    lab: Lab,
+    threads: usize,
+}
+
+impl ParallelLab {
+    /// Creates a parallel lab with the worker count from
+    /// `CMP_BENCH_THREADS` (default: available parallelism).
+    pub fn new(cfg: RunConfig) -> Self {
+        Self::with_threads(cfg, pool::default_threads())
+    }
+
+    /// Creates a parallel lab with an explicit worker count (clamped
+    /// to at least 1).
+    pub fn with_threads(cfg: RunConfig, threads: usize) -> Self {
+        ParallelLab { lab: Lab::new(cfg), threads: threads.max(1) }
+    }
+
+    /// The worker count batches fan out to.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Number of simulations actually performed (cache hits and
+    /// duplicate submissions excluded).
+    pub fn simulations(&self) -> usize {
+        self.lab.simulations()
+    }
+
+    /// Simulates every not-yet-cached pair of the batch across the
+    /// worker pool and merges the results into the memo cache in
+    /// submission order. Duplicate submissions and already-cached
+    /// pairs are simulated zero times. Returns per-pair timings of
+    /// the misses; on an unknown workload name, every valid pair is
+    /// still cached and the first error (in submission order) is
+    /// returned.
+    pub fn prefetch(&mut self, pairs: &[Pair]) -> Result<Vec<PairTiming>, SimError> {
+        // Deduplicate in submission order, dropping cache hits.
+        let mut seen = std::collections::HashSet::new();
+        let misses: Vec<Pair> = pairs
+            .iter()
+            .copied()
+            .filter(|p| !self.lab.contains(p.0, p.1) && seen.insert(*p))
+            .collect();
+        let cfg = self.lab.cfg;
+        let jobs: Vec<_> = misses
+            .iter()
+            .map(|&pair| {
+                move || {
+                    let t0 = Instant::now();
+                    let result = simulate_pair(pair, &cfg);
+                    (result, t0.elapsed().as_secs_f64() * 1e3)
+                }
+            })
+            .collect();
+        let outcomes = pool::run_jobs(jobs, self.threads);
+        // Merge in submission order.
+        let mut timings = Vec::with_capacity(misses.len());
+        let mut first_err = None;
+        for (pair, (result, millis)) in misses.into_iter().zip(outcomes) {
+            match result {
+                Ok(r) => {
+                    self.lab.insert(pair, r);
+                    timings.push(PairTiming { workload: pair.0, kind: pair.1, millis });
+                }
+                Err(e) => {
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                }
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(timings),
+        }
+    }
+}
+
+impl ResultSource for ParallelLab {
+    fn config(&self) -> &RunConfig {
+        self.lab.config()
+    }
+
+    fn try_result(&mut self, workload: WorkloadId, kind: OrgKind) -> Result<&RunResult, SimError> {
+        self.lab.try_result(workload, kind)
+    }
+
+    fn runs(&self) -> usize {
+        self.lab.runs()
     }
 }
 
@@ -110,6 +276,7 @@ mod tests {
         assert_eq!(lab.runs(), 1);
         let b = lab.result(WorkloadId::Multithreaded("barnes"), OrgKind::Shared).ipc();
         assert_eq!(lab.runs(), 1, "second lookup must hit the cache");
+        assert_eq!(lab.simulations(), 1);
         assert_eq!(a, b);
     }
 
@@ -141,5 +308,41 @@ mod tests {
     fn workload_id_names() {
         assert_eq!(WorkloadId::Multithreaded("oltp").name(), "oltp");
         assert_eq!(WorkloadId::Mix("MIX1").name(), "MIX1");
+    }
+
+    #[test]
+    fn prefetch_dedupes_and_matches_sequential() {
+        let oltp = WorkloadId::Multithreaded("oltp");
+        let pairs = [
+            (oltp, OrgKind::Shared),
+            (oltp, OrgKind::Private),
+            (oltp, OrgKind::Shared), // duplicate submission
+        ];
+        let mut par = ParallelLab::with_threads(tiny_cfg(), 2);
+        let timings = par.prefetch(&pairs).unwrap();
+        assert_eq!(timings.len(), 2, "duplicate must not be simulated");
+        assert_eq!(par.simulations(), 2);
+        // Re-prefetching is free.
+        assert!(par.prefetch(&pairs).unwrap().is_empty());
+        assert_eq!(par.simulations(), 2);
+
+        let mut seq = Lab::new(tiny_cfg());
+        for (w, k) in [(oltp, OrgKind::Shared), (oltp, OrgKind::Private)] {
+            assert_eq!(par.result(w, k), seq.result(w, k), "{w:?}/{k:?}");
+        }
+    }
+
+    #[test]
+    fn prefetch_surfaces_first_error_but_caches_valid_pairs() {
+        let mut par = ParallelLab::with_threads(tiny_cfg(), 2);
+        let pairs = [
+            (WorkloadId::Multithreaded("barnes"), OrgKind::Shared),
+            (WorkloadId::Multithreaded("tpch"), OrgKind::Shared),
+            (WorkloadId::Mix("MIX9"), OrgKind::Shared),
+        ];
+        let err = par.prefetch(&pairs).unwrap_err();
+        assert_eq!(err, SimError::UnknownWorkload("tpch".into()));
+        assert_eq!(par.simulations(), 1, "the valid pair is cached");
+        assert!(par.try_result(WorkloadId::Multithreaded("barnes"), OrgKind::Shared).is_ok());
     }
 }

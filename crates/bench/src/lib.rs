@@ -20,10 +20,13 @@
 //! paper-scale configuration.
 
 pub mod figures;
+pub mod json;
 pub mod lab;
+pub mod pool;
 pub mod table;
 
-pub use lab::{Lab, WorkloadId};
+pub use json::Json;
+pub use lab::{Lab, Pair, PairTiming, ParallelLab, ResultSource, WorkloadId};
 pub use table::TextTable;
 
 use cmp_sim::RunConfig;

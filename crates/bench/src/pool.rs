@@ -1,0 +1,140 @@
+//! A dependency-free scoped-thread worker pool.
+//!
+//! The container builds offline with vendored shims only, so instead
+//! of `rayon` the batch harness hand-rolls fan-out on
+//! [`std::thread::scope`] plus an [`mpsc`] channel: jobs wait in a
+//! mutex-guarded deque, each worker repeatedly pops the next one, and
+//! finished results flow back tagged with their submission index so
+//! the caller sees them in submission order regardless of which
+//! worker finished first. That ordering is what lets the parallel
+//! experiment lab render every figure byte-identically to the
+//! sequential path.
+//!
+//! Thread count resolution is shared by every consumer through
+//! [`default_threads`]: the `CMP_BENCH_THREADS` environment variable
+//! when set to a positive integer, otherwise
+//! [`std::thread::available_parallelism`].
+
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::sync::Mutex;
+
+/// Environment variable overriding the worker count.
+pub const THREADS_ENV: &str = "CMP_BENCH_THREADS";
+
+/// A boxed job for heterogeneous batches (e.g. the ablation studies,
+/// whose runs close over different organization builders).
+pub type Job<'a, T> = Box<dyn FnOnce() -> T + Send + 'a>;
+
+/// The worker count to use when the caller does not pin one:
+/// `CMP_BENCH_THREADS` if set to a positive integer, otherwise the
+/// machine's available parallelism (1 if even that is unknown).
+pub fn default_threads() -> usize {
+    match std::env::var(THREADS_ENV) {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                eprintln!(
+                    "warning: ignoring invalid {THREADS_ENV}={v:?} (want a positive integer)"
+                );
+                available()
+            }
+        },
+        Err(_) => available(),
+    }
+}
+
+fn available() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Runs every job on a pool of at most `threads` scoped workers and
+/// returns the results **in submission order**.
+///
+/// `threads` is clamped to `1..=jobs.len()`; with one worker (or one
+/// job) the jobs run inline on the caller's thread, so a
+/// single-threaded batch is exactly the sequential loop. Jobs must
+/// not panic: a panicking job poisons the queue and the panic is
+/// propagated to the caller once the scope joins.
+pub fn run_jobs<T, F>(jobs: Vec<F>, threads: usize) -> Vec<T>
+where
+    F: FnOnce() -> T + Send,
+    T: Send,
+{
+    let n = jobs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = threads.clamp(1, n);
+    if threads == 1 {
+        return jobs.into_iter().map(|job| job()).collect();
+    }
+
+    let queue: Mutex<VecDeque<(usize, F)>> = Mutex::new(jobs.into_iter().enumerate().collect());
+    let (tx, rx) = mpsc::channel::<(usize, T)>();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let tx = tx.clone();
+            let queue = &queue;
+            scope.spawn(move || loop {
+                // Pop under the lock, run outside it.
+                let next = queue.lock().expect("job queue poisoned").pop_front();
+                let Some((index, job)) = next else { break };
+                if tx.send((index, job())).is_err() {
+                    break;
+                }
+            });
+        }
+        // The workers hold the only remaining senders; the receive
+        // loop ends when the last worker exits.
+        drop(tx);
+        let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        for (index, value) in rx {
+            out[index] = Some(value);
+        }
+        out.into_iter().map(|slot| slot.expect("worker delivered every job")).collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_submission_order() {
+        for threads in [1, 2, 3, 8] {
+            let jobs: Vec<_> = (0..20u64)
+                .map(|i| {
+                    move || {
+                        // Stagger finish times so completion order
+                        // differs from submission order.
+                        std::thread::sleep(std::time::Duration::from_micros(((20 - i) % 5) * 200));
+                        i * i
+                    }
+                })
+                .collect();
+            let out = run_jobs(jobs, threads);
+            assert_eq!(out, (0..20u64).map(|i| i * i).collect::<Vec<_>>(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn empty_batch_and_more_threads_than_jobs() {
+        let none: Vec<fn() -> u32> = Vec::new();
+        assert_eq!(run_jobs(none, 4), Vec::<u32>::new());
+        let out = run_jobs(vec![|| 1u32, || 2u32], 64);
+        assert_eq!(out, vec![1, 2]);
+    }
+
+    #[test]
+    fn boxed_heterogeneous_jobs_run() {
+        let a = 3u64;
+        let jobs: Vec<Job<u64>> = vec![Box::new(move || a + 1), Box::new(|| 40)];
+        assert_eq!(run_jobs(jobs, 2), vec![4, 40]);
+    }
+
+    #[test]
+    fn zero_threads_is_clamped_to_one() {
+        assert_eq!(run_jobs(vec![|| 7u8], 0), vec![7]);
+    }
+}

@@ -65,7 +65,7 @@ impl AccessResponse {
 /// Statistics accumulated by an L2 organization. One instance is
 /// shared by all organizations so the figure harnesses can treat them
 /// uniformly.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct OrgStats {
     /// Hits in the requestor's closest d-group / bank.
     pub hits_closest: u64,

@@ -10,8 +10,9 @@ use crate::error::SimError;
 use crate::system::{RunResult, System};
 
 /// The five L2 organizations the paper compares (Section 4.2), plus
-/// the CR-only / ISC-only ablations of Figure 8.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+/// the CR-only / ISC-only ablations of Figure 8. Hashable so batch
+/// harnesses can key result caches on the kind directly.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum OrgKind {
     /// 8 MB 32-way uniform-shared cache (the normalization baseline).
     Shared,

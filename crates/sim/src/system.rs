@@ -34,8 +34,10 @@ struct CoreState {
     l2_stall: Cycle,
 }
 
-/// Results of a measured run.
-#[derive(Clone, Debug)]
+/// Results of a measured run. Equality is bit-exact over every
+/// counter, which is what the determinism suite relies on when it
+/// checks that parallel and sequential sweeps agree.
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RunResult {
     /// Workload name.
     pub workload: String,
