@@ -14,7 +14,9 @@ use std::cell::RefCell;
 use std::fmt;
 use std::rc::Rc;
 
-use cmp_cache::{AccessClass, AccessResponse, CacheOrg, OrgStats, Violation as OrgViolation};
+use cmp_cache::{
+    AccessClass, AccessResponse, CacheOrg, InvalScratch, OrgStats, Violation as OrgViolation,
+};
 use cmp_coherence::{Bus, SnoopFaultPlan};
 use cmp_mem::{AccessKind, BlockAddr, CoreId, Cycle, Rng};
 
@@ -317,19 +319,22 @@ impl CacheOrg for AuditedOrg {
         kind: AccessKind,
         now: Cycle,
         bus: &mut Bus,
+        inv: &mut InvalScratch,
     ) -> AccessResponse {
         self.arm_due_faults(bus);
-        let resp = match self.inner.try_access(core, block, kind, now, bus) {
+        let resp = match self.inner.try_access(core, block, kind, now, bus, inv) {
             Ok(resp) => resp,
             Err(v) => {
                 self.record(v, core);
                 // Degrade to a memory-latency capacity miss so the
-                // run can continue deterministically.
+                // run can continue deterministically; drop any partial
+                // invalidation directives of the failed access.
+                inv.begin();
                 AccessResponse::simple(300, AccessClass::MissCapacity)
             }
         };
         if self.cfg.shadow {
-            if let Err(v) = self.shadow.observe(core, block, kind, &resp) {
+            if let Err(v) = self.shadow.observe(core, block, kind, &resp, inv.as_slice()) {
                 self.record(v, core);
             }
         }

@@ -60,14 +60,16 @@ impl ShadowModel {
         self.blocks.get(&block).and_then(|b| b.last_writer)
     }
 
-    /// Checks one access response against the shadow, then folds the
-    /// access into the write log. Returns the first inconsistency.
+    /// Checks one access response (and the L1 invalidation directives
+    /// it produced) against the shadow, then folds the access into
+    /// the write log. Returns the first inconsistency.
     pub fn observe(
         &mut self,
         core: CoreId,
         block: BlockAddr,
         kind: AccessKind,
         resp: &AccessResponse,
+        l1_invalidate: &[(CoreId, BlockAddr)],
     ) -> Result<(), Violation> {
         let seen = self.blocks.get(&block).copied().unwrap_or_default();
         if resp.latency == 0 {
@@ -118,7 +120,7 @@ impl ShadowModel {
                 "read access to a never-written block",
             ));
         }
-        for &(_, inv_block) in &resp.l1_invalidate {
+        for &(_, inv_block) in l1_invalidate {
             let known =
                 inv_block == block || self.blocks.get(&inv_block).is_some_and(|b| b.references > 0);
             if !known {
@@ -154,7 +156,7 @@ mod tests {
     fn cold_capacity_miss_is_plausible() {
         let mut s = ShadowModel::new();
         let r = resp(300, AccessClass::MissCapacity);
-        assert!(s.observe(CoreId(0), BlockAddr(1), AccessKind::Read, &r).is_ok());
+        assert!(s.observe(CoreId(0), BlockAddr(1), AccessKind::Read, &r, &[]).is_ok());
         assert_eq!(s.blocks_seen(), 1);
     }
 
@@ -162,7 +164,7 @@ mod tests {
     fn hit_without_history_is_flagged() {
         let mut s = ShadowModel::new();
         let r = resp(10, AccessClass::Hit { closest: true });
-        let v = s.observe(CoreId(0), BlockAddr(1), AccessKind::Read, &r).unwrap_err();
+        let v = s.observe(CoreId(0), BlockAddr(1), AccessKind::Read, &r, &[]).unwrap_err();
         assert_eq!(v.check, "shadow-hit-requires-history");
     }
 
@@ -170,13 +172,13 @@ mod tests {
     fn rws_requires_a_prior_write() {
         let mut s = ShadowModel::new();
         let cold = resp(300, AccessClass::MissCapacity);
-        s.observe(CoreId(0), BlockAddr(1), AccessKind::Read, &cold).unwrap();
+        s.observe(CoreId(0), BlockAddr(1), AccessKind::Read, &cold, &[]).unwrap();
         let r = resp(40, AccessClass::MissRws);
-        let v = s.observe(CoreId(1), BlockAddr(1), AccessKind::Read, &r).unwrap_err();
+        let v = s.observe(CoreId(1), BlockAddr(1), AccessKind::Read, &r, &[]).unwrap_err();
         assert_eq!(v.check, "shadow-rws-requires-writer");
         let w = resp(40, AccessClass::MissRws);
-        s.observe(CoreId(0), BlockAddr(1), AccessKind::Write, &cold).unwrap();
-        assert!(s.observe(CoreId(1), BlockAddr(1), AccessKind::Read, &w).is_ok());
+        s.observe(CoreId(0), BlockAddr(1), AccessKind::Write, &cold, &[]).unwrap();
+        assert!(s.observe(CoreId(1), BlockAddr(1), AccessKind::Read, &w, &[]).is_ok());
         assert_eq!(s.last_writer(BlockAddr(1)), Some(CoreId(0)));
     }
 
@@ -184,7 +186,7 @@ mod tests {
     fn zero_latency_is_flagged() {
         let mut s = ShadowModel::new();
         let r = resp(0, AccessClass::MissCapacity);
-        let v = s.observe(CoreId(0), BlockAddr(1), AccessKind::Read, &r).unwrap_err();
+        let v = s.observe(CoreId(0), BlockAddr(1), AccessKind::Read, &r, &[]).unwrap_err();
         assert_eq!(v.check, "shadow-positive-latency");
     }
 
@@ -193,22 +195,22 @@ mod tests {
         let mut s = ShadowModel::new();
         let mut r = resp(40, AccessClass::MissCapacity);
         r.writethrough = true;
-        let v = s.observe(CoreId(0), BlockAddr(1), AccessKind::Read, &r).unwrap_err();
+        let v = s.observe(CoreId(0), BlockAddr(1), AccessKind::Read, &r, &[]).unwrap_err();
         assert_eq!(v.check, "shadow-writethrough-requires-writer");
         // A *write* may legitimately install a write-through block.
-        assert!(s.observe(CoreId(0), BlockAddr(2), AccessKind::Write, &r).is_ok());
+        assert!(s.observe(CoreId(0), BlockAddr(2), AccessKind::Write, &r, &[]).is_ok());
     }
 
     #[test]
     fn invalidations_must_name_known_blocks() {
         let mut s = ShadowModel::new();
-        let mut r = resp(40, AccessClass::MissCapacity);
-        r.l1_invalidate.push((CoreId(1), BlockAddr(99)));
-        let v = s.observe(CoreId(0), BlockAddr(1), AccessKind::Read, &r).unwrap_err();
+        let r = resp(40, AccessClass::MissCapacity);
+        let inv = [(CoreId(1), BlockAddr(99))];
+        let v = s.observe(CoreId(0), BlockAddr(1), AccessKind::Read, &r, &inv).unwrap_err();
         assert_eq!(v.check, "shadow-invalidate-known-block");
         // Self-invalidation of the accessed block itself is fine.
-        let mut r2 = resp(40, AccessClass::MissCapacity);
-        r2.l1_invalidate.push((CoreId(1), BlockAddr(2)));
-        assert!(s.observe(CoreId(0), BlockAddr(2), AccessKind::Read, &r2).is_ok());
+        let r2 = resp(40, AccessClass::MissCapacity);
+        let inv2 = [(CoreId(1), BlockAddr(2))];
+        assert!(s.observe(CoreId(0), BlockAddr(2), AccessKind::Read, &r2, &inv2).is_ok());
     }
 }

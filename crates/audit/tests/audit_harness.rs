@@ -8,7 +8,7 @@
 //! — the checks themselves must not cry wolf.
 
 use cmp_audit::{AuditConfig, AuditedOrg, FaultKind, FaultSpec, ReplayArtifact};
-use cmp_cache::{CacheOrg, Dnuca, PrivateMesi, Snuca, UniformShared};
+use cmp_cache::{CacheOrg, Dnuca, InvalScratch, PrivateMesi, Snuca, UniformShared};
 use cmp_coherence::Bus;
 use cmp_latency::LatencyBook;
 use cmp_mem::{AccessKind, BlockAddr, CoreId};
@@ -20,6 +20,7 @@ use cmp_nurapid::{CmpNurapid, NurapidConfig};
 /// keep mattering) with a streaming tail (cold misses, so the bus
 /// keeps sampling silent wires too).
 fn drive(org: &mut dyn CacheOrg, bus: &mut Bus, accesses: u64) {
+    let mut inv = InvalScratch::new();
     for i in 0..accesses {
         let core = CoreId((i % 4) as u8);
         let block = if i % 3 == 0 {
@@ -34,7 +35,7 @@ fn drive(org: &mut dyn CacheOrg, bus: &mut Bus, accesses: u64) {
         };
         let kind = if i % 5 == 0 { AccessKind::Write } else { AccessKind::Read };
         let now = i * 1_000;
-        let _ = org.access(core, block, kind, now, bus);
+        let _ = org.access(core, block, kind, now, bus, &mut inv);
     }
 }
 

@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-use cmp_cache::{CacheOrg, TagArray};
+use cmp_cache::{CacheOrg, InvalScratch, TagArray};
 use cmp_coherence::Bus;
 use cmp_mem::{AccessKind, BlockAddr, CacheGeometry, CoreId, Rng};
 use cmp_nurapid::{CmpNurapid, DGroupId, DataArray, NurapidConfig, TagRef};
@@ -61,11 +61,19 @@ fn bench_nurapid_access(c: &mut Criterion) {
         let mut l2 = CmpNurapid::new(NurapidConfig::paper());
         let mut bus = Bus::paper();
         let mut now = 0u64;
+        let mut inv = InvalScratch::new();
         // Warm one block so the loop measures the hit path.
-        l2.access(CoreId(0), BlockAddr(42), AccessKind::Read, 0, &mut bus);
+        l2.access(CoreId(0), BlockAddr(42), AccessKind::Read, 0, &mut bus, &mut inv);
         b.iter(|| {
             now += 100;
-            black_box(l2.access(CoreId(0), BlockAddr(42), AccessKind::Read, now, &mut bus))
+            black_box(l2.access(
+                CoreId(0),
+                BlockAddr(42),
+                AccessKind::Read,
+                now,
+                &mut bus,
+                &mut inv,
+            ))
         })
     });
     c.bench_function("nurapid_access_streaming", |b| {
@@ -73,6 +81,7 @@ fn bench_nurapid_access(c: &mut Criterion) {
         let mut bus = Bus::paper();
         let mut now = 0u64;
         let mut blk = 0u64;
+        let mut inv = InvalScratch::new();
         b.iter(|| {
             now += 400;
             blk += 1;
@@ -82,6 +91,7 @@ fn bench_nurapid_access(c: &mut Criterion) {
                 AccessKind::Read,
                 now,
                 &mut bus,
+                &mut inv,
             ))
         })
     });

@@ -1,0 +1,208 @@
+//! Self-measuring hot-path benchmark: times the full figure sweep
+//! (the union of every figure's (workload, organization) pairs)
+//! through the sequential [`Lab`], plus a handful of microbenchmarks
+//! of the structures on the per-access path, and writes a
+//! `BENCH_hotpath.json` report with per-pair milliseconds, the
+//! aggregate sweep wall-clock, and the speedup against the
+//! `sequential_ms` recorded in `BENCH_parallel_lab.json` before the
+//! hot-path rewrite. The speedup is only reported when the baseline
+//! report exists and was produced with the same run configuration;
+//! otherwise the field is null.
+//!
+//! Usage: `hotpath [quick|paper|REFS]` — defaults to `quick`, the
+//! configuration the checked-in baseline was recorded with.
+
+use std::collections::HashSet;
+use std::hint::black_box;
+use std::time::Instant;
+
+use cmp_bench::{figures, ok_or_exit, Json, Lab, ResultSource};
+use cmp_cache::lru::LruOrder;
+use cmp_cache::TagArray;
+use cmp_mem::{BlockAddr, CacheGeometry, Rng, Zipf};
+use cmp_sim::{build_org, OrgKind, RunConfig, System};
+use cmp_trace::profiles;
+
+const REPORT_PATH: &str = "BENCH_hotpath.json";
+const BASELINE_PATH: &str = "BENCH_parallel_lab.json";
+
+/// Like `cmp_bench::config_from_args`, but defaulting to `quick`:
+/// this binary's whole point is comparing against the checked-in
+/// baseline, which was recorded with the quick sizing.
+fn config() -> RunConfig {
+    match std::env::args().nth(1).as_deref() {
+        None | Some("quick") => RunConfig::quick(),
+        Some("paper") => RunConfig::paper(),
+        Some(n) => {
+            let measure: u64 = n.parse().unwrap_or_else(|_| {
+                eprintln!("usage: hotpath [quick|paper|REFS]");
+                std::process::exit(2);
+            });
+            RunConfig { measure_accesses: measure, ..RunConfig::quick() }
+        }
+    }
+}
+
+/// Reads the pre-rewrite sequential wall-clock from the parallel-lab
+/// report, provided it was produced with the same run configuration.
+fn baseline_sequential_ms(cfg: &RunConfig) -> Option<f64> {
+    let text = std::fs::read_to_string(BASELINE_PATH).ok()?;
+    let json = Json::parse(&text).ok()?;
+    let c = json.get("config")?;
+    let same = c.get("warmup_accesses")?.as_f64()? == cfg.warmup_accesses as f64
+        && c.get("measure_accesses")?.as_f64()? == cfg.measure_accesses as f64
+        && c.get("seed")?.as_f64()? == cfg.seed as f64;
+    if !same {
+        return None;
+    }
+    json.get("sequential_ms")?.as_f64()
+}
+
+/// Average nanoseconds per call of `f` over `iters` calls.
+fn ns_per_op<F: FnMut()>(iters: u64, mut f: F) -> f64 {
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    t0.elapsed().as_secs_f64() * 1e9 / iters as f64
+}
+
+/// Microbenchmarks of the structures on the per-access hot path.
+/// Same kernels as `benches/hotpath.rs`, self-measured so the numbers
+/// land in the JSON report.
+fn microbenches() -> Json {
+    let mut out = Json::obj();
+
+    // TagArray: hit-path lookup + LRU touch on a warmed 2 MB array.
+    let geom = CacheGeometry::new(2 * 1024 * 1024, 128, 8);
+    let mut tags: TagArray<u32> = TagArray::new(geom);
+    let mut rng = Rng::new(1);
+    for _ in 0..20_000 {
+        let b = BlockAddr(rng.gen_range(40_000));
+        let set = tags.set_of(b);
+        if tags.lookup(b).is_none() {
+            let way = tags.victim_by(set, |e| u32::from(e.is_some()));
+            tags.evict(set, way);
+            tags.fill(set, way, b, 0);
+        }
+    }
+    let mut i = 0u64;
+    out.set(
+        "tag_array_lookup_touch_ns",
+        Json::Num(ns_per_op(2_000_000, || {
+            i = i.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let blk = BlockAddr(i % 40_000);
+            if let Some(way) = tags.lookup(blk) {
+                tags.touch(tags.set_of(blk), way);
+            }
+        })),
+    );
+
+    // TagArray: miss-path evict + fill on a conflicting stream.
+    let mut j = 0u64;
+    out.set(
+        "tag_array_fill_evict_ns",
+        Json::Num(ns_per_op(1_000_000, || {
+            j += 1;
+            let blk = BlockAddr(j * 2_048 + 17);
+            let set = tags.set_of(blk);
+            let way = tags.victim_by(set, |e| u32::from(e.is_some()));
+            tags.evict(set, way);
+            tags.fill(set, way, blk, 0);
+        })),
+    );
+
+    // Packed LRU: touch over a cycling way pattern at 16 ways.
+    let mut lru = LruOrder::new(16);
+    let mut k = 0u64;
+    out.set(
+        "lru_touch_ns",
+        Json::Num(ns_per_op(4_000_000, || {
+            k = k.wrapping_mul(6364136223846793005).wrapping_add(1);
+            lru.touch((k % 16) as usize);
+            black_box(lru.least_recent());
+        })),
+    );
+
+    // Zipf sampling, the inner loop of every synthetic workload.
+    let zipf = Zipf::new(100_000, 0.9);
+    let mut zrng = Rng::new(7);
+    out.set(
+        "zipf_sample_ns",
+        Json::Num(ns_per_op(2_000_000, || {
+            black_box(zipf.sample(&mut zrng));
+        })),
+    );
+
+    // Full system step: one simulated reference end to end (workload
+    // draw, L1s, L2 organization, bus), amortized over a run batch.
+    let mut system = System::new(profiles::oltp(4, 3), build_org(OrgKind::Nurapid));
+    system.run(2_000); // warm
+    let batch = 10_000u64;
+    let reps = 10u64;
+    let per_run = ns_per_op(reps, || system.run(batch));
+    out.set("system_step_ns", Json::Num(per_run / (batch * 4) as f64));
+
+    out
+}
+
+fn main() {
+    let cfg = config();
+    let submitted = figures::pairs::all();
+    let mut seen = HashSet::new();
+    let unique: Vec<_> = submitted.iter().copied().filter(|p| seen.insert(*p)).collect();
+
+    // The sequential sweep, timed per pair and in aggregate. Same
+    // order and same memoizing Lab as the parallel-lab baseline run,
+    // so the wall-clocks are directly comparable.
+    let mut lab = Lab::new(cfg);
+    let mut per_pair = Vec::new();
+    let t0 = Instant::now();
+    for &(wl, kind) in &unique {
+        let t = Instant::now();
+        ok_or_exit(lab.try_result(wl, kind).map(|_| ()));
+        per_pair.push((wl, kind, t.elapsed().as_secs_f64() * 1e3));
+    }
+    let sweep_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let baseline = baseline_sequential_ms(&cfg);
+    let speedup = baseline.map(|b| b / sweep_ms);
+
+    let mut report = Json::obj();
+    let mut config = Json::obj();
+    config.set("warmup_accesses", Json::Num(cfg.warmup_accesses as f64));
+    config.set("measure_accesses", Json::Num(cfg.measure_accesses as f64));
+    config.set("seed", Json::Num(cfg.seed as f64));
+    report.set("config", config);
+    report.set("pairs", Json::Num(unique.len() as f64));
+    report.set("sweep_ms", Json::Num(sweep_ms));
+    report.set("baseline_sequential_ms", baseline.map_or(Json::Null, Json::Num));
+    report.set("speedup_vs_baseline", speedup.map_or(Json::Null, Json::Num));
+    report.set("microbench", microbenches());
+    let rows = per_pair
+        .iter()
+        .map(|(wl, kind, ms)| {
+            let mut row = Json::obj();
+            row.set("workload", Json::Str(wl.name().to_string()));
+            row.set("org", Json::Str(kind.name().to_string()));
+            row.set("ms", Json::Num((ms * 1000.0).round() / 1000.0));
+            row
+        })
+        .collect();
+    report.set("per_pair", Json::Arr(rows));
+    let text = report.to_string();
+    if let Err(e) = std::fs::write(REPORT_PATH, format!("{text}\n")) {
+        eprintln!("warning: could not write {REPORT_PATH}: {e}");
+    }
+    println!("{text}");
+
+    match (baseline, speedup) {
+        (Some(b), Some(s)) => {
+            eprintln!("{} pairs in {sweep_ms:.0} ms vs {b:.0} ms baseline: {s:.2}x", unique.len())
+        }
+        _ => eprintln!(
+            "{} pairs in {sweep_ms:.0} ms (no matching baseline in {BASELINE_PATH})",
+            unique.len()
+        ),
+    }
+}

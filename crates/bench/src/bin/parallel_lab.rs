@@ -74,7 +74,36 @@ fn main() {
     }
 
     let identical = mismatches.is_empty();
-    let speedup = sequential_ms / parallel_ms;
+    // A single worker runs the same sequential sweep twice; calling
+    // the ratio of two identical jobs a "speedup" would be noise
+    // dressed up as a result, so the field is null unless the batch
+    // actually fanned out.
+    let workers = par.threads().min(unique.len());
+    let speedup = if workers > 1 { Json::Num(sequential_ms / parallel_ms) } else { Json::Null };
+
+    // Scaling row: the same batch at a few fixed worker counts, so
+    // the report shows how the sweep scales rather than a single
+    // point. Kept small (powers of two up to the default count).
+    let mut scaling = Vec::new();
+    for n in [2usize, 4, 8] {
+        if n >= par.threads() || n >= unique.len() {
+            break;
+        }
+        let mut lab = ParallelLab::with_threads(cfg, n);
+        let t0 = Instant::now();
+        ok_or_exit(lab.prefetch(&submitted).map(|_| ()));
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        let mut row = Json::obj();
+        row.set("threads", Json::Num(n as f64));
+        row.set("parallel_ms", Json::Num(ms));
+        scaling.push(row);
+    }
+    {
+        let mut row = Json::obj();
+        row.set("threads", Json::Num(par.threads() as f64));
+        row.set("parallel_ms", Json::Num(parallel_ms));
+        scaling.push(row);
+    }
 
     let mut report = Json::obj();
     let mut config = Json::obj();
@@ -83,11 +112,13 @@ fn main() {
     config.set("seed", Json::Num(cfg.seed as f64));
     report.set("config", config);
     report.set("threads", Json::Num(par.threads() as f64));
+    report.set("workers", Json::Num(workers as f64));
     report.set("pairs", Json::Num(unique.len() as f64));
     report.set("sequential_ms", Json::Num(sequential_ms));
     report.set("parallel_ms", Json::Num(parallel_ms));
-    report.set("speedup", Json::Num(speedup));
+    report.set("speedup", speedup);
     report.set("identical", Json::Bool(identical));
+    report.set("scaling", Json::Arr(scaling));
     let per_pair = timings
         .iter()
         .map(|t| {
@@ -105,12 +136,20 @@ fn main() {
     }
     println!("{text}");
 
-    eprintln!(
-        "{} pairs: sequential {sequential_ms:.0} ms, parallel {parallel_ms:.0} ms \
-         on {} thread(s) ({speedup:.2}x)",
-        unique.len(),
-        par.threads(),
-    );
+    if workers > 1 {
+        eprintln!(
+            "{} pairs: sequential {sequential_ms:.0} ms, parallel {parallel_ms:.0} ms \
+             on {workers} worker(s) ({:.2}x)",
+            unique.len(),
+            sequential_ms / parallel_ms,
+        );
+    } else {
+        eprintln!(
+            "{} pairs: sequential {sequential_ms:.0} ms, parallel {parallel_ms:.0} ms \
+             on 1 worker (no speedup to report single-threaded)",
+            unique.len(),
+        );
+    }
     if !identical {
         eprintln!("DETERMINISM VIOLATION: parallel sweep diverged on: {}", mismatches.join(", "));
         std::process::exit(1);

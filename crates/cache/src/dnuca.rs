@@ -22,7 +22,7 @@ use cmp_coherence::Bus;
 use cmp_latency::{LatencyBook, SnucaLatencies};
 use cmp_mem::{AccessKind, BlockAddr, CacheGeometry, CoreId, Cycle};
 
-use crate::org::{AccessClass, AccessResponse, CacheOrg, OrgStats};
+use crate::org::{AccessClass, AccessResponse, CacheOrg, InvalScratch, OrgStats};
 use crate::tag_array::TagArray;
 
 #[derive(Clone, Debug, Default)]
@@ -36,20 +36,21 @@ struct DnucaEntry {
 /// # Example
 ///
 /// ```
-/// use cmp_cache::{CacheOrg, Dnuca};
+/// use cmp_cache::{CacheOrg, Dnuca, InvalScratch};
 /// use cmp_coherence::Bus;
 /// use cmp_latency::LatencyBook;
 /// use cmp_mem::{AccessKind, BlockAddr, CoreId};
 ///
 /// let mut l2 = Dnuca::paper(&LatencyBook::paper());
 /// let mut bus = Bus::paper();
-/// l2.access(CoreId(0), BlockAddr(0), AccessKind::Read, 0, &mut bus);
-/// let first = l2.access(CoreId(0), BlockAddr(0), AccessKind::Read, 1_000, &mut bus);
+/// let mut inv = InvalScratch::new();
+/// l2.access(CoreId(0), BlockAddr(0), AccessKind::Read, 0, &mut bus, &mut inv);
+/// let first = l2.access(CoreId(0), BlockAddr(0), AccessKind::Read, 1_000, &mut bus, &mut inv);
 /// let later = {
 ///     for t in 0..4 {
-///         l2.access(CoreId(0), BlockAddr(0), AccessKind::Read, 2_000 + t * 1_000, &mut bus);
+///         l2.access(CoreId(0), BlockAddr(0), AccessKind::Read, 2_000 + t * 1_000, &mut bus, &mut inv);
 ///     }
-///     l2.access(CoreId(0), BlockAddr(0), AccessKind::Read, 9_000, &mut bus)
+///     l2.access(CoreId(0), BlockAddr(0), AccessKind::Read, 9_000, &mut bus, &mut inv)
 /// };
 /// assert!(later.latency <= first.latency, "migration pulls the block closer");
 /// ```
@@ -167,9 +168,11 @@ impl CacheOrg for Dnuca {
         kind: AccessKind,
         _now: Cycle,
         _bus: &mut Bus,
+        inv: &mut InvalScratch,
     ) -> AccessResponse {
+        inv.begin();
         let (order, found, search_latency) = self.search(core, block);
-        let mut resp;
+        let resp;
         if let Some((pos, bank, way)) = found {
             let set = self.banks[bank].set_of(block);
             self.banks[bank].touch(set, way);
@@ -182,7 +185,7 @@ impl CacheOrg for Dnuca {
                     entry.payload.l1_presence &= !others;
                     for c in CoreId::all(self.cores) {
                         if others & Self::core_bit(c) != 0 {
-                            resp.l1_invalidate.push((c, block));
+                            inv.push(c, block);
                         }
                     }
                 }
@@ -207,7 +210,7 @@ impl CacheOrg for Dnuca {
                 }
                 for c in CoreId::all(self.cores) {
                     if payload.l1_presence & Self::core_bit(c) != 0 {
-                        resp.l1_invalidate.push((c, victim_block));
+                        inv.push(c, victim_block);
                     }
                 }
             }
@@ -218,7 +221,7 @@ impl CacheOrg for Dnuca {
                 DnucaEntry { dirty: kind.is_write(), l1_presence: Self::core_bit(core) },
             );
         }
-        self.stats.l1_invalidations += resp.l1_invalidate.len() as u64;
+        self.stats.l1_invalidations += inv.len() as u64;
         self.stats.record_class(resp.class);
         resp
     }
@@ -253,9 +256,11 @@ mod tests {
         (Dnuca::paper(&LatencyBook::paper()), Bus::paper(), 0)
     }
 
-    fn rd(l2: &mut Dnuca, bus: &mut Bus, t: &mut u64, core: u8, block: u64) -> AccessResponse {
+    use crate::org::CollectedResponse;
+
+    fn rd(l2: &mut Dnuca, bus: &mut Bus, t: &mut u64, core: u8, block: u64) -> CollectedResponse {
         *t += 1_000;
-        l2.access(CoreId(core), BlockAddr(block), AccessKind::Read, *t, bus)
+        l2.access_collected(CoreId(core), BlockAddr(block), AccessKind::Read, *t, bus)
     }
 
     #[test]
@@ -354,7 +359,7 @@ mod tests {
         rd(&mut l2, &mut bus, &mut t, 0, 24);
         rd(&mut l2, &mut bus, &mut t, 1, 24);
         t += 1_000;
-        let w = l2.access(CoreId(0), BlockAddr(24), AccessKind::Write, t, &mut bus);
+        let w = l2.access_collected(CoreId(0), BlockAddr(24), AccessKind::Write, t, &mut bus);
         assert!(w.l1_invalidate.iter().any(|(c, b)| *c == CoreId(1) && *b == BlockAddr(24)));
     }
 }

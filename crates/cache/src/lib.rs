@@ -38,7 +38,7 @@ pub mod tag_array;
 pub mod violation;
 
 pub use dnuca::Dnuca;
-pub use org::{AccessClass, AccessResponse, CacheOrg, OrgStats};
+pub use org::{AccessClass, AccessResponse, CacheOrg, CollectedResponse, InvalScratch, OrgStats};
 pub use private_mesi::PrivateMesi;
 pub use shared::UniformShared;
 pub use snuca::Snuca;

@@ -1,10 +1,42 @@
 //! True-LRU recency tracking for one cache set.
+//!
+//! Stored as a *rank vector* packed into byte lanes of four `u64`
+//! words: lane `w` holds way `w`'s recency rank (0 = LRU,
+//! `ways-1` = MRU). `touch` and `demote` adjust every affected lane
+//! at once with SWAR arithmetic — a handful of register ops instead
+//! of the `Vec<u8>` remove/insert (two linear scans plus a memmove)
+//! this structure used before, on every access of every cache level.
 
-/// Recency order over the ways of one set: index 0 is the least
-/// recently used way, the last index the most recently used.
+/// Byte-lane MSBs, the carry-free comparison bit of each lane.
+const LANE_MSB: u64 = 0x8080_8080_8080_8080;
+
+/// Lanes per word (byte lanes in a `u64`).
+const LANES: usize = 8;
+
+/// Words backing the rank vector; `LANES * WORDS` = 32 ways maximum.
+const WORDS: usize = 4;
+
+/// Broadcasts a byte into every lane of a word.
+#[inline]
+fn bcast(x: u8) -> u64 {
+    x as u64 * 0x0101_0101_0101_0101
+}
+
+/// Per-lane `>=` against a broadcast byte: returns a word with each
+/// lane's MSB set iff that lane of `x` is `>= y`. Requires every lane
+/// of `x` to be `<= 127` and `y <= 128` (ranks are `< 32`, so both
+/// hold); under those bounds `(lane + 128) - y` never borrows across
+/// lanes and its MSB survives exactly when `lane >= y`.
+#[inline]
+fn lanes_ge(x: u64, y: u8) -> u64 {
+    ((x | LANE_MSB) - bcast(y)) & LANE_MSB
+}
+
+/// Recency order over the ways of one set: rank 0 is the least
+/// recently used way, rank `ways-1` the most recently used.
 ///
-/// `O(associativity)` per operation, which is fine at the paper's
-/// associativities (≤ 32) and keeps the structure trivially correct.
+/// `O(1)` per operation (at most four word-ops regardless of
+/// associativity), supporting the paper's ≤ 32-way sets.
 ///
 /// # Example
 ///
@@ -18,8 +50,15 @@
 /// ```
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct LruOrder {
-    /// Way indices, LRU first.
-    order: Vec<u8>,
+    /// Byte lane `w` holds way `w`'s rank; lanes beyond `ways` stay 0
+    /// and are masked out of every update.
+    ranks: [u64; WORDS],
+    /// Per-word lane-MSB mask selecting the lanes that back real ways.
+    valid: [u64; WORDS],
+    /// Number of ways tracked.
+    ways: u8,
+    /// Words actually in use: `ceil(ways / 8)`.
+    words: u8,
 }
 
 impl LruOrder {
@@ -27,61 +66,122 @@ impl LruOrder {
     ///
     /// # Panics
     ///
-    /// Panics if `ways` is zero or exceeds 256.
+    /// Panics if `ways` is zero or exceeds 32.
     pub fn new(ways: usize) -> Self {
-        assert!(ways > 0 && ways <= 256, "ways must be in 1..=256");
-        LruOrder { order: (0..ways as u8).collect() }
+        assert!(ways > 0 && ways <= LANES * WORDS, "ways must be in 1..=32");
+        let mut ranks = [0u64; WORDS];
+        let mut valid = [0u64; WORDS];
+        for w in 0..ways {
+            // Way w starts at rank w, matching insertion order.
+            ranks[w / LANES] |= (w as u64) << (8 * (w % LANES));
+            valid[w / LANES] |= 0x80 << (8 * (w % LANES));
+        }
+        LruOrder { ranks, valid, ways: ways as u8, words: ways.div_ceil(LANES) as u8 }
     }
 
     /// Number of ways tracked.
     pub fn ways(&self) -> usize {
-        self.order.len()
+        self.ways as usize
+    }
+
+    #[inline]
+    fn lane(&self, way: usize) -> u8 {
+        (self.ranks[way / LANES] >> (8 * (way % LANES))) as u8
+    }
+
+    #[inline]
+    fn set_lane(&mut self, way: usize, rank: u8) {
+        let shift = 8 * (way % LANES);
+        let word = &mut self.ranks[way / LANES];
+        *word = (*word & !(0xFF << shift)) | ((rank as u64) << shift);
+    }
+
+    #[inline]
+    fn checked_rank(&self, way: usize) -> u8 {
+        if way >= self.ways as usize {
+            panic!("way {way} out of range for {}-way set", self.ways);
+        }
+        self.lane(way)
     }
 
     /// Marks `way` most recently used.
     ///
+    /// Already-MRU ways return immediately — the common case for a
+    /// core re-hitting the same block.
+    ///
     /// # Panics
     ///
     /// Panics if `way` is out of range.
+    #[inline]
     pub fn touch(&mut self, way: usize) {
-        let pos = self.position(way);
-        let w = self.order.remove(pos);
-        self.order.push(w);
+        let old = self.checked_rank(way);
+        let mru = self.ways - 1;
+        if old == mru {
+            return;
+        }
+        // Every way ranked above `old` slides down one; `way` takes MRU.
+        for i in 0..self.words as usize {
+            let above = lanes_ge(self.ranks[i], old + 1) & self.valid[i];
+            self.ranks[i] -= above >> 7;
+        }
+        self.set_lane(way, mru);
     }
 
     /// Marks `way` least recently used (used when an entry is
     /// invalidated, so the slot is preferred for the next fill).
+    ///
+    /// Already-LRU ways return immediately.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `way` is out of range.
+    #[inline]
     pub fn demote(&mut self, way: usize) {
-        let pos = self.position(way);
-        let w = self.order.remove(pos);
-        self.order.insert(0, w);
+        let old = self.checked_rank(way);
+        if old == 0 {
+            return;
+        }
+        // Every way ranked below `old` slides up one; `way` takes LRU.
+        for i in 0..self.words as usize {
+            let below = !lanes_ge(self.ranks[i], old) & LANE_MSB & self.valid[i];
+            self.ranks[i] += below >> 7;
+        }
+        self.set_lane(way, 0);
     }
 
     /// The least recently used way.
     pub fn least_recent(&self) -> usize {
-        self.order[0] as usize
+        self.way_at_rank(0)
     }
 
     /// The most recently used way.
     pub fn most_recent(&self) -> usize {
-        *self.order.last().expect("order is nonempty") as usize
+        self.way_at_rank(self.ways - 1)
     }
 
     /// Recency rank of `way`: 0 = LRU, `ways()-1` = MRU.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `way` is out of range.
+    #[inline]
     pub fn rank(&self, way: usize) -> usize {
-        self.position(way)
+        self.checked_rank(way) as usize
     }
 
     /// Ways in recency order, LRU first.
     pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
-        self.order.iter().map(|w| *w as usize)
+        let mut by_rank = [0u8; LANES * WORDS];
+        for w in 0..self.ways as usize {
+            by_rank[self.lane(w) as usize] = w as u8;
+        }
+        (0..self.ways as usize).map(move |r| by_rank[r] as usize)
     }
 
-    fn position(&self, way: usize) -> usize {
-        self.order
-            .iter()
-            .position(|w| *w as usize == way)
-            .unwrap_or_else(|| panic!("way {way} out of range for {}-way set", self.order.len()))
+    fn way_at_rank(&self, rank: u8) -> usize {
+        (0..self.ways as usize)
+            .find(|&w| self.lane(w) == rank)
+            .expect("ranks form a permutation of the ways")
     }
 }
 
@@ -137,8 +237,65 @@ mod tests {
     }
 
     #[test]
+    fn full_width_32_way_set() {
+        let mut lru = LruOrder::new(32);
+        for w in (0..32).rev() {
+            lru.touch(w);
+        }
+        // Touched 31, 30, ..., 0: way 31 is now LRU, way 0 MRU.
+        assert_eq!(lru.iter().collect::<Vec<_>>(), (0..32).rev().collect::<Vec<_>>());
+        assert_eq!(lru.least_recent(), 31);
+        assert_eq!(lru.most_recent(), 0);
+    }
+
+    #[test]
+    fn touch_of_mru_way_is_a_noop() {
+        let mut lru = LruOrder::new(4);
+        lru.touch(2);
+        let before = lru.clone();
+        lru.touch(2); // already MRU: early return
+        assert_eq!(lru, before);
+        assert_eq!(lru.iter().collect::<Vec<_>>(), vec![0, 1, 3, 2]);
+    }
+
+    #[test]
+    fn demote_of_lru_way_is_a_noop() {
+        let mut lru = LruOrder::new(4);
+        lru.touch(0); // order now 1,2,3,0
+        let before = lru.clone();
+        lru.demote(1); // already LRU: early return
+        assert_eq!(lru, before);
+        assert_eq!(lru.iter().collect::<Vec<_>>(), vec![1, 2, 3, 0]);
+    }
+
+    #[test]
+    fn interleaved_touch_demote_pin_exact_order() {
+        let mut lru = LruOrder::new(5);
+        lru.touch(3); // 0,1,2,4,3
+        lru.demote(2); // 2,0,1,4,3
+        lru.touch(0); // 2,1,4,3,0
+        lru.demote(3); // 3,2,1,4,0
+        assert_eq!(lru.iter().collect::<Vec<_>>(), vec![3, 2, 1, 4, 0]);
+        assert_eq!(lru.rank(4), 3);
+        assert_eq!(lru.least_recent(), 3);
+        assert_eq!(lru.most_recent(), 0);
+    }
+
+    #[test]
     #[should_panic(expected = "out of range")]
     fn touch_rejects_bad_way() {
         LruOrder::new(2).touch(5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rank_rejects_bad_way() {
+        let _ = LruOrder::new(3).rank(3);
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=32")]
+    fn rejects_oversized_sets() {
+        let _ = LruOrder::new(33);
     }
 }

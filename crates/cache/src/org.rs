@@ -37,29 +37,95 @@ impl AccessClass {
 }
 
 /// The result of one L2 access: the latency charged to the requesting
-/// core, the classification, and the L1-maintenance directives the
-/// system must apply (coherence and inclusion invalidations,
-/// write-through marking).
-#[derive(Clone, Debug)]
+/// core, the classification, and the write-through marking. The L1
+/// invalidation directives accompanying the access are delivered
+/// through the caller's [`InvalScratch`], not owned by the response,
+/// so the L2 hit path performs no heap allocation.
+#[derive(Clone, Copy, Debug)]
 pub struct AccessResponse {
     /// Cycles until the requesting core may proceed.
     pub latency: Cycle,
     /// Figure 5 classification.
     pub class: AccessClass,
-    /// L1 blocks (at L2-block granularity) that must be invalidated
-    /// in the given cores' L1 caches: coherence invalidations of
-    /// remote copies and inclusion invalidations of evicted victims.
-    pub l1_invalidate: Vec<(CoreId, BlockAddr)>,
     /// The accessed block must be handled write-through in the
     /// requestor's L1 (C-state blocks, Section 3.2).
     pub writethrough: bool,
 }
 
 impl AccessResponse {
-    /// A response with no L1 side effects.
+    /// A response with no write-through marking.
     pub fn simple(latency: Cycle, class: AccessClass) -> Self {
-        AccessResponse { latency, class, l1_invalidate: Vec::new(), writethrough: false }
+        AccessResponse { latency, class, writethrough: false }
     }
+}
+
+/// Reusable scratch buffer carrying one access's L1-maintenance
+/// directives: the L1 blocks (at L2-block granularity) that must be
+/// invalidated in the given cores' L1 caches — coherence
+/// invalidations of remote copies and inclusion invalidations of
+/// evicted victims.
+///
+/// The driver owns one instance and threads it through every
+/// [`CacheOrg::access`] call; the organization resets it on entry
+/// (via [`InvalScratch::begin`]) and appends to it, so after a few
+/// warm-up accesses the buffer's capacity stabilizes and the per-access
+/// heap traffic of the old `Vec`-owning response disappears.
+#[derive(Clone, Debug, Default)]
+pub struct InvalScratch {
+    inval: Vec<(CoreId, BlockAddr)>,
+}
+
+impl InvalScratch {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Resets the buffer for a new access. Organizations call this at
+    /// the top of [`CacheOrg::access`]; the capacity is retained.
+    #[inline]
+    pub fn begin(&mut self) {
+        self.inval.clear();
+    }
+
+    /// Records that `core`'s L1 must invalidate `block`.
+    #[inline]
+    pub fn push(&mut self, core: CoreId, block: BlockAddr) {
+        self.inval.push((core, block));
+    }
+
+    /// Number of directives recorded by the current access.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.inval.len()
+    }
+
+    /// `true` when the current access recorded no directives.
+    pub fn is_empty(&self) -> bool {
+        self.inval.is_empty()
+    }
+
+    /// The recorded directives.
+    #[inline]
+    pub fn as_slice(&self) -> &[(CoreId, BlockAddr)] {
+        &self.inval
+    }
+}
+
+/// An [`AccessResponse`] bundled with the invalidation directives it
+/// produced, as an owned value. Convenience for tests, examples, and
+/// doc snippets that inspect single accesses; batch drivers should
+/// hold an [`InvalScratch`] and call [`CacheOrg::access`] directly.
+#[derive(Clone, Debug)]
+pub struct CollectedResponse {
+    /// Cycles until the requesting core may proceed.
+    pub latency: Cycle,
+    /// Figure 5 classification.
+    pub class: AccessClass,
+    /// See [`InvalScratch`].
+    pub l1_invalidate: Vec<(CoreId, BlockAddr)>,
+    /// See [`AccessResponse::writethrough`].
+    pub writethrough: bool,
 }
 
 /// Statistics accumulated by an L2 organization. One instance is
@@ -171,6 +237,10 @@ pub trait CacheOrg {
 
     /// Performs one access by `core` to `block` (L2-block address) at
     /// local time `now`, using `bus` for any coherence transactions.
+    ///
+    /// `inv` is reset on entry and holds exactly this access's L1
+    /// invalidation directives on return; the caller applies them and
+    /// reuses the buffer for the next access.
     fn access(
         &mut self,
         core: CoreId,
@@ -178,6 +248,7 @@ pub trait CacheOrg {
         kind: AccessKind,
         now: Cycle,
         bus: &mut Bus,
+        inv: &mut InvalScratch,
     ) -> AccessResponse;
 
     /// Statistics accumulated so far.
@@ -206,8 +277,32 @@ pub trait CacheOrg {
         kind: AccessKind,
         now: Cycle,
         bus: &mut Bus,
+        inv: &mut InvalScratch,
     ) -> Result<AccessResponse, Violation> {
-        Ok(self.access(core, block, kind, now, bus))
+        Ok(self.access(core, block, kind, now, bus, inv))
+    }
+
+    /// Performs one access with a throwaway scratch buffer and
+    /// returns the response and its invalidation directives as one
+    /// owned value. Convenience for tests and examples; allocates, so
+    /// batch drivers use [`CacheOrg::access`] with a reused
+    /// [`InvalScratch`] instead.
+    fn access_collected(
+        &mut self,
+        core: CoreId,
+        block: BlockAddr,
+        kind: AccessKind,
+        now: Cycle,
+        bus: &mut Bus,
+    ) -> CollectedResponse {
+        let mut inv = InvalScratch::new();
+        let resp = self.access(core, block, kind, now, bus, &mut inv);
+        CollectedResponse {
+            latency: resp.latency,
+            class: resp.class,
+            l1_invalidate: inv.inval,
+            writethrough: resp.writethrough,
+        }
     }
 
     /// Runs the organization's structural self-checks, returning the
@@ -261,8 +356,21 @@ mod tests {
     #[test]
     fn simple_response_has_no_side_effects() {
         let r = AccessResponse::simple(10, AccessClass::Hit { closest: true });
-        assert!(r.l1_invalidate.is_empty());
         assert!(!r.writethrough);
         assert_eq!(r.latency, 10);
+    }
+
+    #[test]
+    fn scratch_reset_keeps_capacity() {
+        let mut inv = InvalScratch::new();
+        assert!(inv.is_empty());
+        inv.push(CoreId(1), BlockAddr(7));
+        inv.push(CoreId(2), BlockAddr(9));
+        assert_eq!(inv.len(), 2);
+        assert_eq!(inv.as_slice()[0], (CoreId(1), BlockAddr(7)));
+        let cap = inv.inval.capacity();
+        inv.begin();
+        assert!(inv.is_empty());
+        assert_eq!(inv.inval.capacity(), cap);
     }
 }

@@ -18,7 +18,7 @@ use cmp_coherence::{Bus, BusTx, SnoopSignals};
 use cmp_latency::LatencyBook;
 use cmp_mem::{AccessKind, BlockAddr, CacheGeometry, CoreId, Cycle, Rng};
 
-use crate::org::{AccessClass, AccessResponse, CacheOrg, OrgStats};
+use crate::org::{AccessClass, AccessResponse, CacheOrg, InvalScratch, OrgStats};
 use crate::tag_array::TagArray;
 use crate::violation::Violation;
 
@@ -45,15 +45,16 @@ struct PrivEntry {
 /// # Example
 ///
 /// ```
-/// use cmp_cache::{CacheOrg, PrivateMesi};
+/// use cmp_cache::{CacheOrg, InvalScratch, PrivateMesi};
 /// use cmp_coherence::Bus;
 /// use cmp_latency::LatencyBook;
 /// use cmp_mem::{AccessKind, BlockAddr, CoreId};
 ///
 /// let mut l2 = PrivateMesi::paper(&LatencyBook::paper());
 /// let mut bus = Bus::paper();
-/// l2.access(CoreId(0), BlockAddr(9), AccessKind::Read, 0, &mut bus);
-/// let hit = l2.access(CoreId(0), BlockAddr(9), AccessKind::Read, 400, &mut bus);
+/// let mut inv = InvalScratch::new();
+/// l2.access(CoreId(0), BlockAddr(9), AccessKind::Read, 0, &mut bus, &mut inv);
+/// let hit = l2.access(CoreId(0), BlockAddr(9), AccessKind::Read, 400, &mut bus, &mut inv);
 /// assert_eq!(hit.latency, 10);
 /// ```
 pub struct PrivateMesi {
@@ -135,7 +136,7 @@ impl PrivateMesi {
         requestor: CoreId,
         block: BlockAddr,
         tx: BusTx,
-        resp: &mut AccessResponse,
+        inv: &mut InvalScratch,
     ) -> bool {
         let mut supplied = false;
         for i in 0..self.arrays.len() {
@@ -163,7 +164,7 @@ impl PrivateMesi {
                 arr.entry_mut(set, way).expect("looked-up entry").payload.state = next;
             }
             if reply.invalidate_l1 {
-                resp.l1_invalidate.push((CoreId(i as u8), block));
+                inv.push(CoreId(i as u8), block);
             }
         }
         supplied
@@ -204,8 +205,9 @@ impl CacheOrg for PrivateMesi {
         kind: AccessKind,
         now: Cycle,
         bus: &mut Bus,
+        inv: &mut InvalScratch,
     ) -> AccessResponse {
-        match CacheOrg::try_access(self, core, block, kind, now, bus) {
+        match CacheOrg::try_access(self, core, block, kind, now, bus, inv) {
             Ok(resp) => resp,
             Err(v) => panic!("private-MESI protocol violation: {v}"),
         }
@@ -218,7 +220,9 @@ impl CacheOrg for PrivateMesi {
         kind: AccessKind,
         now: Cycle,
         bus: &mut Bus,
+        inv: &mut InvalScratch,
     ) -> Result<AccessResponse, Violation> {
+        inv.begin();
         let arr = &self.arrays[core.index()];
         let set = arr.set_of(block);
         let hit_way = arr.lookup(block);
@@ -235,7 +239,7 @@ impl CacheOrg for PrivateMesi {
                 latency = self.tag_latency
                     + grant.stall_from(now)
                     + (self.hit_latency - self.tag_latency);
-                self.snoop_remotes(core, block, tx, &mut resp);
+                self.snoop_remotes(core, block, tx, inv);
             }
             resp.latency = latency;
             let arr = &mut self.arrays[core.index()];
@@ -259,7 +263,7 @@ impl CacheOrg for PrivateMesi {
             let action = mesi::processor_access(MesiState::Invalid, kind, signals);
             let tx = action.bus.expect("misses always use the bus");
             let grant = bus.transact(tx, now);
-            let supplied = self.snoop_remotes(core, block, tx, &mut resp);
+            let supplied = self.snoop_remotes(core, block, tx, inv);
             // Consistency of the sampled wires against what the snoop
             // actually did. On BusRd every valid remote copy flushes,
             // so `shared` and `supplied` must agree; on BusRdX a dirty
@@ -284,8 +288,8 @@ impl CacheOrg for PrivateMesi {
             }
             let transfer = if supplied { self.hit_latency } else { self.memory_latency };
             resp.latency = self.tag_latency + grant.stall_from(now) + transfer;
-            if let Some(inv) = self.evict_victim(core, block) {
-                resp.l1_invalidate.push(inv);
+            if let Some((victim_core, victim_block)) = self.evict_victim(core, block) {
+                inv.push(victim_core, victim_block);
             }
             let fill = match class {
                 AccessClass::MissRos => FillClass::Ros,
@@ -297,7 +301,7 @@ impl CacheOrg for PrivateMesi {
             debug_assert!(arr.entry(set, way).is_none(), "victim slot was vacated");
             arr.fill(set, way, block, PrivEntry { state: action.next, reuse: 0, fill });
         }
-        self.stats.l1_invalidations += resp.l1_invalidate.len() as u64;
+        self.stats.l1_invalidations += inv.len() as u64;
         self.stats.record_class(resp.class);
         Ok(resp)
     }
@@ -411,12 +415,14 @@ mod tests {
         })
     }
 
-    fn rd(l2: &mut PrivateMesi, bus: &mut Bus, core: u8, block: u64) -> AccessResponse {
-        l2.access(CoreId(core), BlockAddr(block), AccessKind::Read, tick(), bus)
+    use crate::org::CollectedResponse;
+
+    fn rd(l2: &mut PrivateMesi, bus: &mut Bus, core: u8, block: u64) -> CollectedResponse {
+        l2.access_collected(CoreId(core), BlockAddr(block), AccessKind::Read, tick(), bus)
     }
 
-    fn wr(l2: &mut PrivateMesi, bus: &mut Bus, core: u8, block: u64) -> AccessResponse {
-        l2.access(CoreId(core), BlockAddr(block), AccessKind::Write, tick(), bus)
+    fn wr(l2: &mut PrivateMesi, bus: &mut Bus, core: u8, block: u64) -> CollectedResponse {
+        l2.access_collected(CoreId(core), BlockAddr(block), AccessKind::Write, tick(), bus)
     }
 
     #[test]

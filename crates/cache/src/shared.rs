@@ -16,7 +16,7 @@ use cmp_coherence::Bus;
 use cmp_latency::LatencyBook;
 use cmp_mem::{AccessKind, BlockAddr, CacheGeometry, CoreId, Cycle};
 
-use crate::org::{AccessClass, AccessResponse, CacheOrg, OrgStats};
+use crate::org::{AccessClass, AccessResponse, CacheOrg, InvalScratch, OrgStats};
 use crate::tag_array::TagArray;
 
 /// Per-block state: dirtiness and which cores' L1s hold copies.
@@ -31,7 +31,7 @@ struct SharedEntry {
 /// # Example
 ///
 /// ```
-/// use cmp_cache::{CacheOrg, UniformShared};
+/// use cmp_cache::{CacheOrg, InvalScratch, UniformShared};
 /// use cmp_coherence::Bus;
 /// use cmp_latency::LatencyBook;
 /// use cmp_mem::{AccessKind, BlockAddr, CoreId};
@@ -39,8 +39,9 @@ struct SharedEntry {
 /// let book = LatencyBook::paper();
 /// let mut l2 = UniformShared::paper_shared(&book);
 /// let mut bus = Bus::paper();
-/// let miss = l2.access(CoreId(0), BlockAddr(1), AccessKind::Read, 0, &mut bus);
-/// let hit = l2.access(CoreId(1), BlockAddr(1), AccessKind::Read, 400, &mut bus);
+/// let mut inv = InvalScratch::new();
+/// let miss = l2.access(CoreId(0), BlockAddr(1), AccessKind::Read, 0, &mut bus, &mut inv);
+/// let hit = l2.access(CoreId(1), BlockAddr(1), AccessKind::Read, 400, &mut bus, &mut inv);
 /// assert!(miss.latency > hit.latency);
 /// assert_eq!(hit.latency, 59);
 /// ```
@@ -119,9 +120,11 @@ impl CacheOrg for UniformShared {
         kind: AccessKind,
         _now: Cycle,
         _bus: &mut Bus,
+        inv: &mut InvalScratch,
     ) -> AccessResponse {
+        inv.begin();
         let set = self.tags.set_of(block);
-        let mut resp;
+        let resp;
         if let Some(way) = self.tags.lookup(block) {
             self.tags.touch(set, way);
             resp = AccessResponse::simple(self.hit_latency, AccessClass::Hit { closest: true });
@@ -134,7 +137,7 @@ impl CacheOrg for UniformShared {
                 entry.payload.l1_presence &= !others;
                 for c in CoreId::all(self.cores) {
                     if others & Self::core_bit(c) != 0 {
-                        resp.l1_invalidate.push((c, block));
+                        inv.push(c, block);
                     }
                 }
             }
@@ -154,7 +157,7 @@ impl CacheOrg for UniformShared {
                 // Inclusion: L1 copies of the victim must go.
                 for c in CoreId::all(self.cores) {
                     if payload.l1_presence & Self::core_bit(c) != 0 {
-                        resp.l1_invalidate.push((c, victim_block));
+                        inv.push(c, victim_block);
                     }
                 }
             }
@@ -165,7 +168,7 @@ impl CacheOrg for UniformShared {
                 SharedEntry { dirty: kind.is_write(), l1_presence: Self::core_bit(core) },
             );
         }
-        self.stats.l1_invalidations += resp.l1_invalidate.len() as u64;
+        self.stats.l1_invalidations += inv.len() as u64;
         self.stats.record_class(resp.class);
         resp
     }
@@ -202,14 +205,16 @@ mod tests {
         UniformShared::new(4, CacheGeometry::new(1024, 128, 2), 26, 59, 300, "shared")
     }
 
-    fn rd(l2: &mut UniformShared, core: u8, block: u64) -> AccessResponse {
+    use crate::org::CollectedResponse;
+
+    fn rd(l2: &mut UniformShared, core: u8, block: u64) -> CollectedResponse {
         let mut bus = Bus::paper();
-        l2.access(CoreId(core), BlockAddr(block), AccessKind::Read, 0, &mut bus)
+        l2.access_collected(CoreId(core), BlockAddr(block), AccessKind::Read, 0, &mut bus)
     }
 
-    fn wr(l2: &mut UniformShared, core: u8, block: u64) -> AccessResponse {
+    fn wr(l2: &mut UniformShared, core: u8, block: u64) -> CollectedResponse {
         let mut bus = Bus::paper();
-        l2.access(CoreId(core), BlockAddr(block), AccessKind::Write, 0, &mut bus)
+        l2.access_collected(CoreId(core), BlockAddr(block), AccessKind::Write, 0, &mut bus)
     }
 
     #[test]
@@ -269,8 +274,9 @@ mod tests {
         let book = LatencyBook::paper();
         let mut ideal = UniformShared::paper_ideal(&book);
         let mut bus = Bus::paper();
-        ideal.access(CoreId(0), BlockAddr(1), AccessKind::Read, 0, &mut bus);
-        let hit = ideal.access(CoreId(0), BlockAddr(1), AccessKind::Read, 0, &mut bus);
+        let mut inv = InvalScratch::new();
+        ideal.access(CoreId(0), BlockAddr(1), AccessKind::Read, 0, &mut bus, &mut inv);
+        let hit = ideal.access(CoreId(0), BlockAddr(1), AccessKind::Read, 0, &mut bus, &mut inv);
         assert_eq!(hit.latency, 10);
         assert_eq!(ideal.name(), "ideal");
     }

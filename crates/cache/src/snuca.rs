@@ -15,7 +15,7 @@ use cmp_coherence::Bus;
 use cmp_latency::{LatencyBook, SnucaLatencies};
 use cmp_mem::{AccessKind, BlockAddr, CacheGeometry, CoreId, Cycle};
 
-use crate::org::{AccessClass, AccessResponse, CacheOrg, OrgStats};
+use crate::org::{AccessClass, AccessResponse, CacheOrg, InvalScratch, OrgStats};
 use crate::tag_array::TagArray;
 
 #[derive(Clone, Debug, Default)]
@@ -29,15 +29,16 @@ struct SnucaEntry {
 /// # Example
 ///
 /// ```
-/// use cmp_cache::{CacheOrg, Snuca};
+/// use cmp_cache::{CacheOrg, InvalScratch, Snuca};
 /// use cmp_coherence::Bus;
 /// use cmp_latency::LatencyBook;
 /// use cmp_mem::{AccessKind, BlockAddr, CoreId};
 ///
 /// let mut l2 = Snuca::paper(&LatencyBook::paper());
 /// let mut bus = Bus::paper();
-/// l2.access(CoreId(0), BlockAddr(0), AccessKind::Read, 0, &mut bus);
-/// let hit = l2.access(CoreId(0), BlockAddr(0), AccessKind::Read, 100, &mut bus);
+/// let mut inv = InvalScratch::new();
+/// l2.access(CoreId(0), BlockAddr(0), AccessKind::Read, 0, &mut bus, &mut inv);
+/// let hit = l2.access(CoreId(0), BlockAddr(0), AccessKind::Read, 100, &mut bus, &mut inv);
 /// assert!(hit.class.is_hit());
 /// assert!(hit.latency < 65); // mostly faster than the 59-cycle uniform cache
 /// ```
@@ -101,10 +102,12 @@ impl CacheOrg for Snuca {
         kind: AccessKind,
         _now: Cycle,
         _bus: &mut Bus,
+        inv: &mut InvalScratch,
     ) -> AccessResponse {
+        inv.begin();
         let set = self.tags.set_of(block);
         let lat = self.bank_latency(core, block);
-        let mut resp;
+        let resp;
         if let Some(way) = self.tags.lookup(block) {
             self.tags.touch(set, way);
             let closest = lat <= self.near_threshold[core.index()];
@@ -116,7 +119,7 @@ impl CacheOrg for Snuca {
                 entry.payload.l1_presence &= !others;
                 for c in CoreId::all(self.cores) {
                     if others & Self::core_bit(c) != 0 {
-                        resp.l1_invalidate.push((c, block));
+                        inv.push(c, block);
                     }
                 }
             }
@@ -130,7 +133,7 @@ impl CacheOrg for Snuca {
                 }
                 for c in CoreId::all(self.cores) {
                     if payload.l1_presence & Self::core_bit(c) != 0 {
-                        resp.l1_invalidate.push((c, victim_block));
+                        inv.push(c, victim_block);
                     }
                 }
             }
@@ -141,7 +144,7 @@ impl CacheOrg for Snuca {
                 SnucaEntry { dirty: kind.is_write(), l1_presence: Self::core_bit(core) },
             );
         }
-        self.stats.l1_invalidations += resp.l1_invalidate.len() as u64;
+        self.stats.l1_invalidations += inv.len() as u64;
         self.stats.record_class(resp.class);
         resp
     }
@@ -176,9 +179,11 @@ mod tests {
         Snuca::paper(&LatencyBook::paper())
     }
 
-    fn rd(l2: &mut Snuca, core: u8, block: u64) -> AccessResponse {
+    use crate::org::CollectedResponse;
+
+    fn rd(l2: &mut Snuca, core: u8, block: u64) -> CollectedResponse {
         let mut bus = Bus::paper();
-        l2.access(CoreId(core), BlockAddr(block), AccessKind::Read, 0, &mut bus)
+        l2.access_collected(CoreId(core), BlockAddr(block), AccessKind::Read, 0, &mut bus)
     }
 
     #[test]
@@ -237,7 +242,7 @@ mod tests {
         rd(&mut l2, 0, 7);
         rd(&mut l2, 1, 7);
         let mut bus = Bus::paper();
-        let w = l2.access(CoreId(0), BlockAddr(7), AccessKind::Write, 0, &mut bus);
+        let w = l2.access_collected(CoreId(0), BlockAddr(7), AccessKind::Write, 0, &mut bus);
         assert_eq!(w.l1_invalidate, vec![(CoreId(1), BlockAddr(7))]);
     }
 }

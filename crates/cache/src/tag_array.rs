@@ -8,10 +8,22 @@
 //! victims differently: plain LRU for the baselines, the
 //! invalid → private → shared category order for CMP-NuRAPID
 //! (Section 3.3.2).
+//!
+//! Storage is flat: one contiguous sentinel-tagged `Vec<u64>` of raw
+//! tags (scanned by [`TagArray::lookup`] without touching payloads),
+//! one flat entry vector, one packed [`LruOrder`] per set, and a
+//! maintained occupancy counter so [`TagArray::len`] is `O(1)`.
 
 use cmp_mem::{BlockAddr, CacheGeometry};
 
 use crate::lru::LruOrder;
+
+/// Tag value marking a vacant slot in the flat tag vector. [`fill`]
+/// rejects real tags equal to it, so a lookup can never falsely match
+/// a vacant way.
+///
+/// [`fill`]: TagArray::fill
+const EMPTY_TAG: u64 = u64::MAX;
 
 /// One resident tag entry.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -20,11 +32,6 @@ pub struct Entry<P> {
     /// Organization-specific state (coherence state, pointers, reuse
     /// counters, ...).
     pub payload: P,
-}
-
-struct Set<P> {
-    ways: Vec<Option<Entry<P>>>,
-    lru: LruOrder,
 }
 
 /// A set-associative tag array.
@@ -44,19 +51,30 @@ struct Set<P> {
 /// ```
 pub struct TagArray<P> {
     geom: CacheGeometry,
-    sets: Vec<Set<P>>,
+    ways: usize,
+    /// `tags[set * ways + way]`: the raw tag, or [`EMPTY_TAG`].
+    tags: Vec<u64>,
+    /// Entry storage, parallel to `tags`: occupied exactly where the
+    /// tag is not [`EMPTY_TAG`].
+    entries: Vec<Option<Entry<P>>>,
+    /// Recency order per set.
+    lru: Vec<LruOrder>,
+    /// Occupied-slot count, maintained by `fill`/`evict`.
+    occupied: usize,
 }
 
 impl<P> TagArray<P> {
     /// Creates an empty array with the given geometry.
     pub fn new(geom: CacheGeometry) -> Self {
-        let sets = (0..geom.num_sets())
-            .map(|_| Set {
-                ways: (0..geom.associativity()).map(|_| None).collect(),
-                lru: LruOrder::new(geom.associativity()),
-            })
-            .collect();
-        TagArray { geom, sets }
+        let slots = geom.num_sets() * geom.associativity();
+        TagArray {
+            geom,
+            ways: geom.associativity(),
+            tags: vec![EMPTY_TAG; slots],
+            entries: (0..slots).map(|_| None).collect(),
+            lru: (0..geom.num_sets()).map(|_| LruOrder::new(geom.associativity())).collect(),
+            occupied: 0,
+        }
     }
 
     /// The array's geometry.
@@ -71,35 +89,62 @@ impl<P> TagArray<P> {
     }
 
     /// Finds the way holding `block`, if resident.
+    #[inline]
     pub fn lookup(&self, block: BlockAddr) -> Option<usize> {
-        let set = &self.sets[self.geom.set_of(block)];
         let tag = self.geom.tag_of(block);
-        set.ways.iter().position(|w| matches!(w, Some(e) if e.tag == tag))
+        if tag == EMPTY_TAG {
+            return None; // cannot be resident: `fill` rejects it
+        }
+        let base = self.geom.set_of(block) * self.ways;
+        self.tags[base..base + self.ways].iter().position(|&t| t == tag)
+    }
+
+    /// Finds `block` and, if resident, marks its way MRU in one pass:
+    /// the set index and tag are computed once and the recency update
+    /// reuses them. Returns `(set, way)` on a hit.
+    ///
+    /// This is the all-levels read-hit fast path — equivalent to
+    /// [`TagArray::lookup`] followed by [`TagArray::touch`].
+    #[inline]
+    pub fn lookup_touch(&mut self, block: BlockAddr) -> Option<(usize, usize)> {
+        let tag = self.geom.tag_of(block);
+        if tag == EMPTY_TAG {
+            return None;
+        }
+        let set = self.geom.set_of(block);
+        let base = set * self.ways;
+        let way = self.tags[base..base + self.ways].iter().position(|&t| t == tag)?;
+        self.lru[set].touch(way);
+        Some((set, way))
     }
 
     /// Reference to the entry at (`set`, `way`), if occupied.
+    #[inline]
     pub fn entry(&self, set: usize, way: usize) -> Option<&Entry<P>> {
-        self.sets[set].ways[way].as_ref()
+        self.entries[set * self.ways + way].as_ref()
     }
 
     /// Mutable reference to the entry at (`set`, `way`), if occupied.
+    #[inline]
     pub fn entry_mut(&mut self, set: usize, way: usize) -> Option<&mut Entry<P>> {
-        self.sets[set].ways[way].as_mut()
+        self.entries[set * self.ways + way].as_mut()
     }
 
     /// Block address stored at (`set`, `way`), if occupied.
     pub fn block_at(&self, set: usize, way: usize) -> Option<BlockAddr> {
-        self.sets[set].ways[way].as_ref().map(|e| self.geom.block_of(e.tag, set))
+        self.entries[set * self.ways + way].as_ref().map(|e| self.geom.block_of(e.tag, set))
     }
 
     /// Marks (`set`, `way`) most recently used.
+    #[inline]
     pub fn touch(&mut self, set: usize, way: usize) {
-        self.sets[set].lru.touch(way);
+        self.lru[set].touch(way);
     }
 
     /// Recency rank of a way within its set (0 = LRU).
+    #[inline]
     pub fn recency_rank(&self, set: usize, way: usize) -> usize {
-        self.sets[set].lru.rank(way)
+        self.lru[set].rank(way)
     }
 
     /// Selects a victim way: the way minimizing `(rank_fn(entry),
@@ -111,20 +156,28 @@ impl<P> TagArray<P> {
         set: usize,
         mut rank_fn: impl FnMut(Option<&Entry<P>>) -> u32,
     ) -> usize {
-        let s = &self.sets[set];
-        s.lru
-            .iter()
-            .map(|way| (rank_fn(s.ways[way].as_ref()), way))
-            .min_by_key(|(rank, _)| *rank)
-            .map(|(_, way)| way)
-            .expect("sets are never zero-way")
+        let base = set * self.ways;
+        let lru = &self.lru[set];
+        let mut best = (u32::MAX, usize::MAX, 0usize);
+        for way in 0..self.ways {
+            let key = (rank_fn(self.entries[base + way].as_ref()), lru.rank(way), way);
+            if (key.0, key.1) < (best.0, best.1) {
+                best = key;
+            }
+        }
+        best.2
     }
 
     /// Removes and returns the entry at (`set`, `way`) together with
     /// its block address; the slot becomes the set's LRU way.
     pub fn evict(&mut self, set: usize, way: usize) -> Option<(BlockAddr, P)> {
-        let taken = self.sets[set].ways[way].take();
-        self.sets[set].lru.demote(way);
+        let idx = set * self.ways + way;
+        let taken = self.entries[idx].take();
+        self.lru[set].demote(way);
+        if taken.is_some() {
+            self.tags[idx] = EMPTY_TAG;
+            self.occupied -= 1;
+        }
         taken.map(|e| (self.geom.block_of(e.tag, set), e.payload))
     }
 
@@ -133,19 +186,26 @@ impl<P> TagArray<P> {
     /// # Panics
     ///
     /// Panics if the slot is still occupied (callers must evict
-    /// first) or if `set` does not match the block's set index.
+    /// first), if `set` does not match the block's set index, or if
+    /// the block's tag collides with the vacant-slot sentinel.
     pub fn fill(&mut self, set: usize, way: usize, block: BlockAddr, payload: P) {
         assert_eq!(set, self.geom.set_of(block), "block filled into wrong set");
-        let slot = &mut self.sets[set].ways[way];
+        let tag = self.geom.tag_of(block);
+        assert_ne!(tag, EMPTY_TAG, "block tag collides with the vacant-slot sentinel");
+        let idx = set * self.ways + way;
+        let slot = &mut self.entries[idx];
         assert!(slot.is_none(), "fill into occupied way; evict first");
-        *slot = Some(Entry { tag: self.geom.tag_of(block), payload });
-        self.sets[set].lru.touch(way);
+        *slot = Some(Entry { tag, payload });
+        self.tags[idx] = tag;
+        self.occupied += 1;
+        self.lru[set].touch(way);
     }
 
     /// Iterates over occupied entries of one set as `(way, block,
     /// &payload)`.
     pub fn iter_set(&self, set: usize) -> impl Iterator<Item = (usize, BlockAddr, &P)> + '_ {
-        self.sets[set].ways.iter().enumerate().filter_map(move |(way, slot)| {
+        let base = set * self.ways;
+        self.entries[base..base + self.ways].iter().enumerate().filter_map(move |(way, slot)| {
             slot.as_ref().map(|e| (way, self.geom.block_of(e.tag, set), &e.payload))
         })
     }
@@ -153,19 +213,19 @@ impl<P> TagArray<P> {
     /// Iterates over all occupied entries as `(set, way, block,
     /// &payload)`.
     pub fn iter_all(&self) -> impl Iterator<Item = (usize, usize, BlockAddr, &P)> + '_ {
-        (0..self.sets.len()).flat_map(move |set| {
+        (0..self.lru.len()).flat_map(move |set| {
             self.iter_set(set).map(move |(way, block, p)| (set, way, block, p))
         })
     }
 
-    /// Number of occupied entries.
+    /// Number of occupied entries (`O(1)`: maintained, not scanned).
     pub fn len(&self) -> usize {
-        self.sets.iter().map(|s| s.ways.iter().filter(|w| w.is_some()).count()).sum()
+        self.occupied
     }
 
     /// `true` when no entry is resident.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.occupied == 0
     }
 }
 
@@ -268,6 +328,39 @@ mod tests {
     }
 
     #[test]
+    fn evict_of_vacant_way_still_demotes_it() {
+        // The recency order must evolve identically whether or not the
+        // evicted slot was occupied (fill helpers evict
+        // unconditionally).
+        let mut t = small();
+        let b1 = BlockAddr(1);
+        let b2 = BlockAddr(5);
+        fill_block(&mut t, b1, 1);
+        fill_block(&mut t, b2, 2);
+        let w1 = t.lookup(b1).unwrap();
+        let set = t.set_of(b1);
+        t.evict(set, w1);
+        assert!(t.evict(set, w1).is_none()); // vacant, but still demoted
+        assert_eq!(t.victim_by(set, |_| 0), w1);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn len_is_maintained_across_fill_and_evict() {
+        let mut t = small();
+        assert_eq!(t.len(), 0);
+        for (i, raw) in [0u64, 1, 2, 3, 4, 5].iter().enumerate() {
+            fill_block(&mut t, BlockAddr(*raw), i as u32);
+        }
+        // 4 sets x 2 ways, blocks 0..6 land pairwise: 6 resident.
+        assert_eq!(t.len(), 6);
+        let b = BlockAddr(2);
+        let way = t.lookup(b).unwrap();
+        t.evict(t.set_of(b), way);
+        assert_eq!(t.len(), 5);
+    }
+
+    #[test]
     fn iter_set_reports_all_occupied_ways() {
         let mut t = small();
         fill_block(&mut t, BlockAddr(1), 1);
@@ -301,5 +394,14 @@ mod tests {
     fn fill_checks_set_index() {
         let mut t = small();
         t.fill(0, 0, BlockAddr(1), 1); // block 1 belongs to set 1
+    }
+
+    #[test]
+    #[should_panic(expected = "sentinel")]
+    fn fill_rejects_sentinel_tag() {
+        // A single-set array keeps the whole block address as the tag,
+        // so block u64::MAX collides with the vacant marker.
+        let mut t: TagArray<u32> = TagArray::new(CacheGeometry::new(128, 64, 2));
+        t.fill(0, 0, BlockAddr(u64::MAX), 1);
     }
 }

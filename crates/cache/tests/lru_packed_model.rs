@@ -1,0 +1,63 @@
+//! The bit-packed [`LruOrder`] checked against the straightforward
+//! `Vec`-based implementation it replaced, over random
+//! touch/demote/rank sequences at every supported associativity.
+
+use proptest::prelude::*;
+
+use cmp_cache::lru::LruOrder;
+
+/// The reference model: the pre-optimization representation, a vector
+/// of ways ordered least- to most-recently used.
+#[derive(Clone, Debug)]
+struct VecLru {
+    order: Vec<usize>,
+}
+
+impl VecLru {
+    fn new(ways: usize) -> Self {
+        VecLru { order: (0..ways).collect() }
+    }
+
+    fn touch(&mut self, way: usize) {
+        self.order.retain(|w| *w != way);
+        self.order.push(way);
+    }
+
+    fn demote(&mut self, way: usize) {
+        self.order.retain(|w| *w != way);
+        self.order.insert(0, way);
+    }
+
+    fn rank(&self, way: usize) -> usize {
+        self.order.iter().position(|w| *w == way).expect("way present")
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+    #[test]
+    fn packed_lru_agrees_with_vec_reference(
+        ways in 1usize..33,
+        ops in proptest::collection::vec((any::<bool>(), 0usize..32), 1..300),
+    ) {
+        let mut lru = LruOrder::new(ways);
+        let mut model = VecLru::new(ways);
+        for (is_touch, raw_way) in ops {
+            let way = raw_way % ways;
+            if is_touch {
+                lru.touch(way);
+                model.touch(way);
+            } else {
+                lru.demote(way);
+                model.demote(way);
+            }
+            prop_assert_eq!(lru.least_recent(), model.order[0]);
+            prop_assert_eq!(lru.most_recent(), *model.order.last().expect("nonempty"));
+            for w in 0..ways {
+                prop_assert_eq!(lru.rank(w), model.rank(w), "rank of way {}", w);
+            }
+            let order: Vec<usize> = lru.iter().collect();
+            prop_assert_eq!(&order, &model.order);
+        }
+    }
+}

@@ -10,7 +10,9 @@
 mod invariants;
 mod replace;
 
-use cmp_cache::{AccessClass, AccessResponse, CacheOrg, OrgStats, TagArray, Violation};
+use cmp_cache::{
+    AccessClass, AccessResponse, CacheOrg, InvalScratch, OrgStats, TagArray, Violation,
+};
 use cmp_coherence::mesic::MesicState;
 use cmp_coherence::{Bus, BusTx, SnoopSignals};
 use cmp_mem::{AccessKind, BlockAddr, CoreId, Cycle, Rng};
@@ -224,6 +226,7 @@ impl CmpNurapid {
         now: Cycle,
         bus: &mut Bus,
         resp: &mut AccessResponse,
+        inv: &mut InvalScratch,
     ) -> Result<(), Violation> {
         let closest = self.closest(core);
         let mut state = self.entry(core, set, way).state;
@@ -255,7 +258,7 @@ impl CmpNurapid {
                 if fwd.group != closest {
                     // Capacity stealing: promote the private block
                     // toward the requestor (Section 3.3.1).
-                    self.promote(core, set, way, block, bus, now, resp);
+                    self.promote(core, set, way, block, bus, now, inv);
                 }
             }
             (MesicState::Shared, AccessKind::Read) => {
@@ -268,7 +271,7 @@ impl CmpNurapid {
                     // after being demoted), it stays where it is —
                     // shared blocks are never moved (Section 3.3.1).
                     self.busy.push(fwd);
-                    self.ensure_free_frame(core, closest, bus, now, resp);
+                    self.ensure_free_frame(core, closest, bus, now, inv);
                     let nf = self.data.alloc(closest, block, my_tag);
                     self.entry_mut(core, set, way).fwd = nf;
                     self.stats.replications += 1;
@@ -298,7 +301,7 @@ impl CmpNurapid {
                         }
                     }
                     self.tags[c.index()].evict(s, w);
-                    resp.l1_invalidate.push((c, block));
+                    inv.push(c, block);
                 }
                 self.entry_mut(core, set, way).state = MesicState::Modified;
             }
@@ -309,7 +312,7 @@ impl CmpNurapid {
                 // in C).
                 bus.post(BusTx::BusRdX, now);
                 for (c, _, _) in self.other_holders(core, block) {
-                    resp.l1_invalidate.push((c, block));
+                    inv.push(c, block);
                 }
             }
             (MesicState::Invalid, _) => {
@@ -339,6 +342,7 @@ impl CmpNurapid {
         now: Cycle,
         bus: &mut Bus,
         resp: &mut AccessResponse,
+        inv: &mut InvalScratch,
     ) -> Result<(), Violation> {
         let closest = self.closest(core);
         // Routed through the bus so the audit harness's snoop-fault
@@ -346,7 +350,7 @@ impl CmpNurapid {
         let signals = bus.sample_signals(self.signals_for(core, block));
         // Make room in the tag array first; any frame it frees becomes
         // the demotion chain's preferred stopping point.
-        let (set, way, _hole) = self.make_tag_room(core, block, bus, now, resp);
+        let (set, way, _hole) = self.make_tag_room(core, block, bus, now, inv);
         let my_tag = self.tag_ref(core, set, way);
 
         if signals.dirty && self.cfg.in_situ_communication {
@@ -368,7 +372,7 @@ impl CmpNurapid {
                 // Join C writing the existing copy in place.
                 for (c, s, w) in self.other_holders(core, block) {
                     self.entry_mut(c, s, w).state = MesicState::Communication;
-                    resp.l1_invalidate.push((c, block));
+                    inv.push(c, block);
                 }
                 self.tags[core.index()].fill(
                     set,
@@ -382,7 +386,7 @@ impl CmpNurapid {
                 // every sharer's forward pointer follows.
                 let contents = self.data.free(src);
                 debug_assert_eq!(contents.block, block);
-                self.ensure_free_frame(core, closest, bus, now, resp);
+                self.ensure_free_frame(core, closest, bus, now, inv);
                 let nf = self.data.alloc(closest, block, my_tag);
                 for (c, s, w) in self.other_holders(core, block) {
                     let e = self.entry_mut(c, s, w);
@@ -390,7 +394,7 @@ impl CmpNurapid {
                     e.fwd = nf;
                     // Force the old holder's L1 to refill so its line
                     // adopts write-through C semantics.
-                    resp.l1_invalidate.push((c, block));
+                    inv.push(c, block);
                 }
                 self.tags[core.index()].fill(
                     set,
@@ -415,12 +419,14 @@ impl CmpNurapid {
                     self.stats.writebacks += 1;
                 }
             }
-            return self.finish_clean_sharing_miss(core, block, kind, set, way, now, bus, resp);
+            return self
+                .finish_clean_sharing_miss(core, block, kind, set, way, now, bus, resp, inv);
         }
 
         if signals.shared {
             resp.class = AccessClass::MissRos;
-            return self.finish_clean_sharing_miss(core, block, kind, set, way, now, bus, resp);
+            return self
+                .finish_clean_sharing_miss(core, block, kind, set, way, now, bus, resp, inv);
         }
 
         // No on-chip copy: fetch from memory.
@@ -428,7 +434,7 @@ impl CmpNurapid {
         let tx = if kind.is_write() { BusTx::BusRdX } else { BusTx::BusRd };
         let grant = bus.transact(tx, now);
         resp.latency = self.tag_lat() + grant.stall_from(now) + self.cfg.latencies.memory;
-        self.ensure_free_frame(core, closest, bus, now, resp);
+        self.ensure_free_frame(core, closest, bus, now, inv);
         let nf = self.data.alloc(closest, block, my_tag);
         let state = if kind.is_write() { MesicState::Modified } else { MesicState::Exclusive };
         self.tags[core.index()].fill(set, way, block, NuEntry { state, fwd: nf, reuse: 0 });
@@ -449,6 +455,7 @@ impl CmpNurapid {
         now: Cycle,
         bus: &mut Bus,
         resp: &mut AccessResponse,
+        inv: &mut InvalScratch,
     ) -> Result<(), Violation> {
         let closest = self.closest(core);
         let my_tag = self.tag_ref(core, set, way);
@@ -477,9 +484,9 @@ impl CmpNurapid {
                     self.data.free(their_fwd);
                 }
                 self.tags[c.index()].evict(s, w);
-                resp.l1_invalidate.push((c, block));
+                inv.push(c, block);
             }
-            self.ensure_free_frame(core, closest, bus, now, resp);
+            self.ensure_free_frame(core, closest, bus, now, inv);
             let nf = self.data.alloc(closest, block, my_tag);
             self.tags[core.index()].fill(
                 set,
@@ -512,7 +519,7 @@ impl CmpNurapid {
             // Uncontrolled replication: copy the data eagerly, like a
             // private cache would.
             self.busy.push(src);
-            self.ensure_free_frame(core, closest, bus, now, resp);
+            self.ensure_free_frame(core, closest, bus, now, inv);
             let nf = self.data.alloc(closest, block, my_tag);
             self.stats.replications += 1;
             self.tags[core.index()].fill(
@@ -540,15 +547,17 @@ impl CmpNurapid {
         kind: AccessKind,
         now: Cycle,
         bus: &mut Bus,
+        inv: &mut InvalScratch,
     ) -> Result<AccessResponse, Violation> {
         self.busy.clear();
+        inv.begin();
         let mut resp = AccessResponse::simple(0, AccessClass::MissCapacity);
         match self.lookup(core, block) {
-            Some((set, way)) => self.hit(core, set, way, block, kind, now, bus, &mut resp)?,
-            None => self.miss(core, block, kind, now, bus, &mut resp)?,
+            Some((set, way)) => self.hit(core, set, way, block, kind, now, bus, &mut resp, inv)?,
+            None => self.miss(core, block, kind, now, bus, &mut resp, inv)?,
         }
         self.stats.record_class(resp.class);
-        self.stats.l1_invalidations += resp.l1_invalidate.len() as u64;
+        self.stats.l1_invalidations += inv.len() as u64;
         Ok(resp)
     }
 
@@ -595,8 +604,9 @@ impl CacheOrg for CmpNurapid {
         kind: AccessKind,
         now: Cycle,
         bus: &mut Bus,
+        inv: &mut InvalScratch,
     ) -> AccessResponse {
-        match CmpNurapid::try_access(self, core, block, kind, now, bus) {
+        match CmpNurapid::try_access(self, core, block, kind, now, bus, inv) {
             Ok(resp) => resp,
             Err(v) => panic!("CMP-NuRAPID protocol violation: {v}"),
         }
@@ -621,8 +631,9 @@ impl CacheOrg for CmpNurapid {
         kind: AccessKind,
         now: Cycle,
         bus: &mut Bus,
+        inv: &mut InvalScratch,
     ) -> Result<AccessResponse, Violation> {
-        CmpNurapid::try_access(self, core, block, kind, now, bus)
+        CmpNurapid::try_access(self, core, block, kind, now, bus, inv)
     }
 
     fn audit(&self) -> Result<(), Violation> {

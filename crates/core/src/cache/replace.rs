@@ -1,7 +1,7 @@
 //! Replacement machinery: data replacement, distance replacement
 //! (demotion chains), and promotion (Section 3.3).
 
-use cmp_cache::AccessResponse;
+use cmp_cache::InvalScratch;
 use cmp_coherence::mesic::MesicState;
 use cmp_coherence::{Bus, BusTx};
 use cmp_mem::{BlockAddr, CoreId, Cycle};
@@ -23,7 +23,7 @@ impl CmpNurapid {
         block: BlockAddr,
         bus: &mut Bus,
         now: Cycle,
-        resp: &mut AccessResponse,
+        inv: &mut InvalScratch,
     ) -> (usize, usize, Option<DGroupId>) {
         let arr = &self.tags[core.index()];
         let set = arr.set_of(block);
@@ -41,7 +41,7 @@ impl CmpNurapid {
                 // broadcasts BusRepl so other sharers drop their tag
                 // copies; for a private block only this tag falls.
                 hole = Some(entry.fwd.group);
-                self.evict_frame(entry.fwd, bus, now, resp);
+                self.evict_frame(entry.fwd, bus, now, inv);
                 debug_assert!(
                     self.tags[core.index()].block_at(set, way).is_none(),
                     "evict_frame must drop the owner tag"
@@ -50,7 +50,7 @@ impl CmpNurapid {
                 // Non-owner sharer: drop only the tag; the data stays
                 // for the other sharers (Section 3.3.2).
                 self.tags[core.index()].evict(set, way);
-                resp.l1_invalidate.push((core, victim_block));
+                inv.push(core, victim_block);
             }
         }
         (set, way, hole)
@@ -65,7 +65,7 @@ impl CmpNurapid {
         frame: FrameRef,
         bus: &mut Bus,
         now: Cycle,
-        resp: &mut AccessResponse,
+        inv: &mut InvalScratch,
     ) {
         let f = *self.data.frame(frame);
         let owner_state = self.owner_state(f.owner);
@@ -78,7 +78,7 @@ impl CmpNurapid {
                 if let Some((s, w)) = self.lookup(c, f.block) {
                     if self.entry(c, s, w).fwd == frame {
                         self.tags[c.index()].evict(s, w);
-                        resp.l1_invalidate.push((c, f.block));
+                        inv.push(c, f.block);
                         self.stats.busrepl_invalidations += 1;
                     }
                 }
@@ -89,7 +89,7 @@ impl CmpNurapid {
                 self.stats.writebacks += 1;
             }
             self.tags[f.owner.core.index()].evict(f.owner.set as usize, f.owner.way as usize);
-            resp.l1_invalidate.push((f.owner.core, f.block));
+            inv.push(f.owner.core, f.block);
             self.stats.evictions_private += 1;
         }
         self.data.free(frame);
@@ -114,7 +114,7 @@ impl CmpNurapid {
         target: DGroupId,
         bus: &mut Bus,
         now: Cycle,
-        resp: &mut AccessResponse,
+        inv: &mut InvalScratch,
     ) {
         if self.data.has_free(target) {
             return;
@@ -147,7 +147,7 @@ impl CmpNurapid {
                 // Shared blocks are evicted, never demoted
                 // (Section 3.3.2); at the stop d-group the chosen
                 // block is evicted to end the chain.
-                self.evict_frame(victim, bus, now, resp);
+                self.evict_frame(victim, bus, now, inv);
                 if let Some((b, o)) = carried.take() {
                     let nf = self.data.alloc(g, b, o);
                     self.update_fwd(o, nf);
@@ -179,7 +179,7 @@ impl CmpNurapid {
         block: BlockAddr,
         bus: &mut Bus,
         now: Cycle,
-        resp: &mut AccessResponse,
+        inv: &mut InvalScratch,
     ) {
         let fwd = self.entry(core, set, way).fwd;
         let cur_rank = self.ranking.rank_of(core, fwd.group.index());
@@ -196,7 +196,7 @@ impl CmpNurapid {
             self.tag_ref(core, set, way),
             "private blocks are self-owned"
         );
-        self.ensure_free_frame(core, target, bus, now, resp);
+        self.ensure_free_frame(core, target, bus, now, inv);
         let nf = self.data.alloc(target, block, contents.owner);
         self.entry_mut(core, set, way).fwd = nf;
         self.stats.promotions += 1;

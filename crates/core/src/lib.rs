@@ -29,16 +29,17 @@
 //! # Example
 //!
 //! ```
-//! use cmp_cache::CacheOrg;
+//! use cmp_cache::{CacheOrg, InvalScratch};
 //! use cmp_coherence::Bus;
 //! use cmp_mem::{AccessKind, BlockAddr, CoreId};
 //! use cmp_nurapid::{CmpNurapid, NurapidConfig};
 //!
 //! let mut l2 = CmpNurapid::new(NurapidConfig::paper());
 //! let mut bus = Bus::paper();
+//! let mut inv = InvalScratch::new();
 //! // P0 misses to memory; P1 then gets a tag-only copy via CR.
-//! l2.access(CoreId(0), BlockAddr(7), AccessKind::Read, 0, &mut bus);
-//! let cr = l2.access(CoreId(1), BlockAddr(7), AccessKind::Read, 1_000, &mut bus);
+//! l2.access(CoreId(0), BlockAddr(7), AccessKind::Read, 0, &mut bus, &mut inv);
+//! let cr = l2.access(CoreId(1), BlockAddr(7), AccessKind::Read, 1_000, &mut bus, &mut inv);
 //! assert_eq!(l2.stats().pointer_transfers, 1);
 //! assert!(cr.latency < 100); // on-chip, far cheaper than memory
 //! ```

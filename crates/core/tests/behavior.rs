@@ -17,9 +17,9 @@ fn rd(
     t: &mut u64,
     core: u8,
     block: u64,
-) -> cmp_cache::AccessResponse {
+) -> cmp_cache::CollectedResponse {
     *t += 1_000;
-    let r = l2.access(CoreId(core), BlockAddr(block), AccessKind::Read, *t, bus);
+    let r = l2.access_collected(CoreId(core), BlockAddr(block), AccessKind::Read, *t, bus);
     l2.check_invariants();
     r
 }
@@ -30,9 +30,9 @@ fn wr(
     t: &mut u64,
     core: u8,
     block: u64,
-) -> cmp_cache::AccessResponse {
+) -> cmp_cache::CollectedResponse {
     *t += 1_000;
-    let r = l2.access(CoreId(core), BlockAddr(block), AccessKind::Write, *t, bus);
+    let r = l2.access_collected(CoreId(core), BlockAddr(block), AccessKind::Write, *t, bus);
     l2.check_invariants();
     r
 }

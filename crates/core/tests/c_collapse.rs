@@ -16,7 +16,7 @@ fn cache(collapse: bool) -> (CmpNurapid, Bus, u64) {
 
 fn acc(l2: &mut CmpNurapid, bus: &mut Bus, t: &mut u64, core: u8, block: u64, kind: AccessKind) {
     *t += 1_000;
-    l2.access(CoreId(core), BlockAddr(block), kind, *t, bus);
+    l2.access_collected(CoreId(core), BlockAddr(block), kind, *t, bus);
     l2.check_invariants();
 }
 
@@ -88,7 +88,7 @@ fn collapsed_block_stays_put_in_the_owners_dgroup() {
     assert_eq!(l2.state_of(CoreId(1), BlockAddr(block)), MesicState::Modified);
     assert_eq!(l2.dgroup_of(CoreId(1), BlockAddr(block)), Some(DGroupId(1)));
     t += 1_000;
-    let r = l2.access(CoreId(1), BlockAddr(block), AccessKind::Read, t, &mut bus);
+    let r = l2.access_collected(CoreId(1), BlockAddr(block), AccessKind::Read, t, &mut bus);
     assert_eq!(r.class, AccessClass::Hit { closest: true });
 }
 
@@ -118,7 +118,7 @@ fn collapsed_writes_stop_posting_busrdx() {
 fn collapse_responses_lose_the_writethrough_marking() {
     let (mut l2, mut bus, mut t, block) = setup_lonely_c(true);
     t += 1_000;
-    let r = l2.access(CoreId(1), BlockAddr(block), AccessKind::Write, t, &mut bus);
+    let r = l2.access_collected(CoreId(1), BlockAddr(block), AccessKind::Write, t, &mut bus);
     assert!(!r.writethrough, "collapsed blocks are write-back again");
     assert!(r.class.is_hit());
     assert_ne!(r.class, AccessClass::MissRws);
@@ -136,7 +136,7 @@ fn stress_with_collapse_keeps_invariants() {
         let core = CoreId(rng.gen_index(4) as u8);
         let block = BlockAddr(rng.gen_range(48));
         let kind = if rng.gen_bool(0.35) { AccessKind::Write } else { AccessKind::Read };
-        l2.access(core, block, kind, now, &mut bus);
+        l2.access_collected(core, block, kind, now, &mut bus);
         if i % 97 == 0 {
             l2.check_invariants();
         }

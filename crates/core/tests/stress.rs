@@ -18,7 +18,7 @@ fn run_stress(cfg: NurapidConfig, blocks: u64, steps: usize, seed: u64, check_ev
         let core = CoreId(rng.gen_index(cores) as u8);
         let block = BlockAddr(rng.gen_range(blocks));
         let kind = if rng.gen_bool(0.3) { AccessKind::Write } else { AccessKind::Read };
-        let resp = l2.access(core, block, kind, now, &mut bus);
+        let resp = l2.access_collected(core, block, kind, now, &mut bus);
         assert!(resp.latency >= 1, "every access costs at least a cycle");
         if step % check_every == 0 {
             l2.check_invariants();
@@ -139,7 +139,7 @@ fn deterministic_across_runs() {
             let core = CoreId(rng.gen_index(4) as u8);
             let block = BlockAddr(rng.gen_range(64));
             let kind = if rng.gen_bool(0.3) { AccessKind::Write } else { AccessKind::Read };
-            l2.access(core, block, kind, now, &mut bus);
+            l2.access_collected(core, block, kind, now, &mut bus);
         }
         let s = l2.stats();
         (s.hits(), s.miss_ros, s.miss_rws, s.miss_capacity, s.demotions, s.promotions)

@@ -20,6 +20,12 @@ pub struct CacheGeometry {
     capacity_bytes: usize,
     block_bytes: usize,
     associativity: usize,
+    // Derived at construction so the per-access set/tag extraction is
+    // a mask and a shift, not a division. Deterministic functions of
+    // the three parameters above, so the derived `PartialEq`/`Hash`
+    // stay consistent.
+    set_mask: usize,
+    tag_shift: u32,
 }
 
 impl CacheGeometry {
@@ -46,7 +52,13 @@ impl CacheGeometry {
         );
         let sets = capacity_bytes / (block_bytes * associativity);
         assert!(sets.is_power_of_two(), "set count must be a power of two");
-        CacheGeometry { capacity_bytes, block_bytes, associativity }
+        CacheGeometry {
+            capacity_bytes,
+            block_bytes,
+            associativity,
+            set_mask: sets - 1,
+            tag_shift: sets.trailing_zeros(),
+        }
     }
 
     /// Total capacity in bytes.
@@ -70,7 +82,7 @@ impl CacheGeometry {
     /// Number of sets.
     #[inline]
     pub fn num_sets(&self) -> usize {
-        self.capacity_bytes / (self.block_bytes * self.associativity)
+        self.set_mask + 1
     }
 
     /// Total number of block frames.
@@ -82,13 +94,13 @@ impl CacheGeometry {
     /// Set index for a block address.
     #[inline]
     pub fn set_of(&self, block: BlockAddr) -> usize {
-        (block.0 as usize) & (self.num_sets() - 1)
+        (block.0 as usize) & self.set_mask
     }
 
     /// Tag (the block-address bits above the set index).
     #[inline]
     pub fn tag_of(&self, block: BlockAddr) -> u64 {
-        block.0 >> self.num_sets().trailing_zeros()
+        block.0 >> self.tag_shift
     }
 
     /// Reconstructs a block address from its tag and set index.
@@ -97,7 +109,7 @@ impl CacheGeometry {
     #[inline]
     pub fn block_of(&self, tag: u64, set: usize) -> BlockAddr {
         debug_assert!(set < self.num_sets());
-        BlockAddr((tag << self.num_sets().trailing_zeros()) | set as u64)
+        BlockAddr((tag << self.tag_shift) | set as u64)
     }
 
     /// Returns the same geometry with the set count multiplied by

@@ -44,6 +44,7 @@ impl Rng {
     }
 
     /// Next raw 64-bit value.
+    #[inline]
     pub fn next_u64(&mut self) -> u64 {
         let result = self.state[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
         let t = self.state[1] << 17;
@@ -61,6 +62,7 @@ impl Rng {
     /// # Panics
     ///
     /// Panics if `bound` is zero.
+    #[inline]
     pub fn gen_range(&mut self, bound: u64) -> u64 {
         assert!(bound > 0, "gen_range bound must be nonzero");
         // Lemire's multiply-shift rejection method: unbiased.
@@ -79,21 +81,27 @@ impl Rng {
     }
 
     /// Uniform value in `[0, bound)` as a `usize`.
+    #[inline]
     pub fn gen_index(&mut self, bound: usize) -> usize {
         self.gen_range(bound as u64) as usize
     }
 
     /// Uniform floating-point value in `[0, 1)`.
+    #[inline]
     pub fn gen_f64(&mut self) -> f64 {
         (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Bernoulli draw with probability `p`.
+    #[inline]
     pub fn gen_bool(&mut self, p: f64) -> bool {
         self.gen_f64() < p
     }
 
     /// Picks an index according to a table of weights.
+    ///
+    /// Sums the slice on every call; hot paths that draw from a fixed
+    /// table repeatedly should build a [`WeightedTable`] once instead.
     ///
     /// # Panics
     ///
@@ -101,22 +109,104 @@ impl Rng {
     pub fn pick_weighted(&mut self, weights: &[f64]) -> usize {
         let total: f64 = weights.iter().sum();
         assert!(!weights.is_empty() && total > 0.0, "weights must be nonempty with positive sum");
-        let mut draw = self.gen_f64() * total;
-        for (i, w) in weights.iter().enumerate() {
-            if draw < *w {
-                return i;
-            }
-            draw -= w;
-        }
-        weights.len() - 1
+        pick_weighted_with_total(self, weights, total)
     }
+}
+
+/// The shared selection loop of [`Rng::pick_weighted`] and
+/// [`WeightedTable::pick`]: one `gen_f64` draw scaled by `total`,
+/// then sequential subtraction.
+///
+/// Deliberately *not* a cumulative-CDF binary search: `draw - w0 < w1`
+/// and `draw < w0 + w1` round differently in floating point, and the
+/// golden suite pins the exact draw-to-index mapping. Precomputing
+/// `total` is the only part of the call that can be hoisted without
+/// changing results bit-for-bit.
+#[inline]
+fn pick_weighted_with_total(rng: &mut Rng, weights: &[f64], total: f64) -> usize {
+    let mut draw = rng.gen_f64() * total;
+    for (i, w) in weights.iter().enumerate() {
+        if draw < *w {
+            return i;
+        }
+        draw -= w;
+    }
+    weights.len() - 1
+}
+
+/// A weighted-choice table with its total precomputed, for hot paths
+/// that draw from the same weights on every trace step.
+///
+/// Picks are bit-identical to calling [`Rng::pick_weighted`] with the
+/// same slice: the total is computed once at construction with the
+/// same left-to-right summation, and the per-draw comparison loop is
+/// shared code.
+///
+/// # Example
+///
+/// ```
+/// use cmp_mem::{Rng, WeightedTable};
+///
+/// let table = WeightedTable::new(&[1.0, 2.0, 7.0]);
+/// let mut a = Rng::new(9);
+/// let mut b = Rng::new(9);
+/// assert_eq!(table.pick(&mut a), b.pick_weighted(&[1.0, 2.0, 7.0]));
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct WeightedTable {
+    weights: Vec<f64>,
+    total: f64,
+}
+
+impl WeightedTable {
+    /// Builds the table, summing the weights once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty or sums to zero.
+    pub fn new(weights: &[f64]) -> Self {
+        let total: f64 = weights.iter().sum();
+        assert!(!weights.is_empty() && total > 0.0, "weights must be nonempty with positive sum");
+        WeightedTable { weights: weights.to_vec(), total }
+    }
+
+    /// Number of weights in the table.
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// `true` when the table has no weights (never: construction
+    /// rejects an empty slice).
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    /// Picks an index, consuming one `gen_f64` draw — the same draw
+    /// and the same index [`Rng::pick_weighted`] would produce.
+    #[inline]
+    pub fn pick(&self, rng: &mut Rng) -> usize {
+        pick_weighted_with_total(rng, &self.weights, self.total)
+    }
+}
+
+/// Number of acceleration buckets for a [`Zipf`] sampler over `n`
+/// ranks. Always a power of two, so `u * buckets` and `k / buckets`
+/// are exact in floating point (only the exponent changes) and the
+/// bucket bracketing proof in [`Zipf::sample`] holds bitwise. Scaled
+/// to ~4x the support so the average bucket spans less than one rank
+/// and most draws resolve with a single CDF probe; capped so the
+/// index stays a fraction of the CDF's own footprint.
+fn zipf_buckets(n: usize) -> usize {
+    (4 * n).next_power_of_two().clamp(1024, 65_536)
 }
 
 /// A Zipf(θ) sampler over `0..n`, used to model skewed block
 /// popularity inside the synthetic workload working sets.
 ///
 /// Uses the classic inverse-CDF table; construction is `O(n)` and
-/// sampling is `O(log n)`.
+/// sampling is a binary search bracketed by a quantile bucket index,
+/// so the common draw touches a handful of cache lines instead of
+/// walking the whole table.
 ///
 /// # Example
 ///
@@ -130,7 +220,38 @@ impl Rng {
 /// ```
 #[derive(Clone, Debug)]
 pub struct Zipf {
+    /// Shared, interned tables: building them is `O(n)` with a `powf`
+    /// per rank, and the experiment sweeps construct the same
+    /// distributions once per (workload, organization) pair, so
+    /// `new` memoizes per `(n, theta)` process-wide.
+    tables: std::sync::Arc<ZipfTables>,
+}
+
+/// The immutable lookup tables behind a [`Zipf`].
+#[derive(Debug)]
+struct ZipfTables {
     cdf: Vec<f64>,
+    /// `bucket[k]` is the first index `i` with `cdf[i] >= k / B`
+    /// where `B = bucket.len() - 1`; `bucket[B]` is `cdf.len()`. For
+    /// a draw `u` in `[k/B, (k+1)/B)` the answer lies in
+    /// `[bucket[k], bucket[k+1]]`, which narrows the binary search to
+    /// the few entries a bucket spans.
+    bucket: Vec<u32>,
+    /// `B` as a float, the exact power-of-two scale from a draw to
+    /// its bucket index.
+    bucket_scale: f64,
+}
+
+/// Intern-pool storage: built tables keyed by `(n, theta.to_bits())`.
+type ZipfPool =
+    std::sync::Mutex<std::collections::HashMap<(usize, u64), std::sync::Arc<ZipfTables>>>;
+
+/// The process-wide [`ZipfTables`] intern pool. The distinct
+/// distributions a process builds are bounded by the workload
+/// profiles, so the pool stays small.
+fn zipf_pool() -> &'static ZipfPool {
+    static POOL: std::sync::OnceLock<ZipfPool> = std::sync::OnceLock::new();
+    POOL.get_or_init(Default::default)
 }
 
 impl Zipf {
@@ -143,6 +264,55 @@ impl Zipf {
     pub fn new(n: usize, theta: f64) -> Self {
         assert!(n > 0, "Zipf support must be nonempty");
         assert!(theta >= 0.0 && theta.is_finite(), "Zipf theta must be finite and nonnegative");
+        let mut pool = zipf_pool().lock().expect("zipf pool poisoned");
+        let tables = pool
+            .entry((n, theta.to_bits()))
+            .or_insert_with(|| std::sync::Arc::new(ZipfTables::build(n, theta)))
+            .clone();
+        Zipf { tables }
+    }
+
+    /// Number of ranks in the support.
+    pub fn len(&self) -> usize {
+        self.tables.cdf.len()
+    }
+
+    /// `true` when the support has no ranks (never: construction
+    /// rejects `n == 0`, but the answer is computed, not asserted).
+    pub fn is_empty(&self) -> bool {
+        self.tables.cdf.is_empty()
+    }
+
+    /// Draws a rank in `0..n`; rank 0 is the most popular.
+    ///
+    /// Consumes one `gen_f64` draw and returns the first rank whose
+    /// CDF value is `>= u` (clamped to the last rank) — the same
+    /// draw-to-rank mapping as a full binary search over the CDF,
+    /// just restricted to the bucket the draw lands in: `u >= k/B`
+    /// puts the answer at or after `bucket[k]`, and `u < (k+1)/B`
+    /// puts it at or before `bucket[k+1]`.
+    #[inline]
+    pub fn sample(&self, rng: &mut Rng) -> usize {
+        let u = rng.gen_f64();
+        let t = &*self.tables;
+        let k = ((u * t.bucket_scale) as usize).min(t.bucket.len() - 2);
+        let mut lo = t.bucket[k] as usize;
+        let mut hi = (t.bucket[k + 1] as usize).min(t.cdf.len() - 1);
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if t.cdf[mid] < u {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+}
+
+impl ZipfTables {
+    /// Computes the CDF and its bucket index for `(n, theta)`.
+    fn build(n: usize, theta: f64) -> Self {
         let mut cdf = Vec::with_capacity(n);
         let mut total = 0.0;
         for rank in 1..=n {
@@ -152,26 +322,19 @@ impl Zipf {
         for v in &mut cdf {
             *v /= total;
         }
-        Zipf { cdf }
-    }
-
-    /// Number of ranks in the support.
-    pub fn len(&self) -> usize {
-        self.cdf.len()
-    }
-
-    /// `true` when the support is a single rank.
-    pub fn is_empty(&self) -> bool {
-        false // support is always nonempty by construction
-    }
-
-    /// Draws a rank in `0..n`; rank 0 is the most popular.
-    pub fn sample(&self, rng: &mut Rng) -> usize {
-        let u = rng.gen_f64();
-        match self.cdf.binary_search_by(|p| p.partial_cmp(&u).expect("CDF is finite")) {
-            Ok(i) => i,
-            Err(i) => i.min(self.cdf.len() - 1),
+        // One forward walk fills every bucket's lower bound (the CDF
+        // is non-decreasing, so the pointers only move right).
+        let buckets = zipf_buckets(n);
+        let mut bucket = Vec::with_capacity(buckets + 1);
+        let mut i = 0usize;
+        for k in 0..=buckets {
+            let q = k as f64 / buckets as f64;
+            while i < n && cdf[i] < q {
+                i += 1;
+            }
+            bucket.push(i as u32);
         }
+        ZipfTables { cdf, bucket, bucket_scale: buckets as f64 }
     }
 }
 
@@ -283,10 +446,57 @@ mod tests {
     }
 
     #[test]
+    fn zipf_bucketed_search_matches_full_binary_search() {
+        // The bucket index must not change a single draw: compare
+        // against the pre-optimization full binary search over the
+        // same CDF, across sizes that straddle the bucket count.
+        for (n, theta, seed) in
+            [(1, 0.9, 1u64), (7, 0.0, 2), (100, 1.0, 3), (1_023, 0.7, 4), (13_000, 0.9, 5)]
+        {
+            let zipf = Zipf::new(n, theta);
+            let mut a = Rng::new(seed);
+            let mut b = Rng::new(seed);
+            for _ in 0..5_000 {
+                let fast = zipf.sample(&mut a);
+                let u = b.gen_f64();
+                let cdf = &zipf.tables.cdf;
+                let slow = match cdf.binary_search_by(|p| p.partial_cmp(&u).expect("CDF is finite"))
+                {
+                    Ok(i) => i,
+                    Err(i) => i.min(cdf.len() - 1),
+                };
+                assert_eq!(fast, slow, "n={n} theta={theta} u={u}");
+            }
+        }
+    }
+
+    #[test]
     fn zipf_single_rank() {
         let mut rng = Rng::new(5);
         let zipf = Zipf::new(1, 1.2);
         assert_eq!(zipf.sample(&mut rng), 0);
         assert_eq!(zipf.len(), 1);
+        assert!(!zipf.is_empty());
+    }
+
+    #[test]
+    fn weighted_table_matches_pick_weighted_exactly() {
+        let weights = [0.5, 0.14, 0.36];
+        let table = WeightedTable::new(&weights);
+        assert_eq!(table.len(), 3);
+        assert!(!table.is_empty());
+        let mut a = Rng::new(0x15CA);
+        let mut b = Rng::new(0x15CA);
+        for _ in 0..10_000 {
+            assert_eq!(table.pick(&mut a), b.pick_weighted(&weights));
+        }
+        // The generators consumed identical draw sequences.
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive sum")]
+    fn weighted_table_rejects_zero_sum() {
+        let _ = WeightedTable::new(&[0.0, 0.0]);
     }
 }

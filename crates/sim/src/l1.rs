@@ -100,33 +100,29 @@ impl L1Cache {
 
     /// Looks up `block` (L1-block address) for a read or write.
     pub fn access(&mut self, block: BlockAddr, kind: AccessKind) -> L1Outcome {
-        let set = self.tags.set_of(block);
-        let Some(way) = self.tags.lookup(block) else {
+        let Some((set, way)) = self.tags.lookup_touch(block) else {
             self.stats.misses += 1;
             return L1Outcome::Miss;
         };
-        self.tags.touch(set, way);
+        // Reads never consult the payload — keep the dominant path to
+        // the tag and recency arrays only.
+        if kind == AccessKind::Read {
+            self.stats.hits += 1;
+            return L1Outcome::Hit;
+        }
         let entry = &mut self.tags.entry_mut(set, way).expect("hit entry").payload;
-        match kind {
-            AccessKind::Read => {
-                self.stats.hits += 1;
-                L1Outcome::Hit
-            }
-            AccessKind::Write if entry.writethrough => {
-                self.stats.store_forwards += 1;
-                L1Outcome::HitWritethrough
-            }
-            AccessKind::Write if entry.write_permitted => {
-                entry.dirty = true;
-                self.stats.hits += 1;
-                L1Outcome::Hit
-            }
-            AccessKind::Write => {
-                // Needs L2 write permission; granted via the refill
-                // path when the L2 access completes.
-                self.stats.store_forwards += 1;
-                L1Outcome::HitNeedsPermission
-            }
+        if entry.writethrough {
+            self.stats.store_forwards += 1;
+            L1Outcome::HitWritethrough
+        } else if entry.write_permitted {
+            entry.dirty = true;
+            self.stats.hits += 1;
+            L1Outcome::Hit
+        } else {
+            // Needs L2 write permission; granted via the refill path
+            // when the L2 access completes.
+            self.stats.store_forwards += 1;
+            L1Outcome::HitNeedsPermission
         }
     }
 

@@ -1,6 +1,6 @@
 //! The multi-core discrete-event driver.
 
-use cmp_cache::{CacheOrg, OrgStats};
+use cmp_cache::{CacheOrg, InvalScratch, OrgStats};
 use cmp_coherence::{Bus, BusStats};
 use cmp_mem::{AccessKind, CoreId, Cycle, Rng, Zipf};
 use cmp_trace::{Access, TraceSource};
@@ -94,6 +94,9 @@ pub struct System<W> {
     ifetch: Vec<Option<IFetch>>,
     bus: Bus,
     cores: Vec<CoreState>,
+    /// Reusable invalidation scratch threaded through every L2
+    /// access, so the per-access hot path never allocates.
+    inval: InvalScratch,
 }
 
 impl<W: TraceSource> System<W> {
@@ -124,6 +127,7 @@ impl<W: TraceSource> System<W> {
             ifetch: (0..n).map(|_| None).collect(),
             bus,
             cores: vec![CoreState::default(); n],
+            inval: InvalScratch::new(),
         }
     }
 
@@ -165,11 +169,13 @@ impl<W: TraceSource> System<W> {
         let c = core.index();
         // Instruction fetch for this step's instructions, if enabled.
         let fetch_stall = self.fetch_instructions(core, access.gap as u64 + 1);
-        self.cores[c].clock += fetch_stall;
-        // Compute gap: CPI = 1 for non-memory instructions.
-        self.cores[c].clock += access.gap as Cycle;
-        self.cores[c].instructions += access.gap as u64 + 1;
-        self.cores[c].accesses += 1;
+        {
+            let state = &mut self.cores[c];
+            // Compute gap: CPI = 1 for non-memory instructions.
+            state.clock += fetch_stall + access.gap as Cycle;
+            state.instructions += access.gap as u64 + 1;
+            state.accesses += 1;
+        }
         let latency = self.reference(core, access);
         self.cores[c].clock += latency;
     }
@@ -202,9 +208,15 @@ impl<W: TraceSource> System<W> {
                 _ => {
                     let now = self.cores[c].clock + stall + self.l1i[c].latency();
                     let l2_block = addr.block(cmp_mem::L2_BLOCK_BYTES);
-                    let resp =
-                        self.org.access(core, l2_block, AccessKind::Read, now, &mut self.bus);
-                    for (victim_core, victim_l2_block) in &resp.l1_invalidate {
+                    let resp = self.org.access(
+                        core,
+                        l2_block,
+                        AccessKind::Read,
+                        now,
+                        &mut self.bus,
+                        &mut self.inval,
+                    );
+                    for (victim_core, victim_l2_block) in self.inval.as_slice() {
                         for child in victim_l2_block
                             .children(cmp_mem::L2_BLOCK_BYTES, cmp_mem::L1_BLOCK_BYTES)
                         {
@@ -225,16 +237,23 @@ impl<W: TraceSource> System<W> {
     fn reference(&mut self, core: CoreId, access: Access) -> Cycle {
         let c = core.index();
         let l1_block = access.addr.block(cmp_mem::L1_BLOCK_BYTES);
-        let l2_block = access.addr.block(cmp_mem::L2_BLOCK_BYTES);
         let l1_latency = self.l1d[c].latency();
         let outcome = self.l1d[c].access(l1_block, access.kind);
         match outcome {
             L1Outcome::Hit => l1_latency,
             L1Outcome::HitWritethrough | L1Outcome::HitNeedsPermission | L1Outcome::Miss => {
+                let l2_block = access.addr.block(cmp_mem::L2_BLOCK_BYTES);
                 let now = self.cores[c].clock + l1_latency;
-                let resp = self.org.access(core, l2_block, access.kind, now, &mut self.bus);
+                let resp = self.org.access(
+                    core,
+                    l2_block,
+                    access.kind,
+                    now,
+                    &mut self.bus,
+                    &mut self.inval,
+                );
                 // Apply inclusion/coherence invalidations to L1s.
-                for (victim_core, victim_l2_block) in &resp.l1_invalidate {
+                for (victim_core, victim_l2_block) in self.inval.as_slice() {
                     for child in
                         victim_l2_block.children(cmp_mem::L2_BLOCK_BYTES, cmp_mem::L1_BLOCK_BYTES)
                     {
@@ -263,8 +282,18 @@ impl<W: TraceSource> System<W> {
         let n = self.cores.len();
         let targets: Vec<u64> = self.cores.iter().map(|s| s.accesses + accesses_per_core).collect();
         loop {
-            // Advance the core with the smallest local clock.
-            let i = (0..n).min_by_key(|&i| self.cores[i].clock).expect("at least one core");
+            // Advance the core with the smallest local clock (first
+            // minimum wins — the tie-break order is part of the
+            // deterministic schedule).
+            let mut i = 0;
+            let mut best = self.cores[0].clock;
+            for (j, s) in self.cores.iter().enumerate().skip(1) {
+                if s.clock < best {
+                    best = s.clock;
+                    i = j;
+                }
+            }
+            debug_assert!(n > 0);
             if self.cores[i].accesses >= targets[i] {
                 break;
             }

@@ -11,7 +11,7 @@
 //! read-only and read-write sharing — while the SPLASH-2 scientific
 //! codes (ocean, barnes) share little.
 
-use cmp_mem::Rng;
+use cmp_mem::{Rng, WeightedTable};
 
 use crate::synthetic::SyntheticWorkload;
 
@@ -106,11 +106,22 @@ impl WorkloadParams {
         self.ros_classes.iter().map(|(_, n)| n).sum()
     }
 
+    /// Precomputed class-weight table for [`Self::sample_ros_block_with`].
+    pub fn ros_class_table(&self) -> WeightedTable {
+        WeightedTable::new(&[self.ros_classes[0].0, self.ros_classes[1].0, self.ros_classes[2].0])
+    }
+
     /// Samples a block index in the ROS pool: class by draw weight,
     /// then uniform within the class.
     pub fn sample_ros_block(&self, rng: &mut Rng) -> u64 {
-        let weights = [self.ros_classes[0].0, self.ros_classes[1].0, self.ros_classes[2].0];
-        let class = rng.pick_weighted(&weights);
+        self.sample_ros_block_with(&self.ros_class_table(), rng)
+    }
+
+    /// [`Self::sample_ros_block`] with a caller-held class table, so
+    /// steady-state sampling does not re-sum the weights per draw.
+    /// `classes` must come from [`Self::ros_class_table`].
+    pub fn sample_ros_block_with(&self, classes: &WeightedTable, rng: &mut Rng) -> u64 {
+        let class = classes.pick(rng);
         let base: usize = self.ros_classes[..class].iter().map(|(_, n)| n).sum();
         (base + rng.gen_index(self.ros_classes[class].1)) as u64
     }

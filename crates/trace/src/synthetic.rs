@@ -17,7 +17,7 @@
 //!   read-write-shared communication objects with a probabilistic
 //!   writer (readers accumulate 2–5 reads between writes, Figure 7b).
 
-use cmp_mem::{AccessKind, Addr, CoreId, Rng, Zipf};
+use cmp_mem::{AccessKind, Addr, CoreId, Rng, WeightedTable, Zipf};
 
 use crate::access::{Access, Region, TraceSource};
 use crate::profiles::WorkloadParams;
@@ -52,6 +52,12 @@ pub struct SyntheticWorkload {
     cores: usize,
     rngs: Vec<Rng>,
     private_zipf: Zipf,
+    /// Precomputed private/ROS/RWS mix (draws identically to
+    /// `Rng::pick_weighted` over the same weights, without re-summing
+    /// them on every reference).
+    mix: WeightedTable,
+    /// Precomputed ROS popularity-class table, same rationale.
+    ros_classes: WeightedTable,
     rws_visit: Vec<Option<RwsVisit>>,
     /// Ring of each core's recently visited objects; revisits draw
     /// from here. The ring's size spaces revisits beyond the L1's
@@ -78,6 +84,8 @@ impl SyntheticWorkload {
         let rngs: Vec<Rng> = (0..cores).map(|_| root.fork()).collect();
         SyntheticWorkload {
             private_zipf: Zipf::new(params.private_blocks.max(1), params.private_zipf),
+            mix: WeightedTable::new(&[params.weight_private, params.weight_ros, params.weight_rws]),
+            ros_classes: params.ros_class_table(),
             rws_visit: vec![None; cores],
             rws_recent: vec![Vec::new(); cores],
             rws_recent_cursor: vec![0; cores],
@@ -130,7 +138,7 @@ impl SyntheticWorkload {
             let addr = Region::Streaming(CoreId(core as u8)).block_addr(self.stream_cursor[core]);
             return (addr, AccessKind::Read);
         }
-        let block = self.params.sample_ros_block(&mut self.rngs[core]);
+        let block = self.params.sample_ros_block_with(&self.ros_classes, &mut self.rngs[core]);
         (Region::ReadOnlyShared.block_addr(block), AccessKind::Read)
     }
 
@@ -159,14 +167,20 @@ impl SyntheticWorkload {
             };
             let (lo, hi) = self.params.rws_reader_burst;
             let extra_reads = lo + rng.gen_range((hi - lo + 1) as u64) as u32;
+            let modify = rng.gen_bool(self.params.rws_modify_prob);
+            // Reuse the core's visit buffer: planning a visit is a
+            // steady-state event and must not allocate.
+            let visit = self.rws_visit[core]
+                .get_or_insert_with(|| RwsVisit { object: 0, actions: Vec::new() });
+            visit.object = object;
             // Actions are popped from the back.
-            let mut actions = vec![AccessKind::Read; extra_reads as usize];
-            if rng.gen_bool(self.params.rws_modify_prob) {
+            visit.actions.clear();
+            visit.actions.resize(extra_reads as usize, AccessKind::Read);
+            if modify {
                 // Migratory visit: read-modify-write, then re-reads.
-                actions.push(AccessKind::Write);
+                visit.actions.push(AccessKind::Write);
             }
-            actions.push(AccessKind::Read);
-            self.rws_visit[core] = Some(RwsVisit { object, actions });
+            visit.actions.push(AccessKind::Read);
         }
         let visit = self.rws_visit[core].as_mut().expect("visit planned above");
         let kind = visit.actions.pop().expect("nonempty visit");
@@ -185,8 +199,7 @@ impl TraceSource for SyntheticWorkload {
             let (addr, kind) = self.hot[c][pick];
             return Access { addr, kind, gap: self.gap(c) };
         }
-        let weights = [self.params.weight_private, self.params.weight_ros, self.params.weight_rws];
-        let (addr, kind) = match self.rngs[c].pick_weighted(&weights) {
+        let (addr, kind) = match self.mix.pick(&mut self.rngs[c]) {
             0 => self.private_access(c),
             1 => self.ros_access(c),
             _ => {

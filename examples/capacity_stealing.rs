@@ -7,7 +7,7 @@
 //! cargo run --release --example capacity_stealing
 //! ```
 
-use nurapid_suite::cache::CacheOrg;
+use nurapid_suite::cache::{CacheOrg, InvalScratch};
 use nurapid_suite::mem::CoreId;
 use nurapid_suite::nurapid::{CmpNurapid, NurapidConfig};
 use nurapid_suite::sim::{run_mix, OrgKind, RunConfig};
@@ -42,6 +42,7 @@ fn main() {
     let mut l2 = CmpNurapid::new(NurapidConfig::paper());
     let mut bus = nurapid_suite::coherence::Bus::paper();
     let mut clocks = [0u64; 4];
+    let mut inv = InvalScratch::new();
     let mut recent: Vec<std::collections::HashSet<u64>> = vec![Default::default(); 4];
     for _ in 0..1_500_000u32 {
         let i = (0..4).min_by_key(|&i| clocks[i]).expect("four cores");
@@ -52,7 +53,7 @@ fn main() {
             recent[i].clear();
         }
         if recent[i].insert(l2_block.0) || a.kind.is_write() {
-            let r = l2.access(CoreId(i as u8), l2_block, a.kind, clocks[i], &mut bus);
+            let r = l2.access(CoreId(i as u8), l2_block, a.kind, clocks[i], &mut bus, &mut inv);
             clocks[i] += r.latency;
         }
     }

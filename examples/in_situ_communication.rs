@@ -6,7 +6,7 @@
 //! cargo run --release --example in_situ_communication
 //! ```
 
-use nurapid_suite::cache::CacheOrg;
+use nurapid_suite::cache::{CacheOrg, InvalScratch};
 use nurapid_suite::coherence::Bus;
 use nurapid_suite::mem::{AccessKind, BlockAddr, CoreId};
 use nurapid_suite::nurapid::{CmpNurapid, NurapidConfig};
@@ -15,9 +15,10 @@ fn main() {
     let mut l2 = CmpNurapid::new(NurapidConfig::paper());
     let mut bus = Bus::paper();
     let mut now = 0u64;
+    let mut inv = InvalScratch::new();
     let mut go = |l2: &mut CmpNurapid, bus: &mut Bus, core: u8, block: u64, kind, what: &str| {
         now += 1_000;
-        let r = l2.access(CoreId(core), BlockAddr(block), kind, now, bus);
+        let r = l2.access(CoreId(core), BlockAddr(block), kind, now, bus, &mut inv);
         println!(
             "  P{core} {kind:?} block {block:#x}: {what}\n    -> {:?}, {} cycles, state now {:?}, copy in d-group {:?}",
             r.class,

@@ -81,10 +81,11 @@ fn nurapid_steals_capacity_on_mixes() {
     let mut l2 = CmpNurapid::new(NurapidConfig::tiny(4, 32 * 128));
     let mut bus = Bus::paper();
     let mut now = 0;
+    let mut inv = nurapid_suite::cache::InvalScratch::new();
     for i in 0..40_000u64 {
         now += 100;
         let a = workload.next_access(CoreId((i % 4) as u8));
-        l2.access(CoreId((i % 4) as u8), a.addr.block(128), a.kind, now, &mut bus);
+        l2.access(CoreId((i % 4) as u8), a.addr.block(128), a.kind, now, &mut bus, &mut inv);
     }
     l2.check_invariants();
     assert!(l2.stats().demotions > 0, "asymmetric mixes must trigger demotions");
@@ -111,10 +112,11 @@ fn figure3_walkthrough_through_public_api() {
     // umbrella crate's re-exports.
     let mut l2 = CmpNurapid::new(NurapidConfig::paper());
     let mut bus = Bus::paper();
-    l2.access(CoreId(0), BlockAddr(7), AccessKind::Read, 0, &mut bus);
-    l2.access(CoreId(1), BlockAddr(7), AccessKind::Read, 1_000, &mut bus);
+    let mut inv = nurapid_suite::cache::InvalScratch::new();
+    l2.access(CoreId(0), BlockAddr(7), AccessKind::Read, 0, &mut bus, &mut inv);
+    l2.access(CoreId(1), BlockAddr(7), AccessKind::Read, 1_000, &mut bus, &mut inv);
     assert_eq!(l2.data_copies(BlockAddr(7)), 1, "first use: tag-only copy");
-    l2.access(CoreId(1), BlockAddr(7), AccessKind::Read, 2_000, &mut bus);
+    l2.access(CoreId(1), BlockAddr(7), AccessKind::Read, 2_000, &mut bus, &mut inv);
     assert_eq!(l2.data_copies(BlockAddr(7)), 2, "second use: replicate");
     l2.check_invariants();
 }

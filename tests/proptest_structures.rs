@@ -201,10 +201,11 @@ proptest! {
         let mut l2 = CmpNurapid::new(cfg);
         let mut bus = Bus::paper();
         let mut now = 0u64;
+        let mut inv = nurapid_suite::cache::InvalScratch::new();
         for (core, block, is_write) in ops {
             now += 500;
             let kind = if is_write { AccessKind::Write } else { AccessKind::Read };
-            let resp = l2.access(CoreId(core), BlockAddr(block), kind, now, &mut bus);
+            let resp = l2.access(CoreId(core), BlockAddr(block), kind, now, &mut bus, &mut inv);
             prop_assert!(resp.latency >= 1);
         }
         l2.check_invariants();
