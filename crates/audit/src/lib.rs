@@ -19,14 +19,20 @@
 //! * violations surface as structured [`AuditViolation`] records in a
 //!   shared [`ViolationLog`], and serialize into one-line
 //!   [`ReplayArtifact`]s that `cmp-sim`'s runner can re-execute
-//!   deterministically.
+//!   deterministically;
+//! * the same seeded-schedule discipline extends to the *lab* layer:
+//!   a [`ChaosSchedule`] arms worker panics and job stalls against a
+//!   sweep batch so `cmp-bench`'s resilient sweep engine can prove it
+//!   recovers to bit-identical results.
 
 pub mod audited;
+pub mod chaos;
 pub mod fault;
 pub mod replay;
 pub mod shadow;
 
 pub use audited::{AuditConfig, AuditViolation, AuditedOrg, InjectionLog, ViolationLog};
+pub use chaos::{ChaosEvent, ChaosSchedule, ChaosSpec};
 pub use fault::{FaultKind, FaultSpec};
 pub use replay::ReplayArtifact;
 pub use shadow::ShadowModel;

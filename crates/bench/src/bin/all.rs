@@ -7,6 +7,12 @@
 //! parallelism) and the figures then render from cache, byte-identical
 //! to the sequential path.
 //!
+//! Set `CMP_SWEEP_JOURNAL=path` to checkpoint the sweep: every
+//! completed pair is fsync'd to an append-only journal, and a rerun
+//! of the same command resumes from the journal instead of
+//! re-simulating — a killed `all paper` run loses at most the pair in
+//! flight and renders byte-identical figures on resume.
+//!
 //! Usage: all `[quick|paper|<refs>]`
 
 use cmp_bench::{config_from_args, figures, ok_or_exit, ParallelLab};
@@ -20,10 +26,33 @@ fn main() {
     println!("{}", figures::table1());
     println!("{}", figures::table2());
     println!("{}", figures::table3());
-    let mut lab = ParallelLab::new(cfg);
+    let mut lab = ok_or_exit(ParallelLab::from_env(cfg));
+    if let Some(path) = lab.journal_path() {
+        eprintln!(
+            "journal {}: resumed {} pair(s), checkpointing the rest",
+            path.display(),
+            lab.restored()
+        );
+    }
     let t0 = std::time::Instant::now();
     ok_or_exit(lab.prefetch(&figures::pairs::all()));
     let sweep_ms = t0.elapsed().as_secs_f64() * 1e3;
+    if !lab.last_report().quarantined.is_empty() {
+        eprintln!(
+            "warning: partial sweep — {} (quarantined pairs will be re-simulated \
+             sequentially as figures demand them)",
+            lab.last_report().summary()
+        );
+        for q in &lab.last_report().quarantined {
+            eprintln!(
+                "  quarantined: {}/{} after {} attempt(s): {}",
+                q.pair.0.name(),
+                q.pair.1.name(),
+                q.attempts,
+                q.error
+            );
+        }
+    }
     println!("{}", figures::fig5(&mut lab));
     println!("{}", figures::fig6(&mut lab));
     println!("{}", figures::fig7(&mut lab));

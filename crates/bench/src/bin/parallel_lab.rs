@@ -10,7 +10,10 @@
 //! report.
 //!
 //! Usage: `parallel_lab [quick|paper|REFS]` (worker count from
-//! `CMP_BENCH_THREADS`, default: available parallelism)
+//! `CMP_BENCH_THREADS`, default: available parallelism; set
+//! `CMP_SWEEP_JOURNAL=path` to checkpoint the parallel sweep and
+//! resume it after an interruption — resumed pairs are still checked
+//! bit-for-bit against the fresh sequential sweep)
 
 use std::collections::HashSet;
 use std::time::Instant;
@@ -33,8 +36,16 @@ fn main() {
     }
     let sequential_ms = t0.elapsed().as_secs_f64() * 1e3;
 
-    // Parallel sweep of the same batch.
-    let mut par = ParallelLab::new(cfg);
+    // Parallel sweep of the same batch (journal-resumed when
+    // CMP_SWEEP_JOURNAL is set).
+    let mut par = ok_or_exit(ParallelLab::from_env(cfg));
+    if let Some(path) = par.journal_path() {
+        eprintln!(
+            "journal {}: resumed {} pair(s), checkpointing the rest",
+            path.display(),
+            par.restored()
+        );
+    }
     let t0 = Instant::now();
     let timings = ok_or_exit(par.prefetch(&submitted));
     let parallel_ms = t0.elapsed().as_secs_f64() * 1e3;
@@ -118,6 +129,16 @@ fn main() {
     report.set("parallel_ms", Json::Num(parallel_ms));
     report.set("speedup", speedup);
     report.set("identical", Json::Bool(identical));
+    report.set("resumed", Json::Num(par.restored() as f64));
+    let sweep = par.last_report();
+    let mut resilience = Json::obj();
+    resilience.set("attempts", Json::Num(sweep.attempts as f64));
+    resilience.set("retries", Json::Num(sweep.retries as f64));
+    resilience.set("panicked", Json::Num(sweep.panicked as f64));
+    resilience.set("timed_out", Json::Num(sweep.timed_out as f64));
+    resilience.set("orphaned", Json::Num(sweep.orphaned as f64));
+    resilience.set("quarantined", Json::Num(sweep.quarantined.len() as f64));
+    report.set("resilience", resilience);
     report.set("scaling", Json::Arr(scaling));
     let per_pair = timings
         .iter()
@@ -152,6 +173,10 @@ fn main() {
     }
     if !identical {
         eprintln!("DETERMINISM VIOLATION: parallel sweep diverged on: {}", mismatches.join(", "));
+        std::process::exit(1);
+    }
+    if !par.last_report().quarantined.is_empty() {
+        eprintln!("SWEEP INCOMPLETE: {}", par.last_report().summary());
         std::process::exit(1);
     }
 }

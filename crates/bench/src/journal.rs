@@ -1,0 +1,504 @@
+//! Crash-consistent checkpoint journal for sweep results.
+//!
+//! An append-only file of JSON lines (built on [`crate::json`], the
+//! same dependency-free module the goldens use): line 1 is a header
+//! binding the journal to one [`RunConfig`], every further line is
+//! one completed `(pair, RunResult)` record, fsync'd as it is
+//! written. A sweep that is killed mid-run therefore loses at most
+//! the record being written; on reopen the journal
+//!
+//! * rejects a header whose config does not match (resuming a `quick`
+//!   sweep against a `paper` journal would silently mix scales);
+//! * replays every intact record into the caller's memo cache;
+//! * detects a *torn tail* — a final record missing its newline, cut
+//!   mid-byte, or failing to parse — truncates the file back to the
+//!   last intact record, and continues appending from there.
+//!
+//! Records round-trip **losslessly**: every counter of a
+//! [`RunResult`] (including the reuse histograms and per-transaction
+//! bus counts, via the `raw_counts` accessors those types expose) is
+//! stored as an exact integer well inside `f64`'s 2^53 range, and
+//! [`Journal::append`] re-parses its own line and compares against
+//! the original before trusting it — a resumed sweep renders figures
+//! byte-identical to an uninterrupted one or fails loudly.
+
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use cmp_coherence::BusStats;
+use cmp_mem::ReuseHistogram;
+use cmp_sim::{OrgKind, RunConfig, RunResult, SimError};
+
+use crate::json::Json;
+use crate::lab::{Pair, WorkloadId};
+
+/// Environment variable naming the journal file the sweep binaries
+/// checkpoint to and resume from (unset: no journaling).
+pub const JOURNAL_ENV: &str = "CMP_SWEEP_JOURNAL";
+
+/// Magic tag in the header line; bump on any format change.
+const MAGIC: &str = "cmp-sweep-journal-v1";
+
+/// `RunResult.org` is `&'static str` (it comes from
+/// `CacheOrg::name()`); a journal record stores it as text and interns
+/// it back through this table on load.
+const ORG_NAMES: [&str; 6] = ["shared", "ideal", "private", "snuca", "dnuca", "nurapid"];
+
+fn intern_org_name(name: &str) -> Option<&'static str> {
+    ORG_NAMES.iter().find(|n| **n == name).copied()
+}
+
+/// Resolves a journal record's workload back to a [`WorkloadId`]
+/// (whose name must be `&'static str`) via the crate's workload
+/// tables.
+fn intern_workload(kind: &str, name: &str) -> Option<WorkloadId> {
+    match kind {
+        "mt" => {
+            crate::MULTITHREADED.iter().find(|w| **w == name).map(|w| WorkloadId::Multithreaded(w))
+        }
+        "mix" => crate::MIXES.iter().find(|m| **m == name).map(|m| WorkloadId::Mix(m)),
+        _ => None,
+    }
+}
+
+fn journal_err(msg: impl Into<String>) -> SimError {
+    SimError::Journal(msg.into())
+}
+
+/// An open, append-position journal. Obtain one (plus the replayed
+/// records) through [`Journal::open`].
+#[derive(Debug)]
+pub struct Journal {
+    path: PathBuf,
+    file: File,
+    records: usize,
+}
+
+impl Journal {
+    /// Opens (creating if absent) the journal at `path` for the given
+    /// config and replays its intact records.
+    ///
+    /// Returns the journal positioned for appending plus every
+    /// `(pair, result)` already completed, in append order. A torn
+    /// tail is truncated away; a config mismatch or a semantically
+    /// stale record (unknown workload/organization) is an error — the
+    /// file holds real compute hours, so it is never silently
+    /// clobbered.
+    pub fn open(
+        path: impl AsRef<Path>,
+        cfg: &RunConfig,
+    ) -> Result<(Journal, Vec<(Pair, RunResult)>), SimError> {
+        let path = path.as_ref().to_path_buf();
+        let data = match std::fs::read(&path) {
+            Ok(data) => data,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(journal_err(format!("read {}: {e}", path.display()))),
+        };
+
+        let mut restored = Vec::new();
+        let mut good_end = 0usize;
+        let mut offset = 0usize;
+        let mut line_no = 0usize;
+        while let Some(nl) = data[offset..].iter().position(|b| *b == b'\n') {
+            let line = &data[offset..offset + nl];
+            line_no += 1;
+            let parsed = std::str::from_utf8(line).ok().and_then(|text| Json::parse(text).ok());
+            let Some(value) = parsed else { break };
+            if line_no == 1 {
+                check_header(&value, cfg, &path)?;
+            } else {
+                restored.push(
+                    record_from_json(&value).map_err(|e| {
+                        journal_err(format!("{} line {line_no}: {e}", path.display()))
+                    })?,
+                );
+            }
+            offset += nl + 1;
+            good_end = offset;
+        }
+        let torn = data.len() - good_end;
+
+        let mut file = OpenOptions::new()
+            .create(true)
+            .truncate(false) // existing records are the whole point
+            .read(true)
+            .write(true)
+            .open(&path)
+            .map_err(|e| journal_err(format!("open {}: {e}", path.display())))?;
+        if torn > 0 {
+            eprintln!(
+                "warning: sweep journal {}: dropping torn tail ({torn} byte(s) after \
+                 {} intact record(s))",
+                path.display(),
+                restored.len()
+            );
+            file.set_len(good_end as u64)
+                .map_err(|e| journal_err(format!("truncate {}: {e}", path.display())))?;
+        }
+        use std::io::Seek;
+        file.seek(std::io::SeekFrom::End(0))
+            .map_err(|e| journal_err(format!("seek {}: {e}", path.display())))?;
+        let mut journal = Journal { path, file, records: restored.len() };
+        if good_end == 0 {
+            journal.write_line(&header_json(cfg))?;
+        }
+        Ok((journal, restored))
+    }
+
+    /// Appends one completed record and fsyncs it to disk before
+    /// returning, after verifying the line parses back to a
+    /// bit-identical result (the round-trip guard).
+    pub fn append(&mut self, pair: Pair, result: &RunResult) -> Result<(), SimError> {
+        let value = record_to_json(pair, result);
+        let (back_pair, back_result) = record_from_json(&value)
+            .map_err(|e| journal_err(format!("record failed self-parse: {e}")))?;
+        if back_pair != pair || &back_result != result {
+            return Err(journal_err(format!(
+                "record round-trip diverged for {}/{}",
+                pair.0.name(),
+                pair.1.name()
+            )));
+        }
+        self.write_line(&value)?;
+        self.records += 1;
+        Ok(())
+    }
+
+    fn write_line(&mut self, value: &Json) -> Result<(), SimError> {
+        let mut line = value.compact();
+        line.push('\n');
+        self.file
+            .write_all(line.as_bytes())
+            .and_then(|()| self.file.sync_data())
+            .map_err(|e| journal_err(format!("append to {}: {e}", self.path.display())))
+    }
+
+    /// Number of records currently persisted (restored + appended).
+    pub fn records(&self) -> usize {
+        self.records
+    }
+
+    /// The journal file's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+fn u(x: u64) -> Json {
+    debug_assert!(x < (1u64 << 53), "counter exceeds f64 exact-integer range");
+    Json::Num(x as f64)
+}
+
+fn header_json(cfg: &RunConfig) -> Json {
+    let mut h = Json::obj();
+    h.set("journal", Json::Str(MAGIC.into()));
+    h.set("warmup_accesses", u(cfg.warmup_accesses));
+    h.set("measure_accesses", u(cfg.measure_accesses));
+    h.set("seed", u(cfg.seed));
+    h
+}
+
+fn check_header(value: &Json, cfg: &RunConfig, path: &Path) -> Result<(), SimError> {
+    let field = |key: &str| value.get(key).and_then(Json::as_f64);
+    if value.get("journal").and_then(Json::as_str) != Some(MAGIC) {
+        return Err(journal_err(format!("{}: not a {MAGIC} file", path.display())));
+    }
+    let matches = field("warmup_accesses") == Some(cfg.warmup_accesses as f64)
+        && field("measure_accesses") == Some(cfg.measure_accesses as f64)
+        && field("seed") == Some(cfg.seed as f64);
+    if !matches {
+        return Err(journal_err(format!(
+            "{}: config mismatch (journal was written for warmup={} measure={} seed={}; \
+             delete the file or rerun with its config)",
+            path.display(),
+            field("warmup_accesses").unwrap_or(f64::NAN),
+            field("measure_accesses").unwrap_or(f64::NAN),
+            field("seed").unwrap_or(f64::NAN),
+        )));
+    }
+    Ok(())
+}
+
+/// Serializes one completed record (public for the resilience tests,
+/// which assert on the wire format).
+pub fn record_to_json(pair: Pair, result: &RunResult) -> Json {
+    let mut record = Json::obj();
+    let (kind, name) = match pair.0 {
+        WorkloadId::Multithreaded(n) => ("mt", n),
+        WorkloadId::Mix(n) => ("mix", n),
+    };
+    record.set("kind", Json::Str(kind.into()));
+    record.set("workload", Json::Str(name.into()));
+    record.set("org", Json::Str(pair.1.name().into()));
+    record.set("result", run_result_to_json(result));
+    record
+}
+
+/// Deserializes one record line (public for the resilience tests).
+pub fn record_from_json(value: &Json) -> Result<(Pair, RunResult), String> {
+    let text = |key: &str| {
+        value.get(key).and_then(Json::as_str).ok_or_else(|| format!("missing field {key:?}"))
+    };
+    let kind = text("kind")?;
+    let name = text("workload")?;
+    let workload =
+        intern_workload(kind, name).ok_or_else(|| format!("unknown workload {kind}:{name}"))?;
+    let org_name = text("org")?;
+    let org =
+        OrgKind::from_name(org_name).ok_or_else(|| format!("unknown organization {org_name:?}"))?;
+    let result = value.get("result").ok_or("missing field \"result\"")?;
+    Ok(((workload, org), run_result_from_json(result)?))
+}
+
+fn stats_obj(fields: &[(&str, u64)]) -> Json {
+    let mut obj = Json::obj();
+    for (key, val) in fields {
+        obj.set(key, u(*val));
+    }
+    obj
+}
+
+fn counts_arr(counts: [u64; 4]) -> Json {
+    Json::Arr(counts.iter().map(|c| u(*c)).collect())
+}
+
+/// Serializes a [`RunResult`] losslessly (all counters exact).
+pub fn run_result_to_json(r: &RunResult) -> Json {
+    let mut root = Json::obj();
+    root.set("workload", Json::Str(r.workload.clone()));
+    root.set("org", Json::Str(r.org.into()));
+    root.set("instructions", u(r.instructions));
+    root.set("accesses", u(r.accesses));
+    root.set("cycles", u(r.cycles));
+    let mut l2 = stats_obj(&[
+        ("hits_closest", r.l2.hits_closest),
+        ("hits_farther", r.l2.hits_farther),
+        ("miss_ros", r.l2.miss_ros),
+        ("miss_rws", r.l2.miss_rws),
+        ("miss_capacity", r.l2.miss_capacity),
+        ("writebacks", r.l2.writebacks),
+        ("l1_invalidations", r.l2.l1_invalidations),
+        ("promotions", r.l2.promotions),
+        ("demotions", r.l2.demotions),
+        ("replications", r.l2.replications),
+        ("pointer_transfers", r.l2.pointer_transfers),
+        ("busrepl_invalidations", r.l2.busrepl_invalidations),
+        ("evictions_shared", r.l2.evictions_shared),
+        ("evictions_private", r.l2.evictions_private),
+        ("c_collapses", r.l2.c_collapses),
+    ]);
+    l2.set("ros_reuse", counts_arr(r.l2.ros_reuse.raw_counts()));
+    l2.set("rws_reuse", counts_arr(r.l2.rws_reuse.raw_counts()));
+    root.set("l2", l2);
+    for (key, l1) in [("l1", &r.l1), ("l1i", &r.l1i)] {
+        root.set(
+            key,
+            stats_obj(&[
+                ("hits", l1.hits),
+                ("misses", l1.misses),
+                ("store_forwards", l1.store_forwards),
+                ("invalidations", l1.invalidations),
+                ("writebacks", l1.writebacks),
+            ]),
+        );
+    }
+    root.set("l2_stall_cycles", u(r.l2_stall_cycles));
+    let mut bus = Json::obj();
+    bus.set("counts", counts_arr(r.bus.raw_counts()));
+    bus.set("arbitration_wait", u(r.bus.arbitration_wait));
+    root.set("bus", bus);
+    root
+}
+
+fn get_u64(value: &Json, key: &str) -> Result<u64, String> {
+    let n = value.get(key).and_then(Json::as_f64).ok_or_else(|| format!("missing {key:?}"))?;
+    if n < 0.0 || n.fract() != 0.0 || n >= (1u64 << 53) as f64 {
+        return Err(format!("{key:?} is not an exact u64: {n}"));
+    }
+    Ok(n as u64)
+}
+
+fn get_counts(value: &Json, key: &str) -> Result<[u64; 4], String> {
+    let arr = match value.get(key) {
+        Some(Json::Arr(items)) if items.len() == 4 => items,
+        _ => return Err(format!("{key:?} is not a 4-element array")),
+    };
+    let mut out = [0u64; 4];
+    for (slot, item) in out.iter_mut().zip(arr) {
+        let n = item.as_f64().ok_or_else(|| format!("{key:?} holds a non-number"))?;
+        if n < 0.0 || n.fract() != 0.0 {
+            return Err(format!("{key:?} holds a non-integer: {n}"));
+        }
+        *slot = n as u64;
+    }
+    Ok(out)
+}
+
+/// Deserializes a [`RunResult`] written by [`run_result_to_json`].
+pub fn run_result_from_json(value: &Json) -> Result<RunResult, String> {
+    let org_name =
+        value.get("org").and_then(Json::as_str).ok_or_else(|| "missing \"org\"".to_string())?;
+    let org = intern_org_name(org_name)
+        .ok_or_else(|| format!("unknown result organization {org_name:?}"))?;
+    let l2 = value.get("l2").ok_or("missing \"l2\"")?;
+    let read_l1 = |key: &str| -> Result<cmp_sim::L1Stats, String> {
+        let obj = value.get(key).ok_or_else(|| format!("missing {key:?}"))?;
+        Ok(cmp_sim::L1Stats {
+            hits: get_u64(obj, "hits")?,
+            misses: get_u64(obj, "misses")?,
+            store_forwards: get_u64(obj, "store_forwards")?,
+            invalidations: get_u64(obj, "invalidations")?,
+            writebacks: get_u64(obj, "writebacks")?,
+        })
+    };
+    let bus = value.get("bus").ok_or("missing \"bus\"")?;
+    Ok(RunResult {
+        workload: value
+            .get("workload")
+            .and_then(Json::as_str)
+            .ok_or("missing \"workload\"")?
+            .to_string(),
+        org,
+        instructions: get_u64(value, "instructions")?,
+        accesses: get_u64(value, "accesses")?,
+        cycles: get_u64(value, "cycles")?,
+        l2: cmp_cache::OrgStats {
+            hits_closest: get_u64(l2, "hits_closest")?,
+            hits_farther: get_u64(l2, "hits_farther")?,
+            miss_ros: get_u64(l2, "miss_ros")?,
+            miss_rws: get_u64(l2, "miss_rws")?,
+            miss_capacity: get_u64(l2, "miss_capacity")?,
+            writebacks: get_u64(l2, "writebacks")?,
+            l1_invalidations: get_u64(l2, "l1_invalidations")?,
+            ros_reuse: ReuseHistogram::from_raw_counts(get_counts(l2, "ros_reuse")?),
+            rws_reuse: ReuseHistogram::from_raw_counts(get_counts(l2, "rws_reuse")?),
+            promotions: get_u64(l2, "promotions")?,
+            demotions: get_u64(l2, "demotions")?,
+            replications: get_u64(l2, "replications")?,
+            pointer_transfers: get_u64(l2, "pointer_transfers")?,
+            busrepl_invalidations: get_u64(l2, "busrepl_invalidations")?,
+            evictions_shared: get_u64(l2, "evictions_shared")?,
+            evictions_private: get_u64(l2, "evictions_private")?,
+            c_collapses: get_u64(l2, "c_collapses")?,
+        },
+        l1: read_l1("l1")?,
+        l1i: read_l1("l1i")?,
+        l2_stall_cycles: get_u64(value, "l2_stall_cycles")?,
+        bus: BusStats::from_raw_counts(
+            get_counts(bus, "counts")?,
+            get_u64(bus, "arbitration_wait")?,
+        ),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmp_sim::try_run_multithreaded;
+
+    fn tiny_cfg() -> RunConfig {
+        RunConfig { warmup_accesses: 200, measure_accesses: 400, seed: 11 }
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("cmp_journal_{}_{name}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    fn sample() -> (Pair, RunResult) {
+        let pair: Pair = (WorkloadId::Multithreaded("barnes"), OrgKind::Nurapid);
+        let r = try_run_multithreaded("barnes", OrgKind::Nurapid, &tiny_cfg()).unwrap();
+        (pair, r)
+    }
+
+    #[test]
+    fn run_result_roundtrips_bit_exactly() {
+        let (_, r) = sample();
+        let back = run_result_from_json(&run_result_to_json(&r)).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn append_then_reopen_restores_records() {
+        let path = tmp("reopen");
+        let (pair, r) = sample();
+        {
+            let (mut j, restored) = Journal::open(&path, &tiny_cfg()).unwrap();
+            assert!(restored.is_empty());
+            j.append(pair, &r).unwrap();
+            assert_eq!(j.records(), 1);
+        }
+        let (j, restored) = Journal::open(&path, &tiny_cfg()).unwrap();
+        assert_eq!(j.records(), 1);
+        assert_eq!(restored, vec![(pair, r)]);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_survivors_kept() {
+        let path = tmp("torn");
+        let (pair, r) = sample();
+        {
+            let (mut j, _) = Journal::open(&path, &tiny_cfg()).unwrap();
+            j.append(pair, &r).unwrap();
+        }
+        let intact = std::fs::read(&path).unwrap();
+        // Simulate a crash mid-append: a second record cut mid-byte.
+        let mut torn = intact.clone();
+        let half: Vec<u8> = record_to_json(pair, &r).compact().bytes().take(40).collect();
+        torn.extend_from_slice(&half);
+        std::fs::write(&path, &torn).unwrap();
+
+        let (j, restored) = Journal::open(&path, &tiny_cfg()).unwrap();
+        assert_eq!(restored.len(), 1, "the intact record survives");
+        assert_eq!(j.records(), 1);
+        drop(j);
+        assert_eq!(std::fs::read(&path).unwrap(), intact, "torn bytes were truncated away");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn config_mismatch_is_refused() {
+        let path = tmp("mismatch");
+        let (pair, r) = sample();
+        {
+            let (mut j, _) = Journal::open(&path, &tiny_cfg()).unwrap();
+            j.append(pair, &r).unwrap();
+        }
+        let other = RunConfig { seed: 999, ..tiny_cfg() };
+        let err = Journal::open(&path, &other).unwrap_err();
+        assert!(matches!(err, SimError::Journal(_)), "{err}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn garbage_file_is_not_adopted() {
+        let path = tmp("garbage");
+        std::fs::write(&path, b"{\"journal\":\"something-else\"}\n").unwrap();
+        let err = Journal::open(&path, &tiny_cfg()).unwrap_err();
+        assert!(matches!(err, SimError::Journal(_)), "{err}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn stale_workload_names_error_instead_of_corrupting() {
+        let path = tmp("stale");
+        let (pair, r) = sample();
+        let mut record = record_to_json(pair, &r);
+        if let Json::Obj(fields) = &mut record {
+            for (k, v) in fields.iter_mut() {
+                if k == "workload" {
+                    *v = Json::Str("tpch".into());
+                }
+            }
+        }
+        let header = header_json(&tiny_cfg()).compact();
+        std::fs::write(&path, format!("{header}\n{}\n", record.compact())).unwrap();
+        let err = Journal::open(&path, &tiny_cfg()).unwrap_err();
+        assert!(matches!(err, SimError::Journal(_)), "{err}");
+        let _ = std::fs::remove_file(&path);
+    }
+}

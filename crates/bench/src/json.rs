@@ -77,6 +77,58 @@ impl Json {
         }
     }
 
+    /// Renders the value on a single line with no inter-token
+    /// whitespace — the form the append-only sweep journal needs,
+    /// where one record is one line and a torn tail is detected by
+    /// the missing newline.
+    pub fn compact(&self) -> String {
+        let mut out = String::new();
+        self.push_compact(&mut out);
+        out
+    }
+
+    fn push_compact(&self, out: &mut String) {
+        use fmt::Write as _;
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Json::Num(n) => {
+                if n.is_finite() {
+                    let _ = write!(out, "{n}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => {
+                let _ = escape(s, out);
+            }
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.push_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    let _ = escape(k, out);
+                    out.push(':');
+                    v.push_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
     /// Parses a JSON document (trailing whitespace allowed, nothing
     /// else after the value).
     pub fn parse(text: &str) -> Result<Json, String> {
@@ -250,7 +302,7 @@ impl<'a> Parser<'a> {
     }
 }
 
-fn escape(s: &str, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+fn escape<W: fmt::Write>(s: &str, f: &mut W) -> fmt::Result {
     write!(f, "\"")?;
     for ch in s.chars() {
         match ch {
@@ -335,6 +387,25 @@ mod tests {
         assert_eq!(back, obj);
         // Serialization is deterministic.
         assert_eq!(back.to_string(), text);
+    }
+
+    #[test]
+    fn compact_is_single_line_and_roundtrips() {
+        let mut obj = Json::obj();
+        obj.set("name", Json::Str("a \"b\"\n".into()));
+        obj.set("xs", Json::Arr(vec![Json::Num(1.0), Json::Bool(false), Json::Null]));
+        obj.set("inner", {
+            let mut inner = Json::obj();
+            inner.set("k", Json::Num(2.5));
+            inner
+        });
+        let line = obj.compact();
+        assert!(!line.contains('\n'), "{line:?}");
+        assert_eq!(
+            line,
+            "{\"name\":\"a \\\"b\\\"\\n\",\"xs\":[1,false,null],\"inner\":{\"k\":2.5}}"
+        );
+        assert_eq!(Json::parse(&line).unwrap(), obj);
     }
 
     #[test]

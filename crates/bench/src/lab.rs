@@ -14,11 +14,12 @@
 //! byte-identical figures and tables.
 
 use std::collections::HashMap;
-use std::time::Instant;
 
 use cmp_sim::{try_run_mix, try_run_multithreaded, OrgKind, RunConfig, RunResult, SimError};
 
+use crate::journal::Journal;
 use crate::pool;
+use crate::sweep::{self, Resilience, SweepReport};
 
 /// Identifies a workload for the result cache.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -44,8 +45,9 @@ pub type Pair = (WorkloadId, OrgKind);
 
 /// Simulates one pair from scratch. Pure: no shared state, seed and
 /// sizing come from `cfg`, so equal inputs give bit-identical
-/// [`RunResult`]s on any thread at any time.
-fn simulate_pair(pair: Pair, cfg: &RunConfig) -> Result<RunResult, SimError> {
+/// [`RunResult`]s on any thread at any time — which is also why the
+/// sweep engine's retries are deterministic.
+pub(crate) fn simulate_pair(pair: Pair, cfg: &RunConfig) -> Result<RunResult, SimError> {
     match pair.0 {
         WorkloadId::Multithreaded(name) => try_run_multithreaded(name, pair.1, cfg),
         WorkloadId::Mix(name) => try_run_mix(name, pair.1, cfg),
@@ -129,6 +131,12 @@ impl Lab {
         self.simulations += 1;
         self.cache.insert(pair, result);
     }
+
+    /// Inserts a result restored from a checkpoint journal: cached,
+    /// but *not* counted as a simulation (nothing was computed).
+    fn restore(&mut self, pair: Pair, result: RunResult) {
+        self.cache.insert(pair, result);
+    }
 }
 
 impl ResultSource for Lab {
@@ -168,9 +176,22 @@ pub struct PairTiming {
 /// available parallelism), and merges the results back in submission
 /// order. Single lookups fall back to the sequential path, so the
 /// type is a drop-in [`ResultSource`].
+///
+/// Batches run through the resilient sweep engine
+/// ([`crate::sweep`]): every job is panic-isolated, failed attempts
+/// are retried deterministically (a pair's result is a pure function
+/// of `(pair, config)`, so a re-run is bit-identical), and jobs that
+/// exhaust their budget are quarantined into [`ParallelLab::last_report`]
+/// instead of aborting the sweep. Attach a checkpoint journal with
+/// [`ParallelLab::with_journal`] and a killed sweep resumes exactly
+/// where it stopped.
 pub struct ParallelLab {
     lab: Lab,
     threads: usize,
+    resilience: Resilience,
+    journal: Option<Journal>,
+    restored: usize,
+    last_report: SweepReport,
 }
 
 impl ParallelLab {
@@ -183,7 +204,55 @@ impl ParallelLab {
     /// Creates a parallel lab with an explicit worker count (clamped
     /// to at least 1).
     pub fn with_threads(cfg: RunConfig, threads: usize) -> Self {
-        ParallelLab { lab: Lab::new(cfg), threads: threads.max(1) }
+        ParallelLab {
+            lab: Lab::new(cfg),
+            threads: threads.max(1),
+            resilience: Resilience::default(),
+            journal: None,
+            restored: 0,
+            last_report: SweepReport::default(),
+        }
+    }
+
+    /// Creates a parallel lab checkpointing to (and resuming from)
+    /// the journal at `path`: completed records already on disk are
+    /// restored into the memo cache, and every pair simulated from
+    /// now on is appended and fsync'd as it completes.
+    pub fn with_journal(
+        cfg: RunConfig,
+        threads: usize,
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<Self, SimError> {
+        let (journal, records) = Journal::open(path, &cfg)?;
+        let mut lab = Self::with_threads(cfg, threads);
+        lab.restored = records.len();
+        for (pair, result) in records {
+            lab.lab.restore(pair, result);
+        }
+        lab.journal = Some(journal);
+        Ok(lab)
+    }
+
+    /// Creates a parallel lab honouring the environment: worker count
+    /// from `CMP_BENCH_THREADS`, checkpoint journal from
+    /// [`crate::journal::JOURNAL_ENV`] when set and non-empty.
+    pub fn from_env(cfg: RunConfig) -> Result<Self, SimError> {
+        match std::env::var(crate::journal::JOURNAL_ENV) {
+            Ok(path) if !path.trim().is_empty() => {
+                Self::with_journal(cfg, pool::default_threads(), path.trim())
+            }
+            _ => Ok(Self::new(cfg)),
+        }
+    }
+
+    /// Overrides the retry/deadline/chaos policy for future batches.
+    pub fn set_resilience(&mut self, resilience: Resilience) {
+        self.resilience = resilience;
+    }
+
+    /// The active retry/deadline/chaos policy.
+    pub fn resilience(&self) -> &Resilience {
+        &self.resilience
     }
 
     /// The worker count batches fan out to.
@@ -191,19 +260,55 @@ impl ParallelLab {
         self.threads
     }
 
-    /// Number of simulations actually performed (cache hits and
-    /// duplicate submissions excluded).
+    /// Number of simulations actually performed (cache hits,
+    /// duplicate submissions, and journal-restored pairs excluded).
     pub fn simulations(&self) -> usize {
         self.lab.simulations()
     }
 
+    /// Number of pairs restored from the checkpoint journal at
+    /// construction (0 without a journal).
+    pub fn restored(&self) -> usize {
+        self.restored
+    }
+
+    /// The attached journal's path, if checkpointing is on.
+    pub fn journal_path(&self) -> Option<&std::path::Path> {
+        self.journal.as_ref().map(Journal::path)
+    }
+
+    /// The resilience report of the most recent
+    /// [`ParallelLab::prefetch`] batch (quarantined jobs, retries,
+    /// injected-fault accounting). Clean and empty before the first
+    /// batch.
+    pub fn last_report(&self) -> &SweepReport {
+        &self.last_report
+    }
+
+    /// Appends a freshly simulated pair to the journal, detaching the
+    /// journal (loudly) on write failure so one disk hiccup does not
+    /// kill an hours-long sweep.
+    fn checkpoint(journal: &mut Option<Journal>, pair: Pair, result: &RunResult) {
+        if let Some(j) = journal {
+            if let Err(e) = j.append(pair, result) {
+                eprintln!("warning: sweep journaling disabled: {e}");
+                *journal = None;
+            }
+        }
+    }
+
     /// Simulates every not-yet-cached pair of the batch across the
     /// worker pool and merges the results into the memo cache in
-    /// submission order. Duplicate submissions and already-cached
-    /// pairs are simulated zero times. Returns per-pair timings of
-    /// the misses; on an unknown workload name, every valid pair is
-    /// still cached and the first error (in submission order) is
-    /// returned.
+    /// submission order. Duplicate submissions, already-cached pairs,
+    /// and journal-restored pairs are simulated zero times. Returns
+    /// per-pair timings of the misses; on an unknown workload name,
+    /// every valid pair is still cached and the first error (in
+    /// submission order) is returned.
+    ///
+    /// Faults (worker panics, deadline overruns) are retried up to
+    /// the [`Resilience`] budget; pairs that exhaust it are
+    /// quarantined in [`ParallelLab::last_report`] — the batch itself
+    /// still completes with partial results.
     pub fn prefetch(&mut self, pairs: &[Pair]) -> Result<Vec<PairTiming>, SimError> {
         // Deduplicate in submission order, dropping cache hits.
         let mut seen = std::collections::HashSet::new();
@@ -213,31 +318,22 @@ impl ParallelLab {
             .filter(|p| !self.lab.contains(p.0, p.1) && seen.insert(*p))
             .collect();
         let cfg = self.lab.cfg;
-        let jobs: Vec<_> = misses
-            .iter()
-            .map(|&pair| {
-                move || {
-                    let t0 = Instant::now();
-                    let result = simulate_pair(pair, &cfg);
-                    (result, t0.elapsed().as_secs_f64() * 1e3)
-                }
-            })
-            .collect();
-        let outcomes = pool::run_jobs(jobs, self.threads);
+        let (slots, report) = sweep::run_pairs(&misses, &cfg, self.threads, &self.resilience);
+        self.last_report = report;
         // Merge in submission order.
         let mut timings = Vec::with_capacity(misses.len());
         let mut first_err = None;
-        for (pair, (result, millis)) in misses.into_iter().zip(outcomes) {
-            match result {
-                Ok(r) => {
+        for (pair, slot) in misses.into_iter().zip(slots) {
+            match slot {
+                Some((Ok(r), millis)) => {
+                    Self::checkpoint(&mut self.journal, pair, &r);
                     self.lab.insert(pair, r);
                     timings.push(PairTiming { workload: pair.0, kind: pair.1, millis });
                 }
-                Err(e) => {
-                    if first_err.is_none() {
-                        first_err = Some(e);
-                    }
-                }
+                Some((Err(e), _)) if first_err.is_none() => first_err = Some(e),
+                Some((Err(_), _)) => {}
+                // Quarantined: accounted for in `last_report`.
+                None => {}
             }
         }
         match first_err {
@@ -253,7 +349,12 @@ impl ResultSource for ParallelLab {
     }
 
     fn try_result(&mut self, workload: WorkloadId, kind: OrgKind) -> Result<&RunResult, SimError> {
-        self.lab.try_result(workload, kind)
+        let was_cached = self.lab.contains(workload, kind);
+        let result = self.lab.try_result(workload, kind)?;
+        if !was_cached {
+            Self::checkpoint(&mut self.journal, (workload, kind), result);
+        }
+        Ok(result)
     }
 
     fn runs(&self) -> usize {

@@ -20,13 +20,18 @@
 //! paper-scale configuration.
 
 pub mod figures;
+pub mod journal;
 pub mod json;
 pub mod lab;
 pub mod pool;
+pub mod sweep;
 pub mod table;
 
+pub use journal::{Journal, JOURNAL_ENV};
 pub use json::Json;
 pub use lab::{Lab, Pair, PairTiming, ParallelLab, ResultSource, WorkloadId};
+pub use pool::{CancelToken, JobError};
+pub use sweep::{Quarantined, Resilience, SweepReport};
 pub use table::TextTable;
 
 use cmp_sim::RunConfig;

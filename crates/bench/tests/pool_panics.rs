@@ -1,0 +1,131 @@
+//! Property tests (vendored proptest shim) for the worker pool's
+//! panic isolation: with panics injected at *random* positions and
+//! random thread counts,
+//!
+//! * every non-panicking job still returns its result, in submission
+//!   order — one bad job never takes siblings or the batch down;
+//! * every panicking job is reported exactly once, as
+//!   [`JobError::Panicked`] carrying its own payload (not a sibling's,
+//!   and not `N` cascaded reports from a poisoned queue);
+//! * the legacy fail-fast [`cmp_bench::pool::run_jobs`] drains the
+//!   whole batch first and then panics exactly once, with a message
+//!   that counts the failures and quotes the first one.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Once;
+
+use proptest::prelude::*;
+
+use cmp_bench::pool::{run_jobs, run_jobs_isolated};
+use cmp_bench::JobError;
+
+/// Silences the default panic hook for the panics this suite injects
+/// on purpose (real failures still print).
+fn quiet_injected_panics() {
+    static INIT: Once = Once::new();
+    INIT.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let msg = info
+                .payload()
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| info.payload().downcast_ref::<String>().cloned())
+                .unwrap_or_default();
+            if !msg.contains("injected panic") && !msg.contains("pool jobs failed") {
+                prev(info);
+            }
+        }));
+    });
+}
+
+fn dies(mask: u64, i: usize) -> bool {
+    mask >> (i % 64) & 1 == 1
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+    #[test]
+    fn surviving_jobs_return_in_submission_order(
+        n in 1usize..25,
+        mask in any::<u64>(),
+        threads in 1usize..9,
+    ) {
+        quiet_injected_panics();
+        let jobs: Vec<_> = (0..n)
+            .map(|i| {
+                move || {
+                    if dies(mask, i) {
+                        panic!("injected panic #{i}");
+                    }
+                    i * 10 + 1
+                }
+            })
+            .collect();
+        let results = run_jobs_isolated(jobs, threads);
+        prop_assert_eq!(results.len(), n, "one slot per job, always");
+        for (i, result) in results.iter().enumerate() {
+            match result {
+                Ok(v) => {
+                    prop_assert!(!dies(mask, i), "job {} should have panicked", i);
+                    prop_assert_eq!(*v, i * 10 + 1, "slot {} out of submission order", i);
+                }
+                Err(JobError::Panicked(msg)) => {
+                    prop_assert!(dies(mask, i), "job {} was not armed to panic", i);
+                    // The captured payload is this job's own, so the
+                    // panic is attributed once and to the right slot.
+                    prop_assert_eq!(msg, &format!("injected panic #{i}"));
+                }
+                Err(other) => prop_assert!(false, "job {} unexpected error {:?}", i, other),
+            }
+        }
+    }
+
+    #[test]
+    fn legacy_batch_panics_once_after_draining(
+        n in 1usize..25,
+        mask in any::<u64>(),
+        threads in 1usize..9,
+    ) {
+        quiet_injected_panics();
+        let jobs: Vec<_> = (0..n)
+            .map(|i| {
+                move || {
+                    if dies(mask, i) {
+                        panic!("injected panic #{i}");
+                    }
+                    i
+                }
+            })
+            .collect();
+        let failed: Vec<usize> = (0..n).filter(|&i| dies(mask, i)).collect();
+        let outcome = catch_unwind(AssertUnwindSafe(|| run_jobs(jobs, threads)));
+        match outcome {
+            Ok(out) => {
+                prop_assert!(failed.is_empty(), "panics were armed but none surfaced");
+                prop_assert_eq!(out, (0..n).collect::<Vec<_>>());
+            }
+            Err(payload) => {
+                prop_assert!(!failed.is_empty(), "batch panicked with no armed panic");
+                // One batch-level panic, counting every failure and
+                // quoting the first in submission order — not N
+                // cascaded panics, not a poisoned-mutex `expect`.
+                let msg = payload
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .unwrap_or_else(|| "non-string payload".into());
+                prop_assert!(
+                    msg.contains(&format!("{} of {} pool jobs failed", failed.len(), n)),
+                    "bad batch report: {}",
+                    msg
+                );
+                prop_assert!(
+                    msg.contains(&format!("injected panic #{}", failed[0])),
+                    "first failure not in submission order: {}",
+                    msg
+                );
+                prop_assert!(!msg.contains("poisoned"), "poison cascade leaked: {}", msg);
+            }
+        }
+    }
+}

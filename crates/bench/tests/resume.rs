@@ -1,0 +1,121 @@
+//! Checkpoint/resume suite: a journaled sweep that is "killed"
+//! mid-run — including mid-*write*, leaving a torn final record —
+//! must resume with exactly the surviving records restored, simulate
+//! only the remainder, and render figures byte-identical to an
+//! uninterrupted run.
+//!
+//! The kill is simulated by truncating the journal file, which is
+//! precisely the on-disk state a real `kill -9` leaves: a prefix of
+//! fsync'd complete records, optionally followed by a partial line.
+
+use std::collections::HashSet;
+use std::io::Write as _;
+use std::path::PathBuf;
+
+use cmp_bench::{figures, Pair, ParallelLab, ResultSource};
+use cmp_sim::{RunConfig, RunResult};
+
+fn tiny_cfg() -> RunConfig {
+    RunConfig { warmup_accesses: 200, measure_accesses: 400, seed: 11 }
+}
+
+fn temp_journal(name: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!("cmp-resume-{}-{name}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+/// The batch under test: Figure 5's pairs (small enough for a tiny
+/// config, big enough that a half-way kill leaves work on both sides).
+fn batch() -> (Vec<Pair>, Vec<Pair>) {
+    let submitted = figures::pairs::fig5();
+    let mut seen = HashSet::new();
+    let unique: Vec<Pair> = submitted.iter().copied().filter(|p| seen.insert(*p)).collect();
+    (submitted, unique)
+}
+
+/// Reference: the uninterrupted, journal-free answer.
+fn reference(submitted: &[Pair], unique: &[Pair]) -> (Vec<RunResult>, String) {
+    let mut lab = ParallelLab::with_threads(tiny_cfg(), 2);
+    lab.prefetch(submitted).unwrap();
+    let results = unique.iter().map(|&(w, k)| lab.result(w, k).clone()).collect();
+    (results, figures::fig5(&mut lab))
+}
+
+/// Truncates the journal to its header plus `keep` complete records,
+/// then (optionally) a torn half-record with no trailing newline.
+fn kill_journal(path: &PathBuf, keep: usize, torn_tail: bool) {
+    let text = std::fs::read_to_string(path).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert!(lines.len() > keep + 1, "journal shorter than the kill point");
+    let mut survived = lines[..=keep].join("\n");
+    survived.push('\n');
+    if torn_tail {
+        let next = lines[keep + 1];
+        survived.push_str(&next[..next.len() / 2]);
+    }
+    let mut f = std::fs::File::create(path).unwrap();
+    f.write_all(survived.as_bytes()).unwrap();
+}
+
+fn run_resume_scenario(name: &str, torn_tail: bool) {
+    let (submitted, unique) = batch();
+    let n = unique.len();
+    let keep = n / 2;
+    let (want_results, want_figure) = reference(&submitted, &unique);
+
+    // First run: journaled, completes, then is "killed" after the
+    // fact by truncating its journal to `keep` records.
+    let path = temp_journal(name);
+    {
+        let mut first = ParallelLab::with_journal(tiny_cfg(), 2, &path).unwrap();
+        assert_eq!(first.restored(), 0, "fresh journal must restore nothing");
+        first.prefetch(&submitted).unwrap();
+        assert_eq!(first.simulations(), n);
+    }
+    kill_journal(&path, keep, torn_tail);
+
+    // Resume: restore the survivors, simulate only the remainder.
+    let mut resumed = ParallelLab::with_journal(tiny_cfg(), 2, &path).unwrap();
+    assert_eq!(resumed.restored(), keep, "must restore exactly the intact records");
+    resumed.prefetch(&submitted).unwrap();
+    assert_eq!(resumed.simulations(), n - keep, "resume must re-simulate only the lost pairs");
+
+    // The resumed lab's answers are bit-identical to the
+    // uninterrupted run, pair by pair and figure byte by figure byte.
+    for (&(w, k), want) in unique.iter().zip(&want_results) {
+        assert_eq!(resumed.result(w, k), want, "{}/{}", w.name(), k.name());
+    }
+    assert_eq!(figures::fig5(&mut resumed), want_figure, "figure bytes diverged after resume");
+
+    // And the journal healed: a third open restores all N records.
+    drop(resumed);
+    let third = ParallelLab::with_journal(tiny_cfg(), 2, &path).unwrap();
+    assert_eq!(third.restored(), n, "resumed run must have re-journaled the lost pairs");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn resume_after_clean_kill_is_byte_identical() {
+    run_resume_scenario("clean", false);
+}
+
+#[test]
+fn resume_after_torn_final_record_is_byte_identical() {
+    run_resume_scenario("torn", true);
+}
+
+#[test]
+fn on_demand_lookups_are_journaled_too() {
+    let path = temp_journal("on-demand");
+    let (w, k) = figures::pairs::fig5()[0];
+    {
+        let mut lab = ParallelLab::with_journal(tiny_cfg(), 2, &path).unwrap();
+        lab.try_result(w, k).unwrap();
+    }
+    let mut lab = ParallelLab::with_journal(tiny_cfg(), 2, &path).unwrap();
+    assert_eq!(lab.restored(), 1, "single sequential lookups must checkpoint as well");
+    lab.try_result(w, k).unwrap();
+    assert_eq!(lab.simulations(), 0);
+    let _ = std::fs::remove_file(&path);
+}

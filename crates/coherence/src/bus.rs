@@ -58,6 +58,18 @@ impl BusStats {
         self.counts.iter().sum()
     }
 
+    /// The raw per-type counters in [`BusTx::ALL`] order, for
+    /// serializers that need to persist bus statistics losslessly.
+    pub fn raw_counts(&self) -> [u64; 4] {
+        self.counts
+    }
+
+    /// Rebuilds statistics from counters produced by
+    /// [`BusStats::raw_counts`] plus the arbitration-wait total.
+    pub fn from_raw_counts(counts: [u64; 4], arbitration_wait: Cycle) -> Self {
+        BusStats { counts, arbitration_wait }
+    }
+
     fn slot(tx: BusTx) -> usize {
         match tx {
             BusTx::BusRd => 0,
@@ -270,6 +282,18 @@ impl Default for Bus {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn raw_counts_roundtrip() {
+        let mut bus = Bus::paper();
+        bus.transact(BusTx::BusRd, 0);
+        bus.transact(BusTx::BusRd, 0);
+        bus.transact(BusTx::BusUpg, 0);
+        let stats = *bus.stats();
+        let rebuilt = BusStats::from_raw_counts(stats.raw_counts(), stats.arbitration_wait);
+        assert_eq!(rebuilt, stats);
+        assert_eq!(rebuilt.count(BusTx::BusRd), 2);
+    }
 
     #[test]
     fn back_to_back_transactions_pipeline() {

@@ -129,6 +129,18 @@ impl ReuseHistogram {
         }
     }
 
+    /// The raw per-bucket counters in [`ReuseBucket::ALL`] order, for
+    /// serializers that need to persist a histogram losslessly.
+    pub fn raw_counts(&self) -> [u64; 4] {
+        self.counts
+    }
+
+    /// Rebuilds a histogram from counters produced by
+    /// [`ReuseHistogram::raw_counts`].
+    pub fn from_raw_counts(counts: [u64; 4]) -> Self {
+        ReuseHistogram { counts }
+    }
+
     fn slot(bucket: ReuseBucket) -> usize {
         match bucket {
             ReuseBucket::Zero => 0,
@@ -165,6 +177,16 @@ mod tests {
     #[test]
     fn fraction_displays_as_percent() {
         assert_eq!(Fraction::new(1, 8).to_string(), "12.50%");
+    }
+
+    #[test]
+    fn raw_counts_roundtrip() {
+        let mut h = ReuseHistogram::new();
+        for count in [0, 1, 1, 3, 7, 100] {
+            h.record(count);
+        }
+        assert_eq!(h.raw_counts(), [1, 2, 1, 2]);
+        assert_eq!(ReuseHistogram::from_raw_counts(h.raw_counts()), h);
     }
 
     #[test]

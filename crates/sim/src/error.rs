@@ -19,6 +19,18 @@ pub enum SimError {
     /// The organization name does not resolve to an
     /// [`crate::OrgKind`].
     UnknownOrg(String),
+    /// A sweep job exhausted its retry budget and was quarantined;
+    /// `pair` names the (workload, organization) pair, `cause` the
+    /// last per-attempt failure (panic payload, timeout, ...).
+    JobFailed {
+        /// `workload/org` display key of the quarantined pair.
+        pair: String,
+        /// Human-readable cause of the final failed attempt.
+        cause: String,
+    },
+    /// The sweep checkpoint journal could not be opened, parsed, or
+    /// appended to (I/O failure, config mismatch, stale contents).
+    Journal(String),
 }
 
 impl fmt::Display for SimError {
@@ -29,6 +41,10 @@ impl fmt::Display for SimError {
             }
             SimError::UnknownMix(name) => write!(f, "unknown mix {name:?}"),
             SimError::UnknownOrg(name) => write!(f, "unknown organization {name:?}"),
+            SimError::JobFailed { pair, cause } => {
+                write!(f, "sweep job {pair} failed after retries: {cause}")
+            }
+            SimError::Journal(msg) => write!(f, "sweep journal: {msg}"),
         }
     }
 }
@@ -47,5 +63,9 @@ mod tests {
         assert_eq!(e.to_string(), "unknown mix \"MIX9\"");
         let e = SimError::UnknownOrg("l4".into());
         assert_eq!(e.to_string(), "unknown organization \"l4\"");
+        let e = SimError::JobFailed { pair: "oltp/shared".into(), cause: "panicked: boom".into() };
+        assert_eq!(e.to_string(), "sweep job oltp/shared failed after retries: panicked: boom");
+        let e = SimError::Journal("config mismatch".into());
+        assert_eq!(e.to_string(), "sweep journal: config mismatch");
     }
 }
