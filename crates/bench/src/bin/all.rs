@@ -38,20 +38,13 @@ fn main() {
     ok_or_exit(lab.prefetch(&figures::pairs::all()));
     let sweep_ms = t0.elapsed().as_secs_f64() * 1e3;
     if !lab.last_report().quarantined.is_empty() {
-        eprintln!(
-            "warning: partial sweep — {} (quarantined pairs will be re-simulated \
-             sequentially as figures demand them)",
-            lab.last_report().summary()
+        // The sweep engine already warned once per quarantined pair.
+        let summary = lab.last_report().summary();
+        cmp_obs::warn!(
+            "partial sweep: quarantined pairs will be re-simulated sequentially \
+             as figures demand them",
+            report = summary
         );
-        for q in &lab.last_report().quarantined {
-            eprintln!(
-                "  quarantined: {}/{} after {} attempt(s): {}",
-                q.pair.0.name(),
-                q.pair.1.name(),
-                q.attempts,
-                q.error
-            );
-        }
     }
     println!("{}", figures::fig5(&mut lab));
     println!("{}", figures::fig6(&mut lab));
@@ -68,4 +61,7 @@ fn main() {
         sweep_ms,
         lab.threads()
     );
+    if ok_or_exit(cmp_bench::obs_report::export_if_enabled()).is_some() {
+        eprintln!("(metrics exported to {})", cmp_bench::OBS_REPORT_PATH);
+    }
 }

@@ -94,7 +94,7 @@ fn main() {
     // The harness manages its own journal; an inherited one would make
     // the reference and chaos labs share state.
     if std::env::var_os(JOURNAL_ENV).is_some() {
-        eprintln!("note: ignoring {JOURNAL_ENV} — the chaos harness uses its own journal");
+        cmp_obs::warn!("ignoring {JOURNAL_ENV} — the chaos harness uses its own journal");
     }
     let submitted = figures::pairs::all();
     let mut seen = HashSet::new();
@@ -249,11 +249,27 @@ fn main() {
     report.set("resume_resimulated", Json::Num(resimulated as f64));
     report.set("resume_identical", Json::Bool(resumed_ok));
     report.set("converged", Json::Bool(failures.is_empty()));
-    let text = report.to_string();
-    if let Err(e) = std::fs::write(REPORT_PATH, format!("{text}\n")) {
-        eprintln!("warning: could not write {REPORT_PATH}: {e}");
+    println!("{report}");
+    ok_or_exit(cmp_bench::obs_report::write_report(REPORT_PATH, &report));
+
+    // With the obs layer on, this binary is also the acceptance check
+    // that the full taxonomy actually fires: a chaos run takes L2
+    // accesses, bus snoops, sweep retries, and journal appends by
+    // construction, so their counters must be nonzero in the export.
+    if cmp_obs::enabled() {
+        let snap = cmp_obs::snapshot();
+        for name in ["cache.l2.accesses", "bus.snoops", "sweep.retries", "journal.appends"] {
+            if snap.counter(name).unwrap_or(0) == 0 {
+                failures.push(format!("obs counter {name} is zero after a chaos run"));
+            }
+        }
+        ok_or_exit(cmp_bench::obs_report::export_if_enabled().map(|_| ()));
+        eprintln!(
+            "obs: exported {} counter(s) to {}",
+            snap.counters.len(),
+            cmp_bench::OBS_REPORT_PATH
+        );
     }
-    println!("{text}");
 
     if failures.is_empty() {
         eprintln!(
@@ -264,7 +280,7 @@ fn main() {
         );
     } else {
         for f in &failures {
-            eprintln!("CHAOS DIVERGENCE: {f}");
+            cmp_obs::error!("chaos divergence", detail = f);
         }
         std::process::exit(1);
     }

@@ -190,11 +190,9 @@ fn main() {
         })
         .collect();
     report.set("per_pair", Json::Arr(rows));
-    let text = report.to_string();
-    if let Err(e) = std::fs::write(REPORT_PATH, format!("{text}\n")) {
-        eprintln!("warning: could not write {REPORT_PATH}: {e}");
-    }
-    println!("{text}");
+    println!("{report}");
+    ok_or_exit(cmp_bench::obs_report::write_report(REPORT_PATH, &report));
+    ok_or_exit(cmp_bench::obs_report::export_if_enabled().map(|_| ()));
 
     match (baseline, speedup) {
         (Some(b), Some(s)) => {

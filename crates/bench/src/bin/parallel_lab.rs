@@ -151,11 +151,13 @@ fn main() {
         })
         .collect();
     report.set("per_pair", Json::Arr(per_pair));
-    let text = report.to_string();
-    if let Err(e) = std::fs::write(REPORT_PATH, format!("{text}\n")) {
-        eprintln!("warning: could not write {REPORT_PATH}: {e}");
+    // With the obs layer on, embed the metrics snapshot in the main
+    // report and also export it standalone as BENCH_obs.json.
+    if let Some(obs) = ok_or_exit(cmp_bench::obs_report::export_if_enabled()) {
+        report.set("obs", obs);
     }
-    println!("{text}");
+    println!("{report}");
+    ok_or_exit(cmp_bench::obs_report::write_report(REPORT_PATH, &report));
 
     if workers > 1 {
         eprintln!(
@@ -172,11 +174,13 @@ fn main() {
         );
     }
     if !identical {
-        eprintln!("DETERMINISM VIOLATION: parallel sweep diverged on: {}", mismatches.join(", "));
+        let diverged = mismatches.join(", ");
+        cmp_obs::error!("determinism violation: parallel sweep diverged", on = diverged);
         std::process::exit(1);
     }
     if !par.last_report().quarantined.is_empty() {
-        eprintln!("SWEEP INCOMPLETE: {}", par.last_report().summary());
+        let summary = par.last_report().summary();
+        cmp_obs::error!("sweep incomplete", report = summary);
         std::process::exit(1);
     }
 }

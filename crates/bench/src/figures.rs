@@ -640,6 +640,29 @@ pub mod series {
     /// prefetched, and the extractor producing its numeric series.
     pub type CatalogEntry<L> = (&'static str, Vec<crate::lab::Pair>, fn(&mut L) -> Series);
 
+    /// Serializes one figure's series in the golden-fixture shape:
+    /// figure name, the exact [`cmp_sim::RunConfig`] that produced
+    /// it, and the raw series values in rendering order. The golden
+    /// suite, the determinism suites, and the obs suite all compare
+    /// `format!("{json}\n")` of this value byte for byte, so the
+    /// shape (and [`crate::Json`]'s stable rendering) is load-bearing.
+    pub fn golden_json(name: &str, cfg: &cmp_sim::RunConfig, series: &Series) -> crate::Json {
+        use crate::Json;
+        let mut out = Json::obj();
+        out.set("figure", Json::Str(name.to_string()));
+        let mut config = Json::obj();
+        config.set("warmup_accesses", Json::Num(cfg.warmup_accesses as f64));
+        config.set("measure_accesses", Json::Num(cfg.measure_accesses as f64));
+        config.set("seed", Json::Num(cfg.seed as f64));
+        out.set("config", config);
+        let mut s = Json::obj();
+        for (key, value) in series {
+            s.set(key, Json::Num(*value));
+        }
+        out.set("series", s);
+        out
+    }
+
     /// Every golden-tracked figure — the single list the golden suite
     /// and the parallel report iterate.
     pub fn catalog<L: ResultSource>() -> Vec<CatalogEntry<L>> {

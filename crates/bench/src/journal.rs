@@ -118,6 +118,9 @@ impl Journal {
             good_end = offset;
         }
         let torn = data.len() - good_end;
+        static RESTORED: cmp_obs::Counter = cmp_obs::Counter::new("journal.restored");
+        static TORN_TAILS: cmp_obs::Counter = cmp_obs::Counter::new("journal.torn_tails");
+        RESTORED.add(restored.len() as u64);
 
         let mut file = OpenOptions::new()
             .create(true)
@@ -127,11 +130,14 @@ impl Journal {
             .open(&path)
             .map_err(|e| journal_err(format!("open {}: {e}", path.display())))?;
         if torn > 0 {
-            eprintln!(
-                "warning: sweep journal {}: dropping torn tail ({torn} byte(s) after \
-                 {} intact record(s))",
-                path.display(),
-                restored.len()
+            TORN_TAILS.inc();
+            let journal = path.display().to_string();
+            let intact = restored.len();
+            cmp_obs::warn!(
+                "sweep journal: dropping torn tail",
+                journal = journal,
+                torn_bytes = torn,
+                intact_records = intact
             );
             file.set_len(good_end as u64)
                 .map_err(|e| journal_err(format!("truncate {}: {e}", path.display())))?;
@@ -162,6 +168,8 @@ impl Journal {
         }
         self.write_line(&value)?;
         self.records += 1;
+        static APPENDS: cmp_obs::Counter = cmp_obs::Counter::new("journal.appends");
+        APPENDS.inc();
         Ok(())
     }
 

@@ -291,7 +291,7 @@ impl ParallelLab {
     fn checkpoint(journal: &mut Option<Journal>, pair: Pair, result: &RunResult) {
         if let Some(j) = journal {
             if let Err(e) = j.append(pair, result) {
-                eprintln!("warning: sweep journaling disabled: {e}");
+                cmp_obs::warn!("sweep journaling disabled", cause = e);
                 *journal = None;
             }
         }
@@ -310,6 +310,7 @@ impl ParallelLab {
     /// quarantined in [`ParallelLab::last_report`] — the batch itself
     /// still completes with partial results.
     pub fn prefetch(&mut self, pairs: &[Pair]) -> Result<Vec<PairTiming>, SimError> {
+        let _span = cmp_obs::span!("bench.prefetch");
         // Deduplicate in submission order, dropping cache hits.
         let mut seen = std::collections::HashSet::new();
         let misses: Vec<Pair> = pairs

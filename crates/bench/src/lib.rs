@@ -23,6 +23,7 @@ pub mod figures;
 pub mod journal;
 pub mod json;
 pub mod lab;
+pub mod obs_report;
 pub mod pool;
 pub mod sweep;
 pub mod table;
@@ -30,6 +31,7 @@ pub mod table;
 pub use journal::{Journal, JOURNAL_ENV};
 pub use json::Json;
 pub use lab::{Lab, Pair, PairTiming, ParallelLab, ResultSource, WorkloadId};
+pub use obs_report::OBS_REPORT_PATH;
 pub use pool::{CancelToken, JobError};
 pub use sweep::{Quarantined, Resilience, SweepReport};
 pub use table::TextTable;

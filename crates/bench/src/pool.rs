@@ -126,6 +126,25 @@ fn lock_recovering<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
+/// Books one orphaned job — a result that was computed but could not
+/// be delivered because the batch receiver was gone — into the orphan
+/// registry, with a capture-able warning and a `pool.orphans` metric.
+///
+/// Public so the test suites can exercise the orphan path directly:
+/// through the public batch API the receiver provably outlives every
+/// worker (they share one [`std::thread::scope`]), so the path is
+/// unreachable without either tearing down a channel by hand or
+/// calling this.
+pub fn record_orphan(orphans: &Mutex<Vec<usize>>, index: usize) {
+    static ORPHANS: cmp_obs::Counter = cmp_obs::Counter::new("pool.orphans");
+    cmp_obs::warn!(
+        "orphaned pool job: result computed but the batch receiver was gone",
+        index = index
+    );
+    ORPHANS.inc();
+    lock_recovering(orphans).push(index);
+}
+
 /// Renders a captured panic payload (`&str` / `String` payloads keep
 /// their message; anything else gets a placeholder).
 fn payload_message(payload: Box<dyn Any + Send>) -> String {
@@ -146,9 +165,7 @@ pub fn default_threads() -> usize {
         Ok(v) => match v.trim().parse::<usize>() {
             Ok(n) if n >= 1 => n,
             _ => {
-                eprintln!(
-                    "warning: ignoring invalid {THREADS_ENV}={v:?} (want a positive integer)"
-                );
+                cmp_obs::warn!("ignoring invalid {THREADS_ENV}={v:?} (want a positive integer)");
                 available()
             }
         },
@@ -295,11 +312,7 @@ where
                     Err(payload) => Err(JobError::Panicked(payload_message(payload))),
                 };
                 if tx.send((index, result)).is_err() {
-                    eprintln!(
-                        "warning: orphaned pool job {index}: \
-                         result computed but the batch receiver was gone"
-                    );
-                    lock_recovering(orphans).push(index);
+                    record_orphan(orphans, index);
                     break;
                 }
             });

@@ -179,7 +179,36 @@ pub(crate) fn run_pairs(
             error: error.unwrap_or(JobError::Cancelled),
         });
     }
+    record_sweep(&report);
     (slots, report)
+}
+
+/// Folds one finished sweep's accounting into the metrics registry
+/// and warns (capture-ably) about each quarantined pair. Called once
+/// per sweep, so the per-attempt hot path carries no instrumentation.
+fn record_sweep(report: &SweepReport) {
+    static ATTEMPTS: cmp_obs::Counter = cmp_obs::Counter::new("sweep.attempts");
+    static RETRIES: cmp_obs::Counter = cmp_obs::Counter::new("sweep.retries");
+    static PANICS: cmp_obs::Counter = cmp_obs::Counter::new("sweep.panics");
+    static TIMEOUTS: cmp_obs::Counter = cmp_obs::Counter::new("sweep.timeouts");
+    static ORPHANS: cmp_obs::Counter = cmp_obs::Counter::new("sweep.orphans");
+    static QUARANTINED: cmp_obs::Counter = cmp_obs::Counter::new("sweep.quarantined");
+    ATTEMPTS.add(report.attempts as u64);
+    RETRIES.add(report.retries as u64);
+    PANICS.add(report.panicked as u64);
+    TIMEOUTS.add(report.timed_out as u64);
+    ORPHANS.add(report.orphaned as u64);
+    QUARANTINED.add(report.quarantined.len() as u64);
+    for q in &report.quarantined {
+        let pair = format!("{}/{}", q.pair.0.name(), q.pair.1.name());
+        let cause = q.error.to_string();
+        cmp_obs::warn!(
+            "sweep job quarantined after exhausting its retry budget",
+            pair = pair,
+            attempts = q.attempts,
+            cause = cause
+        );
+    }
 }
 
 /// Applies the chaos event (if any) armed for `(job, attempt)`: a

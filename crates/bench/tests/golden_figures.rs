@@ -39,21 +39,7 @@ fn within(key: &str, golden: f64, current: f64) -> bool {
     (current - golden).abs() <= tol * golden.abs().max(1.0)
 }
 
-fn golden_json(name: &str, cfg: &RunConfig, series: &[(String, f64)]) -> Json {
-    let mut out = Json::obj();
-    out.set("figure", Json::Str(name.to_string()));
-    let mut config = Json::obj();
-    config.set("warmup_accesses", Json::Num(cfg.warmup_accesses as f64));
-    config.set("measure_accesses", Json::Num(cfg.measure_accesses as f64));
-    config.set("seed", Json::Num(cfg.seed as f64));
-    out.set("config", config);
-    let mut s = Json::obj();
-    for (key, value) in series {
-        s.set(key, Json::Num(*value));
-    }
-    out.set("series", s);
-    out
-}
+use figures::series::golden_json;
 
 #[test]
 fn golden_figures_match() {

@@ -43,6 +43,27 @@ fn dies(mask: u64, i: usize) -> bool {
     mask >> (i % 64) & 1 == 1
 }
 
+/// The orphan path is unreachable through the public batch API (the
+/// receiver provably outlives every worker), so the pool exposes
+/// [`cmp_bench::pool::record_orphan`] for direct exercise: the
+/// warning must flow through the capture-able log sink (not a bare
+/// `eprintln!`) and the index must land in the registry.
+#[test]
+fn orphan_warning_reaches_the_capture_sink() {
+    use std::sync::Mutex;
+    let orphans: Mutex<Vec<usize>> = Mutex::new(Vec::new());
+    let capture = cmp_obs::Capture::install();
+    cmp_bench::pool::record_orphan(&orphans, 7);
+    let lines = capture.lines();
+    assert!(capture.contains("orphaned pool job"), "{lines:?}");
+    assert!(capture.contains("index=7"), "{lines:?}");
+    assert!(
+        lines.iter().filter(|l| l.contains("orphaned pool job")).all(|l| l.starts_with("[warn ")),
+        "{lines:?}"
+    );
+    assert_eq!(*orphans.lock().unwrap(), vec![7]);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
     #[test]

@@ -30,6 +30,15 @@ pub(crate) struct NuEntry {
     pub(crate) reuse: u64,
 }
 
+/// Counts one tag entry's transition into the Communication state.
+/// Callers skip entries that were already in C: re-joining is not a
+/// transition, so `coherence.c_transitions` counts only state changes.
+#[inline]
+fn count_c_join() {
+    static C_TRANSITIONS: cmp_obs::Counter = cmp_obs::Counter::new("coherence.c_transitions");
+    C_TRANSITIONS.inc();
+}
+
 /// The CMP-NuRAPID L2 cache (see crate docs and `NurapidConfig`).
 pub struct CmpNurapid {
     pub(crate) cfg: NurapidConfig,
@@ -371,9 +380,14 @@ impl CmpNurapid {
             if kind.is_write() {
                 // Join C writing the existing copy in place.
                 for (c, s, w) in self.other_holders(core, block) {
-                    self.entry_mut(c, s, w).state = MesicState::Communication;
+                    let e = self.entry_mut(c, s, w);
+                    if e.state != MesicState::Communication {
+                        count_c_join();
+                    }
+                    e.state = MesicState::Communication;
                     inv.push(c, block);
                 }
+                count_c_join();
                 self.tags[core.index()].fill(
                     set,
                     way,
@@ -390,12 +404,16 @@ impl CmpNurapid {
                 let nf = self.data.alloc(closest, block, my_tag);
                 for (c, s, w) in self.other_holders(core, block) {
                     let e = self.entry_mut(c, s, w);
+                    if e.state != MesicState::Communication {
+                        count_c_join();
+                    }
                     e.state = MesicState::Communication;
                     e.fwd = nf;
                     // Force the old holder's L1 to refill so its line
                     // adopts write-through C semantics.
                     inv.push(c, block);
                 }
+                count_c_join();
                 self.tags[core.index()].fill(
                     set,
                     way,

@@ -5,6 +5,12 @@ use std::fmt;
 /// A ratio with a pretty percentage rendering, used in experiment
 /// tables.
 ///
+/// Equality is *value*-aware, not structural: `1/2 == 2/4`, and any
+/// zero-denominator fraction equals any zero-valued one (both render
+/// and evaluate as 0). The derived `PartialEq` used to compare the
+/// raw numerator/denominator pair, so equal-valued ratios taken over
+/// different totals compared unequal.
+///
 /// # Example
 ///
 /// ```
@@ -13,12 +19,29 @@ use std::fmt;
 /// let f = Fraction::new(13, 100);
 /// assert_eq!(f.value(), 0.13);
 /// assert_eq!(f.to_string(), "13.00%");
+/// assert_eq!(Fraction::new(1, 2), Fraction::new(2, 4));
 /// ```
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Copy, Debug)]
 pub struct Fraction {
     numerator: u64,
     denominator: u64,
 }
+
+impl PartialEq for Fraction {
+    fn eq(&self, other: &Self) -> bool {
+        // A zero denominator evaluates to value 0 (see
+        // `Fraction::value`), so normalize it to 0/1 before
+        // cross-multiplying; u128 keeps the products exact for any
+        // u64 operands.
+        let (an, ad) =
+            if self.denominator == 0 { (0, 1) } else { (self.numerator, self.denominator) };
+        let (bn, bd) =
+            if other.denominator == 0 { (0, 1) } else { (other.numerator, other.denominator) };
+        an as u128 * bd as u128 == bn as u128 * ad as u128
+    }
+}
+
+impl Eq for Fraction {}
 
 impl Fraction {
     /// Creates a fraction; a zero denominator yields a value of zero
@@ -172,6 +195,28 @@ mod tests {
     #[test]
     fn fraction_handles_zero_denominator() {
         assert_eq!(Fraction::new(5, 0).value(), 0.0);
+    }
+
+    #[test]
+    fn fraction_equality_is_value_aware() {
+        // Regression: the derived structural PartialEq compared raw
+        // numerator/denominator pairs, so equal-valued ratios taken
+        // over different totals (1/2 vs 2/4) compared unequal.
+        assert_eq!(Fraction::new(1, 2), Fraction::new(2, 4));
+        assert_eq!(Fraction::new(0, 7), Fraction::new(0, 1));
+        assert_ne!(Fraction::new(1, 2), Fraction::new(2, 5));
+        // Zero denominators evaluate to 0 and must equal any
+        // zero-valued fraction (keeps Eq a valid equivalence).
+        assert_eq!(Fraction::new(5, 0), Fraction::new(0, 3));
+        assert_eq!(Fraction::new(5, 0), Fraction::new(9, 0));
+        assert_ne!(Fraction::new(5, 0), Fraction::new(1, 3));
+        // Cross-multiplication stays exact at u64 extremes (the f64
+        // path would round these to equal values).
+        assert_ne!(
+            Fraction::new(u64::MAX - 1, u64::MAX),
+            Fraction::new(u64::MAX - 2, u64::MAX - 1)
+        );
+        assert_eq!(Fraction::new(u64::MAX, u64::MAX), Fraction::new(1, 1));
     }
 
     #[test]

@@ -1,0 +1,265 @@
+//! The structured leveled logger and its test capture sink.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::io::Write as _;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+/// Severity of a log line.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum Level {
+    /// Unrecoverable or data-losing conditions.
+    Error,
+    /// Degraded but continuing (the old `eprintln!("warning: ...")`
+    /// sites).
+    Warn,
+    /// Progress notes; emitted only when the layer is enabled.
+    Info,
+    /// Diagnostic detail; emitted only when the layer is enabled.
+    Debug,
+}
+
+impl Level {
+    /// Lower-case tag used in the line prefix.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+        }
+    }
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Whether a line at `level` would be emitted right now. Errors and
+/// warnings always flow (they replace unconditional `eprintln!`
+/// sites); info and debug only when the layer is enabled.
+#[inline]
+pub fn log_enabled(level: Level) -> bool {
+    match level {
+        Level::Error | Level::Warn => true,
+        Level::Info | Level::Debug => crate::enabled(),
+    }
+}
+
+/// Emits one structured log line: `[level target] message k=v k=v`.
+///
+/// The line is fully formatted into a thread-local buffer and then
+/// delivered in a single write, so concurrent workers never
+/// interleave mid-line. Call through [`crate::log!`] (or the level
+/// shorthands), which checks [`log_enabled`] first and supplies the
+/// `module_path!` target.
+pub fn log_emit(
+    level: Level,
+    target: &str,
+    message: &dyn fmt::Display,
+    fields: &[(&str, &dyn fmt::Display)],
+) {
+    thread_local! {
+        static LINE: RefCell<String> = const { RefCell::new(String::new()) };
+    }
+    LINE.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut line) => {
+            line.clear();
+            format_line(&mut line, level, target, message, fields);
+            dispatch(&line);
+        }
+        // Re-entrant logging (a field's Display impl logs): fall back
+        // to a fresh buffer rather than panicking.
+        Err(_) => {
+            let mut line = String::new();
+            format_line(&mut line, level, target, message, fields);
+            dispatch(&line);
+        }
+    });
+}
+
+fn format_line(
+    line: &mut String,
+    level: Level,
+    target: &str,
+    message: &dyn fmt::Display,
+    fields: &[(&str, &dyn fmt::Display)],
+) {
+    use fmt::Write as _;
+    // Writing into a String cannot fail.
+    let _ = write!(line, "[{level} {target}] {message}");
+    for (key, value) in fields {
+        let _ = write!(line, " {key}={value}");
+    }
+}
+
+/// Routes a finished line to every installed capture, or to stderr
+/// when none is installed.
+fn dispatch(line: &str) {
+    if CAPTURE_COUNT.load(Ordering::Acquire) > 0 {
+        let captures = lock(&CAPTURES);
+        if !captures.is_empty() {
+            for (_, sink) in captures.iter() {
+                lock(sink).push(line.to_string());
+            }
+            return;
+        }
+    }
+    let stderr = std::io::stderr();
+    let mut out = stderr.lock();
+    let _ = out.write_all(line.as_bytes());
+    let _ = out.write_all(b"\n");
+}
+
+type SinkBuf = Arc<Mutex<Vec<String>>>;
+
+/// Installed capture sinks, keyed by installation id so `Drop` can
+/// remove exactly its own entry.
+static CAPTURES: Mutex<Vec<(u64, SinkBuf)>> = Mutex::new(Vec::new());
+/// Fast-path count of installed captures (the logger checks this
+/// before touching the registry lock).
+static CAPTURE_COUNT: AtomicUsize = AtomicUsize::new(0);
+static NEXT_CAPTURE_ID: AtomicU64 = AtomicU64::new(1);
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A test sink: while at least one `Capture` is installed, every
+/// emitted log line goes to the installed captures instead of stderr.
+/// Uninstalls itself on drop.
+///
+/// Captures are process-global, like the logger: a capture installed
+/// by one test observes lines from concurrently running tests too, so
+/// assertions should check for the presence of expected lines rather
+/// than exact buffer contents.
+#[derive(Debug)]
+pub struct Capture {
+    id: u64,
+    buf: SinkBuf,
+}
+
+impl Capture {
+    /// Installs a new capture sink and returns its handle.
+    pub fn install() -> Capture {
+        let id = NEXT_CAPTURE_ID.fetch_add(1, Ordering::Relaxed);
+        let buf: SinkBuf = Arc::new(Mutex::new(Vec::new()));
+        lock(&CAPTURES).push((id, Arc::clone(&buf)));
+        CAPTURE_COUNT.fetch_add(1, Ordering::Release);
+        Capture { id, buf }
+    }
+
+    /// The lines captured so far, in emission order.
+    pub fn lines(&self) -> Vec<String> {
+        lock(&self.buf).clone()
+    }
+
+    /// Whether any captured line contains `needle`.
+    pub fn contains(&self, needle: &str) -> bool {
+        lock(&self.buf).iter().any(|l| l.contains(needle))
+    }
+}
+
+impl Drop for Capture {
+    fn drop(&mut self) {
+        lock(&CAPTURES).retain(|(id, _)| *id != self.id);
+        CAPTURE_COUNT.fetch_sub(1, Ordering::Release);
+    }
+}
+
+/// Emits one structured log line if its level is currently enabled.
+///
+/// The first argument is a [`Level`], the second a format-string
+/// literal (implicit captures work), followed by optional
+/// `key = value` fields rendered as trailing `key=value` pairs:
+///
+/// ```
+/// let attempts = 3;
+/// cmp_obs::log!(cmp_obs::Level::Warn, "giving up after {attempts} attempts", job = 7);
+/// ```
+#[macro_export]
+macro_rules! log {
+    ($level:expr, $fmt:literal $(, $key:ident = $value:expr)* $(,)?) => {
+        if $crate::log_enabled($level) {
+            $crate::log_emit(
+                $level,
+                ::core::module_path!(),
+                &::core::format_args!($fmt),
+                &[$((::core::stringify!($key), &$value as &dyn ::core::fmt::Display)),*],
+            );
+        }
+    };
+}
+
+/// [`log!`] at [`Level::Error`].
+#[macro_export]
+macro_rules! error {
+    ($($args:tt)*) => { $crate::log!($crate::Level::Error, $($args)*) };
+}
+
+/// [`log!`] at [`Level::Warn`].
+#[macro_export]
+macro_rules! warn {
+    ($($args:tt)*) => { $crate::log!($crate::Level::Warn, $($args)*) };
+}
+
+/// [`log!`] at [`Level::Info`].
+#[macro_export]
+macro_rules! info {
+    ($($args:tt)*) => { $crate::log!($crate::Level::Info, $($args)*) };
+}
+
+/// [`log!`] at [`Level::Debug`].
+#[macro_export]
+macro_rules! debug {
+    ($($args:tt)*) => { $crate::log!($crate::Level::Debug, $($args)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_render() {
+        assert_eq!(Level::Error.to_string(), "error");
+        assert_eq!(Level::Warn.as_str(), "warn");
+        assert_eq!(Level::Info.as_str(), "info");
+        assert_eq!(Level::Debug.as_str(), "debug");
+        assert!(Level::Error < Level::Debug);
+    }
+
+    #[test]
+    fn warnings_always_pass_the_filter() {
+        assert!(log_enabled(Level::Error));
+        assert!(log_enabled(Level::Warn));
+    }
+
+    #[test]
+    fn line_format_is_prefix_message_fields() {
+        let mut line = String::new();
+        format_line(
+            &mut line,
+            Level::Warn,
+            "cmp_bench::pool",
+            &"orphaned job",
+            &[("index", &3usize as &dyn fmt::Display)],
+        );
+        assert_eq!(line, "[warn cmp_bench::pool] orphaned job index=3");
+    }
+
+    #[test]
+    fn nested_captures_both_see_lines_and_uninstall_cleanly() {
+        let outer = Capture::install();
+        {
+            let inner = Capture::install();
+            log_emit(Level::Warn, "t", &"both", &[]);
+            assert!(inner.contains("both"));
+        }
+        log_emit(Level::Warn, "t", &"outer only", &[]);
+        assert!(outer.contains("both"));
+        assert!(outer.contains("outer only"));
+    }
+}

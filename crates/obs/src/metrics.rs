@@ -1,0 +1,232 @@
+//! Monotonic counters, power-of-two histograms, and the process-wide
+//! registry both (plus spans) report into.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+use crate::span::SpanStat;
+
+/// Number of histogram buckets. Bucket 0 holds the value 0; bucket
+/// `b` (1..) holds values with `b` significant bits, i.e. the range
+/// `2^(b-1) ..= 2^b - 1`; everything wider clamps into the last
+/// bucket.
+pub const HIST_BUCKETS: usize = 16;
+
+/// Everything registered so far. Metrics are `static`s scattered
+/// across crates; each adds itself here on first use, so a snapshot
+/// only ever reports metrics that were actually touched.
+pub(crate) struct Registry {
+    pub(crate) counters: Vec<&'static Counter>,
+    pub(crate) histograms: Vec<&'static Histogram>,
+    pub(crate) spans: Vec<&'static SpanStat>,
+}
+
+static REGISTRY: Mutex<Registry> =
+    Mutex::new(Registry { counters: Vec::new(), histograms: Vec::new(), spans: Vec::new() });
+
+pub(crate) fn registry() -> MutexGuard<'static, Registry> {
+    REGISTRY.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A monotonic event counter. Declare as a `static` next to the code
+/// it observes; increments are relaxed atomics and compile to an
+/// early return while the layer is disabled.
+pub struct Counter {
+    name: &'static str,
+    value: AtomicU64,
+    registered: AtomicBool,
+}
+
+impl Counter {
+    /// A zeroed counter with a dotted taxonomy name
+    /// (`"cache.l2.hits"`).
+    pub const fn new(name: &'static str) -> Self {
+        Counter { name, value: AtomicU64::new(0), registered: AtomicBool::new(false) }
+    }
+
+    /// Adds `n` (no-op while the layer is disabled).
+    #[inline]
+    pub fn add(&'static self, n: u64) {
+        if !crate::enabled() {
+            return;
+        }
+        self.value.fetch_add(n, Ordering::Relaxed);
+        if !self.registered.load(Ordering::Relaxed) {
+            self.register_slow();
+        }
+    }
+
+    /// Adds 1 (no-op while the layer is disabled).
+    #[inline]
+    pub fn inc(&'static self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// The counter's name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    pub(crate) fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snap(&self) -> CounterSnapshot {
+        CounterSnapshot { name: self.name.to_string(), value: self.get() }
+    }
+
+    #[cold]
+    fn register_slow(&'static self) {
+        if !self.registered.swap(true, Ordering::Relaxed) {
+            registry().counters.push(self);
+        }
+    }
+}
+
+/// Point-in-time value of one counter.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    /// The counter's dotted taxonomy name.
+    pub name: String,
+    /// Value at snapshot time.
+    pub value: u64,
+}
+
+/// A histogram over `u64` samples with power-of-two buckets (see
+/// [`HIST_BUCKETS`]) plus exact count/sum/min/max. Lock-free: every
+/// field is an independent relaxed atomic, so a concurrent snapshot
+/// may be torn across fields by a few in-flight samples — fine for
+/// reporting, never consulted by the simulation.
+pub struct Histogram {
+    name: &'static str,
+    buckets: [AtomicU64; HIST_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+    registered: AtomicBool,
+}
+
+impl Histogram {
+    /// An empty histogram with a dotted taxonomy name.
+    pub const fn new(name: &'static str) -> Self {
+        Histogram {
+            name,
+            buckets: [const { AtomicU64::new(0) }; HIST_BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+            registered: AtomicBool::new(false),
+        }
+    }
+
+    /// Records one sample (no-op while the layer is disabled). The
+    /// sum wraps on overflow rather than poisoning the hot path.
+    #[inline]
+    pub fn record(&'static self, value: u64) {
+        if !crate::enabled() {
+            return;
+        }
+        self.buckets[Self::bucket(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+        if !self.registered.load(Ordering::Relaxed) {
+            self.register_slow();
+        }
+    }
+
+    /// The histogram's name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Bucket index of a sample: its bit length, clamped to the last
+    /// bucket.
+    fn bucket(value: u64) -> usize {
+        (64 - value.leading_zeros() as usize).min(HIST_BUCKETS - 1)
+    }
+
+    pub(crate) fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.min.store(u64::MAX, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snap(&self) -> HistogramSnapshot {
+        let count = self.count.load(Ordering::Relaxed);
+        let mut buckets = [0u64; HIST_BUCKETS];
+        for (slot, b) in buckets.iter_mut().zip(&self.buckets) {
+            *slot = b.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot {
+            name: self.name.to_string(),
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            min: if count == 0 { 0 } else { self.min.load(Ordering::Relaxed) },
+            max: self.max.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+
+    #[cold]
+    fn register_slow(&'static self) {
+        if !self.registered.swap(true, Ordering::Relaxed) {
+            registry().histograms.push(self);
+        }
+    }
+}
+
+/// Point-in-time state of one histogram.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// The histogram's dotted taxonomy name.
+    pub name: String,
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all samples (wrapping).
+    pub sum: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample (0 when empty).
+    pub max: u64,
+    /// Per-bucket sample counts (see [`HIST_BUCKETS`]).
+    pub buckets: [u64; HIST_BUCKETS],
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(Histogram::bucket(0), 0);
+        assert_eq!(Histogram::bucket(1), 1);
+        assert_eq!(Histogram::bucket(2), 2);
+        assert_eq!(Histogram::bucket(3), 2);
+        assert_eq!(Histogram::bucket(4), 3);
+        assert_eq!(Histogram::bucket((1 << 14) - 1), 14);
+        assert_eq!(Histogram::bucket(1 << 14), 15);
+        assert_eq!(Histogram::bucket(u64::MAX), 15);
+    }
+
+    #[test]
+    fn empty_histogram_snapshot_reports_zero_min() {
+        static EMPTY: Histogram = Histogram::new("test.empty");
+        let snap = EMPTY.snap();
+        assert_eq!(snap.count, 0);
+        assert_eq!(snap.min, 0);
+        assert_eq!(snap.max, 0);
+    }
+}

@@ -1,0 +1,130 @@
+//! Phase-scoped timing spans.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Instant;
+
+use crate::metrics::registry;
+
+/// Accumulated wall-clock timing for one span call site. Created by
+/// the [`crate::span!`] macro, which pins one `static SpanStat` per
+/// call site; enter/exit touch only this struct's atomics, so spans
+/// observe wall-clock time without perturbing simulated time.
+pub struct SpanStat {
+    name: &'static str,
+    count: AtomicU64,
+    total_ns: AtomicU64,
+    max_ns: AtomicU64,
+    registered: AtomicBool,
+}
+
+impl SpanStat {
+    /// A zeroed span statistic with a dotted taxonomy name
+    /// (`"bench.prefetch"`).
+    pub const fn new(name: &'static str) -> Self {
+        SpanStat {
+            name,
+            count: AtomicU64::new(0),
+            total_ns: AtomicU64::new(0),
+            max_ns: AtomicU64::new(0),
+            registered: AtomicBool::new(false),
+        }
+    }
+
+    /// Opens the span; the returned guard records the elapsed time on
+    /// drop. While the layer is disabled the guard is inert (no clock
+    /// read, nothing recorded).
+    #[inline]
+    pub fn enter(&'static self) -> SpanGuard {
+        if !crate::enabled() {
+            return SpanGuard { inner: None };
+        }
+        SpanGuard { inner: Some((self, Instant::now())) }
+    }
+
+    /// The span's name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn record_ns(&'static self, elapsed_ns: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_ns.fetch_add(elapsed_ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(elapsed_ns, Ordering::Relaxed);
+        if !self.registered.load(Ordering::Relaxed) {
+            self.register_slow();
+        }
+    }
+
+    pub(crate) fn reset(&self) {
+        self.count.store(0, Ordering::Relaxed);
+        self.total_ns.store(0, Ordering::Relaxed);
+        self.max_ns.store(0, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snap(&self) -> SpanSnapshot {
+        SpanSnapshot {
+            name: self.name.to_string(),
+            count: self.count.load(Ordering::Relaxed),
+            total_ns: self.total_ns.load(Ordering::Relaxed),
+            max_ns: self.max_ns.load(Ordering::Relaxed),
+        }
+    }
+
+    #[cold]
+    fn register_slow(&'static self) {
+        if !self.registered.swap(true, Ordering::Relaxed) {
+            registry().spans.push(self);
+        }
+    }
+}
+
+/// RAII guard returned by [`SpanStat::enter`]; records the elapsed
+/// wall-clock nanoseconds into its `SpanStat` on drop. Bind it
+/// (`let _span = ...`) — `let _ = ...` drops immediately and times
+/// nothing.
+#[must_use = "bind the guard; dropping it immediately times nothing"]
+#[derive(Debug)]
+pub struct SpanGuard {
+    inner: Option<(&'static SpanStat, Instant)>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some((stat, started)) = self.inner.take() {
+            // u64 nanoseconds cover ~584 years of elapsed time.
+            let ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            stat.record_ns(ns);
+        }
+    }
+}
+
+impl std::fmt::Debug for SpanStat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpanStat").field("name", &self.name).finish_non_exhaustive()
+    }
+}
+
+/// Point-in-time state of one span call site.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanSnapshot {
+    /// The span's dotted taxonomy name.
+    pub name: String,
+    /// Times the span was entered (and its guard dropped).
+    pub count: u64,
+    /// Total wall-clock nanoseconds across all entries.
+    pub total_ns: u64,
+    /// Longest single entry in nanoseconds.
+    pub max_ns: u64,
+}
+
+/// Opens a phase-scoped timing span backed by a per-call-site
+/// `static`: `let _span = cmp_obs::span!("prefetch");`. The guard
+/// records wall-clock nanoseconds when it drops; while the layer is
+/// disabled it is inert.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {{
+        static SPAN_SITE: $crate::SpanStat = $crate::SpanStat::new($name);
+        SPAN_SITE.enter()
+    }};
+}

@@ -31,6 +31,15 @@ pub enum SimError {
     /// The sweep checkpoint journal could not be opened, parsed, or
     /// appended to (I/O failure, config mismatch, stale contents).
     Journal(String),
+    /// A benchmark/report artifact (e.g. `BENCH_*.json`) could not be
+    /// written. Binaries exit nonzero on this instead of warning, so
+    /// CI artifact uploads cannot silently miss the file.
+    Report {
+        /// Path of the artifact that failed to write.
+        path: String,
+        /// Underlying I/O failure.
+        cause: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -45,6 +54,9 @@ impl fmt::Display for SimError {
                 write!(f, "sweep job {pair} failed after retries: {cause}")
             }
             SimError::Journal(msg) => write!(f, "sweep journal: {msg}"),
+            SimError::Report { path, cause } => {
+                write!(f, "cannot write report {path}: {cause}")
+            }
         }
     }
 }
@@ -67,5 +79,7 @@ mod tests {
         assert_eq!(e.to_string(), "sweep job oltp/shared failed after retries: panicked: boom");
         let e = SimError::Journal("config mismatch".into());
         assert_eq!(e.to_string(), "sweep journal: config mismatch");
+        let e = SimError::Report { path: "BENCH_obs.json".into(), cause: "disk full".into() };
+        assert_eq!(e.to_string(), "cannot write report BENCH_obs.json: disk full");
     }
 }

@@ -238,7 +238,26 @@ pub fn try_run_multithreaded_custom(
     cfg: &RunConfig,
 ) -> Result<RunResult, SimError> {
     let mut sys = System::new(try_multithreaded_workload(workload, cfg.seed)?, org);
-    Ok(sys.run_measured(cfg.warmup_accesses, cfg.measure_accesses))
+    Ok(run_observed(&mut sys, cfg))
+}
+
+/// Shared measured-run tail of both workload namespaces: one
+/// `sim.run` span and the `sim.*` aggregate counters around the
+/// actual simulation. Aggregates are added once per run, after it
+/// completes, so the per-access hot path carries no instrumentation
+/// of its own.
+fn run_observed<W: TraceSource>(sys: &mut System<W>, cfg: &RunConfig) -> RunResult {
+    static RUNS: cmp_obs::Counter = cmp_obs::Counter::new("sim.runs");
+    static INSTRUCTIONS: cmp_obs::Counter = cmp_obs::Counter::new("sim.instructions");
+    static ACCESSES: cmp_obs::Counter = cmp_obs::Counter::new("sim.accesses");
+    static CYCLES: cmp_obs::Counter = cmp_obs::Counter::new("sim.cycles");
+    let _span = cmp_obs::span!("sim.run");
+    let result = sys.run_measured(cfg.warmup_accesses, cfg.measure_accesses);
+    RUNS.inc();
+    INSTRUCTIONS.add(result.instructions);
+    ACCESSES.add(result.accesses);
+    CYCLES.add(result.cycles);
+    result
 }
 
 /// Runs a custom organization against a named multithreaded workload.
@@ -264,7 +283,7 @@ pub fn try_run_mix_custom(
     let workload =
         MixWorkload::table2(mix, cfg.seed).ok_or_else(|| SimError::UnknownMix(mix.to_string()))?;
     let mut sys = System::new(workload, org);
-    Ok(sys.run_measured(cfg.warmup_accesses, cfg.measure_accesses))
+    Ok(run_observed(&mut sys, cfg))
 }
 
 /// Runs a custom organization against a Table 2 mix.
