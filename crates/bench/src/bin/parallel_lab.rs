@@ -18,7 +18,7 @@
 use std::collections::HashSet;
 use std::time::Instant;
 
-use cmp_bench::{config_from_args, figures, ok_or_exit, Json, Lab, ParallelLab, ResultSource};
+use cmp_bench::{config_from_args, figures, ok_or_exit, Engine, Json, Lab, ResultSource};
 
 const REPORT_PATH: &str = "BENCH_parallel_lab.json";
 
@@ -36,9 +36,11 @@ fn main() {
     }
     let sequential_ms = t0.elapsed().as_secs_f64() * 1e3;
 
-    // Parallel sweep of the same batch (journal-resumed when
-    // CMP_SWEEP_JOURNAL is set).
-    let mut par = ok_or_exit(ParallelLab::from_env(cfg));
+    // Parallel sweep of the same batch through the shared Engine
+    // facade (journal-resumed when CMP_SWEEP_JOURNAL is set) — the
+    // same front door the cmp-serve service drives, so this binary's
+    // determinism gate also covers the serving path's engine.
+    let mut par = ok_or_exit(Engine::from_env(cfg));
     if let Some(path) = par.journal_path() {
         eprintln!(
             "journal {}: resumed {} pair(s), checkpointing the rest",
@@ -59,7 +61,7 @@ fn main() {
     }
     // Determinism check 2: byte-identical rendered figures and
     // numeric series.
-    type Renderer = (&'static str, fn(&mut Lab) -> String, fn(&mut ParallelLab) -> String);
+    type Renderer = (&'static str, fn(&mut Lab) -> String, fn(&mut Engine) -> String);
     let renderers: Vec<Renderer> = vec![
         ("fig5", figures::fig5, figures::fig5),
         ("fig6", figures::fig6, figures::fig6),
@@ -77,7 +79,7 @@ fn main() {
         }
     }
     for ((name, _, seq_extract), (_, _, par_extract)) in
-        figures::series::catalog::<Lab>().into_iter().zip(figures::series::catalog::<ParallelLab>())
+        figures::series::catalog::<Lab>().into_iter().zip(figures::series::catalog::<Engine>())
     {
         if seq_extract(&mut seq) != par_extract(&mut par) {
             mismatches.push(format!("series {name}"));
@@ -100,7 +102,7 @@ fn main() {
         if n >= par.threads() || n >= unique.len() {
             break;
         }
-        let mut lab = ParallelLab::with_threads(cfg, n);
+        let mut lab = Engine::with_threads(cfg, n);
         let t0 = Instant::now();
         ok_or_exit(lab.prefetch(&submitted).map(|_| ()));
         let ms = t0.elapsed().as_secs_f64() * 1e3;

@@ -1,0 +1,207 @@
+//! The reusable sweep engine facade: one front door shared by the CLI
+//! batch binaries (`parallel_lab`, `all`, `chaos`) and the serving
+//! layer (`cmp-serve`).
+//!
+//! [`Engine`] owns a [`ParallelLab`] — memo cache, supervised worker
+//! pool, resilient sweep engine, optional checkpoint journal — and
+//! narrows it to the operations both consumers need: submit a batch,
+//! get one [`BatchSlot`] per submission, inspect the resilience
+//! report, tune the retry/deadline/chaos policy and worker count, and
+//! control journal durability. Because every consumer funnels through
+//! the same engine, a sweep submitted through the service is the same
+//! computation as one run by the CLI batch path — which is what makes
+//! the serving layer's byte-identity guarantee a structural property
+//! rather than a test artifact.
+
+use std::path::Path;
+
+use cmp_sim::{RunConfig, RunResult, SimError};
+
+use crate::lab::{BatchSlot, Pair, ParallelLab, ResultSource, WorkloadId};
+use crate::pool;
+use crate::sweep::{Resilience, SweepReport};
+use cmp_sim::OrgKind;
+
+/// The shared batch-simulation engine. See the module docs.
+pub struct Engine {
+    lab: ParallelLab,
+}
+
+impl Engine {
+    /// An engine with the environment's worker count
+    /// (`CMP_BENCH_THREADS`, default: available parallelism) and no
+    /// journal.
+    pub fn new(cfg: RunConfig) -> Engine {
+        Engine { lab: ParallelLab::new(cfg) }
+    }
+
+    /// An engine with an explicit worker count.
+    pub fn with_threads(cfg: RunConfig, threads: usize) -> Engine {
+        Engine { lab: ParallelLab::with_threads(cfg, threads) }
+    }
+
+    /// An engine checkpointing to (and resumed from) the journal at
+    /// `path`: records already on disk are restored into the memo
+    /// cache before the first batch runs.
+    pub fn with_journal(
+        cfg: RunConfig,
+        threads: usize,
+        path: impl AsRef<Path>,
+    ) -> Result<Engine, SimError> {
+        Ok(Engine { lab: ParallelLab::with_journal(cfg, threads, path)? })
+    }
+
+    /// An engine honouring the environment (`CMP_BENCH_THREADS`,
+    /// [`crate::journal::JOURNAL_ENV`]).
+    pub fn from_env(cfg: RunConfig) -> Result<Engine, SimError> {
+        Ok(Engine { lab: ParallelLab::from_env(cfg)? })
+    }
+
+    /// Wraps an already-configured [`ParallelLab`].
+    pub fn from_lab(lab: ParallelLab) -> Engine {
+        Engine { lab }
+    }
+
+    /// The run configuration every batch simulates under.
+    pub fn config(&self) -> RunConfig {
+        *self.lab.config()
+    }
+
+    /// Overrides the retry/deadline/chaos policy for future batches.
+    pub fn set_resilience(&mut self, resilience: Resilience) {
+        self.lab.set_resilience(resilience);
+    }
+
+    /// The active retry/deadline/chaos policy.
+    pub fn resilience(&self) -> &Resilience {
+        self.lab.resilience()
+    }
+
+    /// Overrides the worker count for future batches (clamped to 1).
+    pub fn set_threads(&mut self, threads: usize) {
+        self.lab.set_threads(threads);
+    }
+
+    /// The worker count batches fan out to.
+    pub fn threads(&self) -> usize {
+        self.lab.threads()
+    }
+
+    /// Whether a pair is already memoized (a submission would be
+    /// answered without simulating — the coalescing the serving
+    /// layer's dedupe accounting observes).
+    pub fn contains(&self, pair: Pair) -> bool {
+        self.lab.contains(pair.0, pair.1)
+    }
+
+    /// Number of simulations actually performed (cache hits,
+    /// duplicates, and journal-restored pairs excluded).
+    pub fn simulations(&self) -> usize {
+        self.lab.simulations()
+    }
+
+    /// Number of pairs restored from the journal at construction.
+    pub fn restored(&self) -> usize {
+        self.lab.restored()
+    }
+
+    /// The journal path, if checkpointing is on.
+    pub fn journal_path(&self) -> Option<&Path> {
+        self.lab.journal_path()
+    }
+
+    /// Overrides the journal's group-commit interval (see
+    /// [`crate::journal::FSYNC_EVERY_ENV`]); no-op without a journal.
+    pub fn set_journal_fsync_every(&mut self, every: usize) {
+        self.lab.set_journal_fsync_every(every);
+    }
+
+    /// Commits any group-buffered journal records to disk (drain /
+    /// checkpoint barrier).
+    pub fn sync_journal(&mut self) -> Result<(), SimError> {
+        self.lab.sync_journal()
+    }
+
+    /// The resilience report of the most recent batch.
+    pub fn last_report(&self) -> &SweepReport {
+        self.lab.last_report()
+    }
+
+    /// Runs a batch: one [`BatchSlot`] per submission, aligned with
+    /// `pairs` (see [`ParallelLab::run_batch`] for the full
+    /// contract).
+    pub fn run_batch(&mut self, pairs: &[Pair]) -> Vec<BatchSlot> {
+        self.lab.run_batch(pairs)
+    }
+
+    /// Batch-prefetches pairs, returning per-pair wall-clock timings
+    /// for fresh misses (the CLI benchmark view of [`Engine::run_batch`];
+    /// first quarantine/failure aborts with its error).
+    pub fn prefetch(&mut self, pairs: &[Pair]) -> Result<Vec<crate::lab::PairTiming>, SimError> {
+        self.lab.prefetch(pairs)
+    }
+
+    /// Runs (or answers from cache) a single pair.
+    pub fn run_one(&mut self, pair: Pair) -> BatchSlot {
+        self.run_batch(std::slice::from_ref(&pair))
+            .pop()
+            .unwrap_or(BatchSlot::Quarantined(pool::JobError::Cancelled))
+    }
+
+    /// The underlying lab, for callers that render figures through
+    /// the [`ResultSource`] machinery.
+    pub fn lab_mut(&mut self) -> &mut ParallelLab {
+        &mut self.lab
+    }
+}
+
+impl ResultSource for Engine {
+    fn config(&self) -> &RunConfig {
+        self.lab.config()
+    }
+
+    fn try_result(&mut self, workload: WorkloadId, kind: OrgKind) -> Result<&RunResult, SimError> {
+        self.lab.try_result(workload, kind)
+    }
+
+    fn runs(&self) -> usize {
+        self.lab.runs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cfg() -> RunConfig {
+        RunConfig { warmup_accesses: 200, measure_accesses: 400, seed: 7 }
+    }
+
+    #[test]
+    fn engine_and_cli_paths_share_one_computation() {
+        let pair: Pair = (WorkloadId::Multithreaded("barnes"), OrgKind::Shared);
+        let mut engine = Engine::with_threads(tiny_cfg(), 2);
+        let slot = engine.run_one(pair);
+        let via_engine = slot.into_result(pair).unwrap();
+        let mut cli = crate::lab::Lab::new(tiny_cfg());
+        assert_eq!(&via_engine, cli.result(pair.0, pair.1), "bit-identical to the CLI path");
+        assert!(engine.contains(pair));
+        assert_eq!(engine.simulations(), 1);
+        // A duplicate batch is fully coalesced.
+        let slots = engine.run_batch(&[pair, pair, pair]);
+        assert_eq!(slots.len(), 3);
+        assert_eq!(engine.simulations(), 1);
+    }
+
+    #[test]
+    fn engine_thread_and_policy_knobs_apply() {
+        let mut engine = Engine::with_threads(tiny_cfg(), 4);
+        assert_eq!(engine.threads(), 4);
+        engine.set_threads(0);
+        assert_eq!(engine.threads(), 1, "clamped");
+        engine.set_resilience(Resilience { max_attempts: 5, ..Resilience::default() });
+        assert_eq!(engine.resilience().max_attempts, 5);
+        assert!(engine.journal_path().is_none());
+        assert!(engine.sync_journal().is_ok(), "journal-less sync is a no-op");
+    }
+}

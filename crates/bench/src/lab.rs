@@ -13,12 +13,12 @@
 //! back in submission order, so any thread count produces
 //! byte-identical figures and tables.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use cmp_sim::{try_run_mix, try_run_multithreaded, OrgKind, RunConfig, RunResult, SimError};
 
 use crate::journal::Journal;
-use crate::pool;
+use crate::pool::{self, JobError};
 use crate::sweep::{self, Resilience, SweepReport};
 
 /// Identifies a workload for the result cache.
@@ -125,6 +125,11 @@ impl Lab {
         self.cache.contains_key(&(workload, kind))
     }
 
+    /// Borrow of a cached result, if present.
+    pub(crate) fn get(&self, pair: Pair) -> Option<&RunResult> {
+        self.cache.get(&pair)
+    }
+
     /// Inserts an externally simulated result (the parallel batch
     /// path). Counts as a simulation performed by this lab.
     fn insert(&mut self, pair: Pair, result: RunResult) {
@@ -155,6 +160,48 @@ impl ResultSource for Lab {
 
     fn runs(&self) -> usize {
         self.cache.len()
+    }
+}
+
+/// Per-submission outcome of [`ParallelLab::run_batch`], aligned with
+/// the submitted slice (duplicates included: every submission gets a
+/// slot, which is how the serving layer answers N coalesced requests
+/// from one simulation).
+#[derive(Clone, Debug)]
+pub enum BatchSlot {
+    /// The simulation's result, cloned out of the memo cache.
+    Done {
+        /// The bit-exact [`RunResult`] for this pair, boxed so the
+        /// error variants don't pay its full inline size.
+        result: Box<RunResult>,
+        /// Wall-clock milliseconds on the worker when *this*
+        /// submission is the one that triggered the simulation;
+        /// `None` when the result came from the memo cache, the
+        /// journal, or an earlier duplicate in the same batch.
+        millis: Option<f64>,
+    },
+    /// The simulator rejected the spec (unknown workload/mix/...) —
+    /// a deterministic answer, never retried.
+    Failed(SimError),
+    /// An infrastructure fault (panic, deadline, lost worker)
+    /// survived every retry; details also in
+    /// [`ParallelLab::last_report`].
+    Quarantined(JobError),
+}
+
+impl BatchSlot {
+    /// The slot as a `Result`, mapping quarantine to
+    /// [`SimError::JobFailed`] — the shape callers that do not
+    /// distinguish fault classes want.
+    pub fn into_result(self, pair: Pair) -> Result<RunResult, SimError> {
+        match self {
+            BatchSlot::Done { result, .. } => Ok(*result),
+            BatchSlot::Failed(e) => Err(e),
+            BatchSlot::Quarantined(e) => Err(SimError::JobFailed {
+                pair: format!("{}/{}", pair.0.name(), pair.1.name()),
+                cause: e.to_string(),
+            }),
+        }
     }
 }
 
@@ -297,6 +344,73 @@ impl ParallelLab {
         }
     }
 
+    /// The batch engine core shared by [`ParallelLab::prefetch`] (the
+    /// CLI batch path) and the serving layer's [`crate::engine::Engine`]:
+    /// simulates every not-yet-cached pair of the batch across the
+    /// worker pool, merges fresh results into the memo cache (and the
+    /// journal) in submission order, and returns one [`BatchSlot`]
+    /// per *submission* — duplicates, cache hits, and
+    /// journal-restored pairs are simulated zero times but still
+    /// answered.
+    ///
+    /// Faults (worker panics, deadline overruns) are retried up to
+    /// the [`Resilience`] budget; pairs that exhaust it come back as
+    /// [`BatchSlot::Quarantined`] and in [`ParallelLab::last_report`]
+    /// — the batch itself always completes.
+    pub fn run_batch(&mut self, pairs: &[Pair]) -> Vec<BatchSlot> {
+        let _span = cmp_obs::span!("bench.prefetch");
+        // Deduplicate in submission order, dropping cache hits.
+        let mut seen = HashSet::new();
+        let misses: Vec<Pair> = pairs
+            .iter()
+            .copied()
+            .filter(|p| !self.lab.contains(p.0, p.1) && seen.insert(*p))
+            .collect();
+        let cfg = self.lab.cfg;
+        let (slots, report) = sweep::run_pairs(&misses, &cfg, self.threads, &self.resilience);
+        self.last_report = report;
+        // Merge fresh results into the cache in submission order,
+        // noting deterministic failures and which miss carried each
+        // pair's wall-clock.
+        let mut failed: HashMap<Pair, SimError> = HashMap::new();
+        let mut fresh_ms: HashMap<Pair, f64> = HashMap::new();
+        for (pair, slot) in misses.into_iter().zip(slots) {
+            match slot {
+                Some((Ok(r), millis)) => {
+                    Self::checkpoint(&mut self.journal, pair, &r);
+                    self.lab.insert(pair, r);
+                    fresh_ms.insert(pair, millis);
+                }
+                Some((Err(e), _)) => {
+                    failed.insert(pair, e);
+                }
+                // Quarantined: details live in `last_report`.
+                None => {}
+            }
+        }
+        let quarantined: HashMap<Pair, JobError> =
+            self.last_report.quarantined.iter().map(|q| (q.pair, q.error.clone())).collect();
+        pairs
+            .iter()
+            .map(|&pair| {
+                if let Some(e) = failed.get(&pair) {
+                    BatchSlot::Failed(e.clone())
+                } else if let Some(e) = quarantined.get(&pair) {
+                    BatchSlot::Quarantined(e.clone())
+                } else if let Some(r) = self.lab.get(pair) {
+                    // The first submission of a fresh pair takes the
+                    // timing; duplicates and cache hits report None.
+                    BatchSlot::Done { result: Box::new(r.clone()), millis: fresh_ms.remove(&pair) }
+                } else {
+                    // Unreachable through the engine (every miss is
+                    // cached, failed, or quarantined); a defensive
+                    // answer beats a panic in a serving path.
+                    BatchSlot::Quarantined(JobError::Cancelled)
+                }
+            })
+            .collect()
+    }
+
     /// Simulates every not-yet-cached pair of the batch across the
     /// worker pool and merges the results into the memo cache in
     /// submission order. Duplicate submissions, already-cached pairs,
@@ -310,36 +424,52 @@ impl ParallelLab {
     /// quarantined in [`ParallelLab::last_report`] — the batch itself
     /// still completes with partial results.
     pub fn prefetch(&mut self, pairs: &[Pair]) -> Result<Vec<PairTiming>, SimError> {
-        let _span = cmp_obs::span!("bench.prefetch");
-        // Deduplicate in submission order, dropping cache hits.
-        let mut seen = std::collections::HashSet::new();
-        let misses: Vec<Pair> = pairs
-            .iter()
-            .copied()
-            .filter(|p| !self.lab.contains(p.0, p.1) && seen.insert(*p))
-            .collect();
-        let cfg = self.lab.cfg;
-        let (slots, report) = sweep::run_pairs(&misses, &cfg, self.threads, &self.resilience);
-        self.last_report = report;
-        // Merge in submission order.
-        let mut timings = Vec::with_capacity(misses.len());
+        let slots = self.run_batch(pairs);
+        let mut timings = Vec::new();
         let mut first_err = None;
-        for (pair, slot) in misses.into_iter().zip(slots) {
+        for (pair, slot) in pairs.iter().zip(slots) {
             match slot {
-                Some((Ok(r), millis)) => {
-                    Self::checkpoint(&mut self.journal, pair, &r);
-                    self.lab.insert(pair, r);
+                BatchSlot::Done { millis: Some(millis), .. } => {
                     timings.push(PairTiming { workload: pair.0, kind: pair.1, millis });
                 }
-                Some((Err(e), _)) if first_err.is_none() => first_err = Some(e),
-                Some((Err(_), _)) => {}
-                // Quarantined: accounted for in `last_report`.
-                None => {}
+                BatchSlot::Done { .. } => {}
+                BatchSlot::Failed(e) if first_err.is_none() => first_err = Some(e),
+                BatchSlot::Failed(_) | BatchSlot::Quarantined(_) => {}
             }
         }
         match first_err {
             Some(e) => Err(e),
             None => Ok(timings),
+        }
+    }
+
+    /// Overrides the worker count for future batches (clamped to at
+    /// least 1). The serving layer uses this to honour a request's
+    /// `max-concurrency` field.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
+    }
+
+    /// Whether a pair is already in the memo cache (a submission for
+    /// it would be answered without simulating).
+    pub fn contains(&self, workload: WorkloadId, kind: OrgKind) -> bool {
+        self.lab.contains(workload, kind)
+    }
+
+    /// Overrides the journal's group-commit interval (no-op without a
+    /// journal) — see [`crate::journal::FSYNC_EVERY_ENV`].
+    pub fn set_journal_fsync_every(&mut self, every: usize) {
+        if let Some(j) = &mut self.journal {
+            j.set_fsync_every(every);
+        }
+    }
+
+    /// Forces any group-committed journal records to disk now (no-op
+    /// without a journal); the serving layer calls this on drain.
+    pub fn sync_journal(&mut self) -> Result<(), SimError> {
+        match &mut self.journal {
+            Some(j) => j.sync(),
+            None => Ok(()),
         }
     }
 }
@@ -431,6 +561,47 @@ mod tests {
         let mut seq = Lab::new(tiny_cfg());
         for (w, k) in [(oltp, OrgKind::Shared), (oltp, OrgKind::Private)] {
             assert_eq!(par.result(w, k), seq.result(w, k), "{w:?}/{k:?}");
+        }
+    }
+
+    #[test]
+    fn run_batch_answers_every_submission() {
+        let oltp = WorkloadId::Multithreaded("oltp");
+        let bad = WorkloadId::Multithreaded("tpch");
+        let pairs = [
+            (oltp, OrgKind::Shared),
+            (bad, OrgKind::Shared),
+            (oltp, OrgKind::Shared), // duplicate submission
+        ];
+        let mut par = ParallelLab::with_threads(tiny_cfg(), 2);
+        let slots = par.run_batch(&pairs);
+        assert_eq!(slots.len(), 3, "one slot per submission, duplicates included");
+        assert!(
+            matches!(&slots[0], BatchSlot::Done { millis: Some(_), .. }),
+            "first submission carries the timing: {:?}",
+            slots[0]
+        );
+        assert!(
+            matches!(&slots[1], BatchSlot::Failed(SimError::UnknownWorkload(n)) if n == "tpch")
+        );
+        assert!(
+            matches!(&slots[2], BatchSlot::Done { millis: None, .. }),
+            "the duplicate is answered from the batch's own simulation: {:?}",
+            slots[2]
+        );
+        assert_eq!(par.simulations(), 1);
+        // Resubmitting is answered entirely from the memo cache.
+        let again = par.run_batch(&pairs[..1]);
+        assert!(matches!(&again[0], BatchSlot::Done { millis: None, .. }));
+        assert_eq!(par.simulations(), 1);
+        // into_result maps quarantine to JobFailed.
+        let q = BatchSlot::Quarantined(crate::pool::JobError::TimedOut);
+        match q.into_result((oltp, OrgKind::Shared)) {
+            Err(SimError::JobFailed { pair, cause }) => {
+                assert_eq!(pair, "oltp/shared");
+                assert_eq!(cause, "timed out");
+            }
+            other => panic!("unexpected {other:?}"),
         }
     }
 

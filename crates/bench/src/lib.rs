@@ -19,6 +19,7 @@
 //! fast low-fidelity pass (CI smoke), defaulting to the full
 //! paper-scale configuration.
 
+pub mod engine;
 pub mod figures;
 pub mod journal;
 pub mod json;
@@ -28,9 +29,10 @@ pub mod pool;
 pub mod sweep;
 pub mod table;
 
-pub use journal::{Journal, JOURNAL_ENV};
+pub use engine::Engine;
+pub use journal::{Journal, FSYNC_EVERY_ENV, JOURNAL_ENV};
 pub use json::Json;
-pub use lab::{Lab, Pair, PairTiming, ParallelLab, ResultSource, WorkloadId};
+pub use lab::{BatchSlot, Lab, Pair, PairTiming, ParallelLab, ResultSource, WorkloadId};
 pub use obs_report::OBS_REPORT_PATH;
 pub use pool::{CancelToken, JobError};
 pub use sweep::{Quarantined, Resilience, SweepReport};

@@ -159,18 +159,12 @@ fn payload_message(payload: Box<dyn Any + Send>) -> String {
 
 /// The worker count to use when the caller does not pin one:
 /// `CMP_BENCH_THREADS` if set to a positive integer, otherwise the
-/// machine's available parallelism (1 if even that is unknown).
+/// machine's available parallelism (1 if even that is unknown). An
+/// unparsable or non-positive value warns (via
+/// [`cmp_obs::env_parse_valid`]) with the offending value before
+/// falling back.
 pub fn default_threads() -> usize {
-    match std::env::var(THREADS_ENV) {
-        Ok(v) => match v.trim().parse::<usize>() {
-            Ok(n) if n >= 1 => n,
-            _ => {
-                cmp_obs::warn!("ignoring invalid {THREADS_ENV}={v:?} (want a positive integer)");
-                available()
-            }
-        },
-        Err(_) => available(),
-    }
+    cmp_obs::env_parse_valid::<usize>(THREADS_ENV, |n| *n >= 1).unwrap_or_else(available)
 }
 
 fn available() -> usize {
@@ -488,6 +482,26 @@ mod tests {
         assert_eq!(JobError::Panicked("boom".into()).to_string(), "panicked: boom");
         assert_eq!(JobError::TimedOut.to_string(), "timed out");
         assert_eq!(JobError::Cancelled.to_string(), "cancelled");
+    }
+
+    #[test]
+    fn bad_thread_count_warns_and_falls_back() {
+        // `std::env` is process-global; restore the caller's value so
+        // CI runs pinning CMP_BENCH_THREADS are not perturbed.
+        let saved = std::env::var(THREADS_ENV).ok();
+        let capture = cmp_obs::Capture::install();
+        std::env::set_var(THREADS_ENV, "three");
+        let n = default_threads();
+        assert!(n >= 1, "fallback must be usable");
+        assert!(capture.contains("var=CMP_BENCH_THREADS"), "{:?}", capture.lines());
+        assert!(capture.contains("value=three"), "{:?}", capture.lines());
+        std::env::set_var(THREADS_ENV, "0");
+        assert!(default_threads() >= 1);
+        assert!(capture.contains("value=0"), "{:?}", capture.lines());
+        match saved {
+            Some(v) => std::env::set_var(THREADS_ENV, v),
+            None => std::env::remove_var(THREADS_ENV),
+        }
     }
 
     #[test]

@@ -66,10 +66,12 @@
 //! assert_eq!(cmp_obs::snapshot().spans.iter().filter(|s| s.name == "demo.phase").count(), 1);
 //! ```
 
+mod env;
 mod log;
 mod metrics;
 mod span;
 
+pub use crate::env::{env_parse, env_parse_valid};
 pub use crate::log::{log_emit, log_enabled, Capture, Level};
 pub use crate::metrics::{Counter, CounterSnapshot, Histogram, HistogramSnapshot, HIST_BUCKETS};
 pub use crate::span::{SpanGuard, SpanSnapshot, SpanStat};

@@ -205,6 +205,35 @@ pub struct HistogramSnapshot {
     pub buckets: [u64; HIST_BUCKETS],
 }
 
+impl HistogramSnapshot {
+    /// Upper bound of the value range the `q`-quantile sample falls
+    /// in (`q` in `0.0..=1.0`), e.g. `percentile(0.99)` for a p99.
+    ///
+    /// Buckets are powers of two, so the answer is the bucket's upper
+    /// edge — an overestimate by at most 2×, which is the right
+    /// fidelity for a latency report built from 16 buckets. Exact at
+    /// the extremes: an empty histogram reports 0 and the last bucket
+    /// reports the true maximum sample.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return match i {
+                    0 => 0,
+                    _ if i == HIST_BUCKETS - 1 => self.max,
+                    _ => (1u64 << i) - 1,
+                };
+            }
+        }
+        self.max
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -219,6 +248,32 @@ mod tests {
         assert_eq!(Histogram::bucket((1 << 14) - 1), 14);
         assert_eq!(Histogram::bucket(1 << 14), 15);
         assert_eq!(Histogram::bucket(u64::MAX), 15);
+    }
+
+    #[test]
+    fn percentiles_walk_the_buckets() {
+        let mut snap = HistogramSnapshot {
+            name: "test.p".into(),
+            count: 0,
+            sum: 0,
+            min: 0,
+            max: 0,
+            buckets: [0; HIST_BUCKETS],
+        };
+        assert_eq!(snap.percentile(0.99), 0, "empty histogram");
+        // 90 samples of value 3 (bucket 2), 10 samples of ~900
+        // (bucket 10): p50 lands in bucket 2, p99 in bucket 10.
+        snap.buckets[2] = 90;
+        snap.buckets[10] = 10;
+        snap.count = 100;
+        snap.max = 900;
+        assert_eq!(snap.percentile(0.50), 3);
+        assert_eq!(snap.percentile(0.99), (1 << 10) - 1);
+        // The last bucket reports the true max.
+        snap.buckets[HIST_BUCKETS - 1] = 1;
+        snap.count = 101;
+        snap.max = u64::MAX;
+        assert_eq!(snap.percentile(1.0), u64::MAX);
     }
 
     #[test]

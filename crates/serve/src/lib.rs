@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+
+//! Simulation-as-a-service over the resilient sweep engine.
+//!
+//! `cmp-serve` turns the batch experiment harness into a long-lived
+//! service: newline-delimited JSON requests in (stdin or a TCP
+//! socket), newline-delimited JSON responses out, with the
+//! robustness properties a shared endpoint needs layered on top of
+//! the engine the CLI binaries already use:
+//!
+//! * bounded admission queue with explicit load shedding — overload
+//!   answers with a structured `shed` response, never with unbounded
+//!   memory;
+//! * per-request deadlines propagated into the supervised pool's
+//!   cancellation tokens, with timed-out work fenced so no partial
+//!   result escapes;
+//! * bounded retry with exponential backoff for transient
+//!   infrastructure faults (worker panics, stalls);
+//! * concurrent-duplicate coalescing through the engine's memo
+//!   cache: N identical requests cost one simulation and produce N
+//!   responses;
+//! * crash-consistent per-shard checkpoint journaling with
+//!   resume-on-restart, group-committed while serving;
+//! * graceful drain: in-flight work finishes, queued work is shed
+//!   with structured responses, journals are fsynced.
+//!
+//! Because the service and the CLI batch path share one
+//! [`cmp_bench::engine::Engine`], a result served here is
+//! byte-identical to the same pair run by `parallel_lab` or the
+//! figure binaries — the chaos suite (`serve_chaos`) and the flood
+//! tests assert that equality on serialized bytes.
+//!
+//! The wire format is documented in `DESIGN.md` ("Serving") and in
+//! [`request`].
+
+pub mod request;
+pub mod service;
+
+pub use request::{error_response, parse_line, JobSpec, Request};
+pub use service::{env, shard_journal_path, ServeOptions, ServeStats, Service};

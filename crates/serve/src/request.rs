@@ -1,0 +1,511 @@
+//! Wire format of the serving layer: newline-delimited JSON requests
+//! in, newline-delimited JSON responses out.
+//!
+//! One line is one request; one response line always answers it (a
+//! `sweep` expands to one response per expanded job). The request
+//! shape follows the atomix workload-generator convention of
+//! kebab-case first-class scenario fields (`num-keys`,
+//! `zipf-exponent`, `max-concurrency`) rather than a nested opaque
+//! config blob, so operators can grep and template requests the same
+//! way they template the generator's configs. `sharing-degree` is
+//! accepted and echoed as a forward-looking scenario field (the
+//! shared-cache sharing-degree axis of Yavits et al.,
+//! arXiv:1602.01329) — validated, recorded in the response, not yet
+//! an input of the underlying simulator.
+//!
+//! Validation is strict and field-level: every rejection names the
+//! offending key, the accepted shape, and the received value
+//! ([`SimError::InvalidRequest`]), so a client can fix a request
+//! from the error alone. Unknown keys are rejected rather than
+//! ignored — a typoed `max-concurency` silently ignored would be a
+//! debugging trap, not tolerance.
+
+use std::time::Duration;
+
+use cmp_bench::{Json, Pair, WorkloadId, MIXES, MULTITHREADED};
+use cmp_sim::{OrgKind, RunConfig, SimError};
+
+/// Hard ceiling on `max-concurrency` (beyond this a request is a
+/// resource-exhaustion vector, not a tuning knob).
+pub const MAX_CONCURRENCY_CEILING: usize = 64;
+
+/// One validated simulation job: the unit the admission queue holds.
+#[derive(Clone, Debug)]
+pub struct JobSpec {
+    /// Client correlation id, echoed verbatim in every response to
+    /// this job (`Json::Null` when the request carried none).
+    pub id: Json,
+    /// The (workload, organization) pair to simulate.
+    pub pair: Pair,
+    /// Run sizing for this job (request fields override the
+    /// service's defaults).
+    pub cfg: RunConfig,
+    /// Per-request deadline; `None` defers to the service default.
+    pub deadline: Option<Duration>,
+    /// Worker-count cap for this job's batch; `None` uses the
+    /// service's thread count.
+    pub max_concurrency: Option<usize>,
+    /// Validated scenario fields echoed into the result response
+    /// (`num-keys`, `zipf-exponent`, `sharing-degree`).
+    pub scenario: Vec<(String, Json)>,
+}
+
+/// A parsed, validated request line.
+#[derive(Clone, Debug)]
+pub enum Request {
+    /// `run` / `sweep`: simulation jobs to admit.
+    Jobs(Vec<JobSpec>),
+    /// `health`: liveness probe, answered immediately.
+    Health(Json),
+    /// `stats`: serving counters snapshot, answered immediately.
+    Stats(Json),
+    /// `drain`: graceful shutdown — queued jobs are shed with
+    /// structured responses, journals are synced.
+    Drain(Json),
+}
+
+fn invalid(field: &str, expected: impl Into<String>, got: impl Into<String>) -> SimError {
+    SimError::InvalidRequest { field: field.into(), expected: expected.into(), got: got.into() }
+}
+
+/// Truncates a value for inclusion in an error response (a 64 KiB
+/// garbage line must not come back as a 64 KiB error).
+fn clip(s: &str) -> String {
+    const MAX: usize = 80;
+    if s.len() <= MAX {
+        return s.to_string();
+    }
+    let mut end = MAX;
+    while !s.is_char_boundary(end) {
+        end -= 1;
+    }
+    format!("{}...", &s[..end])
+}
+
+/// Resolves a workload name against the fixed Table 2/3 catalog,
+/// yielding the `'static` id the memo cache keys on.
+pub fn workload_from_name(name: &str) -> Option<WorkloadId> {
+    MULTITHREADED
+        .iter()
+        .find(|w| **w == name)
+        .map(|w| WorkloadId::Multithreaded(w))
+        .or_else(|| MIXES.iter().find(|m| **m == name).map(|m| WorkloadId::Mix(m)))
+}
+
+fn workload_catalog() -> String {
+    let names: Vec<&str> = MULTITHREADED.iter().chain(MIXES.iter()).copied().collect();
+    format!("one of {}", names.join("|"))
+}
+
+fn org_catalog() -> String {
+    let names: Vec<&str> = OrgKind::ALL.iter().map(|k| k.name()).collect();
+    format!("one of {}", names.join("|"))
+}
+
+/// The top-level request keys every `run`/`sweep` accepts.
+const JOB_KEYS: [&str; 12] = [
+    "type",
+    "id",
+    "workload",
+    "workloads",
+    "org",
+    "orgs",
+    "deadline-ms",
+    "max-concurrency",
+    "warmup-accesses",
+    "measure-accesses",
+    "seed",
+    "num-keys",
+];
+const SCENARIO_KEYS: [&str; 3] = ["num-keys", "zipf-exponent", "sharing-degree"];
+
+fn known_key(key: &str) -> bool {
+    JOB_KEYS.contains(&key) || SCENARIO_KEYS.contains(&key)
+}
+
+fn get_u64(obj: &Json, key: &str, min: u64, expected: &str) -> Result<Option<u64>, SimError> {
+    match obj.get(key) {
+        None => Ok(None),
+        Some(Json::Num(n)) if n.fract() == 0.0 && *n >= min as f64 && *n <= (1u64 << 53) as f64 => {
+            Ok(Some(*n as u64))
+        }
+        Some(other) => Err(invalid(key, expected, clip(&other.compact()))),
+    }
+}
+
+/// Parses and validates one request line against the service's
+/// default run configuration and line-size ceiling.
+pub fn parse_line(
+    line: &str,
+    defaults: RunConfig,
+    max_line_bytes: usize,
+) -> Result<Request, SimError> {
+    if line.len() > max_line_bytes {
+        return Err(invalid(
+            "request",
+            format!("a request line of at most {max_line_bytes} bytes"),
+            format!("{} bytes", line.len()),
+        ));
+    }
+    let value = Json::parse(line)
+        .map_err(|e| invalid("request", format!("a JSON object ({e})"), clip(line)))?;
+    let Some(_) = value.fields() else {
+        return Err(invalid("request", "a JSON object", clip(&value.compact())));
+    };
+    let id = value.get("id").cloned().unwrap_or(Json::Null);
+    match value.get("type").and_then(|t| t.as_str()) {
+        Some("run") | Some("sweep") => parse_jobs(&value, id, defaults),
+        Some("health") => Ok(Request::Health(id)),
+        Some("stats") => Ok(Request::Stats(id)),
+        Some("drain") => Ok(Request::Drain(id)),
+        Some(other) => Err(invalid("type", "one of run|sweep|health|stats|drain", clip(other))),
+        None => Err(invalid(
+            "type",
+            "a string, one of run|sweep|health|stats|drain",
+            clip(&value.get("type").map(|t| t.compact()).unwrap_or_else(|| "absent".into())),
+        )),
+    }
+}
+
+fn parse_jobs(value: &Json, id: Json, defaults: RunConfig) -> Result<Request, SimError> {
+    let fields = value.fields().expect("checked by parse_line");
+    if let Some((key, _)) = fields.iter().find(|(k, _)| !known_key(k)) {
+        return Err(invalid(key, "a known request field (see DESIGN.md \"Serving\")", clip(key)));
+    }
+    let is_sweep = value.get("type").and_then(|t| t.as_str()) == Some("sweep");
+
+    // Workload axis: `workload` (run) or `workloads` (sweep).
+    let workloads: Vec<WorkloadId> = if is_sweep {
+        let arr = match value.get("workloads") {
+            Some(Json::Arr(items)) if !items.is_empty() => items,
+            other => {
+                let got = other.map(|v| clip(&v.compact())).unwrap_or_else(|| "absent".to_string());
+                return Err(invalid("workloads", "a non-empty array of workload names", got));
+            }
+        };
+        arr.iter()
+            .map(|w| {
+                let name = w
+                    .as_str()
+                    .ok_or_else(|| invalid("workloads", workload_catalog(), clip(&w.compact())))?;
+                workload_from_name(name)
+                    .ok_or_else(|| invalid("workloads", workload_catalog(), clip(name)))
+            })
+            .collect::<Result<_, _>>()?
+    } else {
+        let name = match value.get("workload") {
+            Some(Json::Str(s)) => s.as_str(),
+            other => {
+                let got = other.map(|v| clip(&v.compact())).unwrap_or_else(|| "absent".to_string());
+                return Err(invalid("workload", workload_catalog(), got));
+            }
+        };
+        vec![workload_from_name(name)
+            .ok_or_else(|| invalid("workload", workload_catalog(), clip(name)))?]
+    };
+
+    // Organization axis: `org` (run) or `orgs` (sweep).
+    let orgs: Vec<OrgKind> = if is_sweep {
+        let arr = match value.get("orgs") {
+            Some(Json::Arr(items)) if !items.is_empty() => items,
+            other => {
+                let got = other.map(|v| clip(&v.compact())).unwrap_or_else(|| "absent".to_string());
+                return Err(invalid("orgs", "a non-empty array of organization names", got));
+            }
+        };
+        arr.iter()
+            .map(|o| {
+                let name =
+                    o.as_str().ok_or_else(|| invalid("orgs", org_catalog(), clip(&o.compact())))?;
+                OrgKind::from_name(name).ok_or_else(|| invalid("orgs", org_catalog(), clip(name)))
+            })
+            .collect::<Result<_, _>>()?
+    } else {
+        let name = match value.get("org") {
+            Some(Json::Str(s)) => s.as_str(),
+            other => {
+                let got = other.map(|v| clip(&v.compact())).unwrap_or_else(|| "absent".to_string());
+                return Err(invalid("org", org_catalog(), got));
+            }
+        };
+        vec![OrgKind::from_name(name).ok_or_else(|| invalid("org", org_catalog(), clip(name)))?]
+    };
+
+    // Run sizing (request overrides the service defaults).
+    let mut cfg = defaults;
+    if let Some(w) = get_u64(value, "warmup-accesses", 0, "an integer number of accesses")? {
+        cfg.warmup_accesses = w;
+    }
+    if let Some(m) = get_u64(value, "measure-accesses", 1, "an integer >= 1 of accesses")? {
+        cfg.measure_accesses = m;
+    }
+    if let Some(s) = get_u64(value, "seed", 0, "an integer seed")? {
+        cfg.seed = s;
+    }
+
+    let deadline = get_u64(value, "deadline-ms", 1, "an integer >= 1 of milliseconds")?
+        .map(Duration::from_millis);
+    let max_concurrency = get_u64(
+        value,
+        "max-concurrency",
+        1,
+        &format!("an integer in 1..={MAX_CONCURRENCY_CEILING}"),
+    )?
+    .map(|n| n as usize);
+    if let Some(n) = max_concurrency {
+        if n > MAX_CONCURRENCY_CEILING {
+            return Err(invalid(
+                "max-concurrency",
+                format!("an integer in 1..={MAX_CONCURRENCY_CEILING}"),
+                n.to_string(),
+            ));
+        }
+    }
+
+    // Scenario fields: validated, echoed, forward-looking.
+    let mut scenario = Vec::new();
+    if let Some(n) = get_u64(value, "num-keys", 1, "an integer >= 1 of keys")? {
+        scenario.push(("num-keys".to_string(), Json::Num(n as f64)));
+    }
+    match value.get("zipf-exponent") {
+        None => {}
+        Some(Json::Num(theta)) if (0.0..=2.0).contains(theta) => {
+            scenario.push(("zipf-exponent".to_string(), Json::Num(*theta)));
+        }
+        Some(other) => {
+            return Err(invalid("zipf-exponent", "a number in 0.0..=2.0", clip(&other.compact())));
+        }
+    }
+    if let Some(d) = get_u64(value, "sharing-degree", 1, "an integer >= 1 of sharer cores")? {
+        if d > 16 {
+            return Err(invalid("sharing-degree", "an integer in 1..=16", d.to_string()));
+        }
+        scenario.push(("sharing-degree".to_string(), Json::Num(d as f64)));
+    }
+
+    let mut jobs = Vec::with_capacity(workloads.len() * orgs.len());
+    for &workload in &workloads {
+        for &org in &orgs {
+            jobs.push(JobSpec {
+                id: id.clone(),
+                pair: (workload, org),
+                cfg,
+                deadline,
+                max_concurrency,
+                scenario: scenario.clone(),
+            });
+        }
+    }
+    Ok(Request::Jobs(jobs))
+}
+
+/// Renders a [`SimError::InvalidRequest`] (or any other refusal) as
+/// the wire error response.
+pub fn error_response(id: &Json, err: &SimError) -> Json {
+    let mut resp = Json::obj();
+    resp.set("type", Json::Str("error".into()));
+    resp.set("id", id.clone());
+    match err {
+        SimError::InvalidRequest { field, expected, got } => {
+            resp.set("kind", Json::Str("invalid-request".into()));
+            resp.set("field", Json::Str(field.clone()));
+            resp.set("expected", Json::Str(expected.clone()));
+            resp.set("got", Json::Str(got.clone()));
+        }
+        SimError::Shed { reason } => {
+            resp.set("kind", Json::Str("shed".into()));
+            resp.set("reason", Json::Str(reason.clone()));
+        }
+        SimError::DeadlineExpired { pair } => {
+            resp.set("kind", Json::Str("deadline-expired".into()));
+            resp.set("pair", Json::Str(pair.clone()));
+        }
+        other => {
+            resp.set("kind", Json::Str("failed".into()));
+            resp.set("error", Json::Str(other.to_string()));
+        }
+    }
+    resp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn defaults() -> RunConfig {
+        RunConfig { warmup_accesses: 200, measure_accesses: 400, seed: 7 }
+    }
+
+    fn parse(line: &str) -> Result<Request, SimError> {
+        parse_line(line, defaults(), 4096)
+    }
+
+    fn expect_invalid(line: &str) -> (String, String, String) {
+        match parse(line) {
+            Err(SimError::InvalidRequest { field, expected, got }) => (field, expected, got),
+            other => panic!("expected InvalidRequest for {line:?}, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn run_request_fills_defaults_and_overrides() {
+        let req = parse(
+            r#"{"type":"run","id":"r1","workload":"oltp","org":"nurapid","seed":11,"deadline-ms":250,"max-concurrency":2}"#,
+        )
+        .unwrap();
+        let Request::Jobs(jobs) = req else { panic!("expected jobs") };
+        assert_eq!(jobs.len(), 1);
+        let job = &jobs[0];
+        assert_eq!(job.id, Json::Str("r1".into()));
+        assert_eq!(job.pair.0.name(), "oltp");
+        assert_eq!(job.pair.1, OrgKind::Nurapid);
+        assert_eq!(job.cfg.seed, 11, "request seed overrides the default");
+        assert_eq!(job.cfg.warmup_accesses, 200, "unset fields keep the default");
+        assert_eq!(job.deadline, Some(Duration::from_millis(250)));
+        assert_eq!(job.max_concurrency, Some(2));
+    }
+
+    #[test]
+    fn sweep_request_expands_the_cross_product() {
+        let req = parse(
+            r#"{"type":"sweep","id":7,"workloads":["oltp","MIX1"],"orgs":["shared","private","nurapid"]}"#,
+        )
+        .unwrap();
+        let Request::Jobs(jobs) = req else { panic!("expected jobs") };
+        assert_eq!(jobs.len(), 6);
+        assert!(jobs.iter().all(|j| j.id == Json::Num(7.0)));
+        assert_eq!(jobs[0].pair.0.name(), "oltp");
+        assert_eq!(jobs[5].pair.0.name(), "MIX1");
+        assert_eq!(jobs[5].pair.1, OrgKind::Nurapid);
+    }
+
+    #[test]
+    fn scenario_fields_are_validated_and_echoed() {
+        let req = parse(
+            r#"{"type":"run","workload":"ocean","org":"shared","num-keys":4096,"zipf-exponent":0.6,"sharing-degree":2}"#,
+        )
+        .unwrap();
+        let Request::Jobs(jobs) = req else { panic!("expected jobs") };
+        let keys: Vec<&str> = jobs[0].scenario.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, ["num-keys", "zipf-exponent", "sharing-degree"]);
+    }
+
+    /// Satellite: the table-driven malformed-spec suite. Every row is
+    /// a wire line that must be rejected with field-level context.
+    #[test]
+    fn malformed_requests_name_the_offending_field() {
+        // (line, expected offending field, fragment of the expected-shape text)
+        let table: &[(&str, &str, &str)] = &[
+            // Unknown organization.
+            (r#"{"type":"run","workload":"oltp","org":"l4"}"#, "org", "nurapid-isc"),
+            // Unknown workload.
+            (r#"{"type":"run","workload":"tpch","org":"shared"}"#, "workload", "MIX4"),
+            // Unknown org inside a sweep's array.
+            (
+                r#"{"type":"sweep","workloads":["oltp"],"orgs":["shared","l4"]}"#,
+                "orgs",
+                "one of shared",
+            ),
+            // Theta out of range.
+            (
+                r#"{"type":"run","workload":"oltp","org":"shared","zipf-exponent":3.5}"#,
+                "zipf-exponent",
+                "0.0..=2.0",
+            ),
+            // Theta of the wrong type.
+            (
+                r#"{"type":"run","workload":"oltp","org":"shared","zipf-exponent":"steep"}"#,
+                "zipf-exponent",
+                "0.0..=2.0",
+            ),
+            // Truncated JSON.
+            (r#"{"type":"run","workload":"oltp"#, "request", "a JSON object"),
+            // Not an object at all.
+            (r#"[1,2,3]"#, "request", "a JSON object"),
+            // Missing type.
+            (r#"{"workload":"oltp","org":"shared"}"#, "type", "run|sweep"),
+            // Unknown type.
+            (r#"{"type":"explode"}"#, "type", "run|sweep"),
+            // Unknown key (typo) is rejected, not ignored.
+            (
+                r#"{"type":"run","workload":"oltp","org":"shared","max-concurency":4}"#,
+                "max-concurency",
+                "known request field",
+            ),
+            // Zero-valued knobs that must be >= 1.
+            (
+                r#"{"type":"run","workload":"oltp","org":"shared","deadline-ms":0}"#,
+                "deadline-ms",
+                ">= 1",
+            ),
+            (
+                r#"{"type":"run","workload":"oltp","org":"shared","max-concurrency":0}"#,
+                "max-concurrency",
+                "1..=",
+            ),
+            (
+                r#"{"type":"run","workload":"oltp","org":"shared","measure-accesses":0}"#,
+                "measure-accesses",
+                ">= 1",
+            ),
+            // Fractional where an integer is required.
+            (
+                r#"{"type":"run","workload":"oltp","org":"shared","num-keys":2.5}"#,
+                "num-keys",
+                "integer",
+            ),
+            // Empty sweep axes.
+            (r#"{"type":"sweep","workloads":[],"orgs":["shared"]}"#, "workloads", "non-empty"),
+            (r#"{"type":"sweep","workloads":["oltp"],"orgs":[]}"#, "orgs", "non-empty"),
+        ];
+        for (line, field, fragment) in table {
+            let (got_field, expected, _) = expect_invalid(line);
+            assert_eq!(&got_field, field, "offending field for {line:?}");
+            assert!(
+                expected.contains(fragment),
+                "expected-shape text for {line:?}: {expected:?} missing {fragment:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_line_is_rejected_before_parsing() {
+        let huge = format!(r#"{{"type":"run","workload":"{}"}}"#, "x".repeat(8192));
+        let err = parse_line(&huge, defaults(), 4096).unwrap_err();
+        let SimError::InvalidRequest { field, expected, got } = err else {
+            panic!("expected InvalidRequest");
+        };
+        assert_eq!(field, "request");
+        assert!(expected.contains("4096"));
+        assert!(got.contains("bytes"));
+    }
+
+    #[test]
+    fn error_values_are_clipped_in_responses() {
+        let line = format!(r#"{{"type":"run","workload":"oltp","org":"{}"}}"#, "z".repeat(500));
+        let (_, _, got) = expect_invalid(&line);
+        assert!(got.len() < 120, "offending value is clipped, got {} bytes", got.len());
+    }
+
+    #[test]
+    fn error_response_carries_field_level_context() {
+        let err = SimError::InvalidRequest {
+            field: "org".into(),
+            expected: "one of shared|...".into(),
+            got: "l4".into(),
+        };
+        let resp = error_response(&Json::Str("r9".into()), &err);
+        assert_eq!(resp.get("type").and_then(|v| v.as_str()), Some("error"));
+        assert_eq!(resp.get("kind").and_then(|v| v.as_str()), Some("invalid-request"));
+        assert_eq!(resp.get("field").and_then(|v| v.as_str()), Some("org"));
+        assert_eq!(resp.get("got").and_then(|v| v.as_str()), Some("l4"));
+        assert_eq!(resp.get("id").and_then(|v| v.as_str()), Some("r9"));
+    }
+
+    #[test]
+    fn admin_requests_parse() {
+        assert!(matches!(parse(r#"{"type":"health"}"#), Ok(Request::Health(Json::Null))));
+        assert!(matches!(parse(r#"{"type":"stats","id":"s"}"#), Ok(Request::Stats(Json::Str(_)))));
+        assert!(matches!(parse(r#"{"type":"drain"}"#), Ok(Request::Drain(Json::Null))));
+    }
+}

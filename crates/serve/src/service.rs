@@ -1,0 +1,767 @@
+//! The serving core: a bounded admission queue in front of the
+//! shared sweep [`Engine`].
+//!
+//! The core is deliberately synchronous and single-threaded — the
+//! binaries wrap it in reader/worker threads, tests drive it step by
+//! step — which keeps every robustness property inspectable:
+//!
+//! * **Bounded admission** ([`Service::handle_line`]): the queue
+//!   never exceeds `queue_capacity`; a request that does not fit is
+//!   answered immediately with a structured `shed` response instead
+//!   of growing memory.
+//! * **Deadlines** ([`Service::process_ready`]): a request's
+//!   `deadline-ms` becomes an absolute expiry at admission. Expired
+//!   jobs are answered without simulating; jobs that expire mid-run
+//!   are cut by the supervised pool's cancellation fence, so no
+//!   partial result can escape into the cache or the journal.
+//! * **Retry with backoff**: a job quarantined by the sweep engine
+//!   (panic, stall, lost worker) re-enters the queue with
+//!   exponentially growing `not-before` times, up to `max_retries`;
+//!   simulation purity makes the retry bit-identical when it
+//!   succeeds.
+//! * **Coalescing**: requests for an already-cached or in-batch
+//!   duplicate pair are answered from one simulation (`cached: true`
+//!   in the response, `serve.deduped` in the metrics).
+//! * **Crash consistency**: each distinct run configuration shards to
+//!   its own checkpoint journal; a restarted service resumes from
+//!   whatever the group-committed journal retained and serves those
+//!   pairs from cache.
+//! * **Graceful drain** ([`Service::drain`]): still-queued jobs are
+//!   shed with structured responses, journals are fsynced, and a
+//!   summary response closes the stream.
+
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use cmp_audit::ChaosSchedule;
+use cmp_bench::engine::Engine;
+use cmp_bench::journal::run_result_to_json;
+use cmp_bench::sweep::Resilience;
+use cmp_bench::{BatchSlot, Json, Pair};
+use cmp_obs::{Counter, Histogram};
+use cmp_sim::{RunConfig, SimError};
+
+use crate::request::{error_response, parse_line, JobSpec, Request};
+
+/// `serve.*` metrics taxonomy (inert unless `CMP_OBS=1`; the plain
+/// [`ServeStats`] mirror below is always live for `stats` responses).
+static ADMITTED: Counter = Counter::new("serve.admitted");
+static SHED: Counter = Counter::new("serve.shed");
+static DEDUPED: Counter = Counter::new("serve.deduped");
+static DEADLINE_EXPIRED: Counter = Counter::new("serve.deadline_expired");
+static DRAINED: Counter = Counter::new("serve.drained");
+static COMPLETED: Counter = Counter::new("serve.completed");
+static RETRIED: Counter = Counter::new("serve.retried");
+static FAILED: Counter = Counter::new("serve.failed");
+static INVALID: Counter = Counter::new("serve.invalid");
+/// Admission-to-result latency of completed jobs, in milliseconds.
+static LATENCY_MS: Histogram = Histogram::new("serve.latency_ms");
+
+/// Environment knobs of the serving layer (all parsed through
+/// [`cmp_obs::env_parse_valid`], so a malformed value warns and falls
+/// back instead of silently vanishing).
+pub mod env {
+    /// Bounded admission-queue capacity (integer >= 1, default 64).
+    pub const QUEUE: &str = "CMP_SERVE_QUEUE";
+    /// Worker threads per simulation batch (integer >= 1, default:
+    /// `CMP_BENCH_THREADS` semantics).
+    pub const THREADS: &str = "CMP_SERVE_THREADS";
+    /// Default per-request deadline in milliseconds (integer >= 1,
+    /// default: none).
+    pub const DEADLINE_MS: &str = "CMP_SERVE_DEADLINE_MS";
+    /// Request-line size ceiling in bytes (integer >= 64, default
+    /// 65536).
+    pub const MAX_LINE: &str = "CMP_SERVE_MAX_LINE";
+    /// Journal group-commit interval while serving (integer >= 1,
+    /// default 8; see `CMP_JOURNAL_FSYNC_EVERY` for the CLI default).
+    pub const FSYNC_EVERY: &str = "CMP_SERVE_FSYNC_EVERY";
+    /// Serve-level retries for quarantined jobs (integer, default 2).
+    pub const RETRIES: &str = "CMP_SERVE_RETRIES";
+    /// Base backoff between serve-level retries in milliseconds
+    /// (integer, default 50; doubles per attempt).
+    pub const BACKOFF_MS: &str = "CMP_SERVE_BACKOFF_MS";
+    /// Base path for per-shard checkpoint journals (default: no
+    /// journaling).
+    pub const JOURNAL: &str = "CMP_SERVE_JOURNAL";
+}
+
+/// Tuning of one [`Service`].
+#[derive(Clone, Debug)]
+pub struct ServeOptions {
+    /// Admission-queue capacity; submissions beyond it are shed.
+    pub queue_capacity: usize,
+    /// Worker threads a batch fans out to (per-request
+    /// `max-concurrency` can lower, never raise, this).
+    pub threads: usize,
+    /// Deadline applied to requests that carry none.
+    pub default_deadline: Option<Duration>,
+    /// Request-line size ceiling in bytes.
+    pub max_line_bytes: usize,
+    /// Base path for per-shard checkpoint journals; `None` disables
+    /// journaling.
+    pub journal_base: Option<PathBuf>,
+    /// Journal group-commit interval (1 = fsync every record).
+    pub fsync_every: usize,
+    /// Serve-level retries for quarantined jobs (0 = fail fast).
+    pub max_retries: u32,
+    /// Base backoff before a serve-level retry; doubles per attempt.
+    pub backoff: Duration,
+    /// Run sizing for requests that leave fields unset.
+    pub default_config: RunConfig,
+    /// In-sweep resilience template (per-batch deadline and chaos are
+    /// layered on top of this).
+    pub resilience: Resilience,
+    /// One-shot chaos schedule applied to the first batch only
+    /// (chaos tests); in-sweep and serve-level retries must then
+    /// converge to fault-free results.
+    pub chaos: Option<ChaosSchedule>,
+}
+
+impl ServeOptions {
+    /// Defaults: bounded queue of 64, pool-default threads, no
+    /// deadline, 64 KiB lines, no journal, group commit of 8, two
+    /// retries at 50 ms backoff, quick run sizing.
+    pub fn new(default_config: RunConfig) -> ServeOptions {
+        ServeOptions {
+            queue_capacity: 64,
+            threads: cmp_bench::pool::default_threads(),
+            default_deadline: None,
+            max_line_bytes: 65_536,
+            journal_base: None,
+            fsync_every: 8,
+            max_retries: 2,
+            backoff: Duration::from_millis(50),
+            default_config,
+            resilience: Resilience::default(),
+            chaos: None,
+        }
+    }
+
+    /// Defaults overridden by the `CMP_SERVE_*` environment;
+    /// unparsable values warn through cmp-obs and keep the default.
+    pub fn from_env(default_config: RunConfig) -> ServeOptions {
+        let mut o = ServeOptions::new(default_config);
+        if let Some(n) = cmp_obs::env_parse_valid::<usize>(env::QUEUE, |n| *n >= 1) {
+            o.queue_capacity = n;
+        }
+        if let Some(n) = cmp_obs::env_parse_valid::<usize>(env::THREADS, |n| *n >= 1) {
+            o.threads = n;
+        }
+        if let Some(ms) = cmp_obs::env_parse_valid::<u64>(env::DEADLINE_MS, |n| *n >= 1) {
+            o.default_deadline = Some(Duration::from_millis(ms));
+        }
+        if let Some(n) = cmp_obs::env_parse_valid::<usize>(env::MAX_LINE, |n| *n >= 64) {
+            o.max_line_bytes = n;
+        }
+        if let Some(n) = cmp_obs::env_parse_valid::<usize>(env::FSYNC_EVERY, |n| *n >= 1) {
+            o.fsync_every = n;
+        }
+        if let Some(n) = cmp_obs::env_parse_valid::<u32>(env::RETRIES, |_| true) {
+            o.max_retries = n;
+        }
+        if let Some(ms) = cmp_obs::env_parse_valid::<u64>(env::BACKOFF_MS, |_| true) {
+            o.backoff = Duration::from_millis(ms);
+        }
+        if let Ok(base) = std::env::var(env::JOURNAL) {
+            if !base.trim().is_empty() {
+                o.journal_base = Some(PathBuf::from(base));
+            }
+        }
+        o
+    }
+}
+
+/// Always-live serving counters (the `stats` response; mirrored into
+/// the inert-by-default `serve.*` obs metrics).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Jobs accepted into the bounded queue.
+    pub admitted: u64,
+    /// Jobs refused because the queue was full.
+    pub shed: u64,
+    /// Jobs answered without a fresh simulation (memo cache, journal
+    /// resume, or in-batch duplicate coalescing).
+    pub deduped: u64,
+    /// Jobs whose deadline expired (in queue or mid-run, fenced).
+    pub deadline_expired: u64,
+    /// Jobs shed by a graceful drain.
+    pub drained: u64,
+    /// Jobs answered with a result.
+    pub completed: u64,
+    /// Serve-level retries of quarantined jobs.
+    pub retried: u64,
+    /// Jobs that exhausted every retry (or failed deterministically).
+    pub failed: u64,
+    /// Request lines rejected by validation.
+    pub invalid: u64,
+}
+
+struct Queued {
+    spec: JobSpec,
+    admitted_at: Instant,
+    deadline_at: Option<Instant>,
+    /// Serve-level attempts already spent (0 = never batched).
+    attempts: u32,
+    /// Earliest instant the job may re-enter a batch (retry backoff).
+    not_before: Option<Instant>,
+}
+
+type ShardKey = (u64, u64, u64);
+
+fn shard_key(cfg: &RunConfig) -> ShardKey {
+    (cfg.warmup_accesses, cfg.measure_accesses, cfg.seed)
+}
+
+/// The serving core. See the module docs for the property list.
+pub struct Service {
+    opts: ServeOptions,
+    engines: Vec<(ShardKey, Engine)>,
+    queue: VecDeque<Queued>,
+    chaos: Option<ChaosSchedule>,
+    draining: bool,
+    stats: ServeStats,
+    started: Instant,
+}
+
+impl Service {
+    /// A service with the given tuning and an empty queue.
+    pub fn new(opts: ServeOptions) -> Service {
+        let chaos = opts.chaos.clone();
+        Service {
+            opts,
+            engines: Vec::new(),
+            queue: VecDeque::new(),
+            chaos,
+            draining: false,
+            stats: ServeStats::default(),
+            started: Instant::now(),
+        }
+    }
+
+    /// The live serving counters.
+    pub fn stats(&self) -> ServeStats {
+        self.stats
+    }
+
+    /// Jobs currently queued (admitted, not yet answered).
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether a drain has been requested.
+    pub fn is_draining(&self) -> bool {
+        self.draining
+    }
+
+    /// Total simulations actually performed across every shard.
+    pub fn simulations(&self) -> usize {
+        self.engines.iter().map(|(_, e)| e.simulations()).sum()
+    }
+
+    /// Pairs restored from journals across every shard.
+    pub fn restored(&self) -> usize {
+        self.engines.iter().map(|(_, e)| e.restored()).sum()
+    }
+
+    /// How long until some queued job becomes ready: `Some(0)` when a
+    /// job is ready now, the shortest backoff otherwise, `None` on an
+    /// empty queue. Drives the worker's sleep.
+    pub fn next_ready_in(&self) -> Option<Duration> {
+        let now = Instant::now();
+        self.queue
+            .iter()
+            .map(|q| match q.not_before {
+                Some(t) if t > now => t - now,
+                _ => Duration::ZERO,
+            })
+            .min()
+    }
+
+    /// Handles one request line: parses, validates, and either
+    /// answers immediately (admin requests, validation errors, sheds)
+    /// or admits jobs for the next [`Service::process_ready`] call.
+    /// Every returned [`Json`] is one response line.
+    pub fn handle_line(&mut self, line: &str) -> Vec<Json> {
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            return Vec::new();
+        }
+        match parse_line(trimmed, self.opts.default_config, self.opts.max_line_bytes) {
+            Err(e) => {
+                self.stats.invalid += 1;
+                INVALID.inc();
+                // Best-effort correlation: a rejected request still
+                // echoes its id when the line parsed far enough to
+                // carry one.
+                let id = Json::parse(trimmed)
+                    .ok()
+                    .and_then(|v| v.get("id").cloned())
+                    .unwrap_or(Json::Null);
+                vec![error_response(&id, &e)]
+            }
+            Ok(Request::Health(id)) => vec![self.health_response(id)],
+            Ok(Request::Stats(id)) => vec![self.stats_response(id)],
+            Ok(Request::Drain(id)) => self.drain_with_id(id),
+            Ok(Request::Jobs(jobs)) => {
+                let now = Instant::now();
+                let mut responses = Vec::new();
+                for spec in jobs {
+                    if self.draining {
+                        responses.push(self.shed_response(&spec, "draining"));
+                        self.stats.shed += 1;
+                        SHED.inc();
+                        continue;
+                    }
+                    if self.queue.len() >= self.opts.queue_capacity {
+                        responses.push(self.shed_response(&spec, "queue full"));
+                        self.stats.shed += 1;
+                        SHED.inc();
+                        continue;
+                    }
+                    let deadline = spec.deadline.or(self.opts.default_deadline);
+                    self.queue.push_back(Queued {
+                        spec,
+                        admitted_at: now,
+                        deadline_at: deadline.map(|d| now + d),
+                        attempts: 0,
+                        not_before: None,
+                    });
+                    self.stats.admitted += 1;
+                    ADMITTED.inc();
+                }
+                responses
+            }
+        }
+    }
+
+    /// Runs every ready queued job through the engine and returns
+    /// their response lines. Jobs in retry backoff stay queued; call
+    /// again after [`Service::next_ready_in`].
+    pub fn process_ready(&mut self) -> Vec<Json> {
+        let now = Instant::now();
+        let mut responses = Vec::new();
+
+        // Pop the ready jobs; leave backoff jobs queued.
+        let mut ready = Vec::new();
+        let mut still_queued = VecDeque::new();
+        while let Some(q) = self.queue.pop_front() {
+            match q.not_before {
+                Some(t) if t > now => still_queued.push_back(q),
+                _ => ready.push(q),
+            }
+        }
+        self.queue = still_queued;
+
+        // Deadline fence #1: expired while queued — answered without
+        // ever simulating.
+        let (expired, ready): (Vec<_>, Vec<_>) =
+            ready.into_iter().partition(|q| q.deadline_at.is_some_and(|t| t <= now));
+        for q in expired {
+            responses.push(self.deadline_response(&q));
+        }
+
+        // Group by (run-config shard, requested deadline, concurrency
+        // cap): jobs in a group share an engine call and a pool
+        // deadline. BTreeMap keeps group order deterministic.
+        type GroupKey = (ShardKey, Option<u64>, Option<usize>);
+        let mut groups: BTreeMap<GroupKey, Vec<Queued>> = BTreeMap::new();
+        for q in ready {
+            let key = (
+                shard_key(&q.spec.cfg),
+                q.spec.deadline.map(|d| d.as_millis() as u64),
+                q.spec.max_concurrency,
+            );
+            groups.entry(key).or_default().push(q);
+        }
+
+        for ((shard, _, max_concurrency), group) in groups {
+            responses.extend(self.run_group(shard, max_concurrency, group));
+        }
+        responses
+    }
+
+    fn run_group(
+        &mut self,
+        shard: ShardKey,
+        max_concurrency: Option<usize>,
+        group: Vec<Queued>,
+    ) -> Vec<Json> {
+        let now = Instant::now();
+        let mut responses = Vec::new();
+        let cfg = group[0].spec.cfg;
+        let chaos = self.chaos.take();
+        let threads = self.opts.threads;
+        let base_resilience = self.opts.resilience.clone();
+        let engine = self.engine_for(shard, cfg);
+        engine.set_threads(max_concurrency.map_or(threads, |c| c.min(threads)));
+
+        // Pool deadline: the tightest remaining budget in the group
+        // (conservative for the others; a spurious timeout retries).
+        let pool_deadline = group
+            .iter()
+            .filter_map(|q| q.deadline_at)
+            .map(|t| t.saturating_duration_since(now))
+            .min();
+        let mut resilience = base_resilience;
+        if pool_deadline.is_some() {
+            resilience.deadline = pool_deadline;
+        }
+        if chaos.is_some() {
+            resilience.chaos = chaos;
+        }
+        engine.set_resilience(resilience);
+
+        let pairs: Vec<Pair> = group.iter().map(|q| q.spec.pair).collect();
+        let slots = engine.run_batch(&pairs);
+
+        let done = Instant::now();
+        for (q, slot) in group.into_iter().zip(slots) {
+            match slot {
+                BatchSlot::Done { result, millis } => {
+                    let cached = millis.is_none();
+                    if cached {
+                        self.stats.deduped += 1;
+                        DEDUPED.inc();
+                    }
+                    self.stats.completed += 1;
+                    COMPLETED.inc();
+                    let latency = done.saturating_duration_since(q.admitted_at);
+                    LATENCY_MS.record(latency.as_millis() as u64);
+                    responses.push(result_response(&q.spec, &result, cached));
+                }
+                BatchSlot::Failed(e) => {
+                    self.stats.failed += 1;
+                    FAILED.inc();
+                    responses.push(job_error_response(&q.spec, &e));
+                }
+                BatchSlot::Quarantined(je) => {
+                    // Deadline fence #2: the pool cancelled it and the
+                    // request's own budget is gone — fenced, final.
+                    if q.deadline_at.is_some_and(|t| t <= Instant::now()) {
+                        responses.push(self.deadline_response(&q));
+                    } else if q.attempts < self.opts.max_retries {
+                        let backoff = self.opts.backoff * 2u32.saturating_pow(q.attempts);
+                        self.stats.retried += 1;
+                        RETRIED.inc();
+                        self.queue.push_back(Queued {
+                            attempts: q.attempts + 1,
+                            not_before: Some(Instant::now() + backoff),
+                            ..q
+                        });
+                    } else {
+                        self.stats.failed += 1;
+                        FAILED.inc();
+                        let e = SimError::JobFailed {
+                            pair: format!("{}/{}", q.spec.pair.0.name(), q.spec.pair.1.name()),
+                            cause: je.to_string(),
+                        };
+                        responses.push(job_error_response(&q.spec, &e));
+                    }
+                }
+            }
+        }
+        responses
+    }
+
+    fn engine_for(&mut self, shard: ShardKey, cfg: RunConfig) -> &mut Engine {
+        if let Some(i) = self.engines.iter().position(|(k, _)| *k == shard) {
+            return &mut self.engines[i].1;
+        }
+        let threads = self.opts.threads;
+        let mut engine = match &self.opts.journal_base {
+            Some(base) => {
+                let path = shard_journal_path(base, &cfg);
+                match Engine::with_journal(cfg, threads, &path) {
+                    Ok(e) => e,
+                    Err(err) => {
+                        // Graceful degradation: a broken journal costs
+                        // durability, never availability.
+                        let msg = err.to_string();
+                        let shown = path.display().to_string();
+                        cmp_obs::warn!(
+                            "serve journal unavailable, continuing without checkpointing",
+                            path = shown,
+                            error = msg
+                        );
+                        Engine::with_threads(cfg, threads)
+                    }
+                }
+            }
+            None => Engine::with_threads(cfg, threads),
+        };
+        engine.set_journal_fsync_every(self.opts.fsync_every);
+        engine.set_resilience(self.opts.resilience.clone());
+        self.engines.push((shard, engine));
+        &mut self.engines.last_mut().unwrap().1
+    }
+
+    /// Graceful drain: refuses new work, sheds everything still
+    /// queued with structured responses, fsyncs every journal shard,
+    /// and appends a `drained` summary line.
+    pub fn drain(&mut self) -> Vec<Json> {
+        self.drain_with_id(Json::Null)
+    }
+
+    fn drain_with_id(&mut self, id: Json) -> Vec<Json> {
+        self.draining = true;
+        let mut responses = Vec::new();
+        while let Some(q) = self.queue.pop_front() {
+            responses.push(self.shed_response(&q.spec, "draining"));
+            self.stats.drained += 1;
+            DRAINED.inc();
+        }
+        let mut synced = true;
+        for (_, engine) in &mut self.engines {
+            if let Err(e) = engine.sync_journal() {
+                synced = false;
+                let msg = e.to_string();
+                cmp_obs::warn!("journal sync failed during drain", error = msg);
+            }
+        }
+        let mut summary = Json::obj();
+        summary.set("type", Json::Str("drained".into()));
+        summary.set("id", id);
+        summary.set("completed", Json::Num(self.stats.completed as f64));
+        summary.set("shed-at-drain", Json::Num(self.stats.drained as f64));
+        summary.set("journal-synced", Json::Bool(synced));
+        responses.push(summary);
+        responses
+    }
+
+    fn health_response(&self, id: Json) -> Json {
+        let mut resp = Json::obj();
+        resp.set("type", Json::Str("health".into()));
+        resp.set("id", id);
+        resp.set("status", Json::Str(if self.draining { "draining" } else { "ok" }.into()));
+        resp.set("queued", Json::Num(self.queue.len() as f64));
+        resp.set("uptime-ms", Json::Num(self.started.elapsed().as_millis() as f64));
+        resp
+    }
+
+    fn stats_response(&self, id: Json) -> Json {
+        let s = self.stats;
+        let mut resp = Json::obj();
+        resp.set("type", Json::Str("stats".into()));
+        resp.set("id", id);
+        let mut counters = Json::obj();
+        counters.set("admitted", Json::Num(s.admitted as f64));
+        counters.set("shed", Json::Num(s.shed as f64));
+        counters.set("deduped", Json::Num(s.deduped as f64));
+        counters.set("deadline-expired", Json::Num(s.deadline_expired as f64));
+        counters.set("drained", Json::Num(s.drained as f64));
+        counters.set("completed", Json::Num(s.completed as f64));
+        counters.set("retried", Json::Num(s.retried as f64));
+        counters.set("failed", Json::Num(s.failed as f64));
+        counters.set("invalid", Json::Num(s.invalid as f64));
+        resp.set("counters", counters);
+        resp.set("queued", Json::Num(self.queue.len() as f64));
+        resp.set("queue-capacity", Json::Num(self.opts.queue_capacity as f64));
+        resp.set("simulations", Json::Num(self.simulations() as f64));
+        resp.set("restored", Json::Num(self.restored() as f64));
+        resp.set("draining", Json::Bool(self.draining));
+        resp
+    }
+
+    fn shed_response(&self, spec: &JobSpec, reason: &str) -> Json {
+        let mut resp = Json::obj();
+        resp.set("type", Json::Str("shed".into()));
+        resp.set("id", spec.id.clone());
+        resp.set("workload", Json::Str(spec.pair.0.name().into()));
+        resp.set("org", Json::Str(spec.pair.1.name().into()));
+        resp.set("reason", Json::Str(reason.into()));
+        resp
+    }
+
+    fn deadline_response(&mut self, q: &Queued) -> Json {
+        self.stats.deadline_expired += 1;
+        DEADLINE_EXPIRED.inc();
+        let pair = format!("{}/{}", q.spec.pair.0.name(), q.spec.pair.1.name());
+        error_response(&q.spec.id, &SimError::DeadlineExpired { pair })
+    }
+}
+
+/// The per-shard journal path: the base decorated with the run
+/// configuration, so shards with different sizing or seeds never mix
+/// (the journal header would reject the mix anyway; distinct paths
+/// make resume work instead of erroring).
+pub fn shard_journal_path(base: &std::path::Path, cfg: &RunConfig) -> PathBuf {
+    let stem = base.to_string_lossy();
+    let stem = stem.strip_suffix(".jsonl").unwrap_or(&stem).to_string();
+    PathBuf::from(format!(
+        "{stem}-w{}-m{}-s{}.jsonl",
+        cfg.warmup_accesses, cfg.measure_accesses, cfg.seed
+    ))
+}
+
+fn result_response(spec: &JobSpec, result: &cmp_sim::RunResult, cached: bool) -> Json {
+    let mut resp = Json::obj();
+    resp.set("type", Json::Str("result".into()));
+    resp.set("id", spec.id.clone());
+    resp.set("workload", Json::Str(spec.pair.0.name().into()));
+    resp.set("org", Json::Str(spec.pair.1.name().into()));
+    resp.set("cached", Json::Bool(cached));
+    if !spec.scenario.is_empty() {
+        resp.set("scenario", Json::Obj(spec.scenario.clone()));
+    }
+    resp.set("result", run_result_to_json(result));
+    resp
+}
+
+fn job_error_response(spec: &JobSpec, err: &SimError) -> Json {
+    let mut resp = error_response(&spec.id, err);
+    resp.set("workload", Json::Str(spec.pair.0.name().into()));
+    resp.set("org", Json::Str(spec.pair.1.name().into()));
+    resp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_opts() -> ServeOptions {
+        let cfg = RunConfig { warmup_accesses: 200, measure_accesses: 400, seed: 7 };
+        let mut o = ServeOptions::new(cfg);
+        o.threads = 2;
+        o.queue_capacity = 4;
+        o.backoff = Duration::from_millis(1);
+        o
+    }
+
+    fn types(responses: &[Json]) -> Vec<String> {
+        responses
+            .iter()
+            .map(|r| r.get("type").and_then(|t| t.as_str()).unwrap_or("?").to_string())
+            .collect()
+    }
+
+    #[test]
+    fn admit_process_answer_roundtrip() {
+        let mut svc = Service::new(tiny_opts());
+        let immediate =
+            svc.handle_line(r#"{"type":"run","id":"a","workload":"barnes","org":"shared"}"#);
+        assert!(immediate.is_empty(), "admitted jobs answer later, got {immediate:?}");
+        assert_eq!(svc.pending(), 1);
+        let responses = svc.process_ready();
+        assert_eq!(types(&responses), ["result"]);
+        assert_eq!(responses[0].get("id").and_then(|v| v.as_str()), Some("a"));
+        assert_eq!(responses[0].get("cached"), Some(&Json::Bool(false)));
+        assert!(responses[0].get("result").is_some());
+        assert_eq!(svc.stats().completed, 1);
+        assert_eq!(svc.pending(), 0);
+    }
+
+    #[test]
+    fn queue_overflow_sheds_with_structured_responses() {
+        let mut svc = Service::new(tiny_opts());
+        let mut sheds = 0;
+        for i in 0..10 {
+            let line = format!(
+                r#"{{"type":"run","id":"q{i}","workload":"barnes","org":"shared","seed":{i}}}"#
+            );
+            for resp in svc.handle_line(&line) {
+                assert_eq!(resp.get("type").and_then(|t| t.as_str()), Some("shed"));
+                assert_eq!(resp.get("reason").and_then(|r| r.as_str()), Some("queue full"));
+                sheds += 1;
+            }
+        }
+        assert_eq!(svc.pending(), 4, "queue is bounded at capacity");
+        assert_eq!(sheds, 6);
+        assert_eq!(svc.stats().shed, 6);
+        assert_eq!(svc.stats().admitted, 4);
+    }
+
+    #[test]
+    fn duplicates_coalesce_into_one_simulation() {
+        let mut svc = Service::new(tiny_opts());
+        for i in 0..3 {
+            svc.handle_line(&format!(
+                r#"{{"type":"run","id":"d{i}","workload":"barnes","org":"shared"}}"#
+            ));
+        }
+        let responses = svc.process_ready();
+        assert_eq!(types(&responses), ["result", "result", "result"]);
+        assert_eq!(svc.simulations(), 1, "three identical requests, one simulation");
+        assert_eq!(svc.stats().deduped, 2);
+        let fresh: Vec<bool> =
+            responses.iter().map(|r| r.get("cached") == Some(&Json::Bool(false))).collect();
+        assert_eq!(fresh.iter().filter(|f| **f).count(), 1);
+    }
+
+    #[test]
+    fn expired_deadline_is_answered_without_simulating() {
+        let mut svc = Service::new(tiny_opts());
+        svc.handle_line(
+            r#"{"type":"run","id":"late","workload":"barnes","org":"shared","deadline-ms":1}"#,
+        );
+        std::thread::sleep(Duration::from_millis(5));
+        let responses = svc.process_ready();
+        assert_eq!(types(&responses), ["error"]);
+        assert_eq!(responses[0].get("kind").and_then(|k| k.as_str()), Some("deadline-expired"));
+        assert_eq!(svc.simulations(), 0, "expired work never reaches the engine");
+        assert_eq!(svc.stats().deadline_expired, 1);
+    }
+
+    #[test]
+    fn drain_sheds_queued_and_reports_summary() {
+        let mut svc = Service::new(tiny_opts());
+        svc.handle_line(r#"{"type":"run","id":"x","workload":"barnes","org":"shared"}"#);
+        svc.handle_line(r#"{"type":"run","id":"y","workload":"barnes","org":"private"}"#);
+        let responses = svc.drain();
+        assert_eq!(types(&responses), ["shed", "shed", "drained"]);
+        assert!(responses[..2]
+            .iter()
+            .all(|r| r.get("reason").and_then(|v| v.as_str()) == Some("draining")));
+        assert!(svc.is_draining());
+        // Post-drain submissions are shed immediately.
+        let after =
+            svc.handle_line(r#"{"type":"run","id":"z","workload":"barnes","org":"shared"}"#);
+        assert_eq!(types(&after), ["shed"]);
+        assert_eq!(after[0].get("reason").and_then(|v| v.as_str()), Some("draining"));
+    }
+
+    #[test]
+    fn health_and_stats_answer_immediately() {
+        let mut svc = Service::new(tiny_opts());
+        let h = svc.handle_line(r#"{"type":"health","id":"h1"}"#);
+        assert_eq!(types(&h), ["health"]);
+        assert_eq!(h[0].get("status").and_then(|v| v.as_str()), Some("ok"));
+        svc.handle_line(r#"{"type":"run","workload":"barnes","org":"shared"}"#);
+        let s = svc.handle_line(r#"{"type":"stats"}"#);
+        assert_eq!(types(&s), ["stats"]);
+        assert_eq!(s[0].get("queued").and_then(|v| v.as_f64()), Some(1.0));
+        let counters = s[0].get("counters").expect("counters object");
+        assert_eq!(counters.get("admitted").and_then(|v| v.as_f64()), Some(1.0));
+    }
+
+    #[test]
+    fn invalid_lines_get_field_level_errors() {
+        let mut svc = Service::new(tiny_opts());
+        let responses = svc.handle_line(r#"{"type":"run","id":"r1","workload":"oltp","org":"l4"}"#);
+        assert_eq!(types(&responses), ["error"]);
+        assert_eq!(responses[0].get("field").and_then(|v| v.as_str()), Some("org"));
+        assert_eq!(
+            responses[0].get("id").and_then(|v| v.as_str()),
+            Some("r1"),
+            "rejections echo the request id for correlation"
+        );
+        assert_eq!(svc.stats().invalid, 1);
+    }
+
+    #[test]
+    fn bad_serve_env_warns_and_keeps_default() {
+        let cfg = RunConfig { warmup_accesses: 200, measure_accesses: 400, seed: 7 };
+        std::env::set_var(env::QUEUE, "many");
+        std::env::set_var(env::BACKOFF_MS, "-3");
+        let capture = cmp_obs::Capture::install();
+        let opts = ServeOptions::from_env(cfg);
+        std::env::remove_var(env::QUEUE);
+        std::env::remove_var(env::BACKOFF_MS);
+        assert_eq!(opts.queue_capacity, 64, "default survives the bad value");
+        assert_eq!(opts.backoff, Duration::from_millis(50));
+        assert!(capture.contains("CMP_SERVE_QUEUE"), "warn names the variable");
+        assert!(capture.contains("many"), "warn names the offending value");
+        assert!(capture.contains("CMP_SERVE_BACKOFF_MS"));
+    }
+}

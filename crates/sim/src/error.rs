@@ -40,6 +40,32 @@ pub enum SimError {
         /// Underlying I/O failure.
         cause: String,
     },
+    /// A serving-layer request failed validation. Carries field-level
+    /// context so the JSON error response can name the offending key
+    /// and the shape it expected.
+    InvalidRequest {
+        /// The request field that failed validation (`"org"`,
+        /// `"zipf-exponent"`, or `"request"` for whole-line failures
+        /// such as truncated JSON or an oversized line).
+        field: String,
+        /// Human-readable description of the accepted shape.
+        expected: String,
+        /// The offending value as received (possibly truncated).
+        got: String,
+    },
+    /// Admission control refused the job: the bounded queue was full
+    /// or the service was draining. The work was never started.
+    Shed {
+        /// Why the job was refused (`"queue full"`, `"draining"`).
+        reason: String,
+    },
+    /// The request's deadline expired before a result was produced;
+    /// any in-flight attempt was cancellation-fenced, so no partial
+    /// result escapes.
+    DeadlineExpired {
+        /// `workload/org` display key of the expired job.
+        pair: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -56,6 +82,13 @@ impl fmt::Display for SimError {
             SimError::Journal(msg) => write!(f, "sweep journal: {msg}"),
             SimError::Report { path, cause } => {
                 write!(f, "cannot write report {path}: {cause}")
+            }
+            SimError::InvalidRequest { field, expected, got } => {
+                write!(f, "invalid request field {field:?}: expected {expected}, got {got:?}")
+            }
+            SimError::Shed { reason } => write!(f, "request shed: {reason}"),
+            SimError::DeadlineExpired { pair } => {
+                write!(f, "deadline expired for {pair}")
             }
         }
     }
@@ -81,5 +114,18 @@ mod tests {
         assert_eq!(e.to_string(), "sweep journal: config mismatch");
         let e = SimError::Report { path: "BENCH_obs.json".into(), cause: "disk full".into() };
         assert_eq!(e.to_string(), "cannot write report BENCH_obs.json: disk full");
+        let e = SimError::InvalidRequest {
+            field: "org".into(),
+            expected: "a known organization name".into(),
+            got: "l4".into(),
+        };
+        assert_eq!(
+            e.to_string(),
+            "invalid request field \"org\": expected a known organization name, got \"l4\""
+        );
+        let e = SimError::Shed { reason: "queue full".into() };
+        assert_eq!(e.to_string(), "request shed: queue full");
+        let e = SimError::DeadlineExpired { pair: "oltp/shared".into() };
+        assert_eq!(e.to_string(), "deadline expired for oltp/shared");
     }
 }
