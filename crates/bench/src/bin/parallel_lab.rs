@@ -94,28 +94,22 @@ fn main() {
     let workers = par.threads().min(unique.len());
     let speedup = if workers > 1 { Json::Num(sequential_ms / parallel_ms) } else { Json::Null };
 
-    // Scaling row: the same batch at a few fixed worker counts, so
-    // the report shows how the sweep scales rather than a single
-    // point. Kept small (powers of two up to the default count).
-    let mut scaling = Vec::new();
-    for n in [2usize, 4, 8] {
-        if n >= par.threads() || n >= unique.len() {
-            break;
-        }
-        let mut lab = Engine::with_threads(cfg, n);
-        let t0 = Instant::now();
-        ok_or_exit(lab.prefetch(&submitted).map(|_| ()));
-        let ms = t0.elapsed().as_secs_f64() * 1e3;
-        let mut row = Json::obj();
-        row.set("threads", Json::Num(n as f64));
-        row.set("parallel_ms", Json::Num(ms));
-        scaling.push(row);
-    }
-    {
-        let mut row = Json::obj();
-        row.set("threads", Json::Num(par.threads() as f64));
-        row.set("parallel_ms", Json::Num(parallel_ms));
-        scaling.push(row);
+    // Scaling study: the same batch across the worker ladder through
+    // the scaling harness — best-of-3 per worker count with every
+    // sample recorded, so the regression gate reads a noise-robust
+    // number instead of one wall-clock roll of the dice.
+    let ladder: Vec<usize> = cmp_bench::scaling::DEFAULT_WORKER_COUNTS
+        .into_iter()
+        .filter(|&n| n <= par.threads().max(1) || n <= cmp_bench::scaling::available_workers())
+        .collect();
+    let study = ok_or_exit(cmp_bench::scaling::run_scaling(
+        cfg,
+        &ladder,
+        cmp_bench::scaling::DEFAULT_SAMPLES,
+    ));
+    if !study.identical {
+        cmp_obs::error!("determinism violation: scaling study diverged from sequential");
+        std::process::exit(1);
     }
 
     let mut report = Json::obj();
@@ -141,7 +135,7 @@ fn main() {
     resilience.set("orphaned", Json::Num(sweep.orphaned as f64));
     resilience.set("quarantined", Json::Num(sweep.quarantined.len() as f64));
     report.set("resilience", resilience);
-    report.set("scaling", Json::Arr(scaling));
+    report.set("scaling", study.to_json());
     let per_pair = timings
         .iter()
         .map(|t| {
@@ -173,6 +167,20 @@ fn main() {
             "{} pairs: sequential {sequential_ms:.0} ms, parallel {parallel_ms:.0} ms \
              on 1 worker (no speedup to report single-threaded)",
             unique.len(),
+        );
+    }
+    for row in &study.rows {
+        eprintln!(
+            "scaling: {} worker(s) best-of-{} {:.0} ms ({:.2}x vs sequential {:.0} ms)",
+            row.workers, study.samples, row.best_ms, row.speedup, study.sequential_best_ms,
+        );
+    }
+    for (workers, floor, measured) in study.floors_met() {
+        cmp_obs::warn!(
+            "scaling floor missed (regression suite enforces this)",
+            workers = workers,
+            floor = floor,
+            measured = measured
         );
     }
     if !identical {

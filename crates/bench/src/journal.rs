@@ -50,8 +50,27 @@ pub const FSYNC_EVERY_ENV: &str = "CMP_JOURNAL_FSYNC_EVERY";
 /// integer, warned about and defaulted to 1 (per-record fsync)
 /// otherwise.
 pub fn fsync_every_from_env() -> usize {
-    cmp_obs::env_parse_valid::<usize>(FSYNC_EVERY_ENV, |n| *n >= 1).unwrap_or(1)
+    fsync_every_from_env_or(1)
 }
+
+/// Like [`fsync_every_from_env`] but with a caller-chosen default for
+/// when the variable is unset or invalid (clamped to at least 1).
+pub fn fsync_every_from_env_or(default: usize) -> usize {
+    cmp_obs::env_parse_valid::<usize>(FSYNC_EVERY_ENV, |n| *n >= 1).unwrap_or(default.max(1))
+}
+
+/// Default group-commit interval for the batch sweep paths
+/// ([`crate::lab::ParallelLab::with_journal`] and the engines built
+/// on it). Per-record fsync showed up as a parallel-scaling
+/// bottleneck: the merge loop fsyncs on the caller's thread, so at
+/// ~5 ms per fsync a 51-pair sweep spent more wall-clock committing
+/// records than the workers saved. Batching amortizes that to one
+/// fsync per `SWEEP_FSYNC_EVERY` records plus a final sync when the
+/// batch completes; a crash loses at most the last
+/// `SWEEP_FSYNC_EVERY - 1` records of an *unfinished* batch, which
+/// resume simply re-simulates (torn-tail recovery is unchanged).
+/// `CMP_JOURNAL_FSYNC_EVERY=1` restores per-record durability.
+pub const SWEEP_FSYNC_EVERY: usize = 8;
 
 /// Magic tag in the header line; bump on any format change.
 const MAGIC: &str = "cmp-sweep-journal-v1";

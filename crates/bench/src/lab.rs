@@ -264,13 +264,21 @@ impl ParallelLab {
     /// Creates a parallel lab checkpointing to (and resuming from)
     /// the journal at `path`: completed records already on disk are
     /// restored into the memo cache, and every pair simulated from
-    /// now on is appended and fsync'd as it completes.
+    /// now on is appended as it completes. Appends are
+    /// group-committed (one fsync per
+    /// [`crate::journal::SWEEP_FSYNC_EVERY`] records, overridable via
+    /// [`crate::journal::FSYNC_EVERY_ENV`]) with a final sync when
+    /// each batch completes, so the per-record fsync never serializes
+    /// the sweep's merge loop.
     pub fn with_journal(
         cfg: RunConfig,
         threads: usize,
         path: impl AsRef<std::path::Path>,
     ) -> Result<Self, SimError> {
-        let (journal, records) = Journal::open(path, &cfg)?;
+        let (mut journal, records) = Journal::open(path, &cfg)?;
+        journal.set_fsync_every(crate::journal::fsync_every_from_env_or(
+            crate::journal::SWEEP_FSYNC_EVERY,
+        ));
         let mut lab = Self::with_threads(cfg, threads);
         lab.restored = records.len();
         for (pair, result) in records {
@@ -386,6 +394,16 @@ impl ParallelLab {
                 }
                 // Quarantined: details live in `last_report`.
                 None => {}
+            }
+        }
+        // Batch barrier: group-committed records become durable when
+        // the batch completes, so a finished sweep never loses
+        // results to a later crash. Detaches (loudly) on failure,
+        // like any other journal write problem.
+        if let Some(j) = &mut self.journal {
+            if let Err(e) = j.sync() {
+                cmp_obs::warn!("sweep journaling disabled", cause = e);
+                self.journal = None;
             }
         }
         let quarantined: HashMap<Pair, JobError> =

@@ -26,6 +26,7 @@ pub mod json;
 pub mod lab;
 pub mod obs_report;
 pub mod pool;
+pub mod scaling;
 pub mod sweep;
 pub mod table;
 
@@ -35,6 +36,7 @@ pub use json::Json;
 pub use lab::{BatchSlot, Lab, Pair, PairTiming, ParallelLab, ResultSource, WorkloadId};
 pub use obs_report::OBS_REPORT_PATH;
 pub use pool::{CancelToken, JobError};
+pub use scaling::{run_scaling, ScalingReport, ScalingRow};
 pub use sweep::{Quarantined, Resilience, SweepReport};
 pub use table::TextTable;
 

@@ -1,0 +1,357 @@
+//! Worker-scaling harness: measures the reference figure sweep at a
+//! ladder of worker counts and reports a programmatic
+//! [`ScalingReport`] the regression suite asserts against.
+//!
+//! The sweep under test is the union of every figure's (workload,
+//! organization) pairs — the same 51-pair batch `parallel_lab` and
+//! the golden suite pin down — run once through the sequential
+//! [`Lab`](crate::Lab) and once per worker count through the
+//! [`Engine`](crate::Engine) facade (the front door the CLI batch
+//! binaries and the serving layer share). Each configuration is timed
+//! **best-of-N** (default 3) with every sample recorded, so one
+//! scheduler hiccup cannot trip the regression gate, and every
+//! parallel run is checked bit-identical to the sequential reference
+//! before any timing is trusted: a speedup that changes results is a
+//! bug, not a win.
+//!
+//! Scaling only shows up when the machine has the cores: rows whose
+//! worker count exceeds [`available_workers`] still run (they must
+//! not crash) but their speedups mean nothing, which is why
+//! [`ScalingReport::floors_met`] skips floors above the machine's
+//! parallelism and the regression suite reads its thresholds from
+//! environment variables with conservative defaults.
+
+use std::collections::HashSet;
+use std::time::Instant;
+
+use cmp_sim::{RunConfig, SimError};
+
+use crate::engine::Engine;
+use crate::figures;
+use crate::json::Json;
+use crate::lab::{Lab, Pair, ResultSource};
+
+/// The default worker ladder: powers of two through 16, starting at 1
+/// so the report carries its own single-worker baseline.
+pub const DEFAULT_WORKER_COUNTS: [usize; 5] = [1, 2, 4, 8, 16];
+
+/// Default samples per configuration (best-of-3).
+pub const DEFAULT_SAMPLES: usize = 3;
+
+/// Environment variable overriding the speedup floor at a worker
+/// count `W`: `CMP_SCALING_FLOOR_<W>` (e.g. `CMP_SCALING_FLOOR_2=1.5`
+/// on modest CI hardware). Unset uses [`default_floor`].
+pub const FLOOR_ENV_PREFIX: &str = "CMP_SCALING_FLOOR_";
+
+/// The default speedup floor demanded at `workers` (the acceptance
+/// gate: ≥1.7x at 2, ≥3x at 4, ≥5x at 8). `None` for worker counts
+/// without a floor (1 and 16 — the 16-row is informational: machines
+/// wide enough to make it meaningful enforce it via the env).
+pub fn default_floor(workers: usize) -> Option<f64> {
+    match workers {
+        2 => Some(1.7),
+        4 => Some(3.0),
+        8 => Some(5.0),
+        _ => None,
+    }
+}
+
+/// The speedup floor at `workers` after env overrides: the
+/// `CMP_SCALING_FLOOR_<W>` variable when set to a positive float,
+/// otherwise [`default_floor`].
+pub fn floor_from_env(workers: usize) -> Option<f64> {
+    let var = format!("{FLOOR_ENV_PREFIX}{workers}");
+    if let Ok(raw) = std::env::var(&var) {
+        match raw.trim().parse::<f64>() {
+            Ok(f) if f > 0.0 && f.is_finite() => return Some(f),
+            _ => {
+                cmp_obs::warn!("ignoring unparsable scaling floor", var = var, value = raw);
+            }
+        }
+    }
+    default_floor(workers)
+}
+
+/// The machine's usable parallelism for scaling purposes:
+/// `available_parallelism`, with `CMP_BENCH_THREADS` *not* consulted
+/// (the harness pins worker counts explicitly).
+pub fn available_workers() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// The reference sweep: every figure's pairs, deduplicated in
+/// submission order (51 pairs at the paper configuration).
+pub fn reference_pairs() -> Vec<Pair> {
+    let mut seen = HashSet::new();
+    figures::pairs::all().into_iter().filter(|p| seen.insert(*p)).collect()
+}
+
+/// One worker count's measurements.
+#[derive(Clone, Debug)]
+pub struct ScalingRow {
+    /// Worker count the batch fanned out to.
+    pub workers: usize,
+    /// Every wall-clock sample, in run order (milliseconds).
+    pub samples_ms: Vec<f64>,
+    /// The best (smallest) sample — the number speedups use, since
+    /// interference only ever adds time.
+    pub best_ms: f64,
+    /// `sequential_best_ms / best_ms` of the parent report.
+    pub speedup: f64,
+}
+
+/// What the harness measured: the sequential baseline, one
+/// [`ScalingRow`] per worker count, and the bit-identity verdict.
+#[derive(Clone, Debug)]
+pub struct ScalingReport {
+    /// Unique pairs in the sweep.
+    pub pairs: usize,
+    /// Samples taken per configuration.
+    pub samples: usize,
+    /// The machine's available parallelism when the harness ran.
+    pub workers_available: usize,
+    /// Sequential wall-clock samples (milliseconds).
+    pub sequential_samples_ms: Vec<f64>,
+    /// Best sequential sample.
+    pub sequential_best_ms: f64,
+    /// Rows in ascending worker order.
+    pub rows: Vec<ScalingRow>,
+    /// Whether every parallel run produced bit-identical results to
+    /// the sequential reference.
+    pub identical: bool,
+}
+
+impl ScalingReport {
+    /// The measured speedup at a worker count, if that row was run.
+    pub fn speedup_at(&self, workers: usize) -> Option<f64> {
+        self.rows.iter().find(|r| r.workers == workers).map(|r| r.speedup)
+    }
+
+    /// Whether best-of-N wall-clock is monotone non-increasing as
+    /// workers grow, within a multiplicative `tolerance` (0.05 =
+    /// each row may be at most 5% slower than the best of the rows
+    /// before it — adding workers must never make the sweep
+    /// meaningfully slower). Only rows within the machine's
+    /// parallelism are compared: beyond it, extra workers are pure
+    /// scheduling overhead by construction.
+    pub fn monotone_within(&self, tolerance: f64) -> bool {
+        let mut best_so_far = f64::INFINITY;
+        for row in self.rows.iter().filter(|r| r.workers <= self.workers_available) {
+            if row.best_ms > best_so_far * (1.0 + tolerance) {
+                return false;
+            }
+            best_so_far = best_so_far.min(row.best_ms);
+        }
+        true
+    }
+
+    /// Checks every applicable speedup floor (see [`floor_from_env`]):
+    /// rows whose worker count exceeds the machine's parallelism are
+    /// skipped (a 2-core CI box cannot prove an 8-worker floor, only
+    /// flake on it). Returns the violations as
+    /// `(workers, floor, measured)`; empty means every enforced floor
+    /// held.
+    pub fn floors_met(&self) -> Vec<(usize, f64, f64)> {
+        let mut violations = Vec::new();
+        for row in &self.rows {
+            if row.workers > self.workers_available {
+                continue;
+            }
+            if let Some(floor) = floor_from_env(row.workers) {
+                if row.speedup < floor {
+                    violations.push((row.workers, floor, row.speedup));
+                }
+            }
+        }
+        violations
+    }
+
+    /// The report as ordered JSON, the shape embedded in
+    /// `BENCH_parallel_lab.json` under `"scaling"`.
+    pub fn to_json(&self) -> Json {
+        let samples_arr = |ms: &[f64]| {
+            Json::Arr(ms.iter().map(|m| Json::Num((m * 1000.0).round() / 1000.0)).collect())
+        };
+        let mut root = Json::obj();
+        root.set("pairs", Json::Num(self.pairs as f64));
+        root.set("samples", Json::Num(self.samples as f64));
+        root.set("workers_available", Json::Num(self.workers_available as f64));
+        let mut seq = Json::obj();
+        seq.set("samples_ms", samples_arr(&self.sequential_samples_ms));
+        seq.set("best_ms", Json::Num(self.sequential_best_ms));
+        root.set("sequential", seq);
+        let rows = self
+            .rows
+            .iter()
+            .map(|r| {
+                let mut row = Json::obj();
+                row.set("workers", Json::Num(r.workers as f64));
+                row.set("samples_ms", samples_arr(&r.samples_ms));
+                row.set("best_ms", Json::Num(r.best_ms));
+                row.set("speedup", Json::Num((r.speedup * 1000.0).round() / 1000.0));
+                row
+            })
+            .collect();
+        root.set("rows", Json::Arr(rows));
+        root.set("identical", Json::Bool(self.identical));
+        root
+    }
+}
+
+fn best(samples: &[f64]) -> f64 {
+    samples.iter().copied().fold(f64::INFINITY, f64::min)
+}
+
+/// Runs the scaling study: `samples` timed sequential sweeps, then
+/// `samples` timed parallel sweeps per entry of `worker_counts`, each
+/// on a fresh lab (the memo cache must not answer a later sample).
+/// The Zipf intern pool and other process-wide read-mostly structures
+/// are warmed by the first sequential sample, so every timed
+/// configuration sees the same warm state and the comparison is
+/// construction-free on both sides.
+///
+/// Results of every parallel run are verified bit-identical to the
+/// sequential reference; a divergence poisons `identical` (callers
+/// gate on it) rather than silently reporting a tainted speedup.
+pub fn run_scaling(
+    cfg: RunConfig,
+    worker_counts: &[usize],
+    samples: usize,
+) -> Result<ScalingReport, SimError> {
+    let unique = reference_pairs();
+    let samples = samples.max(1);
+
+    // Warm-up pass (untimed): builds the interned Zipf tables and
+    // faults in the binary so sample 1 is not charged construction
+    // costs the other samples skip.
+    let mut reference = Lab::new(cfg);
+    for &(w, k) in &unique {
+        reference.try_result(w, k)?;
+    }
+
+    let mut sequential_samples_ms = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut lab = Lab::new(cfg);
+        let t0 = Instant::now();
+        for &(w, k) in &unique {
+            lab.try_result(w, k)?;
+        }
+        sequential_samples_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    let sequential_best_ms = best(&sequential_samples_ms);
+
+    let mut identical = true;
+    let mut rows = Vec::with_capacity(worker_counts.len());
+    for &workers in worker_counts {
+        let workers = workers.max(1);
+        let mut samples_ms = Vec::with_capacity(samples);
+        for sample in 0..samples {
+            let mut engine = Engine::with_threads(cfg, workers);
+            let t0 = Instant::now();
+            engine.prefetch(&unique)?;
+            samples_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+            // Bit-identity gate, on the last sample per row (every
+            // sample runs the same pure jobs; checking one is enough
+            // to catch a sharded-state refactor gone wrong without
+            // charging the comparison to every sample).
+            if sample + 1 == samples {
+                for &(w, k) in &unique {
+                    if engine.try_result(w, k)? != reference.result(w, k) {
+                        identical = false;
+                    }
+                }
+            }
+        }
+        let best_ms = best(&samples_ms);
+        rows.push(ScalingRow {
+            workers,
+            samples_ms,
+            best_ms,
+            speedup: sequential_best_ms / best_ms,
+        });
+    }
+
+    Ok(ScalingReport {
+        pairs: unique.len(),
+        samples,
+        workers_available: available_workers(),
+        sequential_samples_ms,
+        sequential_best_ms,
+        rows,
+        identical,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(rows: &[(usize, f64)], seq_best: f64, available: usize) -> ScalingReport {
+        ScalingReport {
+            pairs: 51,
+            samples: 3,
+            workers_available: available,
+            sequential_samples_ms: vec![seq_best],
+            sequential_best_ms: seq_best,
+            rows: rows
+                .iter()
+                .map(|&(workers, best_ms)| ScalingRow {
+                    workers,
+                    samples_ms: vec![best_ms],
+                    best_ms,
+                    speedup: seq_best / best_ms,
+                })
+                .collect(),
+            identical: true,
+        }
+    }
+
+    #[test]
+    fn monotone_tolerates_noise_but_not_regression() {
+        let good = report(&[(1, 100.0), (2, 52.0), (4, 30.0), (8, 31.0)], 100.0, 8);
+        assert!(good.monotone_within(0.05), "8-worker row within 5% of 4-worker best");
+        let bad = report(&[(1, 100.0), (2, 52.0), (4, 80.0)], 100.0, 8);
+        assert!(!bad.monotone_within(0.05), "4 workers much slower than 2 must fail");
+        let beyond = report(&[(1, 100.0), (2, 52.0), (16, 500.0)], 100.0, 2);
+        assert!(beyond.monotone_within(0.05), "rows beyond the machine's cores are not judged");
+    }
+
+    #[test]
+    fn floors_skip_rows_beyond_available_parallelism() {
+        // 2-worker floor enforced and failed; the 8-worker row is
+        // beyond the pretend 2-core machine, so its (awful) speedup
+        // is skipped rather than flaking.
+        let r = report(&[(2, 100.0), (8, 200.0)], 100.0, 2);
+        let violations = r.floors_met();
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].0, 2);
+        assert_eq!(violations[0].1, 1.7);
+        // On a pretend 16-core machine both floors are enforced.
+        let r = report(&[(2, 30.0), (8, 12.0)], 100.0, 16);
+        assert!(r.floors_met().is_empty(), "3.33x at 2 and 8.3x at 8 clear the floors");
+    }
+
+    #[test]
+    fn speedup_lookup_and_json_shape() {
+        let r = report(&[(1, 100.0), (2, 50.0)], 100.0, 8);
+        assert_eq!(r.speedup_at(2), Some(2.0));
+        assert_eq!(r.speedup_at(16), None);
+        let json = r.to_json();
+        assert_eq!(json.get("pairs").and_then(Json::as_f64), Some(51.0));
+        assert!(json.get("identical").is_some());
+        let text = json.to_string();
+        assert!(text.contains("\"rows\""), "{text}");
+        assert!(text.contains("\"speedup\""), "{text}");
+    }
+
+    #[test]
+    fn tiny_end_to_end_run_is_identical_and_complete() {
+        let cfg = RunConfig { warmup_accesses: 100, measure_accesses: 200, seed: 3 };
+        let report = run_scaling(cfg, &[1, 2], 2).unwrap();
+        assert!(report.identical, "parallel results must match sequential bit-for-bit");
+        assert_eq!(report.rows.len(), 2);
+        assert_eq!(report.sequential_samples_ms.len(), 2);
+        assert!(report.rows.iter().all(|r| r.samples_ms.len() == 2));
+        assert!(report.sequential_best_ms > 0.0);
+    }
+}

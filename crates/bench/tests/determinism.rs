@@ -21,12 +21,12 @@ fn grid() -> Vec<(WorkloadId, OrgKind)> {
 }
 
 #[test]
-fn parallel_lab_matches_sequential_at_1_2_and_8_threads() {
+fn parallel_lab_matches_sequential_at_1_2_8_and_16_threads() {
     let mut seq = Lab::new(cfg());
     for &(w, k) in &grid() {
         seq.try_result(w, k).expect("sequential run");
     }
-    for threads in [1, 2, 8] {
+    for threads in [1, 2, 8, 16] {
         let mut par = ParallelLab::with_threads(cfg(), threads);
         par.prefetch(&grid()).expect("parallel sweep");
         for (w, k) in grid() {
@@ -34,6 +34,40 @@ fn parallel_lab_matches_sequential_at_1_2_and_8_threads() {
                 par.result(w, k),
                 seq.result(w, k),
                 "bit-identity violated at {threads} thread(s) for {}/{}",
+                w.name(),
+                k.name()
+            );
+        }
+    }
+}
+
+/// Observability must be a pure observer: with `CMP_OBS=1` the
+/// sharded metric counters fire on every L2 access and bus snoop from
+/// every worker thread, and none of it may perturb results. Runs the
+/// same sweep twice with the layer enabled (16 workers, so the
+/// thread-local shard assignment differs between runs) and asserts
+/// both parallel sweeps are bit-identical to sequential.
+#[test]
+fn sweep_under_enabled_obs_is_bit_identical_across_runs() {
+    let was_enabled = cmp_obs::enabled();
+    cmp_obs::set_enabled(true);
+    let mut seq = Lab::new(cfg());
+    for &(w, k) in &grid() {
+        seq.try_result(w, k).expect("sequential run");
+    }
+    let mut runs = Vec::new();
+    for _ in 0..2 {
+        let mut par = ParallelLab::with_threads(cfg(), 16);
+        par.prefetch(&grid()).expect("parallel sweep under CMP_OBS=1");
+        runs.push(par);
+    }
+    cmp_obs::set_enabled(was_enabled);
+    for (run, par) in runs.iter_mut().enumerate() {
+        for (w, k) in grid() {
+            assert_eq!(
+                par.result(w, k),
+                seq.result(w, k),
+                "CMP_OBS=1 perturbed run #{run} for {}/{}",
                 w.name(),
                 k.name()
             );

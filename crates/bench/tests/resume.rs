@@ -105,6 +105,52 @@ fn resume_after_torn_final_record_is_byte_identical() {
     run_resume_scenario("torn", true);
 }
 
+/// Group commit (the sweep default, `CMP_JOURNAL_FSYNC_EVERY=8`)
+/// changes the durability trade — a kill may cost the unsynced tail,
+/// up to `fsync_every - 1` records — but must never change resume
+/// semantics: whatever prefix survives on disk restores exactly, the
+/// rest re-simulates, and the final answers are byte-identical to an
+/// uninterrupted run. The kill here drops a whole unsynced group
+/// (several trailing records) plus a torn half-record, the worst
+/// on-disk state a group-committed crash can leave.
+#[test]
+fn resume_under_group_commit_is_byte_identical() {
+    let (submitted, unique) = batch();
+    let n = unique.len();
+    // Keep fewer than a full group: the crash loses the entire
+    // unsynced window, not just the record being written.
+    assert!(n > 4, "batch too small to lose a group");
+    let keep = n - 4;
+    let (want_results, want_figure) = reference(&submitted, &unique);
+
+    let path = temp_journal("group-commit");
+    {
+        let mut first = ParallelLab::with_journal(tiny_cfg(), 2, &path).unwrap();
+        first.set_journal_fsync_every(8);
+        first.prefetch(&submitted).unwrap();
+        assert_eq!(first.simulations(), n);
+    }
+    kill_journal(&path, keep, true);
+
+    let mut resumed = ParallelLab::with_journal(tiny_cfg(), 2, &path).unwrap();
+    resumed.set_journal_fsync_every(8);
+    assert_eq!(resumed.restored(), keep, "must restore exactly the synced prefix");
+    resumed.prefetch(&submitted).unwrap();
+    assert_eq!(resumed.simulations(), n - keep, "resume must re-simulate only the lost group");
+
+    for (&(w, k), want) in unique.iter().zip(&want_results) {
+        assert_eq!(resumed.result(w, k), want, "{}/{}", w.name(), k.name());
+    }
+    assert_eq!(figures::fig5(&mut resumed), want_figure, "figure bytes diverged after resume");
+
+    // The healed journal is complete even though the resumed run also
+    // group-committed: the batch-end sync (and Drop) flush the tail.
+    drop(resumed);
+    let third = ParallelLab::with_journal(tiny_cfg(), 2, &path).unwrap();
+    assert_eq!(third.restored(), n, "group-committed resume must re-journal the lost pairs");
+    let _ = std::fs::remove_file(&path);
+}
+
 #[test]
 fn on_demand_lookups_are_journaled_too() {
     let path = temp_journal("on-demand");

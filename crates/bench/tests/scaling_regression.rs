@@ -1,0 +1,184 @@
+//! Scaling-regression suite: proves the parallel sweep actually
+//! scales and that the shared state it touches does not degrade into
+//! a serialization point under thread pressure.
+//!
+//! Two families of tests:
+//!
+//! 1. **Sweep scaling** — runs the 51-pair reference sweep through
+//!    [`cmp_bench::run_scaling`] at a worker ladder and asserts the
+//!    report is bit-identical to sequential, monotone (more workers
+//!    never meaningfully slower), and clears the speedup floors.
+//!    Floors are env-gated (`CMP_SCALING_FLOOR_<W>`) and rows beyond
+//!    the machine's parallelism are skipped by construction, so a
+//!    1-core CI box runs the harness end to end without flaking on
+//!    speedups it cannot physically produce.
+//!
+//! 2. **Contention microbenches** — N threads hammering the two
+//!    process-wide structures the sweep workers share (the Zipf
+//!    intern pool's read path and an obs metrics counter). The gate
+//!    is normalized per-op CPU cost: `wall(N) * min(N, cores) /
+//!    total_ops` must not grow superlinearly versus one thread. A
+//!    lock-free or read-mostly structure keeps this flat; a
+//!    structure that regressed to an exclusive lock multiplies it by
+//!    roughly the thread count on a multicore box and trips the
+//!    assert.
+//!
+//! Timing tests share a mutex so they never time each other's noise.
+
+use std::sync::{Barrier, Mutex, MutexGuard, PoisonError};
+use std::time::Instant;
+
+use cmp_bench::run_scaling;
+use cmp_bench::scaling::{available_workers, DEFAULT_WORKER_COUNTS};
+use cmp_sim::RunConfig;
+
+/// All tests in this file measure wall-clock; serialize them so they
+/// don't compete for the same cores and flake each other.
+fn timing_lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Small-but-not-tiny configuration: big enough that a sweep is
+/// hundreds of per-pair jobs' worth of real simulation (thread spawn
+/// and channel overhead amortize away), small enough for a test
+/// budget.
+fn cfg() -> RunConfig {
+    RunConfig { warmup_accesses: 5_000, measure_accesses: 10_000, seed: 0x15CA }
+}
+
+#[test]
+fn sweep_scaling_is_identical_monotone_and_clears_floors() {
+    let _guard = timing_lock();
+    // The full default ladder: rows beyond this machine's cores still
+    // run (they must not crash or diverge) but are exempt from the
+    // monotone and floor judgments.
+    let report = run_scaling(cfg(), &DEFAULT_WORKER_COUNTS, 3).expect("scaling study");
+
+    assert!(report.identical, "parallel sweeps must be bit-identical to sequential");
+    assert_eq!(report.rows.len(), DEFAULT_WORKER_COUNTS.len());
+    assert!(report.rows.iter().all(|r| r.samples_ms.len() == 3), "every sample recorded");
+
+    // Monotone within 25%: adding workers may buy nothing on a narrow
+    // machine, but it must never make the sweep meaningfully slower.
+    assert!(
+        report.monotone_within(0.25),
+        "wall-clock regressed as workers grew: seq best {:.1} ms, rows {:?}",
+        report.sequential_best_ms,
+        report.rows.iter().map(|r| (r.workers, r.best_ms)).collect::<Vec<_>>(),
+    );
+
+    // Speedup floors (defaults ≥1.7x @ 2, ≥3x @ 4, ≥5x @ 8;
+    // override per worker count with CMP_SCALING_FLOOR_<W>). Rows
+    // wider than the machine are skipped inside floors_met.
+    let violations = report.floors_met();
+    assert!(
+        violations.is_empty(),
+        "speedup floors missed (workers, floor, measured): {violations:?}; \
+         sequential best {:.1} ms over {} pairs on {} available core(s)",
+        report.sequential_best_ms,
+        report.pairs,
+        report.workers_available,
+    );
+}
+
+/// Times `threads` workers each performing `ops` calls of `op` after
+/// a common barrier; returns normalized per-op CPU nanoseconds:
+/// `wall * min(threads, cores) / (threads * ops)`. Flat across thread
+/// counts means the structure under test scales; growth proportional
+/// to the thread count means it serialized.
+fn normalized_per_op_nanos(threads: usize, ops: usize, op: &(impl Fn() + Sync)) -> f64 {
+    let barrier = Barrier::new(threads);
+    let wall = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    barrier.wait();
+                    let t0 = Instant::now();
+                    for _ in 0..ops {
+                        op();
+                    }
+                    t0.elapsed()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("hammer thread")).max().unwrap()
+    });
+    let effective_cores = threads.min(available_workers()) as f64;
+    wall.as_secs_f64() * 1e9 * effective_cores / (threads * ops) as f64
+}
+
+/// Best-of-3 of [`normalized_per_op_nanos`] — interference only ever
+/// adds time, so the minimum is the honest cost.
+fn best_per_op_nanos(threads: usize, ops: usize, op: &(impl Fn() + Sync)) -> f64 {
+    (0..3).map(|_| normalized_per_op_nanos(threads, ops, op)).fold(f64::INFINITY, f64::min)
+}
+
+/// A structure that kept its read path concurrent costs about the
+/// same per op at N threads as at 1; one that regressed to an
+/// exclusive lock costs ~N× more on a multicore box. 8× leaves room
+/// for cache-line ping-pong and scheduler noise without letting a
+/// serialized path through.
+const SUPERLINEAR_SLACK: f64 = 8.0;
+
+#[test]
+fn zipf_intern_pool_read_path_does_not_serialize() {
+    let _guard = timing_lock();
+    // Warm the pool so every timed call takes the interned read path
+    // (the build-and-insert path is the one-time cold cost).
+    let warm = cmp_mem::Zipf::new(4096, 0.9);
+    std::hint::black_box(&warm);
+
+    let op = || {
+        let z = cmp_mem::Zipf::new(4096, 0.9);
+        std::hint::black_box(&z);
+    };
+    let ops = 50_000;
+    let baseline = best_per_op_nanos(1, ops, &op);
+    for threads in [2, 4] {
+        let contended = best_per_op_nanos(threads, ops, &op);
+        assert!(
+            contended <= baseline.max(5.0) * SUPERLINEAR_SLACK,
+            "Zipf intern pool serialized at {threads} threads: \
+             {contended:.1} ns/op vs {baseline:.1} ns/op single-threaded",
+        );
+    }
+    assert!(
+        cmp_mem::zipf_interned_distributions() >= 1,
+        "hammering must hit the interned table, not rebuild it",
+    );
+}
+
+#[test]
+fn metrics_counter_hot_path_does_not_serialize() {
+    let _guard = timing_lock();
+    static HAMMERED: cmp_obs::Counter = cmp_obs::Counter::new("bench.contention.hammer");
+    // The counter only does work while the layer is on; restore the
+    // prior state so this test cannot leak CMP_OBS into others.
+    let was_enabled = cmp_obs::enabled();
+    cmp_obs::set_enabled(true);
+
+    let op = || HAMMERED.inc();
+    let ops = 200_000;
+    let baseline = best_per_op_nanos(1, ops, &op);
+    let mut failure = None;
+    for threads in [2, 4] {
+        let contended = best_per_op_nanos(threads, ops, &op);
+        if contended > baseline.max(2.0) * SUPERLINEAR_SLACK {
+            failure = Some((threads, contended, baseline));
+            break;
+        }
+    }
+    let total = HAMMERED.get();
+    cmp_obs::set_enabled(was_enabled);
+
+    if let Some((threads, contended, baseline)) = failure {
+        panic!(
+            "sharded counter serialized at {threads} threads: \
+             {contended:.1} ns/op vs {baseline:.1} ns/op single-threaded",
+        );
+    }
+    // Sharding must not lose increments: 3 samples × (1 + 2 + 4)
+    // threads × ops each.
+    assert_eq!(total, 3 * 7 * ops as u64, "sharded counter dropped increments");
+}

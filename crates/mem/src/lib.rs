@@ -29,7 +29,7 @@ pub mod stats;
 
 pub use addr::{AccessKind, Addr, BlockAddr, CoreId, Cycle};
 pub use geometry::CacheGeometry;
-pub use rng::{Rng, WeightedTable, Zipf};
+pub use rng::{zipf_interned_distributions, Rng, WeightedTable, Zipf};
 pub use stats::{Fraction, ReuseBucket, ReuseHistogram};
 
 /// Number of cores in the paper's evaluated configuration (Section 4).

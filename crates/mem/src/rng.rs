@@ -243,8 +243,16 @@ struct ZipfTables {
 }
 
 /// Intern-pool storage: built tables keyed by `(n, theta.to_bits())`.
+///
+/// A `RwLock` rather than a `Mutex`: once the handful of distinct
+/// distributions a sweep uses exist, every `Zipf::new` on every
+/// worker is a read-lock + `Arc` clone, and readers never serialize
+/// each other. (The old `Mutex` made parallel sweeps *slower* than
+/// sequential ones: every worker constructing its workload queued on
+/// one lock, and on a miss the `O(n)` `powf` table build ran while
+/// the lock was held, stalling the whole fan-out.)
 type ZipfPool =
-    std::sync::Mutex<std::collections::HashMap<(usize, u64), std::sync::Arc<ZipfTables>>>;
+    std::sync::RwLock<std::collections::HashMap<(usize, u64), std::sync::Arc<ZipfTables>>>;
 
 /// The process-wide [`ZipfTables`] intern pool. The distinct
 /// distributions a process builds are bounded by the workload
@@ -252,6 +260,14 @@ type ZipfPool =
 fn zipf_pool() -> &'static ZipfPool {
     static POOL: std::sync::OnceLock<ZipfPool> = std::sync::OnceLock::new();
     POOL.get_or_init(Default::default)
+}
+
+/// Number of distinct `(n, theta)` distributions currently interned.
+/// Exposed for the scaling-regression suite, which prewarms the pool
+/// and then asserts that hammering [`Zipf::new`] from many threads
+/// stays on the shared read path.
+pub fn zipf_interned_distributions() -> usize {
+    zipf_pool().read().unwrap_or_else(std::sync::PoisonError::into_inner).len()
 }
 
 impl Zipf {
@@ -264,11 +280,24 @@ impl Zipf {
     pub fn new(n: usize, theta: f64) -> Self {
         assert!(n > 0, "Zipf support must be nonempty");
         assert!(theta >= 0.0 && theta.is_finite(), "Zipf theta must be finite and nonnegative");
-        let mut pool = zipf_pool().lock().expect("zipf pool poisoned");
-        let tables = pool
-            .entry((n, theta.to_bits()))
-            .or_insert_with(|| std::sync::Arc::new(ZipfTables::build(n, theta)))
-            .clone();
+        use std::sync::PoisonError;
+        let key = (n, theta.to_bits());
+        // Read-mostly fast path: concurrent workers constructing the
+        // same workload share the read lock and never serialize.
+        {
+            let pool = zipf_pool().read().unwrap_or_else(PoisonError::into_inner);
+            if let Some(tables) = pool.get(&key) {
+                return Zipf { tables: tables.clone() };
+            }
+        }
+        // Miss: build the tables with no lock held (the `O(n)` `powf`
+        // walk must not stall other workers), then publish under the
+        // write lock. If another thread raced us to the same key its
+        // tables win — both builds are deterministic and identical,
+        // only the duplicate work is discarded.
+        let built = std::sync::Arc::new(ZipfTables::build(n, theta));
+        let mut pool = zipf_pool().write().unwrap_or_else(PoisonError::into_inner);
+        let tables = pool.entry(key).or_insert(built).clone();
         Zipf { tables }
     }
 

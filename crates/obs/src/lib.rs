@@ -16,7 +16,11 @@
 //!
 //! Disabled cost: every increment path starts with one relaxed atomic
 //! load and an early return, `#[inline]` so the check lands in the
-//! caller.
+//! caller. Enabled cost is contention-free as well: counters and
+//! histograms are sharded across cache-line-aligned per-thread slots
+//! ([`METRIC_SHARDS`]), folded only when a snapshot is taken, so hot
+//! per-access metrics do not serialize parallel sweep workers on a
+//! shared cache line.
 //!
 //! # Logging
 //!
@@ -73,7 +77,9 @@ mod span;
 
 pub use crate::env::{env_parse, env_parse_valid};
 pub use crate::log::{log_emit, log_enabled, Capture, Level};
-pub use crate::metrics::{Counter, CounterSnapshot, Histogram, HistogramSnapshot, HIST_BUCKETS};
+pub use crate::metrics::{
+    Counter, CounterSnapshot, Histogram, HistogramSnapshot, HIST_BUCKETS, METRIC_SHARDS,
+};
 pub use crate::span::{SpanGuard, SpanSnapshot, SpanStat};
 
 use std::sync::atomic::{AtomicU8, Ordering};
