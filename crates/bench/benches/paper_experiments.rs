@@ -19,7 +19,7 @@ use cmp_sim::{run_multithreaded_custom, OrgKind, RunConfig};
 
 /// Small but non-trivial run sizing for benchmarking the harness.
 fn bench_cfg() -> RunConfig {
-    RunConfig { warmup_accesses: 5_000, measure_accesses: 10_000, seed: 0xBE7C }
+    RunConfig::sized(5_000, 10_000, 0xBE7C)
 }
 
 fn bench_table1(c: &mut Criterion) {

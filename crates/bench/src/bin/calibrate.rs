@@ -10,7 +10,7 @@ use cmp_sim::{try_run_mix, try_run_multithreaded, OrgKind, RunConfig};
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let scale: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(100_000);
-    let cfg = RunConfig { warmup_accesses: scale / 2, measure_accesses: scale, seed: 0x15CA };
+    let cfg = RunConfig::sized(scale / 2, scale, 0x15CA);
     println!("== multithreaded (scale {scale}/core) ==");
     let mut relsum = std::collections::HashMap::<&str, (f64, usize)>::new();
     for wl in ["oltp", "apache", "specjbb", "ocean", "barnes"] {

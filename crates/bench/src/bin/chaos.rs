@@ -88,7 +88,7 @@ fn main() {
                 eprintln!("usage: chaos [quick|paper|<measure_accesses>]");
                 std::process::exit(2);
             });
-            RunConfig { warmup_accesses: measure / 2, measure_accesses: measure, seed: 0x15CA }
+            RunConfig::sized(measure / 2, measure, 0x15CA)
         }
     };
     // The harness manages its own journal; an inherited one would make

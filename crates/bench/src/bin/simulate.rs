@@ -2,35 +2,71 @@
 //! organization with explicit sizing, and print the full statistics.
 //!
 //! ```text
-//! simulate <workload> <org> [measure-refs] [warmup-refs] [seed]
+//! simulate [--approx[=RHW[:CONF]]] <workload> <org> \
+//!          [measure-refs] [warmup-refs] [seed]
 //!
 //! workload: oltp | apache | specjbb | ocean | barnes | MIX1..MIX4
 //! org:      shared | private | snuca | dnuca | ideal | nurapid |
 //!           nurapid-cr | nurapid-isc
 //! ```
+//!
+//! `--approx` turns on confidence-based early stopping (the
+//! approximate mode): the run ends as soon as the miss-rate estimate
+//! is within the relative half-width `RHW` (default 0.02) at
+//! confidence `CONF` (default 0.95), capped at the fixed budget.
 
 use cmp_bench::{ok_or_exit, ParallelLab, ResultSource, WorkloadId};
 use cmp_cache::AccessClass;
 use cmp_mem::ReuseBucket;
-use cmp_sim::{OrgKind, RunConfig};
+use cmp_sim::{OrgKind, RunConfig, StopMetric, StopRule};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: simulate <workload> <org> [measure-refs] [warmup-refs] [seed]\n\
+        "usage: simulate [--approx[=RHW[:CONF]]] <workload> <org> [measure-refs] [warmup-refs] [seed]\n\
          workload: oltp|apache|specjbb|ocean|barnes|MIX1..MIX4\n\
-         org: shared|private|snuca|dnuca|ideal|nurapid|nurapid-cr|nurapid-isc"
+         org: shared|private|snuca|dnuca|ideal|nurapid|nurapid-cr|nurapid-isc\n\
+         --approx: stop early once the miss rate is within RHW (default 0.02)\n\
+         \x20         at confidence CONF (default 0.95)"
     );
     std::process::exit(2);
 }
 
+/// Parses `--approx`, `--approx=0.05`, or `--approx=0.05:0.9`.
+fn parse_approx(flag: &str) -> StopRule {
+    let mut rel_half_width = 0.02;
+    let mut confidence = 0.95;
+    if let Some(spec) = flag.strip_prefix("--approx=") {
+        let mut parts = spec.splitn(2, ':');
+        rel_half_width = parts.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+        if let Some(c) = parts.next() {
+            confidence = c.parse().unwrap_or_else(|_| usage());
+        }
+    } else if flag != "--approx" {
+        usage();
+    }
+    if !(rel_half_width > 0.0 && rel_half_width <= 0.5 && (0.5..1.0).contains(&confidence)) {
+        usage();
+    }
+    StopRule::Confidence { metric: StopMetric::MissRate, rel_half_width, confidence }
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut stop = StopRule::Fixed;
+    if let Some(first) = args.first() {
+        if first.starts_with("--approx") {
+            stop = parse_approx(first);
+            args.remove(0);
+        } else if first.starts_with('-') {
+            usage();
+        }
+    }
     let (Some(workload), Some(org)) = (args.first(), args.get(1)) else { usage() };
     let Some(kind) = OrgKind::from_name(org) else { usage() };
     let measure = args.get(2).map_or(1_000_000, |s| s.parse().unwrap_or_else(|_| usage()));
     let warmup = args.get(3).map_or(measure / 2, |s| s.parse().unwrap_or_else(|_| usage()));
     let seed = args.get(4).map_or(0x15CA, |s| s.parse().unwrap_or_else(|_| usage()));
-    let cfg = RunConfig { warmup_accesses: warmup, measure_accesses: measure, seed };
+    let cfg = RunConfig::sized(warmup, measure, seed).with_stop(stop);
     // WorkloadId keys the lab's memo cache on &'static str; a CLI
     // argument lives for the whole process anyway, so leak it.
     let name: &'static str = Box::leak(workload.clone().into_boxed_str());
@@ -48,6 +84,9 @@ fn main() {
         r.workload,
         kind.label()
     );
+    if !stop.is_fixed() {
+        println!("  approximate mode    {} (references below reflect the early stop)", stop.tag());
+    }
     println!("  instructions        {:>12}", r.instructions);
     println!("  references          {:>12}", r.accesses);
     println!("  cycles              {:>12}", r.cycles);

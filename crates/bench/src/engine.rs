@@ -174,7 +174,7 @@ mod tests {
     use super::*;
 
     fn tiny_cfg() -> RunConfig {
-        RunConfig { warmup_accesses: 200, measure_accesses: 400, seed: 7 }
+        RunConfig::sized(200, 400, 7)
     }
 
     #[test]

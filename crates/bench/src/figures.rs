@@ -687,7 +687,7 @@ mod tests {
     use cmp_sim::RunConfig;
 
     fn tiny_cfg() -> RunConfig {
-        RunConfig { warmup_accesses: 300, measure_accesses: 600, seed: 5 }
+        RunConfig::sized(300, 600, 5)
     }
 
     fn tiny_lab() -> Lab {

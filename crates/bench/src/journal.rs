@@ -293,6 +293,7 @@ fn header_json(cfg: &RunConfig) -> Json {
     h.set("warmup_accesses", u(cfg.warmup_accesses));
     h.set("measure_accesses", u(cfg.measure_accesses));
     h.set("seed", u(cfg.seed));
+    h.set("stop", Json::Str(cfg.stop.tag()));
     h
 }
 
@@ -301,17 +302,25 @@ fn check_header(value: &Json, cfg: &RunConfig, path: &Path) -> Result<(), SimErr
     if value.get("journal").and_then(Json::as_str) != Some(MAGIC) {
         return Err(journal_err(format!("{}: not a {MAGIC} file", path.display())));
     }
+    // Pre-approx journals carry no "stop" field; they were all exact.
+    let stop = value
+        .get("stop")
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .unwrap_or_else(|| "fixed".into());
     let matches = field("warmup_accesses") == Some(cfg.warmup_accesses as f64)
         && field("measure_accesses") == Some(cfg.measure_accesses as f64)
-        && field("seed") == Some(cfg.seed as f64);
+        && field("seed") == Some(cfg.seed as f64)
+        && stop == cfg.stop.tag();
     if !matches {
         return Err(journal_err(format!(
-            "{}: config mismatch (journal was written for warmup={} measure={} seed={}; \
+            "{}: config mismatch (journal was written for warmup={} measure={} seed={} stop={}; \
              delete the file or rerun with its config)",
             path.display(),
             field("warmup_accesses").unwrap_or(f64::NAN),
             field("measure_accesses").unwrap_or(f64::NAN),
             field("seed").unwrap_or(f64::NAN),
+            stop,
         )));
     }
     Ok(())
@@ -495,7 +504,7 @@ mod tests {
     use cmp_sim::try_run_multithreaded;
 
     fn tiny_cfg() -> RunConfig {
-        RunConfig { warmup_accesses: 200, measure_accesses: 400, seed: 11 }
+        RunConfig::sized(200, 400, 11)
     }
 
     fn tmp(name: &str) -> PathBuf {

@@ -516,7 +516,7 @@ mod tests {
     use super::*;
 
     fn tiny_cfg() -> RunConfig {
-        RunConfig { warmup_accesses: 500, measure_accesses: 1_000, seed: 7 }
+        RunConfig::sized(500, 1_000, 7)
     }
 
     #[test]

@@ -53,7 +53,7 @@ pub fn config_from_args() -> RunConfig {
                 eprintln!("usage: <bin> [quick|paper|<measure_accesses>]");
                 std::process::exit(2);
             });
-            RunConfig { warmup_accesses: measure / 2, measure_accesses: measure, seed: 0x15CA }
+            RunConfig::sized(measure / 2, measure, 0x15CA)
         }
     }
 }

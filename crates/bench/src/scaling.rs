@@ -346,7 +346,7 @@ mod tests {
 
     #[test]
     fn tiny_end_to_end_run_is_identical_and_complete() {
-        let cfg = RunConfig { warmup_accesses: 100, measure_accesses: 200, seed: 3 };
+        let cfg = RunConfig::sized(100, 200, 3);
         let report = run_scaling(cfg, &[1, 2], 2).unwrap();
         assert!(report.identical, "parallel results must match sequential bit-for-bit");
         assert_eq!(report.rows.len(), 2);

@@ -238,7 +238,7 @@ mod tests {
     use cmp_sim::OrgKind;
 
     fn tiny_cfg() -> RunConfig {
-        RunConfig { warmup_accesses: 100, measure_accesses: 200, seed: 5 }
+        RunConfig::sized(100, 200, 5)
     }
 
     fn misses() -> Vec<Pair> {

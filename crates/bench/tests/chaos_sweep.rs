@@ -18,7 +18,7 @@ const STALL_MILLIS: u64 = 30_000;
 const DEADLINE: Duration = Duration::from_secs(1);
 
 fn tiny_cfg() -> RunConfig {
-    RunConfig { warmup_accesses: 200, measure_accesses: 400, seed: 23 }
+    RunConfig::sized(200, 400, 23)
 }
 
 fn quiet_injected_panics() {

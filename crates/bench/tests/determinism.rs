@@ -11,7 +11,7 @@ use cmp_bench::{figures, Lab, ParallelLab, ResultSource, WorkloadId};
 use cmp_sim::{OrgKind, RunConfig};
 
 fn cfg() -> RunConfig {
-    RunConfig { warmup_accesses: 1_000, measure_accesses: 2_000, seed: 0x15CA }
+    RunConfig::sized(1_000, 2_000, 0x15CA)
 }
 
 /// A representative workload (commercial, all sharing classes

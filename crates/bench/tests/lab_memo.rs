@@ -18,7 +18,7 @@ const WORKLOADS: [WorkloadId; 4] = [
 ];
 
 fn tiny_cfg() -> RunConfig {
-    RunConfig { warmup_accesses: 100, measure_accesses: 200, seed: 42 }
+    RunConfig::sized(100, 200, 42)
 }
 
 proptest! {

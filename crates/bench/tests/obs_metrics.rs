@@ -49,10 +49,7 @@ fn quiet_injected_panics() {
 fn live_snapshot_roundtrips_through_json_text() {
     cmp_obs::set_enabled(true);
     // Touch the taxonomy so the snapshot is non-trivial.
-    let mut lab = ParallelLab::with_threads(
-        RunConfig { warmup_accesses: 200, measure_accesses: 400, seed: 3 },
-        2,
-    );
+    let mut lab = ParallelLab::with_threads(RunConfig::sized(200, 400, 3), 2);
     lab.prefetch(&[(WorkloadId::Multithreaded("barnes"), OrgKind::Shared)]).unwrap();
     let snap = cmp_obs::snapshot();
     assert!(!snap.counters.is_empty(), "a sweep must register counters");
@@ -94,7 +91,7 @@ fn chaos_journaled_sweep_fires_the_counter_taxonomy() {
     // Large enough that oltp/Nurapid sees read-write-shared misses
     // (the in-situ communication path behind coherence.c_transitions);
     // tiny runs never encounter a dirty remote copy.
-    let cfg = RunConfig { warmup_accesses: 200, measure_accesses: 5000, seed: 9 };
+    let cfg = RunConfig::sized(200, 5000, 9);
     let journal =
         std::env::temp_dir().join(format!("cmp_obs_metrics_{}.jsonl", std::process::id()));
     let _ = std::fs::remove_file(&journal);

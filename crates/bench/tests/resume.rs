@@ -16,7 +16,7 @@ use cmp_bench::{figures, Pair, ParallelLab, ResultSource};
 use cmp_sim::{RunConfig, RunResult};
 
 fn tiny_cfg() -> RunConfig {
-    RunConfig { warmup_accesses: 200, measure_accesses: 400, seed: 11 }
+    RunConfig::sized(200, 400, 11)
 }
 
 fn temp_journal(name: &str) -> PathBuf {

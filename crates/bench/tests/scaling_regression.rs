@@ -44,7 +44,7 @@ fn timing_lock() -> MutexGuard<'static, ()> {
 /// and channel overhead amortize away), small enough for a test
 /// budget.
 fn cfg() -> RunConfig {
-    RunConfig { warmup_accesses: 5_000, measure_accesses: 10_000, seed: 0x15CA }
+    RunConfig::sized(5_000, 10_000, 0x15CA)
 }
 
 #[test]

@@ -161,6 +161,7 @@ impl CacheOrg for Dnuca {
         "dnuca"
     }
 
+    #[inline]
     fn access(
         &mut self,
         core: CoreId,

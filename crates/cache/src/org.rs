@@ -341,6 +341,74 @@ pub trait CacheOrg {
     }
 }
 
+/// Forwarding implementation so `Box<dyn CacheOrg>` (and any other
+/// boxed organization) is itself a [`CacheOrg`]. This is what lets
+/// the system driver be generic over a *concrete* organization — the
+/// monomorphized, dispatch-free hot path — while every existing
+/// `Box<dyn CacheOrg>` call site keeps compiling through the same
+/// generic driver (paying one virtual call per L2 access, as before).
+impl<T: CacheOrg + ?Sized> CacheOrg for Box<T> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    #[inline]
+    fn access(
+        &mut self,
+        core: CoreId,
+        block: BlockAddr,
+        kind: AccessKind,
+        now: Cycle,
+        bus: &mut Bus,
+        inv: &mut InvalScratch,
+    ) -> AccessResponse {
+        (**self).access(core, block, kind, now, bus, inv)
+    }
+
+    fn stats(&self) -> &OrgStats {
+        (**self).stats()
+    }
+
+    fn reset_stats(&mut self) {
+        (**self).reset_stats()
+    }
+
+    fn cores(&self) -> usize {
+        (**self).cores()
+    }
+
+    fn try_access(
+        &mut self,
+        core: CoreId,
+        block: BlockAddr,
+        kind: AccessKind,
+        now: Cycle,
+        bus: &mut Bus,
+        inv: &mut InvalScratch,
+    ) -> Result<AccessResponse, Violation> {
+        (**self).try_access(core, block, kind, now, bus, inv)
+    }
+
+    fn access_collected(
+        &mut self,
+        core: CoreId,
+        block: BlockAddr,
+        kind: AccessKind,
+        now: Cycle,
+        bus: &mut Bus,
+    ) -> CollectedResponse {
+        (**self).access_collected(core, block, kind, now, bus)
+    }
+
+    fn audit(&self) -> Result<(), Violation> {
+        (**self).audit()
+    }
+
+    fn inject_tag_fault(&mut self, rng: &mut Rng) -> Option<String> {
+        (**self).inject_tag_fault(rng)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

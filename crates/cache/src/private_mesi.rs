@@ -198,6 +198,7 @@ impl CacheOrg for PrivateMesi {
         "private"
     }
 
+    #[inline]
     fn access(
         &mut self,
         core: CoreId,

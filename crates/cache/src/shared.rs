@@ -113,6 +113,7 @@ impl CacheOrg for UniformShared {
         self.name
     }
 
+    #[inline]
     fn access(
         &mut self,
         core: CoreId,

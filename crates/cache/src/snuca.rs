@@ -95,6 +95,7 @@ impl CacheOrg for Snuca {
         "snuca"
     }
 
+    #[inline]
     fn access(
         &mut self,
         core: CoreId,

@@ -615,6 +615,7 @@ impl CacheOrg for CmpNurapid {
         "nurapid"
     }
 
+    #[inline]
     fn access(
         &mut self,
         core: CoreId,

@@ -64,9 +64,7 @@ fn main() {
         None | Some("quick") => RunConfig::quick(),
         Some("paper") => RunConfig::paper(),
         Some(n) => match n.parse::<u64>() {
-            Ok(measure) => {
-                RunConfig { warmup_accesses: measure / 2, measure_accesses: measure, seed: 0x15CA }
-            }
+            Ok(measure) => RunConfig::sized(measure / 2, measure, 0x15CA),
             Err(_) => usage(),
         },
     };

@@ -37,7 +37,7 @@ use cmp_sim::{OrgKind, RunConfig};
 
 fn main() {
     let cfg = match std::env::args().nth(1).as_deref() {
-        None => RunConfig { warmup_accesses: 2_000, measure_accesses: 4_000, seed: 0xC4A05 },
+        None => RunConfig::sized(2_000, 4_000, 0xC4A05),
         Some("quick") => RunConfig::quick(),
         Some("paper") => RunConfig::paper(),
         Some(n) => {
@@ -45,7 +45,7 @@ fn main() {
                 eprintln!("usage: serve_chaos [quick|paper|<measure_accesses>]");
                 std::process::exit(2);
             });
-            RunConfig { warmup_accesses: measure / 2, measure_accesses: measure, seed: 0xC4A05 }
+            RunConfig::sized(measure / 2, measure, 0xC4A05)
         }
     };
     let mut failures: Vec<String> = Vec::new();

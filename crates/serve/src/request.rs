@@ -23,7 +23,7 @@
 use std::time::Duration;
 
 use cmp_bench::{Json, Pair, WorkloadId, MIXES, MULTITHREADED};
-use cmp_sim::{OrgKind, RunConfig, SimError};
+use cmp_sim::{OrgKind, RunConfig, SimError, StopMetric, StopRule};
 
 /// Hard ceiling on `max-concurrency` (beyond this a request is a
 /// resource-exhaustion vector, not a tuning knob).
@@ -103,7 +103,7 @@ fn org_catalog() -> String {
 }
 
 /// The top-level request keys every `run`/`sweep` accepts.
-const JOB_KEYS: [&str; 12] = [
+const JOB_KEYS: [&str; 16] = [
     "type",
     "id",
     "workload",
@@ -116,6 +116,10 @@ const JOB_KEYS: [&str; 12] = [
     "measure-accesses",
     "seed",
     "num-keys",
+    "approx",
+    "confidence",
+    "rel-half-width",
+    "metric",
 ];
 const SCENARIO_KEYS: [&str; 3] = ["num-keys", "zipf-exponent", "sharing-degree"];
 
@@ -242,6 +246,7 @@ fn parse_jobs(value: &Json, id: Json, defaults: RunConfig) -> Result<Request, Si
     if let Some(s) = get_u64(value, "seed", 0, "an integer seed")? {
         cfg.seed = s;
     }
+    cfg.stop = parse_stop_rule(value)?;
 
     let deadline = get_u64(value, "deadline-ms", 1, "an integer >= 1 of milliseconds")?
         .map(Duration::from_millis);
@@ -299,6 +304,72 @@ fn parse_jobs(value: &Json, id: Json, defaults: RunConfig) -> Result<Request, Si
     Ok(Request::Jobs(jobs))
 }
 
+/// Parses the approximate-mode fields into a stop rule. `approx:
+/// true` opts a job into confidence-based early stopping (defaults:
+/// miss-rate metric, ±2 % relative half-width, 95 % confidence); the
+/// tuning fields are only meaningful alongside it, so their presence
+/// without `approx: true` is rejected rather than silently ignored.
+fn parse_stop_rule(value: &Json) -> Result<StopRule, SimError> {
+    let approx = match value.get("approx") {
+        None => false,
+        Some(Json::Bool(b)) => *b,
+        Some(other) => return Err(invalid("approx", "a boolean", clip(&other.compact()))),
+    };
+    let confidence = match value.get("confidence") {
+        None => None,
+        Some(Json::Num(c)) if *c >= 0.5 && *c < 1.0 => Some(*c),
+        Some(other) => {
+            return Err(invalid(
+                "confidence",
+                "a number in 0.5..1.0 (1.0 exclusive: certainty needs the exact mode)",
+                clip(&other.compact()),
+            ));
+        }
+    };
+    let rel_half_width = match value.get("rel-half-width") {
+        None => None,
+        Some(Json::Num(w)) if *w > 0.0 && *w <= 0.5 => Some(*w),
+        Some(other) => {
+            return Err(invalid(
+                "rel-half-width",
+                "a number in 0.0..=0.5 (exclusive of 0)",
+                clip(&other.compact()),
+            ));
+        }
+    };
+    let metric = match value.get("metric") {
+        None => None,
+        Some(Json::Str(s)) => Some(
+            StopMetric::from_name(s)
+                .ok_or_else(|| invalid("metric", "one of miss-rate|ipc", clip(s)))?,
+        ),
+        Some(other) => {
+            return Err(invalid("metric", "one of miss-rate|ipc", clip(&other.compact())))
+        }
+    };
+    if !approx {
+        for (key, present) in [
+            ("confidence", confidence.is_some()),
+            ("rel-half-width", rel_half_width.is_some()),
+            ("metric", metric.is_some()),
+        ] {
+            if present {
+                return Err(invalid(
+                    key,
+                    "\"approx\": true alongside approximate-mode tuning fields",
+                    format!("{key} without approx"),
+                ));
+            }
+        }
+        return Ok(StopRule::Fixed);
+    }
+    Ok(StopRule::Confidence {
+        metric: metric.unwrap_or(StopMetric::MissRate),
+        rel_half_width: rel_half_width.unwrap_or(0.02),
+        confidence: confidence.unwrap_or(0.95),
+    })
+}
+
 /// Renders a [`SimError::InvalidRequest`] (or any other refusal) as
 /// the wire error response.
 pub fn error_response(id: &Json, err: &SimError) -> Json {
@@ -333,7 +404,7 @@ mod tests {
     use super::*;
 
     fn defaults() -> RunConfig {
-        RunConfig { warmup_accesses: 200, measure_accesses: 400, seed: 7 }
+        RunConfig::sized(200, 400, 7)
     }
 
     fn parse(line: &str) -> Result<Request, SimError> {
@@ -457,6 +528,44 @@ mod tests {
             // Empty sweep axes.
             (r#"{"type":"sweep","workloads":[],"orgs":["shared"]}"#, "workloads", "non-empty"),
             (r#"{"type":"sweep","workloads":["oltp"],"orgs":[]}"#, "orgs", "non-empty"),
+            // Approximate mode: out-of-range confidence values.
+            (
+                r#"{"type":"run","workload":"oltp","org":"shared","approx":true,"confidence":1.0}"#,
+                "confidence",
+                "0.5..1.0",
+            ),
+            (
+                r#"{"type":"run","workload":"oltp","org":"shared","approx":true,"confidence":0.2}"#,
+                "confidence",
+                "0.5..1.0",
+            ),
+            (
+                r#"{"type":"run","workload":"oltp","org":"shared","approx":true,"confidence":"high"}"#,
+                "confidence",
+                "0.5..1.0",
+            ),
+            // Approximate mode: bad half-width / metric / flag types.
+            (
+                r#"{"type":"run","workload":"oltp","org":"shared","approx":true,"rel-half-width":0.0}"#,
+                "rel-half-width",
+                "0.0..=0.5",
+            ),
+            (
+                r#"{"type":"run","workload":"oltp","org":"shared","approx":true,"metric":"latency"}"#,
+                "metric",
+                "miss-rate|ipc",
+            ),
+            (
+                r#"{"type":"run","workload":"oltp","org":"shared","approx":"yes"}"#,
+                "approx",
+                "boolean",
+            ),
+            // Tuning fields without the approx opt-in are rejected.
+            (
+                r#"{"type":"run","workload":"oltp","org":"shared","confidence":0.95}"#,
+                "confidence",
+                "\"approx\": true",
+            ),
         ];
         for (line, field, fragment) in table {
             let (got_field, expected, _) = expect_invalid(line);
@@ -466,6 +575,37 @@ mod tests {
                 "expected-shape text for {line:?}: {expected:?} missing {fragment:?}"
             );
         }
+    }
+
+    #[test]
+    fn approx_requests_carry_a_confidence_stop_rule() {
+        // Bare opt-in gets the documented defaults.
+        let req =
+            parse(r#"{"type":"run","workload":"oltp","org":"shared","approx":true}"#).unwrap();
+        let Request::Jobs(jobs) = req else { panic!("expected jobs") };
+        assert_eq!(
+            jobs[0].cfg.stop,
+            StopRule::Confidence {
+                metric: StopMetric::MissRate,
+                rel_half_width: 0.02,
+                confidence: 0.95
+            }
+        );
+        // Tuning fields override the defaults.
+        let req = parse(
+            r#"{"type":"run","workload":"oltp","org":"shared","approx":true,"metric":"ipc","confidence":0.9,"rel-half-width":0.05}"#,
+        )
+        .unwrap();
+        let Request::Jobs(jobs) = req else { panic!("expected jobs") };
+        assert_eq!(
+            jobs[0].cfg.stop,
+            StopRule::Confidence { metric: StopMetric::Ipc, rel_half_width: 0.05, confidence: 0.9 }
+        );
+        // approx: false is the exact mode.
+        let req =
+            parse(r#"{"type":"run","workload":"oltp","org":"shared","approx":false}"#).unwrap();
+        let Request::Jobs(jobs) = req else { panic!("expected jobs") };
+        assert_eq!(jobs[0].cfg.stop, StopRule::Fixed);
     }
 
     #[test]

@@ -208,10 +208,19 @@ struct Queued {
     not_before: Option<Instant>,
 }
 
-type ShardKey = (u64, u64, u64);
+/// Sizing plus the stop rule (its floats bit-cast so the key stays
+/// `Ord`/`Eq`): an approx job must never share an engine — and its
+/// memo cache — with an exact job of the same sizing.
+type ShardKey = (u64, u64, u64, u64, u64, u64);
 
 fn shard_key(cfg: &RunConfig) -> ShardKey {
-    (cfg.warmup_accesses, cfg.measure_accesses, cfg.seed)
+    let (metric, rel, conf) = match cfg.stop {
+        cmp_sim::StopRule::Fixed => (0u64, 0u64, 0u64),
+        cmp_sim::StopRule::Confidence { metric, rel_half_width, confidence } => {
+            (1 + metric as u64, rel_half_width.to_bits(), confidence.to_bits())
+        }
+    };
+    (cfg.warmup_accesses, cfg.measure_accesses, cfg.seed, metric, rel, conf)
 }
 
 /// The serving core. See the module docs for the property list.
@@ -589,8 +598,14 @@ impl Service {
 pub fn shard_journal_path(base: &std::path::Path, cfg: &RunConfig) -> PathBuf {
     let stem = base.to_string_lossy();
     let stem = stem.strip_suffix(".jsonl").unwrap_or(&stem).to_string();
+    // Approx shards get their own journal files: the stop-rule tag is
+    // part of the result identity, same as sizing and seed.
+    let stop = match cfg.stop {
+        cmp_sim::StopRule::Fixed => String::new(),
+        rule => format!("-{}", rule.tag().replace([':', '.'], "_")),
+    };
     PathBuf::from(format!(
-        "{stem}-w{}-m{}-s{}.jsonl",
+        "{stem}-w{}-m{}-s{}{stop}.jsonl",
         cfg.warmup_accesses, cfg.measure_accesses, cfg.seed
     ))
 }
@@ -621,7 +636,7 @@ mod tests {
     use super::*;
 
     fn tiny_opts() -> ServeOptions {
-        let cfg = RunConfig { warmup_accesses: 200, measure_accesses: 400, seed: 7 };
+        let cfg = RunConfig::sized(200, 400, 7);
         let mut o = ServeOptions::new(cfg);
         o.threads = 2;
         o.queue_capacity = 4;
@@ -751,7 +766,7 @@ mod tests {
 
     #[test]
     fn bad_serve_env_warns_and_keeps_default() {
-        let cfg = RunConfig { warmup_accesses: 200, measure_accesses: 400, seed: 7 };
+        let cfg = RunConfig::sized(200, 400, 7);
         std::env::set_var(env::QUEUE, "many");
         std::env::set_var(env::BACKOFF_MS, "-3");
         let capture = cmp_obs::Capture::install();

@@ -11,7 +11,7 @@ use cmp_serve::{shard_journal_path, ServeOptions, Service};
 use cmp_sim::{OrgKind, RunConfig};
 
 fn tiny_cfg() -> RunConfig {
-    RunConfig { warmup_accesses: 200, measure_accesses: 400, seed: 0xF100D }
+    RunConfig::sized(200, 400, 0xF100D)
 }
 
 fn opts(queue: usize) -> ServeOptions {

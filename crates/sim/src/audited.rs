@@ -93,11 +93,7 @@ pub struct ReplayOutcome {
 pub fn run_replay(artifact: &ReplayArtifact) -> Result<ReplayOutcome, SimError> {
     let kind = OrgKind::from_name(&artifact.org)
         .ok_or_else(|| SimError::UnknownOrg(artifact.org.clone()))?;
-    let cfg = RunConfig {
-        warmup_accesses: artifact.warmup,
-        measure_accesses: artifact.measure,
-        seed: artifact.seed,
-    };
+    let cfg = RunConfig::sized(artifact.warmup, artifact.measure, artifact.seed);
     let mut audit = AuditConfig::checking(artifact.audit_every);
     audit.faults = artifact.faults.clone();
     let outcome = run_workload_audited(&artifact.workload, kind, &cfg, audit)?;

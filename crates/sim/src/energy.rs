@@ -112,7 +112,7 @@ mod tests {
     use crate::runner::{run_multithreaded, RunConfig};
 
     fn quick() -> RunConfig {
-        RunConfig { warmup_accesses: 10_000, measure_accesses: 20_000, seed: 0xE6 }
+        RunConfig::sized(10_000, 20_000, 0xE6)
     }
 
     #[test]

@@ -24,7 +24,7 @@
 //!
 //! // A short OLTP run: the ideal cache (shared capacity at private
 //! // latency) beats the uniform-shared cache at any scale.
-//! let cfg = RunConfig { warmup_accesses: 2_000, measure_accesses: 2_000, seed: 1 };
+//! let cfg = RunConfig::sized(2_000, 2_000, 1);
 //! let ideal = cmp_sim::run_multithreaded("oltp", OrgKind::Ideal, &cfg);
 //! let shared = cmp_sim::run_multithreaded("oltp", OrgKind::Shared, &cfg);
 //! assert!(ideal.ipc() > shared.ipc());
@@ -35,6 +35,7 @@ pub mod energy;
 pub mod error;
 pub mod l1;
 pub mod runner;
+pub mod stopping;
 pub mod system;
 
 pub use audited::{run_replay, run_workload_audited, AuditedRunOutcome, ReplayOutcome};
@@ -43,7 +44,9 @@ pub use error::SimError;
 pub use l1::{L1Cache, L1Stats};
 pub use runner::{
     build_org, run_mix, run_mix_custom, run_multithreaded, run_multithreaded_custom,
-    try_multithreaded_workload, try_run_mix, try_run_mix_custom, try_run_multithreaded,
-    try_run_multithreaded_custom, workload_by_name, AnyWorkload, OrgKind, RunConfig,
+    run_workload_mono, try_multithreaded_workload, try_run_mix, try_run_mix_custom,
+    try_run_multithreaded, try_run_multithreaded_custom, workload_by_name, AnyWorkload, OrgKind,
+    RunConfig,
 };
+pub use stopping::{z_for_confidence, StopInfo, StopMetric, StopRule, Welford};
 pub use system::{RunResult, System};

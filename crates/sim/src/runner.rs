@@ -7,6 +7,7 @@ use cmp_nurapid::{CmpNurapid, NurapidConfig};
 use cmp_trace::{profiles, Access, MixWorkload, SyntheticWorkload, TraceSource};
 
 use crate::error::SimError;
+use crate::stopping::StopRule;
 use crate::system::{RunResult, System};
 
 /// The five L2 organizations the paper compares (Section 4.2), plus
@@ -111,19 +112,35 @@ pub struct RunConfig {
     pub measure_accesses: u64,
     /// Workload seed.
     pub seed: u64,
+    /// When the measurement phase ends: the exact fixed budget
+    /// (default, golden-guarded) or confidence-based early stopping
+    /// (the opt-in approximate mode).
+    pub stop: StopRule,
 }
 
 impl RunConfig {
+    /// A configuration with explicit sizing and the default exact
+    /// (fixed-budget) stop rule.
+    pub fn sized(warmup_accesses: u64, measure_accesses: u64, seed: u64) -> Self {
+        RunConfig { warmup_accesses, measure_accesses, seed, stop: StopRule::Fixed }
+    }
+
     /// A quick configuration for tests and examples.
     pub fn quick() -> Self {
-        RunConfig { warmup_accesses: 20_000, measure_accesses: 40_000, seed: 0x15CA }
+        Self::sized(20_000, 40_000, 0x15CA)
     }
 
     /// The full configuration used to regenerate the paper's numbers:
     /// 1.5 M references per core of warm-up (populating the 8 MB
     /// cache), 3 M measured.
     pub fn paper() -> Self {
-        RunConfig { warmup_accesses: 1_500_000, measure_accesses: 3_000_000, seed: 0x15CA }
+        Self::sized(1_500_000, 3_000_000, 0x15CA)
+    }
+
+    /// The same sizing with a different stop rule.
+    pub fn with_stop(mut self, stop: StopRule) -> Self {
+        self.stop = stop;
+        self
     }
 }
 
@@ -210,13 +227,49 @@ pub fn workload_by_name(name: &str, seed: u64) -> Result<AnyWorkload, SimError> 
     }
 }
 
-/// Runs one multithreaded workload on one organization.
+/// Runs a workload on one of the stock organizations through a fully
+/// monomorphized `System<W, O>`: the `OrgKind` match here is the only
+/// dispatch in the run — inside each arm the L1-filter → L2 → bus
+/// step chain inlines into one virtual-call-free loop. This is the
+/// hot path every sweep takes; results are bit-identical to the
+/// `Box<dyn CacheOrg>` wrappers (same construction, same schedule,
+/// same RNG draws), which the golden suite pins.
+pub fn run_workload_mono<W: TraceSource>(workload: W, kind: OrgKind, cfg: &RunConfig) -> RunResult {
+    let book = LatencyBook::paper();
+    match kind {
+        OrgKind::Shared => {
+            run_observed(&mut System::new(workload, UniformShared::paper_shared(&book)), cfg)
+        }
+        OrgKind::Private => {
+            run_observed(&mut System::new(workload, PrivateMesi::paper(&book)), cfg)
+        }
+        OrgKind::Snuca => run_observed(&mut System::new(workload, Snuca::paper(&book)), cfg),
+        OrgKind::Dnuca => run_observed(&mut System::new(workload, Dnuca::paper(&book)), cfg),
+        OrgKind::Ideal => {
+            run_observed(&mut System::new(workload, UniformShared::paper_ideal(&book)), cfg)
+        }
+        OrgKind::Nurapid => {
+            run_observed(&mut System::new(workload, CmpNurapid::new(NurapidConfig::paper())), cfg)
+        }
+        OrgKind::NurapidCrOnly => run_observed(
+            &mut System::new(workload, CmpNurapid::new(NurapidConfig::paper_cr_only())),
+            cfg,
+        ),
+        OrgKind::NurapidIscOnly => run_observed(
+            &mut System::new(workload, CmpNurapid::new(NurapidConfig::paper_isc_only())),
+            cfg,
+        ),
+    }
+}
+
+/// Runs one multithreaded workload on one organization (via the
+/// monomorphized driver).
 pub fn try_run_multithreaded(
     workload: &str,
     kind: OrgKind,
     cfg: &RunConfig,
 ) -> Result<RunResult, SimError> {
-    try_run_multithreaded_custom(workload, build_org(kind), cfg)
+    Ok(run_workload_mono(try_multithreaded_workload(workload, cfg.seed)?, kind, cfg))
 }
 
 /// Runs one multithreaded workload on one organization.
@@ -246,13 +299,25 @@ pub fn try_run_multithreaded_custom(
 /// actual simulation. Aggregates are added once per run, after it
 /// completes, so the per-access hot path carries no instrumentation
 /// of its own.
-fn run_observed<W: TraceSource>(sys: &mut System<W>, cfg: &RunConfig) -> RunResult {
+fn run_observed<W: TraceSource, O: CacheOrg>(sys: &mut System<W, O>, cfg: &RunConfig) -> RunResult {
     static RUNS: cmp_obs::Counter = cmp_obs::Counter::new("sim.runs");
     static INSTRUCTIONS: cmp_obs::Counter = cmp_obs::Counter::new("sim.instructions");
     static ACCESSES: cmp_obs::Counter = cmp_obs::Counter::new("sim.accesses");
     static CYCLES: cmp_obs::Counter = cmp_obs::Counter::new("sim.cycles");
+    static APPROX_RUNS: cmp_obs::Counter = cmp_obs::Counter::new("sim.approx.runs");
+    static APPROX_EARLY: cmp_obs::Counter = cmp_obs::Counter::new("sim.approx.early_stops");
     let _span = cmp_obs::span!("sim.run");
-    let result = sys.run_measured(cfg.warmup_accesses, cfg.measure_accesses);
+    let result = if cfg.stop.is_fixed() {
+        sys.run_measured(cfg.warmup_accesses, cfg.measure_accesses)
+    } else {
+        let (result, info) =
+            sys.run_measured_stop(cfg.warmup_accesses, cfg.measure_accesses, cfg.stop);
+        APPROX_RUNS.inc();
+        if info.stopped_early {
+            APPROX_EARLY.inc();
+        }
+        result
+    };
     RUNS.inc();
     INSTRUCTIONS.add(result.instructions);
     ACCESSES.add(result.accesses);
@@ -296,9 +361,12 @@ pub fn run_mix_custom(mix: &str, org: Box<dyn CacheOrg>, cfg: &RunConfig) -> Run
     try_run_mix_custom(mix, org, cfg).unwrap_or_else(|e| panic!("{e}"))
 }
 
-/// Runs one Table 2 mix on one organization.
+/// Runs one Table 2 mix on one organization (via the monomorphized
+/// driver).
 pub fn try_run_mix(mix: &str, kind: OrgKind, cfg: &RunConfig) -> Result<RunResult, SimError> {
-    try_run_mix_custom(mix, build_org(kind), cfg)
+    let workload =
+        MixWorkload::table2(mix, cfg.seed).ok_or_else(|| SimError::UnknownMix(mix.to_string()))?;
+    Ok(run_workload_mono(workload, kind, cfg))
 }
 
 /// Runs one Table 2 mix on one organization.
@@ -341,7 +409,7 @@ mod tests {
             try_multithreaded_workload("tpch", 1).unwrap_err(),
             SimError::UnknownWorkload("tpch".into())
         );
-        let cfg = RunConfig { warmup_accesses: 10, measure_accesses: 10, seed: 1 };
+        let cfg = RunConfig::sized(10, 10, 1);
         assert_eq!(
             try_run_multithreaded("tpch", OrgKind::Private, &cfg).unwrap_err(),
             SimError::UnknownWorkload("tpch".into())
@@ -384,7 +452,7 @@ mod tests {
 
     #[test]
     fn quick_run_produces_stats() {
-        let cfg = RunConfig { warmup_accesses: 1_000, measure_accesses: 2_000, seed: 3 };
+        let cfg = RunConfig::sized(1_000, 2_000, 3);
         let r = run_multithreaded("barnes", OrgKind::Private, &cfg);
         assert_eq!(r.org, "private");
         assert_eq!(r.workload, "barnes");
@@ -393,7 +461,7 @@ mod tests {
 
     #[test]
     fn mix_run_produces_stats() {
-        let cfg = RunConfig { warmup_accesses: 1_000, measure_accesses: 2_000, seed: 3 };
+        let cfg = RunConfig::sized(1_000, 2_000, 3);
         let r = run_mix("MIX4", OrgKind::Nurapid, &cfg);
         assert_eq!(r.workload, "MIX4");
         assert!(r.ipc() > 0.0);

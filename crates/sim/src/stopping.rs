@@ -1,0 +1,320 @@
+//! Statistical early stopping for approximate runs.
+//!
+//! A confidence-stopped run executes the measurement phase in fixed
+//! deterministic batches and keeps a streaming (Welford) mean/variance
+//! of a per-batch metric — L2 miss rate or IPC. After each batch the
+//! normal-approximation confidence interval of the running mean is
+//! checked; when its half-width falls below `rel_half_width * |mean|`
+//! the run stops, and otherwise it runs out the full fixed budget, so
+//! an approximate run is never more expensive than the exact run it
+//! approximates.
+//!
+//! Everything here is a pure function of simulation counters: batch
+//! boundaries come from access counts, the CI check from the Welford
+//! state, and the z quantile from a closed-form rational
+//! approximation — no wall clock anywhere, so same-seed approximate
+//! runs stop at the identical access count on any machine.
+
+/// The metric a confidence-stopped run estimates.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StopMetric {
+    /// Per-batch L2 miss rate (misses / L2 accesses).
+    MissRate,
+    /// Per-batch aggregate IPC (instructions / wall-clock cycles).
+    Ipc,
+}
+
+impl StopMetric {
+    /// Stable wire/journal name (`miss-rate` / `ipc`).
+    pub fn name(self) -> &'static str {
+        match self {
+            StopMetric::MissRate => "miss-rate",
+            StopMetric::Ipc => "ipc",
+        }
+    }
+
+    /// Resolves a wire/journal name back to the metric.
+    pub fn from_name(name: &str) -> Option<StopMetric> {
+        match name {
+            "miss-rate" => Some(StopMetric::MissRate),
+            "ipc" => Some(StopMetric::Ipc),
+            _ => None,
+        }
+    }
+}
+
+/// When a measured run ends: after a fixed access count (the exact,
+/// golden-guarded mode) or once a confidence interval is tight (the
+/// approximate mode for design-space sweeps).
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub enum StopRule {
+    /// Run exactly `measure_accesses` per core. Bit-identical to the
+    /// pre-approx behaviour; the only mode the golden suite accepts.
+    #[default]
+    Fixed,
+    /// Stop once the `confidence`-level interval around the running
+    /// mean of `metric` is narrower than `rel_half_width * |mean|`
+    /// (both sides), capped at the fixed budget.
+    Confidence {
+        /// The estimated metric.
+        metric: StopMetric,
+        /// Target relative half-width of the confidence interval
+        /// (e.g. 0.02 = +/-2 %).
+        rel_half_width: f64,
+        /// Confidence level in (0.5, 1.0), e.g. 0.95.
+        confidence: f64,
+    },
+}
+
+impl StopRule {
+    /// `true` for [`StopRule::Fixed`].
+    pub fn is_fixed(self) -> bool {
+        matches!(self, StopRule::Fixed)
+    }
+
+    /// Stable tag for journal headers and shard keys: `fixed`, or
+    /// `confidence:<metric>:<rel_half_width>:<confidence>`.
+    pub fn tag(self) -> String {
+        match self {
+            StopRule::Fixed => "fixed".to_string(),
+            StopRule::Confidence { metric, rel_half_width, confidence } => {
+                format!("confidence:{}:{}:{}", metric.name(), rel_half_width, confidence)
+            }
+        }
+    }
+}
+
+/// Minimum batches before the CI check may stop a run (a variance
+/// from fewer samples is too noisy to trust).
+pub const MIN_BATCHES: u64 = 8;
+
+/// A confidence-stopped run splits its measurement budget into this
+/// many batches (the last may be short); small budgets are clamped so
+/// a batch never underruns [`MIN_BATCH_ACCESSES`].
+pub const TARGET_BATCHES: u64 = 64;
+
+/// Floor on the per-core accesses of one batch.
+pub const MIN_BATCH_ACCESSES: u64 = 500;
+
+/// Deterministic per-core batch size for a measurement budget:
+/// `measure / TARGET_BATCHES`, at least [`MIN_BATCH_ACCESSES`], never
+/// more than the budget itself.
+pub fn batch_accesses(measure_per_core: u64) -> u64 {
+    (measure_per_core / TARGET_BATCHES).max(MIN_BATCH_ACCESSES).min(measure_per_core.max(1))
+}
+
+/// Streaming mean/variance (Welford's online algorithm): numerically
+/// stable, O(1) per sample, no stored history.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Welford {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    /// An empty estimator.
+    pub fn new() -> Self {
+        Welford::default()
+    }
+
+    /// Folds one sample in.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Samples folded so far.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Running mean (0 before the first sample).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance; 0 with fewer than two samples.
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Standard error of the mean (`sqrt(variance / n)`).
+    pub fn std_error(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            (self.variance() / self.n as f64).sqrt()
+        }
+    }
+}
+
+/// Two-sided normal quantile for a confidence level: the `z` with
+/// `P(-z <= N(0,1) <= z) = confidence`. Uses Acklam's rational
+/// approximation of the inverse normal CDF (|relative error| below
+/// 1.15e-9 — far tighter than any stopping decision needs), so the
+/// value is a closed-form deterministic function of `confidence`.
+///
+/// # Panics
+///
+/// Panics unless `0.0 < confidence < 1.0` (the request layer
+/// validates before any job reaches this).
+pub fn z_for_confidence(confidence: f64) -> f64 {
+    assert!(confidence > 0.0 && confidence < 1.0, "confidence must be in (0, 1), got {confidence}");
+    inverse_normal_cdf(0.5 + confidence / 2.0)
+}
+
+/// Acklam's inverse normal CDF approximation on (0, 1).
+fn inverse_normal_cdf(p: f64) -> f64 {
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.38357751867269e+02,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    }
+}
+
+/// How a confidence-stopped measurement ended.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StopInfo {
+    /// The CI check fired before the fixed budget ran out.
+    pub stopped_early: bool,
+    /// Batches executed.
+    pub batches: u64,
+    /// Per-core accesses actually measured (= the `run` budget spent).
+    pub measured_per_core: u64,
+    /// Final running mean of the metric.
+    pub mean: f64,
+    /// Final CI half-width (`z * std_error`).
+    pub half_width: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Naive two-pass reference for mean/variance.
+    fn reference(xs: &[f64]) -> (f64, f64) {
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = if xs.len() < 2 {
+            0.0
+        } else {
+            xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1.0)
+        };
+        (mean, var)
+    }
+
+    #[test]
+    fn welford_matches_two_pass_reference() {
+        let xs = [0.12, 0.7, 0.33, 0.01, 0.95, 0.5, 0.5, 0.48, 1.7, -2.4];
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.push(x);
+        }
+        let (mean, var) = reference(&xs);
+        assert!((w.mean() - mean).abs() < 1e-12, "{} vs {}", w.mean(), mean);
+        assert!((w.variance() - var).abs() < 1e-12, "{} vs {}", w.variance(), var);
+        assert_eq!(w.count(), xs.len() as u64);
+        assert!((w.std_error() - (var / 10.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn welford_handles_degenerate_inputs() {
+        let mut w = Welford::new();
+        assert_eq!(w.mean(), 0.0);
+        assert_eq!(w.variance(), 0.0);
+        assert_eq!(w.std_error(), 0.0);
+        w.push(4.0);
+        assert_eq!(w.mean(), 4.0);
+        assert_eq!(w.variance(), 0.0, "one sample has no variance");
+        // Constant stream: variance stays (numerically) at zero.
+        for _ in 0..100 {
+            w.push(4.0);
+        }
+        assert!(w.variance().abs() < 1e-18);
+    }
+
+    #[test]
+    fn z_values_match_the_normal_table() {
+        for (conf, z) in [(0.80, 1.2816), (0.90, 1.6449), (0.95, 1.9600), (0.99, 2.5758)] {
+            let got = z_for_confidence(conf);
+            assert!((got - z).abs() < 1e-3, "z({conf}) = {got}, want {z}");
+        }
+        // Monotone in the confidence level.
+        assert!(z_for_confidence(0.999) > z_for_confidence(0.99));
+    }
+
+    #[test]
+    #[should_panic(expected = "confidence must be in (0, 1)")]
+    fn z_rejects_out_of_range_confidence() {
+        let _ = z_for_confidence(1.0);
+    }
+
+    #[test]
+    fn batch_sizing_is_clamped_and_deterministic() {
+        assert_eq!(batch_accesses(3_000_000), 46_875, "budget / 64");
+        assert_eq!(batch_accesses(40_000), 625);
+        assert_eq!(batch_accesses(10_000), MIN_BATCH_ACCESSES, "floor");
+        assert_eq!(batch_accesses(200), 200, "tiny budgets run as one batch");
+        assert_eq!(batch_accesses(0), 1, "clamped away from zero; a zero budget never loops");
+    }
+
+    #[test]
+    fn stop_rule_tags_are_stable() {
+        assert_eq!(StopRule::Fixed.tag(), "fixed");
+        let c = StopRule::Confidence {
+            metric: StopMetric::MissRate,
+            rel_half_width: 0.02,
+            confidence: 0.95,
+        };
+        assert_eq!(c.tag(), "confidence:miss-rate:0.02:0.95");
+        assert_eq!(StopMetric::from_name("ipc"), Some(StopMetric::Ipc));
+        assert_eq!(StopMetric::from_name("miss-rate"), Some(StopMetric::MissRate));
+        assert_eq!(StopMetric::from_name("latency"), None);
+    }
+}

@@ -6,6 +6,9 @@ use cmp_mem::{AccessKind, CoreId, Cycle, Rng, Zipf};
 use cmp_trace::{Access, TraceSource};
 
 use crate::l1::{L1Cache, L1Outcome, L1Stats};
+use crate::stopping::{
+    batch_accesses, z_for_confidence, StopInfo, StopMetric, StopRule, Welford, MIN_BATCHES,
+};
 
 /// Per-core instruction-fetch state (Section 4.1's L1 I-cache),
 /// enabled by [`System::enable_instruction_fetch`].
@@ -32,6 +35,15 @@ struct CoreState {
     instructions: u64,
     accesses: u64,
     l2_stall: Cycle,
+}
+
+/// Cumulative-counter snapshot taken at the start of a measurement
+/// window; diffed against by [`System::finish_measurement`].
+struct MeasureBase {
+    inst0: u64,
+    stall0: Cycle,
+    acc0: u64,
+    clock0: Cycle,
 }
 
 /// Results of a measured run. Equality is bit-exact over every
@@ -86,9 +98,15 @@ impl RunResult {
 /// The driver repeatedly advances the core with the smallest local
 /// clock by one reference, so cross-core coherence events interleave
 /// in global time order (the atomic-bus abstraction).
-pub struct System<W> {
+///
+/// Generic over the L2 organization `O`. With a concrete org type the
+/// whole L1-filter → L2 → bus step chain monomorphizes into one
+/// dispatch-free loop (the fast path `run_workload_mono` takes); the
+/// default `Box<dyn CacheOrg>` keeps every existing dynamic call site
+/// compiling unchanged.
+pub struct System<W, O = Box<dyn CacheOrg>> {
     workload: W,
-    org: Box<dyn CacheOrg>,
+    org: O,
     l1d: Vec<L1Cache>,
     l1i: Vec<L1Cache>,
     ifetch: Vec<Option<IFetch>>,
@@ -99,14 +117,14 @@ pub struct System<W> {
     inval: InvalScratch,
 }
 
-impl<W: TraceSource> System<W> {
+impl<W: TraceSource, O: CacheOrg> System<W, O> {
     /// Assembles a system. The workload and the organization must
     /// agree on the core count.
     ///
     /// # Panics
     ///
     /// Panics on a core-count mismatch.
-    pub fn new(workload: W, org: Box<dyn CacheOrg>) -> Self {
+    pub fn new(workload: W, org: O) -> Self {
         Self::with_bus(workload, org, Bus::paper())
     }
 
@@ -116,7 +134,7 @@ impl<W: TraceSource> System<W> {
     /// # Panics
     ///
     /// Panics on a core-count mismatch.
-    pub fn with_bus(workload: W, org: Box<dyn CacheOrg>, bus: Bus) -> Self {
+    pub fn with_bus(workload: W, org: O, bus: Bus) -> Self {
         assert_eq!(workload.cores(), org.cores(), "workload and L2 organization disagree on cores");
         let n = workload.cores();
         System {
@@ -159,11 +177,12 @@ impl<W: TraceSource> System<W> {
     }
 
     /// The L2 organization (for inspecting statistics).
-    pub fn org(&self) -> &dyn CacheOrg {
-        self.org.as_ref()
+    pub fn org(&self) -> &O {
+        &self.org
     }
 
     /// Executes one reference on `core`.
+    #[inline]
     fn step(&mut self, core: CoreId) {
         let access = self.workload.next_access(core);
         let c = core.index();
@@ -183,6 +202,7 @@ impl<W: TraceSource> System<W> {
     /// Advances the instruction stream by `instructions` (4 bytes
     /// each) and fetches any newly touched I-blocks through the L1I;
     /// L1I misses go to the L2 as reads. Returns the fetch stall.
+    #[inline]
     fn fetch_instructions(&mut self, core: CoreId, instructions: u64) -> Cycle {
         let c = core.index();
         let Some(ifetch) = self.ifetch[c].as_mut() else { return 0 };
@@ -234,6 +254,7 @@ impl<W: TraceSource> System<W> {
     }
 
     /// Performs the memory reference and returns the core stall.
+    #[inline]
     fn reference(&mut self, core: CoreId, access: Access) -> Cycle {
         let c = core.index();
         let l1_block = access.addr.block(cmp_mem::L1_BLOCK_BYTES);
@@ -301,19 +322,104 @@ impl<W: TraceSource> System<W> {
         }
     }
 
-    /// Runs a warm-up phase, clears statistics, then runs and
-    /// measures. Returns the measurement-phase result.
-    pub fn run_measured(&mut self, warmup_per_core: u64, measure_per_core: u64) -> RunResult {
-        self.run(warmup_per_core);
+    /// Clears phase statistics and snapshots the cumulative core
+    /// counters, marking the start of a measurement window.
+    fn begin_measurement(&mut self) -> MeasureBase {
         self.org.reset_stats();
         for l1 in self.l1d.iter_mut().chain(self.l1i.iter_mut()) {
             l1.reset_stats();
         }
-        let inst0: u64 = self.cores.iter().map(|s| s.instructions).sum();
-        let stall0: Cycle = self.cores.iter().map(|s| s.l2_stall).sum();
-        let acc0: u64 = self.cores.iter().map(|s| s.accesses).sum();
-        let clock0 = self.cores.iter().map(|s| s.clock).max().unwrap_or(0);
+        MeasureBase {
+            inst0: self.cores.iter().map(|s| s.instructions).sum(),
+            stall0: self.cores.iter().map(|s| s.l2_stall).sum(),
+            acc0: self.cores.iter().map(|s| s.accesses).sum(),
+            clock0: self.cores.iter().map(|s| s.clock).max().unwrap_or(0),
+        }
+    }
+
+    /// Runs a warm-up phase, clears statistics, then runs and
+    /// measures. Returns the measurement-phase result.
+    pub fn run_measured(&mut self, warmup_per_core: u64, measure_per_core: u64) -> RunResult {
+        self.run(warmup_per_core);
+        let base = self.begin_measurement();
         self.run(measure_per_core);
+        self.finish_measurement(&base)
+    }
+
+    /// Like [`System::run_measured`], but the measurement phase may
+    /// stop early under [`StopRule::Confidence`]: it executes in
+    /// deterministic access-count batches, folds each batch's metric
+    /// into a streaming [`Welford`] estimator, and stops as soon as
+    /// the confidence interval of the running mean is narrower than
+    /// the requested relative half-width (never exceeding the fixed
+    /// `measure_per_core` budget). With [`StopRule::Fixed`] this is
+    /// exactly `run_measured` — same schedule, same result bits.
+    pub fn run_measured_stop(
+        &mut self,
+        warmup_per_core: u64,
+        measure_per_core: u64,
+        rule: StopRule,
+    ) -> (RunResult, StopInfo) {
+        let StopRule::Confidence { metric, rel_half_width, confidence } = rule else {
+            let result = self.run_measured(warmup_per_core, measure_per_core);
+            let info = StopInfo {
+                stopped_early: false,
+                batches: 1,
+                measured_per_core: measure_per_core,
+                mean: 0.0,
+                half_width: 0.0,
+            };
+            return (result, info);
+        };
+        let z = z_for_confidence(confidence);
+        self.run(warmup_per_core);
+        let base = self.begin_measurement();
+        let batch = batch_accesses(measure_per_core);
+        let mut welford = Welford::new();
+        let mut done = 0u64;
+        let mut stopped_early = false;
+        // Cumulative (numerator, denominator) at the previous batch
+        // boundary; per-batch metric = the delta ratio.
+        let (mut prev_num, mut prev_den) = (0u64, 0u64);
+        while done < measure_per_core {
+            let step = batch.min(measure_per_core - done);
+            self.run(step);
+            done += step;
+            let (num, den) = match metric {
+                StopMetric::MissRate => {
+                    let stats = self.org.stats();
+                    (stats.misses(), stats.accesses())
+                }
+                StopMetric::Ipc => (
+                    self.cores.iter().map(|s| s.instructions).sum::<u64>() - base.inst0,
+                    self.cores.iter().map(|s| s.clock).max().unwrap_or(0) - base.clock0,
+                ),
+            };
+            let (dn, dd) = (num - prev_num, den - prev_den);
+            (prev_num, prev_den) = (num, den);
+            welford.push(if dd == 0 { 0.0 } else { dn as f64 / dd as f64 });
+            if welford.count() >= MIN_BATCHES
+                && z * welford.std_error() <= rel_half_width * welford.mean().abs()
+            {
+                stopped_early = done < measure_per_core;
+                break;
+            }
+        }
+        let result = self.finish_measurement(&base);
+        let info = StopInfo {
+            stopped_early,
+            batches: welford.count(),
+            measured_per_core: done,
+            mean: welford.mean(),
+            half_width: z * welford.std_error(),
+        };
+        (result, info)
+    }
+
+    /// Diffs the current counters against a measurement base into the
+    /// phase result.
+    fn finish_measurement(&self, base: &MeasureBase) -> RunResult {
+        let MeasureBase { inst0, stall0, acc0, clock0 } = *base;
         let sum = |caches: &[L1Cache]| {
             let mut total = L1Stats::default();
             for s in caches.iter().map(L1Cache::stats) {
@@ -342,7 +448,7 @@ impl<W: TraceSource> System<W> {
     }
 }
 
-impl<W: TraceSource> std::fmt::Debug for System<W> {
+impl<W: TraceSource, O: CacheOrg> std::fmt::Debug for System<W, O> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("System")
             .field("workload", &self.workload.name())

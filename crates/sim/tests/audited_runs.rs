@@ -29,7 +29,7 @@ fn clean_audited_quick_run_over_every_org() {
 
 #[test]
 fn audited_mix_run_is_also_clean() {
-    let cfg = RunConfig { warmup_accesses: 5_000, measure_accesses: 10_000, seed: 0x15CA };
+    let cfg = RunConfig::sized(5_000, 10_000, 0x15CA);
     let outcome =
         run_workload_audited("MIX4", OrgKind::Nurapid, &cfg, AuditConfig::checking(1_024)).unwrap();
     assert!(outcome.clean());
@@ -38,7 +38,7 @@ fn audited_mix_run_is_also_clean() {
 
 #[test]
 fn replay_reproduces_the_recorded_violation() {
-    let cfg = RunConfig { warmup_accesses: 5_000, measure_accesses: 10_000, seed: 0x15CA };
+    let cfg = RunConfig::sized(5_000, 10_000, 0x15CA);
     // Fault indices count *L2 accesses* (the references the L1s let
     // through — a few percent of the core-side stream), so keep the
     // index small relative to the run size.
@@ -79,7 +79,7 @@ fn replay_rejects_unknown_coordinates() {
 
 #[test]
 fn audited_run_rejects_unknown_workload() {
-    let cfg = RunConfig { warmup_accesses: 10, measure_accesses: 10, seed: 1 };
+    let cfg = RunConfig::sized(10, 10, 1);
     let err =
         run_workload_audited("tpch", OrgKind::Private, &cfg, AuditConfig::default()).unwrap_err();
     assert_eq!(err, SimError::UnknownWorkload("tpch".into()));

@@ -137,7 +137,7 @@ fn recorded_trace_replays_identically_through_the_system() {
 
 #[test]
 fn custom_bus_latency_slows_miss_paths() {
-    let cfg = RunConfig { warmup_accesses: 5_000, measure_accesses: 10_000, seed: 3 };
+    let cfg = RunConfig::sized(5_000, 10_000, 3);
     let run_with_bus = |latency| {
         let workload = cmp_trace::profiles::oltp(4, cfg.seed);
         let mut sys = System::with_bus(

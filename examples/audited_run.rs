@@ -10,7 +10,7 @@ use nurapid_suite::audit::{AuditConfig, FaultKind, FaultSpec};
 use nurapid_suite::sim::{run_replay, run_workload_audited, OrgKind, RunConfig};
 
 fn main() {
-    let cfg = RunConfig { warmup_accesses: 20_000, measure_accesses: 40_000, seed: 0x15CA };
+    let cfg = RunConfig::sized(20_000, 40_000, 0x15CA);
 
     // 1. A clean audited run: every L2 access is checked against the
     //    shadow functional model, and the organization's structural

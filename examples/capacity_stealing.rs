@@ -14,7 +14,7 @@ use nurapid_suite::sim::{run_mix, OrgKind, RunConfig};
 use nurapid_suite::trace::{MixWorkload, TraceSource};
 
 fn main() {
-    let cfg = RunConfig { warmup_accesses: 400_000, measure_accesses: 600_000, seed: 9 };
+    let cfg = RunConfig::sized(400_000, 600_000, 9);
 
     // MIX3 pairs apsi and mcf (multi-MB footprints) with gzip and mesa
     // (far under their 2 MB shares) - Table 2's asymmetric case.

@@ -10,7 +10,7 @@ use nurapid_suite::sim::{run_multithreaded, OrgKind, RunConfig};
 fn main() {
     // A short run: 100 K warm-up + 200 K measured references per core.
     // Use `RunConfig::paper()` for the paper-scale numbers.
-    let cfg = RunConfig { warmup_accesses: 100_000, measure_accesses: 200_000, seed: 42 };
+    let cfg = RunConfig::sized(100_000, 200_000, 42);
 
     println!("Simulating OLTP on a 4-core CMP with an 8 MB L2 ...\n");
     let shared = run_multithreaded("oltp", OrgKind::Shared, &cfg);

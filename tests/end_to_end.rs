@@ -9,7 +9,7 @@ use nurapid_suite::nurapid::{CmpNurapid, NurapidConfig};
 use nurapid_suite::sim::{run_mix, run_multithreaded, OrgKind, RunConfig};
 
 fn quick() -> RunConfig {
-    RunConfig { warmup_accesses: 15_000, measure_accesses: 30_000, seed: 0xE2E }
+    RunConfig::sized(15_000, 30_000, 0xE2E)
 }
 
 #[test]
@@ -47,7 +47,7 @@ fn private_caches_see_sharing_misses_on_commercial_workloads() {
 
 #[test]
 fn isc_cuts_rws_misses_versus_private() {
-    let cfg = RunConfig { warmup_accesses: 40_000, measure_accesses: 80_000, seed: 0xE2E };
+    let cfg = RunConfig::sized(40_000, 80_000, 0xE2E);
     let private = run_multithreaded("oltp", OrgKind::Private, &cfg);
     let nurapid = run_multithreaded("oltp", OrgKind::Nurapid, &cfg);
     let p = private.l2.class_fraction(AccessClass::MissRws).value();
