@@ -94,6 +94,18 @@ impl Engine {
         self.lab.contains(pair.0, pair.1)
     }
 
+    /// Borrow of a cached result, if present (no simulation).
+    pub fn peek(&self, pair: Pair) -> Option<&RunResult> {
+        self.lab.peek(pair)
+    }
+
+    /// Adopts a result computed outside this engine (the OS-process
+    /// shard path) into the memo cache and the journal; see
+    /// [`ParallelLab::adopt`].
+    pub fn adopt(&mut self, pair: Pair, result: RunResult) {
+        self.lab.adopt(pair, result);
+    }
+
     /// Number of simulations actually performed (cache hits,
     /// duplicates, and journal-restored pairs excluded).
     pub fn simulations(&self) -> usize {

@@ -474,6 +474,24 @@ impl ParallelLab {
         self.lab.contains(workload, kind)
     }
 
+    /// Borrow of a cached result, if present (no simulation).
+    pub fn peek(&self, pair: Pair) -> Option<&RunResult> {
+        self.lab.get(pair)
+    }
+
+    /// Adopts a result computed outside this lab — the OS-process
+    /// shard path ([`crate::shard`]) — into the memo cache, with the
+    /// same journaling as a locally simulated pair. Counts as a
+    /// simulation (work was performed on this lab's behalf); a pair
+    /// already cached is left untouched.
+    pub fn adopt(&mut self, pair: Pair, result: RunResult) {
+        if self.lab.contains(pair.0, pair.1) {
+            return;
+        }
+        Self::checkpoint(&mut self.journal, pair, &result);
+        self.lab.insert(pair, result);
+    }
+
     /// Overrides the journal's group-commit interval (no-op without a
     /// journal) — see [`crate::journal::FSYNC_EVERY_ENV`].
     pub fn set_journal_fsync_every(&mut self, every: usize) {

@@ -27,6 +27,7 @@ pub mod lab;
 pub mod obs_report;
 pub mod pool;
 pub mod scaling;
+pub mod shard;
 pub mod sweep;
 pub mod table;
 
@@ -37,6 +38,9 @@ pub use lab::{BatchSlot, Lab, Pair, PairTiming, ParallelLab, ResultSource, Workl
 pub use obs_report::OBS_REPORT_PATH;
 pub use pool::{CancelToken, JobError};
 pub use scaling::{run_scaling, ScalingReport, ScalingRow};
+pub use shard::{
+    run_sharded, KillSchedule, KillSpec, MultiShardReport, ShardOptions, ShardSlot, ShardStats,
+};
 pub use sweep::{Quarantined, Resilience, SweepReport};
 pub use table::TextTable;
 

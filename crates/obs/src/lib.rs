@@ -44,6 +44,16 @@
 //!
 //! # Metrics
 //!
+//! Names are dot-separated, prefixed by the subsystem that owns them
+//! — the registry is process-global, so the prefix is the namespace:
+//! `sim.*` (simulator core), `cache.*` / `bus.*` / `coherence.*`
+//! (memory-system detail), `sweep.*` / `pool.*` / `journal.*`
+//! (batch engine), `serve.*` (the service layer, including the TCP
+//! front door's `serve.conn_shed` / `serve.conn_timeouts`), and
+//! `shard.*` (the OS-process shard supervisor: spawns, restarts,
+//! watchdog and chaos kills, exit signals, journal resumes,
+//! quarantines).
+//!
 //! Declare a counter or histogram as a `static` next to the code it
 //! observes; it registers itself in the process-global registry on
 //! first use and shows up in [`snapshot`]:

@@ -12,7 +12,10 @@
 //! `--tcp ADDR` additionally serves the same protocol on a TCP
 //! socket (one connection per client, requests answered in order on
 //! that connection); stdin stays the control plane, and EOF on stdin
-//! still drains the service.
+//! still drains the service. The accept loop is bounded
+//! (`CMP_SERVE_MAX_CONNS`, over-limit clients shed with a structured
+//! response) and idle connections time out (`CMP_SERVE_IDLE_MS`) —
+//! see `cmp_serve::conn`.
 //!
 //! Run sizing for requests that do not override it comes from the
 //! positional argument (`quick` — the default here, unlike the batch
@@ -29,14 +32,14 @@
 //! (serve counters plus latency percentiles from the obs
 //! histograms) is written on exit.
 
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, Write};
 use std::net::TcpListener;
 use std::sync::mpsc::{self, RecvTimeoutError, TryRecvError};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use cmp_bench::Json;
-use cmp_serve::{ServeOptions, Service};
+use cmp_serve::{conn, ConnOptions, ServeOptions, Service};
 use cmp_sim::RunConfig;
 
 const REPORT_PATH: &str = "BENCH_serve.json";
@@ -77,7 +80,8 @@ fn main() {
             Ok(listener) => {
                 eprintln!("cmp-serve: listening on {addr}");
                 let svc = Arc::clone(&service);
-                std::thread::spawn(move || accept_loop(listener, svc));
+                let conn_opts = ConnOptions::from_env();
+                std::thread::spawn(move || conn::accept_loop(listener, svc, conn_opts));
             }
             Err(e) => {
                 eprintln!("cmp-serve: cannot bind {addr}: {e}");
@@ -188,45 +192,6 @@ fn serve_stdin(service: &Arc<Mutex<Service>>) -> i32 {
                 Err(_) => eof = true,
             },
         }
-    }
-}
-
-/// TCP side door: each connection speaks the same NDJSON protocol
-/// and is answered synchronously (admit, process to completion,
-/// respond). The engine and its caches are shared with stdin, so a
-/// pair simulated for one client is a cache hit for the next.
-fn accept_loop(listener: TcpListener, service: Arc<Mutex<Service>>) {
-    for stream in listener.incoming() {
-        let Ok(stream) = stream else { continue };
-        let svc = Arc::clone(&service);
-        std::thread::spawn(move || {
-            let mut writer = match stream.try_clone() {
-                Ok(w) => w,
-                Err(_) => return,
-            };
-            let reader = BufReader::new(stream);
-            for line in reader.lines() {
-                let Ok(line) = line else { break };
-                let mut responses = Vec::new();
-                {
-                    let mut svc = svc.lock().unwrap_or_else(|p| p.into_inner());
-                    responses.extend(svc.handle_line(&line));
-                    // Answer this connection's jobs before reading its
-                    // next request; backoff retries are honoured.
-                    loop {
-                        responses.extend(svc.process_ready());
-                        match svc.next_ready_in() {
-                            Some(d) if d > Duration::ZERO => std::thread::sleep(d),
-                            Some(_) => {}
-                            None => break,
-                        }
-                    }
-                }
-                if !emit(&mut writer, &responses) {
-                    break;
-                }
-            }
-        });
     }
 }
 

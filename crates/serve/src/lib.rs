@@ -11,6 +11,14 @@
 //! * bounded admission queue with explicit load shedding — overload
 //!   answers with a structured `shed` response, never with unbounded
 //!   memory;
+//! * bounded TCP accept loop with the same contract ([`conn`]): a
+//!   connection cap that sheds over-limit clients with a structured
+//!   response, and a read/idle timeout that reclaims silent
+//!   connections;
+//! * optional OS-process fault isolation for batches
+//!   ([`cmp_bench::shard`], `CMP_SERVE_SHARD_WORKERS`): sweeps fan
+//!   out to `cmp-shard-worker` processes a supervisor can `kill -9`
+//!   and restart without losing the service;
 //! * per-request deadlines propagated into the supervised pool's
 //!   cancellation tokens, with timed-out work fenced so no partial
 //!   result escapes;
@@ -33,8 +41,10 @@
 //! The wire format is documented in `DESIGN.md` ("Serving") and in
 //! [`request`].
 
+pub mod conn;
 pub mod request;
 pub mod service;
 
+pub use conn::{accept_loop, ConnOptions};
 pub use request::{error_response, parse_line, JobSpec, Request};
-pub use service::{env, shard_journal_path, ServeOptions, ServeStats, Service};
+pub use service::{env, shard_journal_path, worker_binary, ServeOptions, ServeStats, Service};

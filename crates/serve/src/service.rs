@@ -30,16 +30,17 @@
 //!   shed with structured responses, journals are fsynced, and a
 //!   summary response closes the stream.
 
-use std::collections::BTreeMap;
 use std::collections::VecDeque;
-use std::path::PathBuf;
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
 use cmp_audit::ChaosSchedule;
 use cmp_bench::engine::Engine;
 use cmp_bench::journal::run_result_to_json;
+use cmp_bench::shard::{run_sharded, ShardOptions, ShardSlot};
 use cmp_bench::sweep::Resilience;
-use cmp_bench::{BatchSlot, Json, Pair};
+use cmp_bench::{BatchSlot, JobError, Json, Pair};
 use cmp_obs::{Counter, Histogram};
 use cmp_sim::{RunConfig, SimError};
 
@@ -85,6 +86,18 @@ pub mod env {
     /// Base path for per-shard checkpoint journals (default: no
     /// journaling).
     pub const JOURNAL: &str = "CMP_SERVE_JOURNAL";
+    /// Worker *processes* for the OS-process sharded batch path
+    /// (integer; 0 or 1 — the default — keeps batches in-process).
+    pub const SHARD_WORKERS: &str = "CMP_SERVE_SHARD_WORKERS";
+    /// Path of the `cmp-shard-worker` binary (default: discovered
+    /// next to the current executable).
+    pub const SHARD_WORKER: &str = "CMP_SHARD_WORKER";
+    /// TCP connection cap of the accept loop (integer >= 1, default
+    /// 64); see [`crate::conn`].
+    pub const MAX_CONNS: &str = "CMP_SERVE_MAX_CONNS";
+    /// TCP read/idle timeout in milliseconds (integer, default
+    /// 120000; 0 disables); see [`crate::conn`].
+    pub const IDLE_MS: &str = "CMP_SERVE_IDLE_MS";
 }
 
 /// Tuning of one [`Service`].
@@ -117,6 +130,14 @@ pub struct ServeOptions {
     /// (chaos tests); in-sweep and serve-level retries must then
     /// converge to fault-free results.
     pub chaos: Option<ChaosSchedule>,
+    /// Worker *processes* for the OS-process sharded batch path
+    /// ([`cmp_bench::shard`]); `0` or `1` keeps every batch
+    /// in-process. With 2+, a batch of 2+ distinct uncached pairs is
+    /// partitioned across that many `cmp-shard-worker` processes.
+    pub shard_workers: usize,
+    /// Explicit `cmp-shard-worker` binary path; `None` discovers it
+    /// next to the current executable.
+    pub shard_worker: Option<PathBuf>,
 }
 
 impl ServeOptions {
@@ -136,6 +157,8 @@ impl ServeOptions {
             default_config,
             resilience: Resilience::default(),
             chaos: None,
+            shard_workers: 0,
+            shard_worker: None,
         }
     }
 
@@ -169,8 +192,31 @@ impl ServeOptions {
                 o.journal_base = Some(PathBuf::from(base));
             }
         }
+        if let Some(n) = cmp_obs::env_parse_valid::<usize>(env::SHARD_WORKERS, |_| true) {
+            o.shard_workers = n;
+        }
+        if let Ok(path) = std::env::var(env::SHARD_WORKER) {
+            if !path.trim().is_empty() {
+                o.shard_worker = Some(PathBuf::from(path));
+            }
+        }
         o
     }
+}
+
+/// Resolves the `cmp-shard-worker` binary: the explicit path when
+/// given, otherwise a sibling of the current executable (where cargo
+/// puts the bins of one package). `None` when neither exists — the
+/// caller falls back to in-process batches or reports the
+/// misconfiguration, it never panics.
+pub fn worker_binary(explicit: Option<&Path>) -> Option<PathBuf> {
+    if let Some(path) = explicit {
+        return path.exists().then(|| path.to_path_buf());
+    }
+    let exe = std::env::current_exe().ok()?;
+    let name = if cfg!(windows) { "cmp-shard-worker.exe" } else { "cmp-shard-worker" };
+    let sibling = exe.parent()?.join(name);
+    sibling.exists().then_some(sibling)
 }
 
 /// Always-live serving counters (the `stats` response; mirrored into
@@ -397,9 +443,24 @@ impl Service {
         max_concurrency: Option<usize>,
         group: Vec<Queued>,
     ) -> Vec<Json> {
-        let now = Instant::now();
-        let mut responses = Vec::new();
         let cfg = group[0].spec.cfg;
+        let slots = match self.shard_batch(shard, &group, cfg) {
+            Some(slots) => slots,
+            None => self.in_process_batch(shard, max_concurrency, &group, cfg),
+        };
+        self.answer_group(group, slots)
+    }
+
+    /// The single-process batch path: the group runs through the
+    /// shared engine's supervised thread pool.
+    fn in_process_batch(
+        &mut self,
+        shard: ShardKey,
+        max_concurrency: Option<usize>,
+        group: &[Queued],
+        cfg: RunConfig,
+    ) -> Vec<BatchSlot> {
+        let now = Instant::now();
         let chaos = self.chaos.take();
         let threads = self.opts.threads;
         let base_resilience = self.opts.resilience.clone();
@@ -423,8 +484,103 @@ impl Service {
         engine.set_resilience(resilience);
 
         let pairs: Vec<Pair> = group.iter().map(|q| q.spec.pair).collect();
-        let slots = engine.run_batch(&pairs);
+        engine.run_batch(&pairs)
+    }
 
+    /// The OS-process sharded batch path: with [`ServeOptions::shard_workers`]
+    /// at 2+ and a resolvable worker binary, a group of 2+ distinct
+    /// uncached pairs fans out across `cmp-shard-worker` processes
+    /// ([`cmp_bench::shard`]); results are adopted into the shared
+    /// engine so coalescing, journaling, and the stats surface stay
+    /// coherent with the in-process path. Returns `None` when the
+    /// path does not apply (the caller falls back in-process).
+    fn shard_batch(
+        &mut self,
+        shard: ShardKey,
+        group: &[Queued],
+        cfg: RunConfig,
+    ) -> Option<Vec<BatchSlot>> {
+        if self.opts.shard_workers < 2 {
+            return None;
+        }
+        let Some(worker) = worker_binary(self.opts.shard_worker.as_deref()) else {
+            cmp_obs::warn!(
+                "shard workers configured but cmp-shard-worker not found, running in-process"
+            );
+            return None;
+        };
+        let engine = self.engine_for(shard, cfg);
+        let mut seen = HashSet::new();
+        let misses: Vec<Pair> = group
+            .iter()
+            .map(|q| q.spec.pair)
+            .filter(|p| !engine.contains(*p) && seen.insert(*p))
+            .collect();
+        if misses.len() < 2 {
+            return None; // a process fleet for one pair is overhead, not isolation
+        }
+
+        let mut sopts = ShardOptions::new(self.opts.shard_workers);
+        sopts.max_attempts = self.opts.resilience.max_attempts.max(1);
+        sopts.journal_base =
+            self.opts.journal_base.as_ref().map(|base| shard_journal_path(base, &cfg));
+        let report = run_sharded(&worker, &misses, &cfg, &sopts);
+
+        let mut failed: HashMap<Pair, cmp_sim::SimError> = HashMap::new();
+        let mut quarantined: HashMap<Pair, String> = HashMap::new();
+        let mut fresh_ms: HashMap<Pair, f64> = HashMap::new();
+        let engine = self.engine_for(shard, cfg);
+        for (pair, slot) in report.pairs.iter().zip(report.slots) {
+            match slot {
+                ShardSlot::Done { result, millis } => {
+                    if let Some(ms) = millis {
+                        fresh_ms.insert(*pair, ms);
+                    }
+                    engine.adopt(*pair, *result);
+                }
+                ShardSlot::Failed(e) => {
+                    failed.insert(*pair, e);
+                }
+                ShardSlot::Quarantined { shard: s, cause } => {
+                    quarantined.insert(*pair, format!("shard {s} {cause}"));
+                }
+            }
+        }
+        if let Err(e) = engine.sync_journal() {
+            let msg = e.to_string();
+            cmp_obs::warn!("journal sync failed after sharded batch", error = msg);
+        }
+
+        let engine = self.engine_for(shard, cfg);
+        Some(
+            group
+                .iter()
+                .map(|q| {
+                    let pair = q.spec.pair;
+                    if let Some(e) = failed.get(&pair) {
+                        BatchSlot::Failed(e.clone())
+                    } else if let Some(cause) = quarantined.get(&pair) {
+                        // Serve-level retry applies: the next attempt
+                        // re-forms the group (usually small enough to
+                        // fall back in-process).
+                        BatchSlot::Quarantined(JobError::Panicked(cause.clone()))
+                    } else if let Some(r) = engine.peek(pair) {
+                        BatchSlot::Done {
+                            result: Box::new(r.clone()),
+                            millis: fresh_ms.remove(&pair),
+                        }
+                    } else {
+                        BatchSlot::Quarantined(JobError::Cancelled)
+                    }
+                })
+                .collect(),
+        )
+    }
+
+    /// Turns per-submission batch slots into response lines and
+    /// stats updates — shared by the in-process and sharded paths.
+    fn answer_group(&mut self, group: Vec<Queued>, slots: Vec<BatchSlot>) -> Vec<Json> {
+        let mut responses = Vec::new();
         let done = Instant::now();
         for (q, slot) in group.into_iter().zip(slots) {
             match slot {
@@ -475,9 +631,25 @@ impl Service {
     }
 
     fn engine_for(&mut self, shard: ShardKey, cfg: RunConfig) -> &mut Engine {
-        if let Some(i) = self.engines.iter().position(|(k, _)| *k == shard) {
-            return &mut self.engines[i].1;
-        }
+        // Lookup-or-insert without an `unwrap()` on the freshly
+        // pushed element: resolve the index first, then reborrow, so
+        // the borrow checker and the panic-free surface are both
+        // satisfied.
+        let i = match self.engines.iter().position(|(k, _)| *k == shard) {
+            Some(i) => i,
+            None => {
+                let engine = self.build_engine(cfg);
+                self.engines.push((shard, engine));
+                self.engines.len() - 1
+            }
+        };
+        &mut self.engines[i].1
+    }
+
+    /// Builds a shard's engine, degrading gracefully when its journal
+    /// cannot be opened: a broken journal costs durability, never
+    /// availability.
+    fn build_engine(&self, cfg: RunConfig) -> Engine {
         let threads = self.opts.threads;
         let mut engine = match &self.opts.journal_base {
             Some(base) => {
@@ -485,8 +657,6 @@ impl Service {
                 match Engine::with_journal(cfg, threads, &path) {
                     Ok(e) => e,
                     Err(err) => {
-                        // Graceful degradation: a broken journal costs
-                        // durability, never availability.
                         let msg = err.to_string();
                         let shown = path.display().to_string();
                         cmp_obs::warn!(
@@ -502,8 +672,7 @@ impl Service {
         };
         engine.set_journal_fsync_every(self.opts.fsync_every);
         engine.set_resilience(self.opts.resilience.clone());
-        self.engines.push((shard, engine));
-        &mut self.engines.last_mut().unwrap().1
+        engine
     }
 
     /// Graceful drain: refuses new work, sheds everything still
@@ -762,6 +931,67 @@ mod tests {
             "rejections echo the request id for correlation"
         );
         assert_eq!(svc.stats().invalid, 1);
+    }
+
+    /// Satellite: the graceful-degradation branch of
+    /// [`Service::build_engine`]. An unwritable journal base must
+    /// warn, keep serving without checkpointing, and answer with
+    /// byte-identical results.
+    #[test]
+    fn unavailable_journal_warns_and_serves_byte_identical_results() {
+        let line = r#"{"type":"run","id":"j1","workload":"ocean","org":"nurapid"}"#;
+        let result_bytes = |svc: &mut Service| {
+            svc.handle_line(line);
+            let responses = svc.process_ready();
+            assert_eq!(types(&responses), ["result"]);
+            responses[0].get("result").expect("result payload").compact()
+        };
+
+        // Reference: a journal-less service.
+        let reference = result_bytes(&mut Service::new(tiny_opts()));
+
+        // A journal base whose parent is a regular file cannot be
+        // created — the degradation branch must absorb that.
+        let blocker =
+            std::env::temp_dir().join(format!("cmp-serve-journal-blocker-{}", std::process::id()));
+        std::fs::write(&blocker, b"not a directory").expect("write blocker file");
+        let mut opts = tiny_opts();
+        opts.journal_base = Some(blocker.join("sub").join("serve.jsonl"));
+
+        let capture = cmp_obs::Capture::install();
+        let mut svc = Service::new(opts);
+        let degraded = result_bytes(&mut svc);
+        assert!(
+            capture.contains("serve journal unavailable"),
+            "the degradation branch must announce itself: {:?}",
+            capture.lines()
+        );
+        drop(capture);
+        assert_eq!(degraded, reference, "degradation costs durability, not correctness");
+        assert_eq!(svc.simulations(), 1, "the pair was simulated, not dropped");
+        let _ = std::fs::remove_file(&blocker);
+    }
+
+    #[test]
+    fn worker_binary_resolution_never_panics() {
+        // An explicit path that does not exist resolves to None.
+        assert_eq!(worker_binary(Some(Path::new("/nonexistent/worker"))), None);
+        // An explicit path that exists resolves to itself.
+        let exe = std::env::current_exe().expect("test binary path");
+        assert_eq!(worker_binary(Some(&exe)), Some(exe));
+    }
+
+    #[test]
+    fn shard_batch_declines_without_workers_configured() {
+        let mut svc = Service::new(tiny_opts());
+        // shard_workers defaults to 0: the sharded path must decline
+        // and the ordinary in-process path must answer.
+        svc.handle_line(
+            r#"{"type":"sweep","id":"s","workloads":["barnes"],"orgs":["shared","private"]}"#,
+        );
+        let responses = svc.process_ready();
+        assert_eq!(types(&responses), ["result", "result"]);
+        assert_eq!(svc.simulations(), 2);
     }
 
     #[test]
