@@ -86,8 +86,11 @@ fn dispatch_rows(out: &mut Json) {
     // amortizes the OrgKind match, so the row is not flattered.
     const BATCH: u64 = 256;
     const ORGS: usize = 5;
+    const CORES: u64 = cmp_mem::PAPER_CORES as u64;
     let block = |i: u64| {
-        Region::Private(CoreId((i % 4) as u8)).block_addr(i % BLOCKS).block(cmp_mem::L2_BLOCK_BYTES)
+        Region::Private(CoreId((i % CORES) as u8))
+            .block_addr(i % BLOCKS)
+            .block(cmp_mem::L2_BLOCK_BYTES)
     };
     let book = LatencyBook::paper();
     let rounds = 3_000u64;
@@ -120,7 +123,7 @@ fn dispatch_rows(out: &mut Json) {
     let mut i = 0u64;
     let mut dyn_step = |i: u64, now: u64, inv: &mut InvalScratch| {
         let o = schedule[(i % (ORGS as u64 * BATCH)) as usize];
-        let core = CoreId((i % 4) as u8);
+        let core = CoreId((i % CORES) as u8);
         black_box(dyn_orgs[o].access(core, block(i), AccessKind::Read, now, &mut buses[o], inv));
     };
     for _ in 0..BLOCKS * ORGS as u64 * 4 {
@@ -151,7 +154,7 @@ fn dispatch_rows(out: &mut Json) {
     macro_rules! mono_batch {
         ($org:expr, $bus:expr) => {
             for _ in 0..BATCH {
-                let core = CoreId((i % 4) as u8);
+                let core = CoreId((i % CORES) as u8);
                 black_box($org.access(core, block(i), AccessKind::Read, now, $bus, &mut inv));
                 i += 1;
                 now += 8;
@@ -249,12 +252,13 @@ fn microbenches() -> Json {
     // Full system step: one simulated reference end to end (workload
     // draw, L1s, L2 organization, bus), amortized over a run batch —
     // through the monomorphized system every production sweep uses.
-    let mut system = System::new(profiles::oltp(4, 3), CmpNurapid::new(NurapidConfig::paper()));
+    let cores = cmp_mem::PAPER_CORES;
+    let mut system = System::new(profiles::oltp(cores, 3), CmpNurapid::new(NurapidConfig::paper()));
     system.run(2_000); // warm
     let batch = 10_000u64;
     let reps = 10u64;
     let per_run = ns_per_op(reps, || system.run(batch));
-    out.set("system_step_ns", Json::Num(per_run / (batch * 4) as f64));
+    out.set("system_step_ns", Json::Num(per_run / (batch * cores as u64) as f64));
 
     // The dispatch pair: mono vs dyn on an identical replay.
     dispatch_rows(&mut out);
@@ -303,6 +307,9 @@ fn dyn_sequential_sweep(
                 ok_or_exit(cmp_sim::try_run_multithreaded_custom(n, build_org(kind), cfg))
             }
             WorkloadId::Mix(n) => ok_or_exit(cmp_sim::try_run_mix_custom(n, build_org(kind), cfg)),
+            // Figure sweeps contain no spec pairs; run one anyway (on
+            // its own machine) rather than crash the benchmark.
+            WorkloadId::Spec(s) => s.spec.simulate(kind, cfg),
         })
         .collect();
     (t0.elapsed().as_secs_f64() * 1e3, results)

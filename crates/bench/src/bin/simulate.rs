@@ -4,18 +4,26 @@
 //! ```text
 //! simulate [--approx[=RHW[:CONF]]] <workload> <org> \
 //!          [measure-refs] [warmup-refs] [seed]
+//! simulate --spec FILE [org]
 //!
 //! workload: oltp | apache | specjbb | ocean | barnes | MIX1..MIX4
 //! org:      shared | private | snuca | dnuca | ideal | nurapid |
-//!           nurapid-cr | nurapid-isc
+//!           nurapid-cr | nurapid-isc | cnuca
 //! ```
 //!
 //! `--approx` turns on confidence-based early stopping (the
 //! approximate mode): the run ends as soon as the miss-rate estimate
 //! is within the relative half-width `RHW` (default 0.02) at
 //! confidence `CONF` (default 0.95), capped at the fixed budget.
+//!
+//! `--spec FILE` runs a declarative scenario spec
+//! ([`cmp_bench::spec`]) instead: a JSON (or flat-TOML, by `.toml`
+//! extension) file naming the machine (core count, org), the
+//! workload overrides, and optionally the run sizing and stop rule.
+//! A trailing `org` argument overrides the spec's own `org` field,
+//! which is how one spec file sweeps an organization axis.
 
-use cmp_bench::{ok_or_exit, ParallelLab, ResultSource, WorkloadId};
+use cmp_bench::{ok_or_exit, ParallelLab, ResultSource, ScenarioSpec, WorkloadId};
 use cmp_cache::AccessClass;
 use cmp_mem::ReuseBucket;
 use cmp_sim::{OrgKind, RunConfig, StopMetric, StopRule};
@@ -23,10 +31,12 @@ use cmp_sim::{OrgKind, RunConfig, StopMetric, StopRule};
 fn usage() -> ! {
     eprintln!(
         "usage: simulate [--approx[=RHW[:CONF]]] <workload> <org> [measure-refs] [warmup-refs] [seed]\n\
+         \x20      simulate --spec FILE [org]\n\
          workload: oltp|apache|specjbb|ocean|barnes|MIX1..MIX4\n\
-         org: shared|private|snuca|dnuca|ideal|nurapid|nurapid-cr|nurapid-isc\n\
+         org: shared|private|snuca|dnuca|ideal|nurapid|nurapid-cr|nurapid-isc|cnuca\n\
          --approx: stop early once the miss rate is within RHW (default 0.02)\n\
-         \x20         at confidence CONF (default 0.95)"
+         \x20         at confidence CONF (default 0.95)\n\
+         --spec: run a scenario spec file (JSON, or flat TOML by .toml extension)"
     );
     std::process::exit(2);
 }
@@ -50,10 +60,53 @@ fn parse_approx(flag: &str) -> StopRule {
     StopRule::Confidence { metric: StopMetric::MissRate, rel_half_width, confidence }
 }
 
+/// The `--spec FILE [org]` path: lower the scenario spec and run it
+/// through the same batch lab as the named-workload path.
+fn run_spec(path: &str, org_arg: Option<&str>) {
+    let spec = ok_or_exit(ScenarioSpec::from_file(path));
+    let kind = match org_arg {
+        Some(org) => OrgKind::from_name(org).unwrap_or_else(|| usage()),
+        None => spec.org,
+    };
+    // The spec's sizing overrides apply over the CLI's defaults.
+    let cfg = spec.run_config(&RunConfig::sized(500_000, 1_000_000, 0x15CA));
+    let id = WorkloadId::Spec(cmp_bench::spec::intern(&spec));
+    let mut lab = ParallelLab::new(cfg);
+    ok_or_exit(lab.prefetch(&[(id, kind)]));
+    let r = ok_or_exit(lab.try_result(id, kind)).clone();
+    println!(
+        "scenario {} ({} cores, base {}, sharing degree {}, {} MB L2) on {}",
+        spec.name,
+        spec.cores,
+        spec.base,
+        spec.sharing_degree,
+        spec.l2_bytes() / (1024 * 1024),
+        kind.label()
+    );
+    println!(
+        "  sizing              warmup {}, measure {}, seed {:#x}",
+        cfg.warmup_accesses, cfg.measure_accesses, cfg.seed
+    );
+    if !cfg.stop.is_fixed() {
+        println!(
+            "  approximate mode    {} (references below reflect the early stop)",
+            cfg.stop.tag()
+        );
+    }
+    print_stats(&r);
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let mut stop = StopRule::Fixed;
     if let Some(first) = args.first() {
+        if first == "--spec" {
+            let (Some(path), extra) = (args.get(1), args.get(3)) else { usage() };
+            if extra.is_some() {
+                usage();
+            }
+            return run_spec(&path.clone(), args.get(2).map(String::as_str));
+        }
         if first.starts_with("--approx") {
             stop = parse_approx(first);
             args.remove(0);
@@ -87,6 +140,12 @@ fn main() {
     if !stop.is_fixed() {
         println!("  approximate mode    {} (references below reflect the early stop)", stop.tag());
     }
+    print_stats(&r);
+}
+
+/// The statistics block shared by the named-workload and `--spec`
+/// paths.
+fn print_stats(r: &cmp_sim::RunResult) {
     println!("  instructions        {:>12}", r.instructions);
     println!("  references          {:>12}", r.accesses);
     println!("  cycles              {:>12}", r.cycles);

@@ -78,7 +78,7 @@ const MAGIC: &str = "cmp-sweep-journal-v1";
 /// `RunResult.org` is `&'static str` (it comes from
 /// `CacheOrg::name()`); a journal record stores it as text and interns
 /// it back through this table on load.
-const ORG_NAMES: [&str; 6] = ["shared", "ideal", "private", "snuca", "dnuca", "nurapid"];
+const ORG_NAMES: [&str; 7] = ["shared", "ideal", "private", "snuca", "dnuca", "nurapid", "cnuca"];
 
 fn intern_org_name(name: &str) -> Option<&'static str> {
     ORG_NAMES.iter().find(|n| **n == name).copied()
@@ -93,6 +93,9 @@ fn intern_workload(kind: &str, name: &str) -> Option<WorkloadId> {
             crate::MULTITHREADED.iter().find(|w| **w == name).map(|w| WorkloadId::Multithreaded(w))
         }
         "mix" => crate::MIXES.iter().find(|m| **m == name).map(|m| WorkloadId::Mix(m)),
+        // A spec record stores its canonical JSON as the name; it
+        // re-parses back through the intern registry.
+        "spec" => crate::spec::intern_canonical(name).map(WorkloadId::Spec),
         _ => None,
     }
 }
@@ -333,6 +336,7 @@ pub fn record_to_json(pair: Pair, result: &RunResult) -> Json {
     let (kind, name) = match pair.0 {
         WorkloadId::Multithreaded(n) => ("mt", n),
         WorkloadId::Mix(n) => ("mix", n),
+        WorkloadId::Spec(s) => ("spec", s.canon.as_str()),
     };
     record.set("kind", Json::Str(kind.into()));
     record.set("workload", Json::Str(name.into()));
@@ -540,6 +544,26 @@ mod tests {
         let (j, restored) = Journal::open(&path, &tiny_cfg()).unwrap();
         assert_eq!(j.records(), 1);
         assert_eq!(restored, vec![(pair, r)]);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn spec_records_roundtrip_through_reopen() {
+        let path = tmp("spec");
+        let spec = crate::ScenarioSpec::parse_str(
+            r#"{"name": "j8", "cores": 8, "base": "ocean", "org": "cnuca",
+                "warmup-accesses": 200, "measure-accesses": 400, "seed": 11}"#,
+        )
+        .unwrap();
+        let interned = crate::spec::intern(&spec);
+        let pair: Pair = (WorkloadId::Spec(interned), OrgKind::Cnuca);
+        let r = spec.simulate(OrgKind::Cnuca, &tiny_cfg());
+        {
+            let (mut j, _) = Journal::open(&path, &tiny_cfg()).unwrap();
+            j.append(pair, &r).unwrap();
+        }
+        let (_, restored) = Journal::open(&path, &tiny_cfg()).unwrap();
+        assert_eq!(restored, vec![(pair, r)], "spec record re-interns to the same identity");
         let _ = std::fs::remove_file(&path);
     }
 

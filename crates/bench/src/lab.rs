@@ -28,6 +28,10 @@ pub enum WorkloadId {
     Multithreaded(&'static str),
     /// A Table 2 multiprogrammed mix by name.
     Mix(&'static str),
+    /// A declarative scenario spec ([`crate::spec`]), leak-interned
+    /// so the id stays `Copy` and two spellings of the same scenario
+    /// share one cache slot.
+    Spec(&'static crate::spec::InternedSpec),
 }
 
 impl WorkloadId {
@@ -35,6 +39,7 @@ impl WorkloadId {
     pub fn name(self) -> &'static str {
         match self {
             WorkloadId::Multithreaded(n) | WorkloadId::Mix(n) => n,
+            WorkloadId::Spec(s) => s.spec.name.as_str(),
         }
     }
 }
@@ -51,6 +56,10 @@ pub(crate) fn simulate_pair(pair: Pair, cfg: &RunConfig) -> Result<RunResult, Si
     match pair.0 {
         WorkloadId::Multithreaded(name) => try_run_multithreaded(name, pair.1, cfg),
         WorkloadId::Mix(name) => try_run_mix(name, pair.1, cfg),
+        // A spec's sizing overrides ride *inside* the cache key (the
+        // interned canonical form), so overriding the lab's config
+        // here keeps memoization sound.
+        WorkloadId::Spec(s) => Ok(s.spec.simulate(pair.1, cfg)),
     }
 }
 

@@ -28,6 +28,7 @@ pub mod obs_report;
 pub mod pool;
 pub mod scaling;
 pub mod shard;
+pub mod spec;
 pub mod sweep;
 pub mod table;
 
@@ -41,6 +42,7 @@ pub use scaling::{run_scaling, ScalingReport, ScalingRow};
 pub use shard::{
     run_sharded, KillSchedule, KillSpec, MultiShardReport, ShardOptions, ShardSlot, ShardStats,
 };
+pub use spec::{InternedSpec, ScenarioSpec};
 pub use sweep::{Quarantined, Resilience, SweepReport};
 pub use table::TextTable;
 

@@ -28,7 +28,7 @@ use crate::tag_array::TagArray;
 #[derive(Clone, Debug, Default)]
 struct DnucaEntry {
     dirty: bool,
-    l1_presence: u32,
+    l1_presence: u64,
 }
 
 /// The dynamic-NUCA shared L2 (migration enabled).
@@ -55,45 +55,62 @@ struct DnucaEntry {
 /// assert!(later.latency <= first.latency, "migration pulls the block closer");
 /// ```
 pub struct Dnuca {
-    /// One tag array per bank; `banks[b]` is bank `b` of the 4 × 4
-    /// grid.
+    /// One tag array per bank; `banks[b]` is bank `b` of the grid,
+    /// laid out row-major `columns` wide.
     banks: Vec<TagArray<DnucaEntry>>,
     latencies: SnucaLatencies,
+    /// Number of column banksets (the bank grid's width; 4 at paper
+    /// scale, where each column holds 4 banks).
+    columns: usize,
     cores: usize,
     memory_latency: Cycle,
     stats: OrgStats,
 }
 
-/// Number of column banksets (and banks per bankset) in the 4 × 4
-/// grid.
-const COLUMNS: usize = 4;
-
 impl Dnuca {
     /// The paper-scale configuration: 8 MB in 16 banks of 512 KB,
     /// 4 column banksets.
     pub fn paper(book: &LatencyBook) -> Self {
-        let bank_geom = CacheGeometry::new(512 * 1024, cmp_mem::L2_BLOCK_BYTES, 8);
+        Self::sized(book, cmp_mem::L2_TOTAL_BYTES)
+    }
+
+    /// The dynamic-NUCA organization at an explicit total capacity.
+    /// The bank grid is taken from `book.snuca` (twice the d-group
+    /// floorplan in each dimension), so the column-bankset layout
+    /// follows the machine size; capacity divides evenly over the
+    /// banks.
+    pub fn sized(book: &LatencyBook, total_bytes: usize) -> Self {
+        let (cols, _) = cmp_latency::Floorplan::paper(book.cores()).dims();
+        let columns = 2 * cols;
+        let bank_count = book.snuca.banks();
+        assert!(
+            total_bytes.is_multiple_of(bank_count),
+            "capacity must divide over {bank_count} banks"
+        );
+        let bank_geom = CacheGeometry::new(total_bytes / bank_count, cmp_mem::L2_BLOCK_BYTES, 8);
         Dnuca {
-            banks: (0..16).map(|_| TagArray::new(bank_geom)).collect(),
+            banks: (0..bank_count).map(|_| TagArray::new(bank_geom)).collect(),
             latencies: book.snuca.clone(),
+            columns,
             cores: book.cores(),
             memory_latency: book.memory,
             stats: OrgStats::default(),
         }
     }
 
-    fn core_bit(core: CoreId) -> u32 {
+    fn core_bit(core: CoreId) -> u64 {
         1 << core.index()
     }
 
     /// The bankset (column) a block maps to.
-    fn column_of(block: BlockAddr) -> usize {
-        (block.0 as usize) % COLUMNS
+    fn column_of(&self, block: BlockAddr) -> usize {
+        (block.0 as usize) % self.columns
     }
 
     /// The column's banks ordered nearest-first for `core`.
     fn search_order(&self, core: CoreId, column: usize) -> Vec<usize> {
-        let mut banks: Vec<usize> = (0..4).map(|row| column + 4 * row).collect();
+        let rows = self.banks.len() / self.columns;
+        let mut banks: Vec<usize> = (0..rows).map(|row| column + self.columns * row).collect();
         banks.sort_by_key(|&b| self.latencies.latency(core, b));
         banks
     }
@@ -111,7 +128,7 @@ impl Dnuca {
         core: CoreId,
         block: BlockAddr,
     ) -> (Vec<usize>, Option<(usize, usize, usize)>, Cycle) {
-        let order = self.search_order(core, Self::column_of(block));
+        let order = self.search_order(core, self.column_of(block));
         let mut latency = 0;
         for (pos, &bank) in order.iter().enumerate() {
             latency += self.latencies.latency(core, bank);
@@ -324,11 +341,11 @@ mod tests {
         for c in [1u8, 2, 3, 0] {
             rd(&mut l2, &mut bus, &mut t, c, 13);
         }
-        let col = Dnuca::column_of(BlockAddr(13));
+        let col = l2.column_of(BlockAddr(13));
         let resident: Vec<usize> =
             (0..16).filter(|&b| l2.banks[b].lookup(BlockAddr(13)).is_some()).collect();
         assert_eq!(resident.len(), 1, "exactly one copy");
-        assert_eq!(resident[0] % COLUMNS, col, "still in its column bankset");
+        assert_eq!(resident[0] % l2.columns, col, "still in its column bankset");
     }
 
     #[test]

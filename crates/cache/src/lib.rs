@@ -26,8 +26,11 @@
 //!   baseline from Beckmann & Wood;
 //! * [`dnuca`] — **CMP-DNUCA** with gradual migration, implemented to
 //!   reproduce the paper's justification for excluding it (sharers
-//!   drag the block to the middle).
+//!   drag the block to the middle);
+//! * [`cnuca`] — **CMP-CNUCA**, a compressed banked shared cache
+//!   (YACC-style, arXiv:2201.00774) reachable from scenario specs.
 
+pub mod cnuca;
 pub mod dnuca;
 pub mod lru;
 pub mod org;
@@ -37,6 +40,7 @@ pub mod snuca;
 pub mod tag_array;
 pub mod violation;
 
+pub use cnuca::Cnuca;
 pub use dnuca::Dnuca;
 pub use org::{AccessClass, AccessResponse, CacheOrg, CollectedResponse, InvalScratch, OrgStats};
 pub use private_mesi::PrivateMesi;

@@ -87,10 +87,16 @@ impl PrivateMesi {
 
     /// The paper's configuration: one 2 MB 8-way cache per core.
     pub fn paper(book: &LatencyBook) -> Self {
+        Self::sized(book, cmp_mem::L2_TOTAL_BYTES)
+    }
+
+    /// Private caches at an explicit *total* capacity, divided evenly
+    /// over the cores (rounded to the next power of two).
+    pub fn sized(book: &LatencyBook, total_bytes: usize) -> Self {
         PrivateMesi::new(
             book.cores(),
             CacheGeometry::new(
-                cmp_mem::L2_TOTAL_BYTES / book.cores().next_power_of_two(),
+                total_bytes / book.cores().next_power_of_two(),
                 cmp_mem::L2_BLOCK_BYTES,
                 8,
             ),

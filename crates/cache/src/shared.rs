@@ -23,7 +23,7 @@ use crate::tag_array::TagArray;
 #[derive(Clone, Debug, Default)]
 struct SharedEntry {
     dirty: bool,
-    l1_presence: u32,
+    l1_presence: u64,
 }
 
 /// A uniform-latency shared L2 cache.
@@ -65,7 +65,7 @@ impl UniformShared {
         memory_latency: Cycle,
         name: &'static str,
     ) -> Self {
-        assert!(cores > 0 && cores <= 32, "cores must be in 1..=32");
+        assert!(cores > 0 && cores <= 64, "cores must be in 1..=64");
         UniformShared {
             tags: TagArray::new(geom),
             cores,
@@ -103,7 +103,33 @@ impl UniformShared {
         )
     }
 
-    fn core_bit(core: CoreId) -> u32 {
+    /// The paper's shared organization at an explicit total capacity
+    /// (scenario-spec machines scale capacity with the core count;
+    /// [`UniformShared::paper_shared`] keeps the fixed 8 MB).
+    pub fn sized_shared(book: &LatencyBook, total_bytes: usize) -> Self {
+        UniformShared::new(
+            book.cores(),
+            CacheGeometry::new(total_bytes, cmp_mem::L2_BLOCK_BYTES, 32),
+            book.shared_tag,
+            book.shared_total,
+            book.memory,
+            "shared",
+        )
+    }
+
+    /// The ideal organization at an explicit total capacity.
+    pub fn sized_ideal(book: &LatencyBook, total_bytes: usize) -> Self {
+        UniformShared::new(
+            book.cores(),
+            CacheGeometry::new(total_bytes, cmp_mem::L2_BLOCK_BYTES, 32),
+            book.private_tag,
+            book.ideal_total,
+            book.memory,
+            "ideal",
+        )
+    }
+
+    fn core_bit(core: CoreId) -> u64 {
         1 << core.index()
     }
 }

@@ -21,7 +21,7 @@ use crate::tag_array::TagArray;
 #[derive(Clone, Debug, Default)]
 struct SnucaEntry {
     dirty: bool,
-    l1_presence: u32,
+    l1_presence: u64,
 }
 
 /// The banked non-uniform shared L2.
@@ -56,6 +56,14 @@ pub struct Snuca {
 impl Snuca {
     /// Creates the paper-scale configuration: 8 MB in 16 banks.
     pub fn paper(book: &LatencyBook) -> Self {
+        Self::sized(book, cmp_mem::L2_TOTAL_BYTES)
+    }
+
+    /// The banked organization at an explicit total capacity; the bank
+    /// *latency* grid comes from `book.snuca` (scaled to the core
+    /// count), so the "nearest quartile" closeness threshold adapts to
+    /// any bank grid.
+    pub fn sized(book: &LatencyBook, total_bytes: usize) -> Self {
         let cores = book.cores();
         let latencies = book.snuca.clone();
         let near_threshold = CoreId::all(cores)
@@ -67,11 +75,7 @@ impl Snuca {
             })
             .collect();
         Snuca {
-            tags: TagArray::new(CacheGeometry::new(
-                cmp_mem::L2_TOTAL_BYTES,
-                cmp_mem::L2_BLOCK_BYTES,
-                32,
-            )),
+            tags: TagArray::new(CacheGeometry::new(total_bytes, cmp_mem::L2_BLOCK_BYTES, 32)),
             latencies,
             near_threshold,
             cores,
@@ -80,7 +84,7 @@ impl Snuca {
         }
     }
 
-    fn core_bit(core: CoreId) -> u32 {
+    fn core_bit(core: CoreId) -> u64 {
         1 << core.index()
     }
 

@@ -144,7 +144,7 @@ impl NurapidConfig {
     /// cores than the latency book covers, non-power-of-two sizes).
     pub fn validate(&self) {
         assert!(self.cores > 0, "at least one core required");
-        assert!(self.cores <= 32, "core bitmask limited to 32 cores");
+        assert!(self.cores <= 64, "core bitmask limited to 64 cores");
         assert_eq!(self.latencies.cores(), self.cores, "latency book must cover all cores");
         assert!(self.tag_capacity_factor >= 1, "tag capacity factor must be at least 1");
         let _ = self.tag_geometry();

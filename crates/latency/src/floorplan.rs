@@ -52,21 +52,42 @@ pub struct Floorplan {
 }
 
 impl Floorplan {
-    /// The paper's floorplan for `cores` cores (one d-group per core,
-    /// near-square grid; 4 cores gives the 2 × 2 layout of Figure 1).
+    /// The paper's floorplan for `cores` cores (one d-group per core;
+    /// 4 cores gives the 2 × 2 layout of Figure 1).
+    ///
+    /// Power-of-two core counts get a hole-free rectangle whose
+    /// aspect ratio is at most 2:1 — 2 → 2×1, 4 → 2×2, 8 → 4×2,
+    /// 16 → 4×4, 32 → 8×4, 64 → 8×8 — so every grid slot holds a
+    /// d-group and Manhattan ranks stay symmetric across mirrored
+    /// cores. Other counts fall back to a ceil(√n)-wide near-square
+    /// whose last row may be partially filled (positions stay
+    /// distinct, so ranks remain well defined, just not symmetric).
     ///
     /// # Panics
     ///
     /// Panics if `cores` is zero.
     pub fn paper(cores: usize) -> Self {
         assert!(cores > 0, "at least one core required");
-        let cols = (cores as f64).sqrt().ceil() as usize;
+        let cols = if cores.is_power_of_two() {
+            // 2^ceil(log2(n)/2): the wider side of the 2:1-or-square
+            // rectangle. usize::BITS - 1 - lz == log2 for powers of 2.
+            let log2 = (usize::BITS - 1 - cores.leading_zeros()) as usize;
+            1usize << log2.div_ceil(2)
+        } else {
+            (cores as f64).sqrt().ceil() as usize
+        };
         Floorplan { cols, dgroups: cores }
     }
 
     /// Number of d-groups in the floorplan.
     pub fn dgroups(&self) -> usize {
         self.dgroups
+    }
+
+    /// Grid dimensions as `(cols, rows)`; the last row may be
+    /// partially filled for non-power-of-two d-group counts.
+    pub fn dims(&self) -> (usize, usize) {
+        (self.cols, self.dgroups.div_ceil(self.cols))
     }
 
     /// Grid position of d-group `g`.
@@ -142,5 +163,61 @@ mod tests {
         let fp = Floorplan::paper(8);
         let max_rank = (0..8).map(|g| fp.dgroup_distance_rank(CoreId(0), g)).max().unwrap();
         assert!(max_rank >= 3);
+    }
+
+    #[test]
+    fn power_of_two_grids_are_hole_free_rectangles() {
+        for (n, dims) in [
+            (1, (1, 1)),
+            (2, (2, 1)),
+            (4, (2, 2)),
+            (8, (4, 2)),
+            (16, (4, 4)),
+            (32, (8, 4)),
+            (64, (8, 8)),
+        ] {
+            let fp = Floorplan::paper(n);
+            assert_eq!(fp.dims(), dims, "dims for {n} cores");
+            let (cols, rows) = fp.dims();
+            assert_eq!(cols * rows, n, "{n}-core grid must have no holes");
+        }
+    }
+
+    #[test]
+    fn ranks_are_symmetric_pairwise() {
+        for n in [2usize, 4, 8, 16, 64] {
+            let fp = Floorplan::paper(n);
+            for a in 0..n {
+                for b in 0..n {
+                    assert_eq!(
+                        fp.dgroup_distance_rank(CoreId(a as u8), b),
+                        fp.dgroup_distance_rank(CoreId(b as u8), a),
+                        "rank({a},{b}) asymmetric at {n} cores"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn corner_cores_see_identical_sorted_rank_profiles() {
+        // The four grid corners are related by mirror symmetry, so
+        // their sorted distance profiles must agree at every
+        // power-of-two machine size.
+        for n in [4usize, 8, 16, 64] {
+            let fp = Floorplan::paper(n);
+            let (cols, rows) = fp.dims();
+            let corners = [0, cols - 1, cols * (rows - 1), cols * rows - 1];
+            let profile = |c: usize| {
+                let mut v: Vec<_> =
+                    (0..n).map(|g| fp.dgroup_distance_rank(CoreId(c as u8), g)).collect();
+                v.sort_unstable();
+                v
+            };
+            let p0 = profile(corners[0]);
+            for &c in &corners[1..] {
+                assert_eq!(profile(c), p0, "corner {c} differs at {n} cores");
+            }
+        }
     }
 }

@@ -175,4 +175,27 @@ mod tests {
     fn default_is_paper() {
         assert_eq!(LatencyBook::default(), LatencyBook::paper());
     }
+
+    #[test]
+    fn big_machine_books_keep_own_dgroup_at_table1_near_latency() {
+        // At 8/16/64 cores each core still abuts its own d-group, so
+        // the diagonal of the d-group matrix stays at Table 1's
+        // 6-cycle "own d-group" latency; far d-groups saturate at the
+        // 33-cycle diagonal value (`Table1::dgroup_data` clamps ranks
+        // beyond the published table — documented capacity-model
+        // simplification for big machines).
+        for cores in [8usize, 16, 64] {
+            let book = LatencyBook::from_table1(&Table1::published(), cores);
+            assert_eq!(book.cores(), cores);
+            for c in 0..cores {
+                assert_eq!(book.dgroup[c][c], 6, "own d-group at {cores} cores");
+                assert!(
+                    book.dgroup[c].iter().all(|&l| (6..=33).contains(&l)),
+                    "d-group latency out of Table 1 range at {cores} cores"
+                );
+            }
+            // Far d-groups really do saturate (rank >= 2 exists).
+            assert!(book.dgroup[0].contains(&33));
+        }
+    }
 }

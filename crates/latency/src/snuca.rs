@@ -59,36 +59,52 @@ pub struct SnucaLatencies {
 }
 
 impl SnucaLatencies {
-    /// Builds the paper-scale table: 16 banks in a 4 × 4 grid, `cores`
-    /// cores spread over the grid corners.
+    /// Builds the paper-scale table: a bank grid twice the d-group
+    /// floorplan in each dimension (4 cores → 16 × 512 KB banks in a
+    /// 4 × 4 grid), with each core sitting at the outer corner of its
+    /// own d-group's 2 × 2 bank quadrant. Bank size stays 512 KB at
+    /// every machine size, so the bank count scales with the core
+    /// count (8 cores → 8 × 4 banks, 64 cores → 16 × 16).
     ///
     /// # Panics
     ///
     /// Panics if `cores` is zero.
     pub fn paper(cores: usize) -> Self {
         assert!(cores > 0, "at least one core required");
-        let grid = 4usize; // 4 x 4 banks
+        let fp = crate::Floorplan::paper(cores);
+        let (cols, rows) = fp.dims();
+        let (gx, gy) = (2 * cols, 2 * rows); // bank grid, 2x2 banks per d-group
         let bank_side_mm = crate::floorplan::DGROUP_SIDE_MM / 2.0; // 512 KB = quarter d-group area
         let bank_access = data_array_cycles(PAPER_BANK_BYTES)
             + tag_array_cycles(PAPER_BANK_BYTES / cmp_mem::L2_BLOCK_BYTES)
             + NETWORK_OVERHEAD_CYCLES;
-        // Core corner positions on the grid (in bank units).
-        let corners =
-            [(0.0, 0.0), (grid as f64, 0.0), (0.0, grid as f64), (grid as f64, grid as f64)];
+        // Core c sits on the chip edge nearest its d-group: left/top
+        // halves of the floorplan push the core to the quadrant's
+        // outer (low) corner, right/bottom halves to the high corner.
+        // At 4 cores this yields the classic four chip corners
+        // (0,0) (4,0) (0,4) (4,4) in bank units.
+        let corner = |pos: usize, extent: usize| -> f64 {
+            if pos < extent.div_ceil(2) {
+                (2 * pos) as f64
+            } else {
+                (2 * pos + 2) as f64
+            }
+        };
         let table = (0..cores)
             .map(|c| {
-                let (cx, cy) = corners[c % corners.len()];
-                (0..grid * grid)
+                let (x, y) = (c % cols, c / cols);
+                let (cx, cy) = (corner(x, cols), corner(y, rows));
+                (0..gx * gy)
                     .map(|b| {
-                        let bx = (b % grid) as f64 + 0.5;
-                        let by = (b / grid) as f64 + 0.5;
+                        let bx = (b % gx) as f64 + 0.5;
+                        let by = (b / gx) as f64 + 0.5;
                         let dist_mm = ((cx - bx).abs() + (cy - by).abs()) * bank_side_mm;
                         bank_access + wire_cycles(dist_mm)
                     })
                     .collect()
             })
             .collect();
-        SnucaLatencies { table, banks: grid * grid }
+        SnucaLatencies { table, banks: gx * gy }
     }
 
     /// Number of banks.
@@ -165,6 +181,52 @@ mod tests {
         let p0 = profile(0);
         for c in 1..4 {
             assert_eq!(profile(c), p0);
+        }
+    }
+
+    #[test]
+    fn bank_count_scales_with_cores() {
+        for (cores, banks) in [(4usize, 16usize), (8, 32), (16, 64), (64, 256)] {
+            let snuca = SnucaLatencies::paper(cores);
+            assert_eq!(snuca.banks(), banks, "bank count at {cores} cores");
+        }
+    }
+
+    #[test]
+    fn big_machine_cores_have_distinct_positions() {
+        // No two cores may collapse onto the same corner (the old
+        // `c % 4` corner pick stacked cores 4..N on cores 0..3).
+        for cores in [8usize, 16, 64] {
+            let snuca = SnucaLatencies::paper(cores);
+            let profiles: Vec<Vec<Cycle>> = (0..cores).map(|c| snuca.table[c].clone()).collect();
+            for a in 0..cores {
+                for b in (a + 1)..cores {
+                    assert_ne!(
+                        profiles[a], profiles[b],
+                        "cores {a} and {b} co-located at {cores} cores"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mirror_corner_cores_match_on_big_machines() {
+        // The four extreme corner cores of an 8/16/64-core machine
+        // are related by mirror symmetry.
+        for (cores, cols, rows) in [(8usize, 4usize, 2usize), (16, 4, 4), (64, 8, 8)] {
+            let snuca = SnucaLatencies::paper(cores);
+            let corners = [0, cols - 1, cols * (rows - 1), cols * rows - 1];
+            let profile = |c: usize| {
+                let mut v: Vec<_> =
+                    (0..snuca.banks()).map(|b| snuca.latency(CoreId(c as u8), b)).collect();
+                v.sort_unstable();
+                v
+            };
+            let p0 = profile(corners[0]);
+            for &c in &corners[1..] {
+                assert_eq!(profile(c), p0, "corner core {c} differs at {cores} cores");
+            }
         }
     }
 }

@@ -13,6 +13,13 @@
 //! arXiv:1602.01329) — validated, recorded in the response, not yet
 //! an input of the underlying simulator.
 //!
+//! A `run` request may instead carry an inline `spec` object — a
+//! declarative scenario spec ([`cmp_bench::spec`]) naming the whole
+//! machine and workload (core count, organization, sharing mix,
+//! sizing, stop rule). The spec shadows the flat per-field knobs, so
+//! those are rejected alongside it, and validation errors inside the
+//! object come back field-qualified as `spec.<key>`.
+//!
 //! Validation is strict and field-level: every rejection names the
 //! offending key, the accepted shape, and the received value
 //! ([`SimError::InvalidRequest`]), so a client can fix a request
@@ -22,7 +29,7 @@
 
 use std::time::Duration;
 
-use cmp_bench::{Json, Pair, WorkloadId, MIXES, MULTITHREADED};
+use cmp_bench::{Json, Pair, ScenarioSpec, WorkloadId, MIXES, MULTITHREADED};
 use cmp_sim::{OrgKind, RunConfig, SimError, StopMetric, StopRule};
 
 /// Hard ceiling on `max-concurrency` (beyond this a request is a
@@ -103,13 +110,14 @@ fn org_catalog() -> String {
 }
 
 /// The top-level request keys every `run`/`sweep` accepts.
-const JOB_KEYS: [&str; 16] = [
+const JOB_KEYS: [&str; 17] = [
     "type",
     "id",
     "workload",
     "workloads",
     "org",
     "orgs",
+    "spec",
     "deadline-ms",
     "max-concurrency",
     "warmup-accesses",
@@ -171,12 +179,110 @@ pub fn parse_line(
     }
 }
 
+/// Parses the per-job admission limits shared by the catalog and
+/// spec paths.
+fn parse_limits(value: &Json) -> Result<(Option<Duration>, Option<usize>), SimError> {
+    let deadline = get_u64(value, "deadline-ms", 1, "an integer >= 1 of milliseconds")?
+        .map(Duration::from_millis);
+    let max_concurrency = get_u64(
+        value,
+        "max-concurrency",
+        1,
+        &format!("an integer in 1..={MAX_CONCURRENCY_CEILING}"),
+    )?
+    .map(|n| n as usize);
+    if let Some(n) = max_concurrency {
+        if n > MAX_CONCURRENCY_CEILING {
+            return Err(invalid(
+                "max-concurrency",
+                format!("an integer in 1..={MAX_CONCURRENCY_CEILING}"),
+                n.to_string(),
+            ));
+        }
+    }
+    Ok((deadline, max_concurrency))
+}
+
+/// The spec path of a `run` request: the inline `spec` object defines
+/// the whole scenario (machine, workload, sizing, stop rule), so the
+/// flat per-field knobs are rejected alongside it rather than
+/// silently shadowed. Validation errors inside the object come back
+/// field-qualified as `spec.<key>`.
+fn parse_spec_job(
+    value: &Json,
+    spec_val: &Json,
+    id: Json,
+    defaults: RunConfig,
+) -> Result<Request, SimError> {
+    const SHADOWED: [&str; 12] = [
+        "workload",
+        "workloads",
+        "org",
+        "orgs",
+        "warmup-accesses",
+        "measure-accesses",
+        "seed",
+        "approx",
+        "confidence",
+        "rel-half-width",
+        "metric",
+        "num-keys",
+    ];
+    for key in SHADOWED.iter().chain(SCENARIO_KEYS.iter()) {
+        if value.get(key).is_some() {
+            return Err(invalid(
+                key,
+                "no scenario or sizing fields alongside spec (the spec defines the whole scenario)",
+                format!("{key} alongside spec"),
+            ));
+        }
+    }
+    if spec_val.fields().is_none() {
+        return Err(invalid(
+            "spec",
+            "a JSON object (an inline scenario spec)",
+            clip(&spec_val.compact()),
+        ));
+    }
+    let spec = ScenarioSpec::from_json(spec_val).map_err(|e| match e {
+        SimError::InvalidRequest { field, expected, got } => {
+            SimError::InvalidRequest { field: format!("spec.{field}"), expected, got }
+        }
+        other => other,
+    })?;
+    let (deadline, max_concurrency) = parse_limits(value)?;
+    let cfg = spec.run_config(&defaults);
+    let org = spec.org;
+    let interned = cmp_bench::spec::intern(&spec);
+    let job = JobSpec {
+        id,
+        pair: (WorkloadId::Spec(interned), org),
+        cfg,
+        deadline,
+        max_concurrency,
+        // Echo the canonical form so the client sees exactly what
+        // ran, defaults filled in.
+        scenario: vec![("spec".to_string(), spec.to_json())],
+    };
+    Ok(Request::Jobs(vec![job]))
+}
+
 fn parse_jobs(value: &Json, id: Json, defaults: RunConfig) -> Result<Request, SimError> {
     let fields = value.fields().expect("checked by parse_line");
     if let Some((key, _)) = fields.iter().find(|(k, _)| !known_key(k)) {
         return Err(invalid(key, "a known request field (see DESIGN.md \"Serving\")", clip(key)));
     }
     let is_sweep = value.get("type").and_then(|t| t.as_str()) == Some("sweep");
+    if let Some(spec_val) = value.get("spec") {
+        if is_sweep {
+            return Err(invalid(
+                "spec",
+                "a run request (a spec names one scenario; sweep an axis via spec files)",
+                "spec inside a sweep",
+            ));
+        }
+        return parse_spec_job(value, spec_val, id, defaults);
+    }
 
     // Workload axis: `workload` (run) or `workloads` (sweep).
     let workloads: Vec<WorkloadId> = if is_sweep {
@@ -248,24 +354,7 @@ fn parse_jobs(value: &Json, id: Json, defaults: RunConfig) -> Result<Request, Si
     }
     cfg.stop = parse_stop_rule(value)?;
 
-    let deadline = get_u64(value, "deadline-ms", 1, "an integer >= 1 of milliseconds")?
-        .map(Duration::from_millis);
-    let max_concurrency = get_u64(
-        value,
-        "max-concurrency",
-        1,
-        &format!("an integer in 1..={MAX_CONCURRENCY_CEILING}"),
-    )?
-    .map(|n| n as usize);
-    if let Some(n) = max_concurrency {
-        if n > MAX_CONCURRENCY_CEILING {
-            return Err(invalid(
-                "max-concurrency",
-                format!("an integer in 1..={MAX_CONCURRENCY_CEILING}"),
-                n.to_string(),
-            ));
-        }
-    }
+    let (deadline, max_concurrency) = parse_limits(value)?;
 
     // Scenario fields: validated, echoed, forward-looking.
     let mut scenario = Vec::new();
@@ -566,6 +655,66 @@ mod tests {
                 "confidence",
                 "\"approx\": true",
             ),
+        ];
+        for (line, field, fragment) in table {
+            let (got_field, expected, _) = expect_invalid(line);
+            assert_eq!(&got_field, field, "offending field for {line:?}");
+            assert!(
+                expected.contains(fragment),
+                "expected-shape text for {line:?}: {expected:?} missing {fragment:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn spec_requests_lower_into_a_spec_job() {
+        let req = parse(
+            r#"{"type":"run","id":"s1","spec":{"name":"web8","cores":8,"base":"apache","org":"cnuca","measure-accesses":900},"deadline-ms":250}"#,
+        )
+        .unwrap();
+        let Request::Jobs(jobs) = req else { panic!("expected jobs") };
+        assert_eq!(jobs.len(), 1);
+        let job = &jobs[0];
+        assert_eq!(job.pair.0.name(), "web8");
+        assert_eq!(job.pair.1, OrgKind::Cnuca, "org comes from the spec");
+        assert_eq!(job.cfg.measure_accesses, 900, "spec sizing overrides the default");
+        assert_eq!(job.cfg.warmup_accesses, 200, "unset sizing keeps the service default");
+        assert_eq!(job.deadline, Some(Duration::from_millis(250)));
+        // The canonical spec is echoed, defaults filled in.
+        let (key, echoed) = &job.scenario[0];
+        assert_eq!(key, "spec");
+        assert_eq!(echoed.get("cores").and_then(|v| v.as_f64()), Some(8.0));
+        assert_eq!(echoed.get("sharing-degree").and_then(|v| v.as_f64()), Some(8.0));
+        let WorkloadId::Spec(interned) = job.pair.0 else { panic!("expected a spec workload") };
+        assert_eq!(interned.spec.cores, 8);
+    }
+
+    /// Malformed-spec rows for the serve wire: errors inside the
+    /// inline object come back field-qualified as `spec.<key>`.
+    #[test]
+    fn malformed_spec_requests_name_the_offending_key() {
+        let table: &[(&str, &str, &str)] = &[
+            // Spec must be an object.
+            (r#"{"type":"run","spec":"web8.json"}"#, "spec", "JSON object"),
+            // Spec cannot ride inside a sweep.
+            (r#"{"type":"sweep","spec":{"name":"w"},"orgs":["shared"]}"#, "spec", "run request"),
+            // Spec shadows the flat fields; both present is an error.
+            (
+                r#"{"type":"run","spec":{"name":"w"},"workload":"oltp"}"#,
+                "workload",
+                "alongside spec",
+            ),
+            (r#"{"type":"run","spec":{"name":"w"},"seed":3}"#, "seed", "alongside spec"),
+            (
+                r#"{"type":"run","spec":{"name":"w"},"sharing-degree":2}"#,
+                "sharing-degree",
+                "alongside spec",
+            ),
+            // Errors inside the object are field-qualified.
+            (r#"{"type":"run","spec":{"name":"w","cores":12}}"#, "spec.cores", "power of two"),
+            (r#"{"type":"run","spec":{"name":"w","org":"l4"}}"#, "spec.org", "organization"),
+            (r#"{"type":"run","spec":{"cores":8}}"#, "spec.name", "non-empty"),
+            (r#"{"type":"run","spec":{"name":"w","turbo":true}}"#, "spec.turbo", "spec key"),
         ];
         for (line, field, fragment) in table {
             let (got_field, expected, _) = expect_invalid(line);

@@ -61,10 +61,12 @@ pub fn account(run: &RunResult, kind: OrgKind, model: &EnergyModel) -> EnergyBre
             // (misses still probe the tag; fills write the array).
             (accesses * model.shared_tag, accesses * model.shared_data)
         }
-        OrgKind::Snuca | OrgKind::Dnuca => {
+        OrgKind::Snuca | OrgKind::Dnuca | OrgKind::Cnuca => {
             // Distributed small tags at the banks; bank-sized data
             // accesses with routing included in `snuca_access` (DNUCA
-            // additionally pays for migrations, counted as promotions).
+            // additionally pays for migrations, counted as promotions;
+            // CNUCA's (de)compression cost is folded into the bank
+            // access, a deliberate simplification).
             let moves = s.promotions as f64;
             (
                 accesses * model.private_tag,

@@ -43,10 +43,11 @@ pub use energy::{account as energy_account, EnergyBreakdown};
 pub use error::SimError;
 pub use l1::{L1Cache, L1Stats};
 pub use runner::{
-    build_org, run_mix, run_mix_custom, run_multithreaded, run_multithreaded_custom,
-    run_workload_mono, try_multithreaded_workload, try_run_mix, try_run_mix_custom,
-    try_run_multithreaded, try_run_multithreaded_custom, workload_by_name, AnyWorkload, OrgKind,
-    RunConfig,
+    build_org, build_org_sized, run_mix, run_mix_custom, run_multithreaded,
+    run_multithreaded_custom, run_workload_mono, run_workload_mono_with,
+    try_multithreaded_workload, try_multithreaded_workload_for, try_run_mix, try_run_mix_custom,
+    try_run_multithreaded, try_run_multithreaded_custom, workload_by_name, workload_by_name_for,
+    AnyWorkload, OrgKind, RunConfig,
 };
 pub use stopping::{z_for_confidence, StopInfo, StopMetric, StopRule, Welford};
 pub use system::{RunResult, System};

@@ -1,6 +1,6 @@
 //! Experiment plumbing: organization construction and standard runs.
 
-use cmp_cache::{CacheOrg, Dnuca, PrivateMesi, Snuca, UniformShared};
+use cmp_cache::{CacheOrg, Cnuca, Dnuca, PrivateMesi, Snuca, UniformShared};
 use cmp_latency::LatencyBook;
 use cmp_mem::{Addr, CoreId};
 use cmp_nurapid::{CmpNurapid, NurapidConfig};
@@ -33,6 +33,9 @@ pub enum OrgKind {
     NurapidCrOnly,
     /// CMP-NuRAPID with in-situ communication only (Figure 8 "ISC").
     NurapidIscOnly,
+    /// CMP-CNUCA: compressed banked shared cache (YACC-style,
+    /// arXiv:2201.00774), a scenario-spec extension beyond the paper.
+    Cnuca,
 }
 
 impl OrgKind {
@@ -41,7 +44,7 @@ impl OrgKind {
         [OrgKind::Shared, OrgKind::Snuca, OrgKind::Private, OrgKind::Ideal, OrgKind::Nurapid];
 
     /// Every organization the runner can build, ablations included.
-    pub const ALL: [OrgKind; 8] = [
+    pub const ALL: [OrgKind; 9] = [
         OrgKind::Shared,
         OrgKind::Private,
         OrgKind::Snuca,
@@ -50,6 +53,7 @@ impl OrgKind {
         OrgKind::Nurapid,
         OrgKind::NurapidCrOnly,
         OrgKind::NurapidIscOnly,
+        OrgKind::Cnuca,
     ];
 
     /// Display name.
@@ -63,6 +67,7 @@ impl OrgKind {
             OrgKind::Nurapid => "CMP-NuRAPID",
             OrgKind::NurapidCrOnly => "CMP-NuRAPID (CR only)",
             OrgKind::NurapidIscOnly => "CMP-NuRAPID (ISC only)",
+            OrgKind::Cnuca => "CMP-CNUCA (compressed)",
         }
     }
 
@@ -79,6 +84,7 @@ impl OrgKind {
             OrgKind::Nurapid => "nurapid",
             OrgKind::NurapidCrOnly => "nurapid-cr",
             OrgKind::NurapidIscOnly => "nurapid-isc",
+            OrgKind::Cnuca => "cnuca",
         }
     }
 
@@ -100,6 +106,35 @@ pub fn build_org(kind: OrgKind) -> Box<dyn CacheOrg> {
         OrgKind::Nurapid => Box::new(CmpNurapid::new(NurapidConfig::paper())),
         OrgKind::NurapidCrOnly => Box::new(CmpNurapid::new(NurapidConfig::paper_cr_only())),
         OrgKind::NurapidIscOnly => Box::new(CmpNurapid::new(NurapidConfig::paper_isc_only())),
+        OrgKind::Cnuca => Box::new(Cnuca::paper(&book)),
+    }
+}
+
+/// Builds an organization for an arbitrary machine described by a
+/// latency book and a total L2 capacity — the scenario-spec path.
+/// With `LatencyBook::paper()` and [`cmp_mem::L2_TOTAL_BYTES`] this
+/// constructs bit-identical organizations to [`build_org`].
+pub fn build_org_sized(kind: OrgKind, book: &LatencyBook, l2_bytes: usize) -> Box<dyn CacheOrg> {
+    let nurapid = |base: NurapidConfig| NurapidConfig {
+        cores: book.cores(),
+        dgroup_bytes: l2_bytes / book.cores().next_power_of_two(),
+        latencies: book.clone(),
+        ..base
+    };
+    match kind {
+        OrgKind::Shared => Box::new(UniformShared::sized_shared(book, l2_bytes)),
+        OrgKind::Private => Box::new(PrivateMesi::sized(book, l2_bytes)),
+        OrgKind::Snuca => Box::new(Snuca::sized(book, l2_bytes)),
+        OrgKind::Dnuca => Box::new(Dnuca::sized(book, l2_bytes)),
+        OrgKind::Ideal => Box::new(UniformShared::sized_ideal(book, l2_bytes)),
+        OrgKind::Nurapid => Box::new(CmpNurapid::new(nurapid(NurapidConfig::paper()))),
+        OrgKind::NurapidCrOnly => {
+            Box::new(CmpNurapid::new(nurapid(NurapidConfig::paper_cr_only())))
+        }
+        OrgKind::NurapidIscOnly => {
+            Box::new(CmpNurapid::new(nurapid(NurapidConfig::paper_isc_only())))
+        }
+        OrgKind::Cnuca => Box::new(Cnuca::sized(book, l2_bytes)),
     }
 }
 
@@ -150,9 +185,23 @@ impl Default for RunConfig {
     }
 }
 
-/// Builds one of the Table 3 multithreaded workloads by name.
+/// Builds one of the Table 3 multithreaded workloads by name at the
+/// paper's four cores.
 pub fn try_multithreaded_workload(name: &str, seed: u64) -> Result<SyntheticWorkload, SimError> {
-    let cores = cmp_mem::PAPER_CORES;
+    try_multithreaded_workload_for(name, seed, cmp_mem::PAPER_CORES)
+}
+
+/// Builds one of the Table 3 multithreaded workloads by name at an
+/// explicit core count (the scenario-spec path; the synthetic
+/// profiles scale to any positive core count).
+pub fn try_multithreaded_workload_for(
+    name: &str,
+    seed: u64,
+    cores: usize,
+) -> Result<SyntheticWorkload, SimError> {
+    if cores == 0 {
+        return Err(SimError::UnsupportedCores { workload: name.to_string(), cores });
+    }
     match name {
         "oltp" => Ok(profiles::oltp(cores, seed)),
         "apache" => Ok(profiles::apache(cores, seed)),
@@ -216,13 +265,27 @@ impl TraceSource for AnyWorkload {
     }
 }
 
-/// Resolves a workload name against Table 3 first, then Table 2.
+/// Resolves a workload name against Table 3 first, then Table 2, at
+/// the paper's four cores.
 pub fn workload_by_name(name: &str, seed: u64) -> Result<AnyWorkload, SimError> {
-    if let Ok(w) = try_multithreaded_workload(name, seed) {
-        return Ok(AnyWorkload::Synthetic(Box::new(w)));
+    workload_by_name_for(name, seed, cmp_mem::PAPER_CORES)
+}
+
+/// Resolves a workload name at an explicit core count. Table 3
+/// synthetic workloads scale to any positive `cores`; Table 2 mixes
+/// are defined as exactly one application per core over four
+/// applications, so asking for a mix at `cores != 4` returns
+/// [`SimError::UnsupportedCores`] instead of silently simulating a
+/// different machine.
+pub fn workload_by_name_for(name: &str, seed: u64, cores: usize) -> Result<AnyWorkload, SimError> {
+    match try_multithreaded_workload_for(name, seed, cores) {
+        Ok(w) => return Ok(AnyWorkload::Synthetic(Box::new(w))),
+        Err(e @ SimError::UnsupportedCores { .. }) => return Err(e),
+        Err(_) => {}
     }
     match MixWorkload::table2(name, seed) {
-        Some(w) => Ok(AnyWorkload::Mix(w)),
+        Some(w) if w.cores() == cores => Ok(AnyWorkload::Mix(w)),
+        Some(_) => Err(SimError::UnsupportedCores { workload: name.to_string(), cores }),
         None => Err(SimError::UnknownWorkload(name.to_string())),
     }
 }
@@ -235,30 +298,60 @@ pub fn workload_by_name(name: &str, seed: u64) -> Result<AnyWorkload, SimError> 
 /// `Box<dyn CacheOrg>` wrappers (same construction, same schedule,
 /// same RNG draws), which the golden suite pins.
 pub fn run_workload_mono<W: TraceSource>(workload: W, kind: OrgKind, cfg: &RunConfig) -> RunResult {
-    let book = LatencyBook::paper();
+    run_workload_mono_with(workload, kind, cfg, &LatencyBook::paper(), cmp_mem::L2_TOTAL_BYTES)
+}
+
+/// [`run_workload_mono`] for an arbitrary machine: the same
+/// monomorphized dispatch, but over a caller-supplied latency book
+/// (which fixes the core count) and total L2 capacity. The scenario
+/// spec path lowers here; the paper path above is the special case
+/// `(LatencyBook::paper(), L2_TOTAL_BYTES)` and stays bit-identical.
+pub fn run_workload_mono_with<W: TraceSource>(
+    workload: W,
+    kind: OrgKind,
+    cfg: &RunConfig,
+    book: &LatencyBook,
+    l2_bytes: usize,
+) -> RunResult {
+    let nurapid = |base: NurapidConfig| NurapidConfig {
+        cores: book.cores(),
+        dgroup_bytes: l2_bytes / book.cores().next_power_of_two(),
+        latencies: book.clone(),
+        ..base
+    };
     match kind {
-        OrgKind::Shared => {
-            run_observed(&mut System::new(workload, UniformShared::paper_shared(&book)), cfg)
-        }
+        OrgKind::Shared => run_observed(
+            &mut System::new(workload, UniformShared::sized_shared(book, l2_bytes)),
+            cfg,
+        ),
         OrgKind::Private => {
-            run_observed(&mut System::new(workload, PrivateMesi::paper(&book)), cfg)
+            run_observed(&mut System::new(workload, PrivateMesi::sized(book, l2_bytes)), cfg)
         }
-        OrgKind::Snuca => run_observed(&mut System::new(workload, Snuca::paper(&book)), cfg),
-        OrgKind::Dnuca => run_observed(&mut System::new(workload, Dnuca::paper(&book)), cfg),
-        OrgKind::Ideal => {
-            run_observed(&mut System::new(workload, UniformShared::paper_ideal(&book)), cfg)
+        OrgKind::Snuca => {
+            run_observed(&mut System::new(workload, Snuca::sized(book, l2_bytes)), cfg)
         }
-        OrgKind::Nurapid => {
-            run_observed(&mut System::new(workload, CmpNurapid::new(NurapidConfig::paper())), cfg)
+        OrgKind::Dnuca => {
+            run_observed(&mut System::new(workload, Dnuca::sized(book, l2_bytes)), cfg)
         }
+        OrgKind::Ideal => run_observed(
+            &mut System::new(workload, UniformShared::sized_ideal(book, l2_bytes)),
+            cfg,
+        ),
+        OrgKind::Nurapid => run_observed(
+            &mut System::new(workload, CmpNurapid::new(nurapid(NurapidConfig::paper()))),
+            cfg,
+        ),
         OrgKind::NurapidCrOnly => run_observed(
-            &mut System::new(workload, CmpNurapid::new(NurapidConfig::paper_cr_only())),
+            &mut System::new(workload, CmpNurapid::new(nurapid(NurapidConfig::paper_cr_only()))),
             cfg,
         ),
         OrgKind::NurapidIscOnly => run_observed(
-            &mut System::new(workload, CmpNurapid::new(NurapidConfig::paper_isc_only())),
+            &mut System::new(workload, CmpNurapid::new(nurapid(NurapidConfig::paper_isc_only()))),
             cfg,
         ),
+        OrgKind::Cnuca => {
+            run_observed(&mut System::new(workload, Cnuca::sized(book, l2_bytes)), cfg)
+        }
     }
 }
 
@@ -422,6 +515,67 @@ mod tests {
             workload_by_name("nope", 1).unwrap_err(),
             SimError::UnknownWorkload("nope".into())
         );
+    }
+
+    #[test]
+    fn workload_by_name_for_threads_core_count() {
+        use cmp_trace::TraceSource;
+        for cores in [1usize, 2, 8, 16, 64] {
+            let w = workload_by_name_for("oltp", 1, cores).unwrap();
+            assert_eq!(w.cores(), cores, "oltp at {cores} cores");
+        }
+        // Mixes are four applications over four cores, full stop.
+        let m = workload_by_name_for("MIX1", 1, 4).unwrap();
+        assert!(matches!(m, AnyWorkload::Mix(_)));
+        assert_eq!(
+            workload_by_name_for("MIX1", 1, 8).unwrap_err(),
+            SimError::UnsupportedCores { workload: "MIX1".into(), cores: 8 }
+        );
+        assert_eq!(
+            workload_by_name_for("oltp", 1, 0).unwrap_err(),
+            SimError::UnsupportedCores { workload: "oltp".into(), cores: 0 }
+        );
+    }
+
+    #[test]
+    fn sized_paths_match_paper_paths_at_paper_scale() {
+        // The sized constructors with the paper book and 8 MB must be
+        // the paper machine: same org identity, and a short run is
+        // bit-identical through both entry points.
+        let book = LatencyBook::paper();
+        for kind in OrgKind::ALL {
+            let a = build_org(kind);
+            let b = build_org_sized(kind, &book, cmp_mem::L2_TOTAL_BYTES);
+            assert_eq!(a.name(), b.name());
+            assert_eq!(a.cores(), b.cores());
+        }
+        let cfg = RunConfig::sized(500, 1_000, 7);
+        for kind in [OrgKind::Shared, OrgKind::Nurapid, OrgKind::Cnuca] {
+            let r1 = run_workload_mono(multithreaded_workload("barnes", cfg.seed), kind, &cfg);
+            let r2 = run_workload_mono_with(
+                multithreaded_workload("barnes", cfg.seed),
+                kind,
+                &cfg,
+                &book,
+                cmp_mem::L2_TOTAL_BYTES,
+            );
+            assert_eq!(r1.cycles, r2.cycles, "{} diverged", kind.name());
+            assert_eq!(r1.l2.accesses(), r2.l2.accesses());
+        }
+    }
+
+    #[test]
+    fn eight_core_machine_runs_end_to_end() {
+        use cmp_latency::{LatencyBook, Table1};
+        let book = LatencyBook::from_table1(&Table1::published(), 8);
+        let l2_bytes = cmp_mem::L2_TOTAL_BYTES / cmp_mem::PAPER_CORES * 8;
+        let cfg = RunConfig::sized(500, 1_000, 7);
+        for kind in [OrgKind::Shared, OrgKind::Snuca, OrgKind::Nurapid, OrgKind::Cnuca] {
+            let w = workload_by_name_for("apache", cfg.seed, 8).unwrap();
+            let r = run_workload_mono_with(w, kind, &cfg, &book, l2_bytes);
+            assert!(r.l2.accesses() > 0, "{} at 8 cores", kind.name());
+            assert!(r.ipc() > 0.0);
+        }
     }
 
     #[test]

@@ -134,13 +134,14 @@ mod tests {
     #[test]
     fn cores_never_share_addresses() {
         let mut mix = MixWorkload::table2("MIX1", 3).expect("mix exists");
-        let mut per_core: Vec<std::collections::HashSet<u64>> = vec![Default::default(); 4];
+        let cores = mix.cores();
+        let mut per_core: Vec<std::collections::HashSet<u64>> = vec![Default::default(); cores];
         for i in 0..40_000 {
-            let c = (i % 4) as usize;
+            let c = i % cores;
             per_core[c].insert(mix.next_access(CoreId(c as u8)).addr.0);
         }
-        for a in 0..4 {
-            for b in (a + 1)..4 {
+        for a in 0..cores {
+            for b in (a + 1)..cores {
                 assert!(per_core[a].is_disjoint(&per_core[b]), "cores {a} and {b} alias");
             }
         }
@@ -149,8 +150,9 @@ mod tests {
     #[test]
     fn mix_addresses_are_private_or_streaming() {
         let mut mix = MixWorkload::table2("MIX3", 5).expect("mix exists");
+        let cores = mix.cores();
         for i in 0..10_000 {
-            let c = (i % 4) as u8;
+            let c = (i % cores) as u8;
             let a = mix.next_access(CoreId(c));
             match Region::of(a.addr) {
                 Some(Region::Private(p)) | Some(Region::Streaming(p)) => assert_eq!(p, CoreId(c)),

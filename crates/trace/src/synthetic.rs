@@ -50,6 +50,12 @@ struct RwsVisit {
 pub struct SyntheticWorkload {
     params: WorkloadParams,
     cores: usize,
+    /// Cores per sharing group (Yavits et al.'s sharing degree,
+    /// arXiv:1602.01329): cores in the same group share one ROS pool
+    /// and one set of communication objects; different groups use
+    /// disjoint ones. `sharing_degree == cores` (the default) is the
+    /// paper's fully shared machine.
+    sharing_degree: usize,
     rngs: Vec<Rng>,
     private_zipf: Zipf,
     /// Precomputed private/ROS/RWS mix (draws identically to
@@ -78,7 +84,30 @@ impl SyntheticWorkload {
     /// Panics if `cores` is zero or the parameters are degenerate
     /// (zero-sized regions with nonzero weights).
     pub fn new(params: WorkloadParams, cores: usize, seed: u64) -> Self {
+        Self::with_sharing_degree(params, cores, seed, cores)
+    }
+
+    /// Like [`SyntheticWorkload::new`], but partitions the cores into
+    /// sharing groups of `sharing_degree` cores each. Group 0's
+    /// shared regions are identical to the default generator's, so
+    /// `sharing_degree == cores` reproduces [`SyntheticWorkload::new`]
+    /// bit for bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is zero, `sharing_degree` is zero or does
+    /// not divide `cores`, or the parameters are degenerate.
+    pub fn with_sharing_degree(
+        params: WorkloadParams,
+        cores: usize,
+        seed: u64,
+        sharing_degree: usize,
+    ) -> Self {
         assert!(cores > 0, "at least one core required");
+        assert!(
+            sharing_degree > 0 && cores.is_multiple_of(sharing_degree),
+            "sharing degree must divide the core count"
+        );
         params.validate();
         let mut root = Rng::new(seed ^ 0x5711_7E71C);
         let rngs: Vec<Rng> = (0..cores).map(|_| root.fork()).collect();
@@ -94,6 +123,7 @@ impl SyntheticWorkload {
             hot_cursor: vec![0; cores],
             params,
             cores,
+            sharing_degree,
             rngs,
         }
     }
@@ -101,6 +131,16 @@ impl SyntheticWorkload {
     /// The parameters in use.
     pub fn params(&self) -> &WorkloadParams {
         &self.params
+    }
+
+    /// Cores per sharing group.
+    pub fn sharing_degree(&self) -> usize {
+        self.sharing_degree
+    }
+
+    /// The sharing group `core` belongs to.
+    fn group(&self, core: usize) -> u64 {
+        (core / self.sharing_degree) as u64
     }
 
     fn gap(&mut self, core: usize) -> u32 {
@@ -139,7 +179,10 @@ impl SyntheticWorkload {
             return (addr, AccessKind::Read);
         }
         let block = self.params.sample_ros_block_with(&self.ros_classes, &mut self.rngs[core]);
-        (Region::ReadOnlyShared.block_addr(block), AccessKind::Read)
+        // Disjoint pool per sharing group: group g's pool starts at
+        // g × pool size. Group 0 (and hence full sharing) is offset 0.
+        let offset = self.group(core) * self.params.ros_pool_blocks() as u64;
+        (Region::ReadOnlyShared.block_addr(offset + block), AccessKind::Read)
     }
 
     fn rws_access(&mut self, core: usize) -> (Addr, AccessKind) {
@@ -182,9 +225,12 @@ impl SyntheticWorkload {
             }
             visit.actions.push(AccessKind::Read);
         }
+        // Communication objects are per sharing group, offset like the
+        // ROS pool.
+        let offset = self.group(core) * self.params.rws_objects as u64;
         let visit = self.rws_visit[core].as_mut().expect("visit planned above");
         let kind = visit.actions.pop().expect("nonempty visit");
-        (Region::ReadWriteShared.block_addr(visit.object as u64), kind)
+        (Region::ReadWriteShared.block_addr(offset + visit.object as u64), kind)
     }
 }
 
@@ -253,8 +299,9 @@ mod tests {
 
     fn histogram(w: &mut SyntheticWorkload, n: usize) -> HashMap<&'static str, usize> {
         let mut h: HashMap<&'static str, usize> = HashMap::new();
+        let cores = w.cores();
         for i in 0..n {
-            let a = w.next_access(CoreId((i % 4) as u8));
+            let a = w.next_access(CoreId((i % cores) as u8));
             let key = match Region::of(a.addr).expect("known region") {
                 Region::Private(_) => "private",
                 Region::ReadOnlyShared => "ros",
@@ -305,9 +352,10 @@ mod tests {
     #[test]
     fn rws_reads_dominate_writes() {
         let mut w = SyntheticWorkload::new(profiles::oltp_params(), 4, 9);
+        let cores = w.cores();
         let (mut reads, mut writes) = (0u64, 0u64);
         for i in 0..60_000 {
-            let a = w.next_access(CoreId((i % 4) as u8));
+            let a = w.next_access(CoreId((i % cores) as u8));
             if Region::of(a.addr) == Some(Region::ReadWriteShared) {
                 if a.kind.is_write() {
                     writes += 1;
@@ -323,10 +371,11 @@ mod tests {
     #[test]
     fn streaming_blocks_are_never_repeated_by_cold_draws() {
         let mut w = SyntheticWorkload::new(profiles::apache_params(), 4, 5);
+        let cores = w.cores();
         let mut prev = std::collections::HashSet::new();
         let mut repeats = 0u32;
         for i in 0..50_000 {
-            let a = w.next_access(CoreId((i % 4) as u8));
+            let a = w.next_access(CoreId((i % cores) as u8));
             if matches!(Region::of(a.addr), Some(Region::Streaming(_))) && !prev.insert(a.addr) {
                 repeats += 1; // hot-window re-references only
             }
@@ -347,9 +396,10 @@ mod tests {
         p.ros_stream_frac = 0.0;
         let pool = p.ros_pool_blocks();
         let mut w = SyntheticWorkload::new(p, 2, 7);
+        let cores = w.cores();
         let mut blocks = std::collections::HashSet::new();
         for i in 0..50_000 {
-            let a = w.next_access(CoreId((i % 2) as u8));
+            let a = w.next_access(CoreId((i % cores) as u8));
             blocks.insert(a.addr);
         }
         assert!(blocks.len() <= pool, "pool must be bounded: {} > {pool}", blocks.len());
@@ -360,8 +410,9 @@ mod tests {
     fn deterministic_for_seed() {
         let mut a = SyntheticWorkload::new(profiles::specjbb_params(), 4, 77);
         let mut b = SyntheticWorkload::new(profiles::specjbb_params(), 4, 77);
+        let cores = a.cores();
         for i in 0..1_000 {
-            let core = CoreId((i % 4) as u8);
+            let core = CoreId((i % cores) as u8);
             assert_eq!(a.next_access(core), b.next_access(core));
         }
     }
@@ -369,8 +420,9 @@ mod tests {
     #[test]
     fn gaps_center_on_mean() {
         let mut w = SyntheticWorkload::new(profiles::ocean_params(), 4, 1);
+        let cores = w.cores();
         let n = 20_000;
-        let total: u64 = (0..n).map(|i| w.next_access(CoreId((i % 4) as u8)).gap as u64).sum();
+        let total: u64 = (0..n).map(|i| w.next_access(CoreId((i % cores) as u8)).gap as u64).sum();
         let mean = total as f64 / n as f64;
         let expect = w.params().mean_gap as f64;
         assert!((mean - expect).abs() < expect * 0.2 + 0.5, "mean gap {mean} vs {expect}");
@@ -379,8 +431,9 @@ mod tests {
     #[test]
     fn ros_region_is_read_only() {
         let mut w = SyntheticWorkload::new(profiles::apache_params(), 4, 2);
+        let cores = w.cores();
         for i in 0..30_000 {
-            let a = w.next_access(CoreId((i % 4) as u8));
+            let a = w.next_access(CoreId((i % cores) as u8));
             if matches!(Region::of(a.addr), Some(Region::ReadOnlyShared | Region::Streaming(_))) {
                 assert!(!a.kind.is_write(), "ROS region written");
             }
@@ -390,9 +443,10 @@ mod tests {
     #[test]
     fn cores_share_ros_and_rws_blocks() {
         let mut w = SyntheticWorkload::new(profiles::oltp_params(), 4, 8);
-        let mut ros_by_core: Vec<std::collections::HashSet<u64>> = vec![Default::default(); 4];
+        let cores = w.cores();
+        let mut ros_by_core: Vec<std::collections::HashSet<u64>> = vec![Default::default(); cores];
         for i in 0..400_000 {
-            let core = (i % 4) as usize;
+            let core = i % cores;
             let a = w.next_access(CoreId(core as u8));
             if Region::of(a.addr) == Some(Region::ReadWriteShared) {
                 ros_by_core[core].insert(a.addr.0);
@@ -401,5 +455,77 @@ mod tests {
         let common: Vec<_> =
             ros_by_core[0].iter().filter(|b| ros_by_core[1].contains(*b)).collect();
         assert!(!common.is_empty(), "cores must overlap on communication objects");
+    }
+
+    #[test]
+    fn every_core_issues_accesses_on_big_machines() {
+        // Regression for the `% 4` striping bug: cores 4..N of an
+        // 8/16-core workload must produce their own private/streaming
+        // traffic, not alias onto cores 0..3.
+        for cores in [8usize, 16] {
+            let mut w = SyntheticWorkload::new(profiles::oltp_params(), cores, 11);
+            let mut private_owner_seen = vec![false; cores];
+            for i in 0..(cores * 4_000) {
+                let core = i % cores;
+                let a = w.next_access(CoreId(core as u8));
+                match Region::of(a.addr).expect("known region") {
+                    Region::Private(c) | Region::Streaming(c) => {
+                        assert_eq!(
+                            c.index(),
+                            core,
+                            "core {core} issued traffic tagged for core {}",
+                            c.index()
+                        );
+                        private_owner_seen[core] = true;
+                    }
+                    _ => {}
+                }
+            }
+            assert!(
+                private_owner_seen.iter().all(|&s| s),
+                "every core must issue private traffic at {cores} cores"
+            );
+        }
+    }
+
+    #[test]
+    fn full_sharing_degree_is_bit_identical_to_default() {
+        let mut a = SyntheticWorkload::new(profiles::oltp_params(), 8, 21);
+        let mut b = SyntheticWorkload::with_sharing_degree(profiles::oltp_params(), 8, 21, 8);
+        for i in 0..10_000 {
+            let core = CoreId((i % 8) as u8);
+            assert_eq!(a.next_access(core), b.next_access(core));
+        }
+    }
+
+    #[test]
+    fn sharing_degree_partitions_shared_regions() {
+        // Degree 2 on 8 cores: cores 0-1 form group 0, cores 6-7 form
+        // group 3. Groups must not overlap on ROS or RWS blocks;
+        // cores inside a group must still overlap.
+        let mut w = SyntheticWorkload::with_sharing_degree(profiles::oltp_params(), 8, 33, 2);
+        let mut shared_by_core: Vec<std::collections::HashSet<u64>> = vec![Default::default(); 8];
+        for i in 0..800_000 {
+            let core = i % 8;
+            let a = w.next_access(CoreId(core as u8));
+            if matches!(Region::of(a.addr), Some(Region::ReadWriteShared | Region::ReadOnlyShared))
+            {
+                shared_by_core[core].insert(a.addr.0);
+            }
+        }
+        assert!(
+            shared_by_core[0].intersection(&shared_by_core[1]).next().is_some(),
+            "group mates must share"
+        );
+        assert!(
+            shared_by_core[6].intersection(&shared_by_core[7]).next().is_some(),
+            "group mates must share"
+        );
+        for c in 2..8 {
+            assert!(
+                shared_by_core[0].intersection(&shared_by_core[c]).next().is_none(),
+                "cores 0 and {c} are in different groups but overlap"
+            );
+        }
     }
 }
